@@ -1,0 +1,204 @@
+// Ablation of the paper's §5 design alternatives:
+//
+//  (1) Multisend implementation — alternative 1 (one send token per
+//      destination: saves only the host postings) vs the chosen
+//      alternative 2 (descriptor-callback replica chain).  Alternative 3
+//      (rewrite behind the transmit DMA) is modelled as alternative 2 with
+//      a near-zero rewrite cost, giving its upper bound.
+//
+//  (2) Forwarding token policy — the chosen receive-token transform (no
+//      extra NIC resource) vs drawing from the free send-token pool, which
+//      stalls forwarding when the pool is empty (the deadlock-prone
+//      rejected design).
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+namespace nicmcast::bench {
+namespace {
+
+double multisend_us(std::size_t bytes, nic::NicOptions options,
+                    nic::NicConfig config = {}) {
+  gm::ClusterConfig cluster_config;
+  cluster_config.nodes = 5;
+  cluster_config.nic = config;
+  cluster_config.nic_options = options;
+  gm::Cluster cluster(cluster_config);
+  const int warmup = 3;
+  const int iters = 30;
+  for (std::size_t n = 1; n < 5; ++n) {
+    cluster.port(n).provide_receive_buffers(warmup + iters,
+                                            std::max<std::size_t>(bytes, 64));
+  }
+  sim::OnlineStats stats;
+  cluster.simulator().spawn(
+      [](gm::Cluster& cl, std::size_t size, int wu, int n,
+         sim::OnlineStats& out) -> sim::Task<void> {
+        for (int i = 0; i < wu + n; ++i) {
+          const sim::TimePoint start = cl.simulator().now();
+          std::vector<net::NodeId> dests{1, 2, 3, 4};
+          const gm::SendStatus st = co_await cl.port(0).multisend(
+              std::move(dests), 0, make_payload(size), 0);
+          if (st != gm::SendStatus::kOk) throw std::runtime_error("fail");
+          if (i >= wu) {
+            out.add((cl.simulator().now() - start).microseconds());
+          }
+        }
+      }(cluster, bytes, warmup, iters, stats));
+  cluster.run();
+  return stats.mean();
+}
+
+void multisend_ablation() {
+  std::printf("\n--- multisend alternatives (4 destinations) ---\n");
+  std::printf("%8s | %12s | %12s | %12s\n", "size(B)", "alt1 tokens",
+              "alt2 chain", "alt3 bound");
+  for (std::size_t bytes : {8u, 64u, 512u, 4096u, 16384u}) {
+    nic::NicOptions tokens;
+    tokens.multisend_uses_multiple_tokens = true;
+    const double alt1 = multisend_us(bytes, tokens);
+    const double alt2 = multisend_us(bytes, {});
+    nic::NicConfig free_rewrite;
+    free_rewrite.header_rewrite = sim::usec(0.02);
+    const double alt3 = multisend_us(bytes, {}, free_rewrite);
+    std::printf("%8zu | %9.2fus | %9.2fus | %9.2fus\n", bytes, alt1, alt2,
+                alt3);
+  }
+  std::printf("Chosen: alternative 2 — saves the per-destination token\n"
+              "processing; alternative 3 could shave the rewrite cost but\n"
+              "needs risky DMA-engine timing (left as future work in the\n"
+              "paper).\n");
+}
+
+double forward_policy_us(bool pool_tokens, std::size_t busy_sends) {
+  nic::NicConfig config;
+  config.send_tokens_per_port = 4;
+  nic::NicOptions options;
+  options.forwarding_uses_send_tokens = pool_tokens;
+  gm::ClusterConfig cluster_config;
+  cluster_config.nodes = 4;
+  cluster_config.nic = config;
+  cluster_config.nic_options = options;
+  gm::Cluster cluster(cluster_config);
+
+  // Chain 0 -> 1 -> 2 -> 3; node 1 concurrently runs point-to-point sends
+  // that occupy its send-token pool.
+  mcast::Tree tree(0);
+  tree.add_edge(0, 1);
+  tree.add_edge(1, 2);
+  tree.add_edge(2, 3);
+  mcast::install_group(cluster, tree, 9);
+  for (net::NodeId n = 1; n < 4; ++n) {
+    cluster.port(n).provide_receive_buffers(busy_sends + 4, 8192);
+  }
+  cluster.port(0).provide_receive_buffers(busy_sends + 4, 8192);
+
+  auto leaf_done = std::make_shared<sim::TimePoint>();
+  // Node 1's competing unicast traffic (posted before the multicast).
+  cluster.simulator().spawn([](gm::Cluster& cl,
+                               std::size_t k) -> sim::Task<void> {
+    std::vector<nic::OpHandle> handles;
+    for (std::size_t i = 0; i < k; ++i) {
+      handles.push_back(cl.port(1).post_send_nowait(0, 0, gm::Payload(4096), 7));
+    }
+    for (auto h : handles) co_await cl.port(1).wait_completion(h);
+  }(cluster, busy_sends));
+
+  cluster.run_on_all([tree, leaf_done](gm::Cluster& cl,
+                                       net::NodeId me) -> sim::Task<void> {
+    gm::Payload data;
+    if (me == 0) data = make_payload(1024);
+    gm::Payload got = co_await mcast::nic_bcast(cl.port(me), tree, 9,
+                                                std::move(data), 1);
+    if (got.size() != 1024) throw std::logic_error("ablation bcast failed");
+    if (me == 3) *leaf_done = cl.simulator().now();
+  });
+  cluster.run();
+  return leaf_done->microseconds();
+}
+
+void forwarding_ablation() {
+  std::printf("\n--- forwarding token policy (chain, node 1 busy with "
+              "unicasts, 4-token pool) ---\n");
+  std::printf("%18s | %16s | %16s\n", "competing sends",
+              "recv-token(us)", "send-pool(us)");
+  for (std::size_t busy : {0u, 2u, 4u}) {
+    const double transform = forward_policy_us(false, busy);
+    const double pool = forward_policy_us(true, busy);
+    std::printf("%18zu | %16.2f | %16.2f\n", busy, transform, pool);
+  }
+  std::printf("Chosen: transforming the receive token — forwarding never\n"
+              "competes for send tokens, so the leaf latency is flat no\n"
+              "matter how busy the intermediate host is.  The pool variant\n"
+              "stalls (and in cyclic configurations can deadlock).\n");
+}
+
+double buffer_policy_us(bool naive, std::size_t pool) {
+  // 0 -> 1 -> {2, 3}; node 3's host posts its receive buffer 2ms late.
+  // Reported: when the HEALTHY sibling (node 2) gets the full message.
+  nic::NicConfig config;
+  config.nic_rx_buffers = pool;
+  config.retransmit_timeout = sim::usec(300);
+  config.max_retries = 1000;
+  nic::NicOptions options;
+  options.hold_buffers_until_acked = naive;
+  gm::ClusterConfig cluster_config;
+  cluster_config.nodes = 4;
+  cluster_config.nic = config;
+  cluster_config.nic_options = options;
+  gm::Cluster cluster(cluster_config);
+  mcast::Tree tree(0);
+  tree.add_edge(0, 1);
+  tree.add_edge(1, 2);
+  tree.add_edge(1, 3);
+  mcast::install_group(cluster, tree, 9);
+  cluster.port(1).provide_receive_buffer(65536);
+  cluster.port(2).provide_receive_buffer(65536);
+  cluster.simulator().schedule_after(sim::msec(2), [&cluster] {
+    cluster.port(3).provide_receive_buffer(65536);
+  });
+  auto healthy_done = std::make_shared<sim::TimePoint>();
+  cluster.run_on_all([tree, healthy_done](gm::Cluster& cl,
+                                          net::NodeId me) -> sim::Task<void> {
+    gm::Payload data;
+    if (me == 0) data = make_payload(65536);
+    gm::Payload got = co_await mcast::nic_bcast(cl.port(me), tree, 9,
+                                                std::move(data), 1);
+    if (got.size() != 65536) throw std::logic_error("bcast corrupted");
+    if (me == 2) *healthy_done = cl.simulator().now();
+  });
+  cluster.run();
+  return healthy_done->microseconds();
+}
+
+void buffer_policy_ablation() {
+  std::printf("\n--- staging-buffer release policy (64KB, one child 2ms "
+              "late) ---\n");
+  std::printf("%10s | %22s | %22s\n", "SRAM pool",
+              "healthy sibling, fwd(us)", "healthy sibling, hold(us)");
+  for (std::size_t pool : {2u, 4u, 8u, 32u}) {
+    const double chosen = buffer_policy_us(false, pool);
+    const double naive = buffer_policy_us(true, pool);
+    std::printf("%10zu | %22.1f | %22.1f\n", pool, chosen, naive);
+  }
+  std::printf("Chosen: release once forwarding (and the RDMA) finished —\n"
+              "the host replica covers retransmissions, so a slow child\n"
+              "never starves its siblings.  The naive hold-until-acked\n"
+              "policy pins the pool behind the laggard and drags the\n"
+              "healthy subtree past its wake-up (the paper's \"slow down\n"
+              "the receiver or even block the network\").\n");
+}
+
+}  // namespace
+}  // namespace nicmcast::bench
+
+int main() {
+  nicmcast::bench::print_header(
+      "Ablation — the paper's §5 design alternatives",
+      "Multisend: tokens vs callback chain vs rewrite bound; forwarding: "
+      "receive-token transform vs send-token pool; staging-buffer policy.");
+  nicmcast::bench::multisend_ablation();
+  nicmcast::bench::forwarding_ablation();
+  nicmcast::bench::buffer_policy_ablation();
+  return 0;
+}

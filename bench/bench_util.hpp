@@ -1,0 +1,140 @@
+// Shared benchmark plumbing: the paper's measurement methodology (warm-up
+// iterations, averaged timed iterations, latency to the last destination)
+// plus table printing helpers.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "gm/cluster.hpp"
+#include "mcast/bcast.hpp"
+#include "mcast/postal_tree.hpp"
+#include "sim/stats.hpp"
+
+namespace nicmcast::bench {
+
+inline gm::Payload make_payload(std::size_t n, std::uint8_t salt = 0) {
+  gm::Payload p(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    p[i] = std::byte{static_cast<std::uint8_t>(i * 131u + salt)};
+  }
+  return p;
+}
+
+inline std::vector<net::NodeId> everyone_but(net::NodeId root,
+                                             std::size_t n) {
+  std::vector<net::NodeId> v;
+  for (net::NodeId i = 0; i < n; ++i) {
+    if (i != root) v.push_back(i);
+  }
+  return v;
+}
+
+/// Zero-cost simulation-side barrier used to align iterations exactly
+/// (the paper used warm-up rounds; determinism lets us do better).
+class SimBarrier {
+ public:
+  explicit SimBarrier(std::size_t parties) : parties_(parties) {}
+  sim::Task<void> arrive() {
+    if (++count_ == parties_) {
+      count_ = 0;
+      gate_.release();
+    } else {
+      co_await gate_.wait();
+    }
+  }
+
+ private:
+  std::size_t parties_;
+  std::size_t count_ = 0;
+  sim::Gate gate_;
+};
+
+/// The paper's GM-level multicast latency methodology: iterate broadcasts
+/// over a fixed tree; the latency of one iteration is the instant the last
+/// node finished (max over leaf-ack choices).  Warm-up iterations are
+/// discarded; the rest are averaged.
+struct McastLatencyConfig {
+  std::size_t nodes = 16;
+  std::size_t message_bytes = 128;
+  bool nic_based = true;
+  int warmup = 4;
+  int iterations = 40;
+};
+
+inline double measure_mcast_latency_us(const McastLatencyConfig& config,
+                                       const mcast::Tree& tree) {
+  gm::Cluster cluster(gm::ClusterConfig{.nodes = config.nodes});
+  const net::GroupId group = 1;
+  if (config.nic_based) mcast::install_group(cluster, tree, group);
+  const int total = config.warmup + config.iterations;
+  for (net::NodeId node : tree.nodes()) {
+    if (node != tree.root()) {
+      cluster.port(node).provide_receive_buffers(
+          total, std::max<std::size_t>(config.message_bytes, 64));
+    }
+  }
+
+  auto iteration_done = std::make_shared<std::vector<sim::TimePoint>>(total);
+  auto iteration_started =
+      std::make_shared<std::vector<sim::TimePoint>>(total);
+  auto barrier = std::make_shared<SimBarrier>(tree.size());
+
+  cluster.run_on_all([config, tree, group, iteration_done, iteration_started,
+                      barrier](gm::Cluster& cl,
+                               net::NodeId me) -> sim::Task<void> {
+    const int total_iters = config.warmup + config.iterations;
+    for (int iter = 0; iter < total_iters; ++iter) {
+      co_await barrier->arrive();
+      if (me == tree.root()) {
+        (*iteration_started)[iter] = cl.simulator().now();
+      }
+      gm::Payload data;
+      if (me == tree.root()) {
+        data = make_payload(config.message_bytes,
+                            static_cast<std::uint8_t>(iter));
+      }
+      gm::Payload got;
+      if (config.nic_based) {
+        got = co_await mcast::nic_bcast(cl.port(me), tree, group,
+                                        std::move(data),
+                                        static_cast<std::uint32_t>(iter));
+      } else {
+        got = co_await mcast::host_bcast(cl.port(me), tree, std::move(data),
+                                         static_cast<std::uint32_t>(iter));
+      }
+      if (got.size() != config.message_bytes) {
+        throw std::logic_error("bench: broadcast payload corrupted");
+      }
+      auto& done = (*iteration_done)[iter];
+      done = std::max(done, cl.simulator().now());
+    }
+  });
+  cluster.run();
+
+  sim::OnlineStats stats;
+  for (int iter = config.warmup; iter < total; ++iter) {
+    stats.add(((*iteration_done)[iter] - (*iteration_started)[iter])
+                  .microseconds());
+  }
+  return stats.mean();
+}
+
+/// Standard message-size sweep used by the paper's figures.
+inline std::vector<std::size_t> paper_sizes() {
+  return {1,   4,    16,   64,   128,  256,   512,
+          1024, 2048, 4096, 8192, 16384};
+}
+
+inline void print_header(const std::string& title,
+                         const std::string& paper_reference) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("%s\n", paper_reference.c_str());
+  std::printf("================================================================\n");
+}
+
+}  // namespace nicmcast::bench

@@ -1,0 +1,81 @@
+// Extension — NIC-based reduction: "Is It Beneficial?" (the title of the
+// authors' companion paper, ref [4], and the §7 Allreduce future work).
+//
+// Allreduce = reduce + broadcast.  The NIC variant folds contributions in
+// LANai firmware on the way up; the host variant receives every partial
+// into host memory and adds there.  The 133 MHz LANai combines slowly
+// (~100 MB/s) while the host adds at memory speed — so the NIC wins on
+// small vectors (fewer host crossings) and loses on large ones (slow
+// lane-adds serialise on the NIC CPU): the same crossover ref [4] reports.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "mpi/mpi.hpp"
+
+namespace nicmcast::bench {
+namespace {
+
+double allreduce_us(std::size_t nodes, std::size_t lanes, bool nic) {
+  gm::Cluster cluster(gm::ClusterConfig{.nodes = nodes});
+  mpi::MpiConfig config;
+  config.nic_reduction = nic;
+  mpi::World world(cluster, config);
+
+  const int warmup = 2;
+  const int iterations = 15;
+  auto barrier = std::make_shared<SimBarrier>(nodes);
+  auto done =
+      std::make_shared<std::vector<sim::TimePoint>>(warmup + iterations);
+  auto started =
+      std::make_shared<std::vector<sim::TimePoint>>(warmup + iterations);
+  world.launch([barrier, done, started, lanes, warmup, iterations,
+                nodes](mpi::Process& self) -> sim::Task<void> {
+    for (int iter = 0; iter < warmup + iterations; ++iter) {
+      co_await barrier->arrive();
+      if (self.rank() == 0) (*started)[iter] = self.simulator().now();
+      std::vector<std::int64_t> mine(lanes, self.rank() + iter);
+      const auto sum =
+          co_await self.allreduce_sum(self.world_comm(), std::move(mine));
+      const auto expected = static_cast<std::int64_t>(
+          nodes * (nodes - 1) / 2 + nodes * iter);
+      if (sum.at(0) != expected) {
+        throw std::logic_error("allreduce bench: wrong sum");
+      }
+      auto& d = (*done)[iter];
+      d = std::max(d, self.simulator().now());
+    }
+  });
+  world.run();
+
+  sim::OnlineStats stats;
+  for (int iter = warmup; iter < warmup + iterations; ++iter) {
+    stats.add(((*done)[iter] - (*started)[iter]).microseconds());
+  }
+  return stats.mean();
+}
+
+void run() {
+  print_header(
+      "Extension — NIC-based reduction: is it beneficial? (16 nodes)",
+      "Paper §7 + ref [4]: firmware folding wins for small vectors, the "
+      "slow LANai loses for large ones.");
+  std::printf("%10s | %14s | %14s | %6s\n", "lanes(x8B)", "host-lvl(us)",
+              "NIC-lvl(us)", "factor");
+  for (std::size_t lanes : {1u, 4u, 16u, 64u, 256u, 1024u, 2048u}) {
+    const double host = allreduce_us(16, lanes, false);
+    const double nic = allreduce_us(16, lanes, true);
+    std::printf("%10zu | %14.1f | %14.1f | %6.2f\n", lanes, host, nic,
+                host / nic);
+  }
+  std::printf(
+      "\nShape check: factor > 1 for small vectors, crossing below 1 as\n"
+      "the vector grows (the LANai's ~100MB/s lane-adds serialise).\n");
+}
+
+}  // namespace
+}  // namespace nicmcast::bench
+
+int main() {
+  nicmcast::bench::run();
+  return 0;
+}

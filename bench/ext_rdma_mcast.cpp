@@ -1,0 +1,83 @@
+// Extension (paper §7 future work): "NIC-based multicast using remote DMA
+// operations" — broadcasts ABOVE the 16287-byte eager limit.
+//
+// Compares the paper's fallback (host-based binomial rendezvous: per-hop
+// RTS/CTS handshakes and full store-and-forward) against the RDMA
+// multicast (announce/ready once, then the payload streams down the tree
+// with per-packet NIC forwarding into pre-registered buffers, zero host
+// copies).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "mpi/mpi.hpp"
+
+namespace nicmcast::bench {
+namespace {
+
+double measure_us(std::size_t nodes, std::size_t bytes, bool rdma) {
+  gm::Cluster cluster(gm::ClusterConfig{.nodes = nodes});
+  mpi::MpiConfig config;
+  config.bcast_algorithm =
+      rdma ? mpi::BcastAlgorithm::kNicBased : mpi::BcastAlgorithm::kHostBased;
+  config.rdma_multicast = rdma;
+  mpi::World world(cluster, config);
+
+  const int warmup = 2;
+  const int iterations = 10;
+  auto barrier = std::make_shared<SimBarrier>(nodes);
+  auto done =
+      std::make_shared<std::vector<sim::TimePoint>>(warmup + iterations);
+  auto started =
+      std::make_shared<std::vector<sim::TimePoint>>(warmup + iterations);
+  world.launch([barrier, done, started, bytes, warmup,
+                iterations](mpi::Process& self) -> sim::Task<void> {
+    for (int iter = 0; iter < warmup + iterations; ++iter) {
+      co_await barrier->arrive();
+      if (self.rank() == 0) (*started)[iter] = self.simulator().now();
+      mpi::Payload data(bytes);
+      if (self.rank() == 0) {
+        data = make_payload(bytes, static_cast<std::uint8_t>(iter));
+      }
+      co_await self.bcast(data, 0);
+      if (data != make_payload(bytes, static_cast<std::uint8_t>(iter))) {
+        throw std::logic_error("rdma bench: corrupted broadcast");
+      }
+      auto& d = (*done)[iter];
+      d = std::max(d, self.simulator().now());
+    }
+  });
+  world.run();
+
+  sim::OnlineStats stats;
+  for (int iter = warmup; iter < warmup + iterations; ++iter) {
+    stats.add(((*done)[iter] - (*started)[iter]).microseconds());
+  }
+  return stats.mean();
+}
+
+void run() {
+  print_header(
+      "Extension — RDMA-based NIC multicast for >16KB broadcasts (16 "
+      "nodes)",
+      "Paper §7 future work: \"the NIC-based multicast using remote DMA "
+      "operations\".");
+  std::printf("%9s | %14s | %14s | %6s\n", "size(B)", "HB rndv(us)",
+              "NB rdma(us)", "factor");
+  for (std::size_t bytes : {32768u, 65536u, 131072u, 262144u, 524288u}) {
+    const double hb = measure_us(16, bytes, false);
+    const double nb = measure_us(16, bytes, true);
+    std::printf("%9zu | %14.1f | %14.1f | %6.2f\n", bytes, hb, nb, hb / nb);
+  }
+  std::printf(
+      "\nShape check: the RDMA multicast's pipelined forwarding keeps the\n"
+      "advantage growing with message size, while the rendezvous baseline\n"
+      "pays a full store-and-forward plus handshake per hop.\n");
+}
+
+}  // namespace
+}  // namespace nicmcast::bench
+
+int main() {
+  nicmcast::bench::run();
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Extension — scalability study (paper §7: the scheme "requires minimum
+// memory and processor resources at the NIC, which promises good
+// scalability"; GM "can support clusters of over 10,000 nodes").
+//
+// Sweeps the GM-level multicast from 8 to 128 nodes on radix-16 Clos
+// fabrics and reports the NIC-based improvement factor, the tree shapes
+// the postal model picks, and the NIC-level barrier against the host-level
+// dissemination barrier at the same sizes.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "mpi/mpi.hpp"
+
+namespace nicmcast::bench {
+namespace {
+
+enum class NbTree { kPostal, kChain };
+
+double mcast_us(std::size_t nodes, std::size_t bytes, bool nic_based,
+                NbTree nb_tree = NbTree::kPostal) {
+  gm::ClusterConfig config;
+  config.nodes = nodes;
+  config.wiring = nodes > 16 ? gm::ClusterConfig::Wiring::kClos
+                             : gm::ClusterConfig::Wiring::kSingleSwitch;
+  gm::Cluster cluster(config);
+  const auto dests = everyone_but(0, nodes);
+  mcast::Tree tree = mcast::build_binomial_tree(0, dests);
+  if (nic_based) {
+    tree = nb_tree == NbTree::kChain
+               ? mcast::build_chain_tree(0, dests)
+               : mcast::build_postal_tree(
+                     0, dests,
+                     mcast::PostalCostModel::nic_based(
+                         bytes, nic::NicConfig{}, net::NetworkConfig{}));
+  }
+  if (nic_based) mcast::install_group(cluster, tree, 1);
+  const int warmup = 2;
+  const int iterations = 10;
+  for (net::NodeId n = 1; n < nodes; ++n) {
+    cluster.port(n).provide_receive_buffers(warmup + iterations,
+                                            std::max<std::size_t>(bytes, 64));
+  }
+  auto barrier = std::make_shared<SimBarrier>(nodes);
+  auto done =
+      std::make_shared<std::vector<sim::TimePoint>>(warmup + iterations);
+  auto started =
+      std::make_shared<std::vector<sim::TimePoint>>(warmup + iterations);
+  cluster.run_on_all([tree, bytes, nic_based, barrier, done, started, warmup,
+                      iterations](gm::Cluster& cl,
+                                  net::NodeId me) -> sim::Task<void> {
+    for (int iter = 0; iter < warmup + iterations; ++iter) {
+      co_await barrier->arrive();
+      if (me == 0) (*started)[iter] = cl.simulator().now();
+      gm::Payload data;
+      if (me == 0) data = make_payload(bytes, static_cast<std::uint8_t>(iter));
+      gm::Payload got;
+      if (nic_based) {
+        got = co_await mcast::nic_bcast(cl.port(me), tree, 1, std::move(data),
+                                        static_cast<std::uint32_t>(iter));
+      } else {
+        got = co_await mcast::host_bcast(cl.port(me), tree, std::move(data),
+                                         static_cast<std::uint32_t>(iter));
+      }
+      if (got.size() != bytes) throw std::logic_error("bad payload");
+      auto& d = (*done)[iter];
+      d = std::max(d, cl.simulator().now());
+    }
+  });
+  cluster.run();
+  sim::OnlineStats stats;
+  for (int iter = warmup; iter < warmup + iterations; ++iter) {
+    stats.add(((*done)[iter] - (*started)[iter]).microseconds());
+  }
+  return stats.mean();
+}
+
+double barrier_us(std::size_t nodes, mpi::BarrierAlgorithm algorithm) {
+  gm::ClusterConfig cluster_config;
+  cluster_config.nodes = nodes;
+  cluster_config.wiring = nodes > 16 ? gm::ClusterConfig::Wiring::kClos
+                                     : gm::ClusterConfig::Wiring::kSingleSwitch;
+  gm::Cluster cluster(cluster_config);
+  mpi::MpiConfig config;
+  config.barrier_algorithm = algorithm;
+  mpi::World world(cluster, config);
+  auto total = std::make_shared<sim::Duration>();
+  world.launch([total](mpi::Process& self) -> sim::Task<void> {
+    co_await self.barrier();  // bootstrap
+    const sim::TimePoint start = self.simulator().now();
+    for (int i = 0; i < 10; ++i) co_await self.barrier();
+    if (self.rank() == 0) *total = self.simulator().now() - start;
+  });
+  world.run();
+  return total->microseconds() / 10.0;
+}
+
+void run() {
+  print_header(
+      "Extension — scalability sweep (Clos fabrics up to 128 nodes)",
+      "Paper §7: minimal NIC state, no centralized manager => the benefit "
+      "should grow with system size.");
+  std::printf("%6s | %26s | %36s | %21s\n", "nodes",
+              "512B mcast HB/NB/factor",
+              "16KB mcast HB/NB-postal/NB-chain/best", "barrier host/NIC");
+  for (std::size_t nodes : {8u, 16u, 32u, 64u, 128u}) {
+    const double hb_s = mcast_us(nodes, 512, false);
+    const double nb_s = mcast_us(nodes, 512, true);
+    const double hb_l = mcast_us(nodes, 16384, false);
+    const double nb_postal = mcast_us(nodes, 16384, true, NbTree::kPostal);
+    const double nb_chain = mcast_us(nodes, 16384, true, NbTree::kChain);
+    const double nb_best = std::min(nb_postal, nb_chain);
+    const double bar_host =
+        barrier_us(nodes, mpi::BarrierAlgorithm::kDissemination);
+    const double bar_nic = barrier_us(nodes, mpi::BarrierAlgorithm::kNicBased);
+    std::printf(
+        "%6zu | %8.1f %7.1f %7.2fx | %8.1f %8.1f %8.1f %6.2fx | %8.1f %8.1f\n",
+        nodes, hb_s, nb_s, hb_s / nb_s, hb_l, nb_postal, nb_chain,
+        hb_l / nb_best, bar_host, bar_nic);
+  }
+  std::printf(
+      "\nShape check: the small-message factor and the NIC barrier's edge\n"
+      "persist at every scale.  For 16KB the fan-out-2 postal tree leaves\n"
+      "no wire headroom (each hop emits twice its input rate), so Clos\n"
+      "spine contention past 16 nodes saturates it; a fan-out-1 chain\n"
+      "restores the win at 32 nodes, and past 64 nodes large-message NB\n"
+      "needs topology-aware trees — construction the paper explicitly\n"
+      "scopes out ('our intent is not to study the effects of hardware\n"
+      "topology', §5).\n");
+}
+
+}  // namespace
+}  // namespace nicmcast::bench
+
+int main() {
+  nicmcast::bench::run();
+  return 0;
+}

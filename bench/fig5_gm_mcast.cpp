@@ -1,0 +1,63 @@
+// Figure 5: GM-level multicast latency, NIC-based (optimal postal tree,
+// NIC forwarding) vs host-based (binomial tree, host forwarding), for 4, 8
+// and 16 nodes across message sizes.
+//
+// Paper landmarks (16 nodes): factor >= 1.48 for <= 512 B, up to 1.86 at
+// 16 KB, with a dip at 2-4 KB (single-packet messages get neither the
+// multisend nor the pipelining benefit).
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+namespace nicmcast::bench {
+namespace {
+
+void run() {
+  print_header(
+      "Figure 5 — GM-level multicast: NIC-based vs host-based",
+      "Paper (16 nodes): >=1.48x for <=512B, up to 1.86x at 16KB, dip at "
+      "2-4KB.");
+  const std::vector<std::size_t> node_counts{4, 8, 16};
+
+  std::printf("%8s", "size(B)");
+  for (std::size_t n : node_counts) {
+    std::printf(" | HB-%-2zu(us) NB-%-2zu(us) factor", n, n);
+  }
+  std::printf("\n");
+
+  for (std::size_t bytes : paper_sizes()) {
+    std::printf("%8zu", bytes);
+    for (std::size_t n : node_counts) {
+      McastLatencyConfig config;
+      config.nodes = n;
+      config.message_bytes = bytes;
+      config.iterations = 30;
+
+      const auto dests = everyone_but(0, n);
+      config.nic_based = false;
+      const double hb = measure_mcast_latency_us(
+          config, mcast::build_binomial_tree(0, dests));
+
+      config.nic_based = true;
+      const auto cost = mcast::PostalCostModel::nic_based(
+          bytes, nic::NicConfig{}, net::NetworkConfig{});
+      const double nb = measure_mcast_latency_us(
+          config, mcast::build_postal_tree(0, dests, cost));
+
+      std::printf(" | %9.2f %9.2f %6.2f", hb, nb, hb / nb);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nShape check: NB wins at every size; the factor dips for 2-4KB\n"
+      "single-packet messages and peaks at 16KB (per-packet forwarding\n"
+      "pipelining), growing with system size.\n");
+}
+
+}  // namespace
+}  // namespace nicmcast::bench
+
+int main() {
+  nicmcast::bench::run();
+  return 0;
+}

@@ -1,0 +1,96 @@
+// google-benchmark microbenchmarks of the simulation engine itself: event
+// queue throughput, coroutine spawn/resume cost, and a full 16-node
+// multicast simulation per iteration.  These guard the simulator's own
+// performance so the figure benches stay fast.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "sim/simulator.hpp"
+
+namespace nicmcast::bench {
+namespace {
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    for (int i = 0; i < state.range(0); ++i) {
+      sim.schedule_after(sim::usec((i * 7) % 100), [] {});
+    }
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1000)->Arg(10000);
+
+void BM_CoroutineDelayChain(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    sim.spawn([](sim::Simulator& s, int hops) -> sim::Task<void> {
+      for (int i = 0; i < hops; ++i) {
+        co_await s.wait(sim::usec(1));
+      }
+    }(sim, static_cast<int>(state.range(0))));
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CoroutineDelayChain)->Arg(1000);
+
+void BM_ChannelPingPong(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    sim::Channel<int> a;
+    sim::Channel<int> b;
+    const int rounds = static_cast<int>(state.range(0));
+    sim.spawn([](sim::Channel<int>& tx, sim::Channel<int>& rx,
+                 int n) -> sim::Task<void> {
+      for (int i = 0; i < n; ++i) {
+        tx.push(i);
+        co_await rx.pop();
+      }
+    }(a, b, rounds));
+    sim.spawn([](sim::Channel<int>& rx, sim::Channel<int>& tx,
+                 int n) -> sim::Task<void> {
+      for (int i = 0; i < n; ++i) {
+        co_await rx.pop();
+        tx.push(i);
+      }
+    }(a, b, rounds));
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ChannelPingPong)->Arg(1000);
+
+void BM_FullMulticast16Nodes(benchmark::State& state) {
+  const auto dests = everyone_but(0, 16);
+  const auto cost = mcast::PostalCostModel::nic_based(
+      static_cast<std::size_t>(state.range(0)), nic::NicConfig{},
+      net::NetworkConfig{});
+  const mcast::Tree tree = mcast::build_postal_tree(0, dests, cost);
+  for (auto _ : state) {
+    McastLatencyConfig config;
+    config.nodes = 16;
+    config.message_bytes = static_cast<std::size_t>(state.range(0));
+    config.nic_based = true;
+    config.warmup = 0;
+    config.iterations = 1;
+    benchmark::DoNotOptimize(measure_mcast_latency_us(config, tree));
+  }
+}
+BENCHMARK(BM_FullMulticast16Nodes)->Arg(64)->Arg(16384);
+
+void BM_PostalTreeConstruction(benchmark::State& state) {
+  const auto dests = everyone_but(0, static_cast<std::size_t>(state.range(0)));
+  const auto cost = mcast::PostalCostModel::nic_based(512, nic::NicConfig{},
+                                                      net::NetworkConfig{});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mcast::build_postal_tree(0, dests, cost));
+  }
+}
+BENCHMARK(BM_PostalTreeConstruction)->Arg(16)->Arg(256)->Arg(4096);
+
+}  // namespace
+}  // namespace nicmcast::bench
+
+BENCHMARK_MAIN();

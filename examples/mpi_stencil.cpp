@@ -1,0 +1,92 @@
+// A miniature data-parallel application on the mini-MPI: an iterative
+// "train-and-sync" loop of the kind the paper's introduction motivates —
+// every iteration the master broadcasts the current model (NIC-based
+// multicast) and the workers' contributions are combined with Allreduce
+// (the paper's §7 future-work collective, built here on the NIC multicast).
+//
+//   $ ./mpi_stencil
+#include <cstdio>
+#include <cstring>
+
+#include "mpi/mpi.hpp"
+
+using namespace nicmcast;
+
+namespace {
+
+constexpr int kRanks = 8;
+constexpr int kIterations = 5;
+constexpr std::size_t kModelInts = 512;  // 4KB "model"
+
+mpi::Payload encode_model(const std::vector<std::int64_t>& m) {
+  mpi::Payload p(m.size() * 8);
+  std::memcpy(p.data(), m.data(), p.size());
+  return p;
+}
+
+std::vector<std::int64_t> decode_model(const mpi::Payload& p) {
+  std::vector<std::int64_t> m(p.size() / 8);
+  std::memcpy(m.data(), p.data(), p.size());
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  gm::Cluster cluster(gm::ClusterConfig{.nodes = kRanks});
+  mpi::MpiConfig config;
+  config.bcast_algorithm = mpi::BcastAlgorithm::kNicBased;
+  mpi::World world(cluster, config);
+
+  world.launch([](mpi::Process& self) -> sim::Task<void> {
+    std::vector<std::int64_t> model(kModelInts, 0);
+    for (int iter = 0; iter < kIterations; ++iter) {
+      // 1. Master broadcasts the model (NIC-based multicast after the
+      //    demand-driven group creation on iteration 0).
+      mpi::Payload blob(kModelInts * 8);
+      if (self.rank() == 0) blob = encode_model(model);
+      co_await self.bcast(blob, 0);
+      model = decode_model(blob);
+
+      // 2. Every worker computes a contribution from "its shard".
+      std::vector<std::int64_t> delta(kModelInts);
+      for (std::size_t i = 0; i < kModelInts; ++i) {
+        delta[i] = static_cast<std::int64_t>((self.rank() + 1) * (iter + 1));
+      }
+
+      // 3. Combine with Allreduce (reduce up the tree, NIC-multicast the
+      //    sum back down).
+      const auto sum =
+          co_await self.allreduce_sum(self.world_comm(), delta);
+      for (std::size_t i = 0; i < kModelInts; ++i) model[i] += sum[i];
+
+      if (self.rank() == 0) {
+        std::printf("[%9.1fus] iteration %d: model[0] = %lld\n",
+                    self.simulator().now().microseconds(), iter,
+                    static_cast<long long>(model[0]));
+      }
+      co_await self.barrier();
+    }
+
+    // Verify: after T iterations, model[0] = sum_t (t+1) * sum_r (r+1)
+    //       = (1+..+T_t) * 36 for 8 ranks.
+    std::int64_t expected = 0;
+    for (int t = 1; t <= kIterations; ++t) expected += 36LL * t;
+    if (model[0] != expected) {
+      std::printf("rank %d: MISMATCH %lld != %lld\n", self.rank(),
+                  static_cast<long long>(model[0]),
+                  static_cast<long long>(expected));
+      throw std::logic_error("model diverged");
+    }
+    if (self.rank() == 0) {
+      std::printf("all %d ranks converged to model[0] = %lld  [OK]\n",
+                  kRanks, static_cast<long long>(expected));
+      std::printf("multicast groups created on rank 0: %llu (demand-driven,"
+                  " then reused)\n",
+                  static_cast<unsigned long long>(
+                      self.stats().groups_created));
+    }
+  });
+  world.run();
+  return 0;
+}

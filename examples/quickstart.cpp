@@ -1,0 +1,90 @@
+// Quickstart: build a simulated 8-node Myrinet/GM cluster, program a
+// multicast group into the NICs, and broadcast a message with the
+// NIC-based multicast — then compare against the host-based baseline.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "gm/cluster.hpp"
+#include "mcast/bcast.hpp"
+#include "mcast/postal_tree.hpp"
+
+using namespace nicmcast;
+
+namespace {
+
+gm::Payload make_message(std::size_t n) {
+  gm::Payload p(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    p[i] = std::byte{static_cast<std::uint8_t>('A' + i % 26)};
+  }
+  return p;
+}
+
+double broadcast_once(bool nic_based) {
+  // 1. A cluster: 8 nodes, one crossbar switch, LANai-9-class NICs.
+  gm::Cluster cluster(gm::ClusterConfig{.nodes = 8});
+
+  // 2. The host builds a latency-optimal spanning tree for this message
+  //    size (Bar-Noy/Kipnis postal model) and preposts it into every NIC's
+  //    group table.  The host-based baseline uses the classic binomial
+  //    tree instead.
+  const std::size_t kBytes = 1024;
+  std::vector<net::NodeId> dests{1, 2, 3, 4, 5, 6, 7};
+  const mcast::Tree tree =
+      nic_based
+          ? mcast::build_postal_tree(
+                0, dests,
+                mcast::PostalCostModel::nic_based(kBytes, nic::NicConfig{},
+                                                  net::NetworkConfig{}))
+          : mcast::build_binomial_tree(0, dests);
+  const net::GroupId group = 42;
+  if (nic_based) {
+    mcast::install_group(cluster, tree, group);
+    std::printf("  tree: %s\n", tree.describe().c_str());
+  }
+
+  // 3. Receivers pre-post receive buffers (GM receive tokens).
+  for (net::NodeId node = 1; node < 8; ++node) {
+    cluster.port(node).provide_receive_buffer(4096);
+  }
+
+  // 4. Every node runs a small program (a C++20 coroutine); the root
+  //    broadcasts, the rest block on the delivered message.
+  auto last_done = std::make_shared<sim::TimePoint>();
+  cluster.run_on_all([tree, group, nic_based, last_done,
+                      kBytes](gm::Cluster& cl,
+                              net::NodeId me) -> sim::Task<void> {
+    gm::Payload data;
+    if (me == 0) data = make_message(kBytes);
+    gm::Payload got;
+    if (nic_based) {
+      got = co_await mcast::nic_bcast(cl.port(me), tree, group,
+                                      std::move(data), /*tag=*/7);
+    } else {
+      got = co_await mcast::host_bcast(cl.port(me), tree, std::move(data),
+                                       /*tag=*/7);
+    }
+    if (got != make_message(kBytes)) {
+      throw std::logic_error("payload mismatch!");
+    }
+    *last_done = std::max(*last_done, cl.simulator().now());
+  });
+  cluster.run();
+  return last_done->microseconds();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("NIC-based multicast over a simulated Myrinet/GM-2 cluster\n");
+  std::printf("----------------------------------------------------------\n");
+  std::printf("host-based broadcast (binomial tree, host forwarding):\n");
+  const double hb = broadcast_once(false);
+  std::printf("  1KB to 7 destinations in %.2f us\n\n", hb);
+  std::printf("NIC-based multicast (optimal tree, NIC forwarding):\n");
+  const double nb = broadcast_once(true);
+  std::printf("  1KB to 7 destinations in %.2f us\n\n", nb);
+  std::printf("improvement factor: %.2fx\n", hb / nb);
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Skewed workers: a master repeatedly broadcasts work descriptors to
+// workers that are busy for random amounts of time (process skew).  With
+// the host-based broadcast, one slow worker in the middle of the tree
+// stalls everyone below it; with the NIC-based multicast the NIC forwards
+// regardless and the late workers find their data already delivered.
+//
+//   $ ./skewed_workers
+#include <cstdio>
+
+#include "mpi/mpi.hpp"
+#include "sim/stats.hpp"
+
+using namespace nicmcast;
+
+namespace {
+
+struct Outcome {
+  double avg_wait_us = 0;   // time spent blocked in bcast per worker
+  double makespan_us = 0;   // total simulated time
+};
+
+Outcome run(mpi::BcastAlgorithm algorithm) {
+  gm::Cluster cluster(gm::ClusterConfig{.nodes = 16});
+  mpi::MpiConfig config;
+  config.bcast_algorithm = algorithm;
+  mpi::World world(cluster, config);
+
+  const int kRounds = 20;
+  auto total_wait = std::make_shared<sim::OnlineStats>();
+  world.launch([total_wait, kRounds](mpi::Process& self) -> sim::Task<void> {
+    sim::Rng rng(1234 + self.rank());
+    for (int round = 0; round < kRounds; ++round) {
+      co_await self.barrier();
+      if (self.rank() != 0) {
+        // Simulate uneven per-worker computation: 0..600us.
+        co_await self.simulator().wait(sim::usec(rng.uniform(0, 600)));
+      }
+      mpi::Payload work(256);
+      if (self.rank() == 0) {
+        std::fill(work.begin(), work.end(),
+                  std::byte{static_cast<std::uint8_t>(round)});
+      }
+      co_await self.bcast(work, 0);
+      if (work != mpi::Payload(256, std::byte{static_cast<std::uint8_t>(
+                                        round)})) {
+        throw std::logic_error("bad work descriptor");
+      }
+      total_wait->add(self.stats().last_bcast_time.microseconds());
+    }
+  });
+  world.run();
+
+  return Outcome{total_wait->mean(),
+                 cluster.simulator().now().microseconds()};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("16 workers with random 0-600us skew, 20 broadcast rounds\n");
+  std::printf("--------------------------------------------------------\n");
+  const Outcome hb = run(mpi::BcastAlgorithm::kHostBased);
+  std::printf("host-based : avg time blocked in MPI_Bcast %7.1f us "
+              "(makespan %.0f us)\n",
+              hb.avg_wait_us, hb.makespan_us);
+  const Outcome nb = run(mpi::BcastAlgorithm::kNicBased);
+  std::printf("NIC-based  : avg time blocked in MPI_Bcast %7.1f us "
+              "(makespan %.0f us)\n",
+              nb.avg_wait_us, nb.makespan_us);
+  std::printf("\nCPU-time improvement: %.1fx — workers stop paying for "
+              "each other's skew.\n",
+              hb.avg_wait_us / nb.avg_wait_us);
+  return 0;
+}

@@ -1,0 +1,236 @@
+#include "gm/port.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace nicmcast::gm {
+
+Port::Port(sim::Simulator& sim, nic::Nic& nic, net::PortId port_id)
+    : sim_(sim), nic_(nic), port_id_(port_id) {
+  if (port_id >= nic.num_ports()) {
+    throw std::out_of_range("Port: NIC has no such port");
+  }
+  pump_process_ = sim_.spawn(pump(), "gm-pump");
+}
+
+// Demultiplexes the NIC event queue: completions resolve their operation's
+// trigger; received messages go to the inbox.
+sim::Task<void> Port::pump() {
+  for (;;) {
+    nic::HostEvent event = co_await nic_.events(port_id_).pop();
+    switch (event.type) {
+      case nic::HostEvent::Type::kSendComplete:
+      case nic::HostEvent::Type::kMultisendComplete:
+      case nic::HostEvent::Type::kMcastSendComplete:
+      case nic::HostEvent::Type::kBarrierDone:
+      case nic::HostEvent::Type::kReduceDone:
+      case nic::HostEvent::Type::kSendFailed: {
+        auto it = pending_.find(event.handle);
+        if (it == pending_.end()) {
+          throw std::logic_error("completion for unknown operation");
+        }
+        OpState& op = *it->second;
+        op.status = event.type == nic::HostEvent::Type::kSendFailed
+                        ? SendStatus::kFailed
+                        : SendStatus::kOk;
+        if (op.status == SendStatus::kFailed) ++stats_.failed_sends;
+        if (op.pinned) memory_.unpin(op.pinned);
+        op.result = std::move(event.data);
+        op.done.fire();
+        // A completed operation returned its send token.
+        token_freed_.release();
+        break;
+      }
+      case nic::HostEvent::Type::kRecvComplete:
+      case nic::HostEvent::Type::kMcastRecvComplete: {
+        ++stats_.receives;
+        RecvMessage msg;
+        msg.src = event.src;
+        msg.src_port = event.src_port;
+        msg.group = event.group;
+        msg.tag = event.tag;
+        msg.data = std::move(event.data);
+        inbox_.push(std::move(msg));
+        break;
+      }
+    }
+  }
+}
+
+sim::Task<void> Port::wait_for_send_token() {
+  while (nic_.send_tokens_available(port_id_) <= tokens_reserved_) {
+    ++stats_.token_stalls;
+    co_await token_freed_.wait();
+  }
+}
+
+sim::Task<SendStatus> Port::await_completion(nic::OpHandle handle) {
+  auto op = std::make_unique<OpState>();
+  OpState& state = *op;
+  pending_.emplace(handle, std::move(op));
+  co_await state.done.wait();
+  const SendStatus status = state.status;
+  pending_.erase(handle);
+  co_return status;
+}
+
+nic::OpHandle Port::post_send_nowait(net::NodeId dest, net::PortId dest_port,
+                                     Payload data, std::uint32_t tag) {
+  if (nic_.send_tokens_available(port_id_) <= tokens_reserved_) {
+    throw std::logic_error("post_send_nowait: no free send token — use the "
+                           "blocking send() to wait for one");
+  }
+  ++tokens_reserved_;  // held until the posted event reaches the NIC
+  ++stats_.sends;
+  const nic::OpHandle handle = new_handle();
+  // Register completion state before the NIC can possibly report back.
+  pending_.emplace(handle, std::make_unique<OpState>());
+  // The posted event crosses the PCI bus asynchronously; the host moves on.
+  sim_.schedule_after(
+      nic_.config().host_to_nic_delay,
+      [this, dest, dest_port, data = std::move(data), tag, handle]() mutable {
+        --tokens_reserved_;
+        nic_.post_send(nic::SendRequest{port_id_, dest, dest_port,
+                                        std::move(data), tag, handle});
+      });
+  return handle;
+}
+
+sim::Task<SendStatus> Port::wait_completion(nic::OpHandle handle) {
+  auto it = pending_.find(handle);
+  if (it == pending_.end()) {
+    throw std::logic_error("wait_completion: unknown handle");
+  }
+  OpState& state = *it->second;
+  co_await state.done.wait();
+  const SendStatus status = state.status;
+  pending_.erase(handle);
+  co_return status;
+}
+
+sim::Task<SendStatus> Port::send(net::NodeId dest, net::PortId dest_port,
+                                 Payload data, std::uint32_t tag) {
+  ++stats_.sends;
+  if (dest == nic_.id()) {
+    // Loopback: GM short-circuits self-sends in the library with a host
+    // memcpy; the NIC and the wire are never involved.
+    if (dest_port != port_id_) {
+      throw std::logic_error("loopback to a different port is unsupported");
+    }
+    co_await sim_.wait(nic_.config().host_post_overhead +
+                       sim::transfer_time(data.size(),
+                                          nic_.config().host_dma_mbps));
+    RecvMessage msg;
+    msg.src = nic_.id();
+    msg.src_port = port_id_;
+    msg.tag = tag;
+    msg.data = std::move(data);
+    ++stats_.receives;
+    inbox_.push(std::move(msg));
+    co_return SendStatus::kOk;
+  }
+  // Host-side: build the send event, cross the PCI bus.
+  co_await sim_.wait(nic_.config().host_post_overhead +
+                     nic_.config().host_to_nic_delay);
+  co_await wait_for_send_token();
+  const nic::OpHandle handle = new_handle();
+  nic_.post_send(
+      nic::SendRequest{port_id_, dest, dest_port, std::move(data), tag,
+                       handle});
+  co_return co_await await_completion(handle);
+}
+
+sim::Task<SendStatus> Port::send_from(RegionRef region, net::NodeId dest,
+                                      net::PortId dest_port,
+                                      std::uint32_t tag) {
+  memory_.pin(region);  // throws on unregistered memory
+  ++stats_.sends;
+  co_await sim_.wait(nic_.config().host_post_overhead +
+                     nic_.config().host_to_nic_delay);
+  co_await wait_for_send_token();
+  const nic::OpHandle handle = new_handle();
+  nic_.post_send(nic::SendRequest{port_id_, dest, dest_port, region->data(),
+                                  tag, handle});
+  auto op = std::make_unique<OpState>();
+  op->pinned = std::move(region);
+  OpState& state = *op;
+  pending_.emplace(handle, std::move(op));
+  co_await state.done.wait();
+  const SendStatus status = state.status;
+  pending_.erase(handle);
+  co_return status;
+}
+
+sim::Task<SendStatus> Port::multisend(std::vector<net::NodeId> dests,
+                                      net::PortId dest_port, Payload data,
+                                      std::uint32_t tag) {
+  ++stats_.multisends;
+  co_await sim_.wait(nic_.config().host_post_overhead +
+                     nic_.config().host_to_nic_delay);
+  co_await wait_for_send_token();
+  const nic::OpHandle handle = new_handle();
+  nic_.post_multisend(nic::MultisendRequest{
+      port_id_, std::move(dests), dest_port, std::move(data), tag, handle});
+  co_return co_await await_completion(handle);
+}
+
+sim::Task<SendStatus> Port::mcast_send(net::GroupId group, Payload data,
+                                       std::uint32_t tag) {
+  ++stats_.mcast_sends;
+  co_await sim_.wait(nic_.config().host_post_overhead +
+                     nic_.config().host_to_nic_delay);
+  co_await wait_for_send_token();
+  const nic::OpHandle handle = new_handle();
+  nic_.post_mcast_send(
+      nic::McastSendRequest{port_id_, group, std::move(data), tag, handle});
+  co_return co_await await_completion(handle);
+}
+
+sim::Task<void> Port::nic_barrier(net::GroupId group) {
+  co_await sim_.wait(nic_.config().host_post_overhead +
+                     nic_.config().host_to_nic_delay);
+  const nic::OpHandle handle = new_handle();
+  nic_.post_barrier(port_id_, group, handle);
+  const SendStatus status = co_await await_completion(handle);
+  if (status != SendStatus::kOk) {
+    throw std::runtime_error("nic_barrier failed (parent unreachable)");
+  }
+}
+
+sim::Task<Payload> Port::nic_reduce(net::GroupId group, Payload data) {
+  co_await sim_.wait(nic_.config().host_post_overhead +
+                     nic_.config().host_to_nic_delay);
+  const nic::OpHandle handle = new_handle();
+  auto op = std::make_unique<OpState>();
+  OpState& state = *op;
+  pending_.emplace(handle, std::move(op));
+  nic_.post_reduce(port_id_, group, std::move(data), handle);
+  co_await state.done.wait();
+  const SendStatus status = state.status;
+  Payload result = std::move(state.result);
+  pending_.erase(handle);
+  if (status != SendStatus::kOk) {
+    throw std::runtime_error("nic_reduce failed (parent unreachable)");
+  }
+  co_return result;
+}
+
+sim::Task<RecvMessage> Port::receive() {
+  RecvMessage msg = co_await inbox_.pop();
+  co_return msg;
+}
+
+void Port::provide_receive_buffer(std::size_t capacity) {
+  nic_.post_recv_buffer(nic::RecvBuffer{port_id_, capacity, 0});
+}
+
+void Port::provide_receive_buffers(std::size_t count, std::size_t capacity) {
+  for (std::size_t i = 0; i < count; ++i) provide_receive_buffer(capacity);
+}
+
+void Port::set_group(net::GroupId group, nic::GroupEntry entry) {
+  entry.port = port_id_;
+  nic_.set_group(group, std::move(entry));
+}
+
+}  // namespace nicmcast::gm

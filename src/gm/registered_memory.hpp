@@ -1,0 +1,93 @@
+// GM registered (DMA-able) memory model.
+//
+// GM can only send from and receive into registered memory, and the paper's
+// forwarding design relies on this: the receive-side replica must stay
+// registered until every child has acknowledged (it is the retransmission
+// source).  We model registration as an explicit, costed operation and keep
+// a pin count of in-flight NIC operations so that premature deregistration
+// is a detectable program error rather than silent corruption.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "nic/types.hpp"
+
+namespace nicmcast::gm {
+
+using nic::Payload;
+
+class Region {
+ public:
+  explicit Region(std::size_t size) : data_(size) {}
+
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] Payload& data() { return data_; }
+  [[nodiscard]] const Payload& data() const { return data_; }
+
+  [[nodiscard]] bool registered() const { return registered_; }
+  [[nodiscard]] std::size_t pin_count() const { return pins_; }
+
+ private:
+  friend class MemoryRegistry;
+  Payload data_;
+  bool registered_ = false;
+  std::size_t pins_ = 0;
+};
+
+using RegionRef = std::shared_ptr<Region>;
+
+/// Per-port registration book-keeping.
+class MemoryRegistry {
+ public:
+  RegionRef allocate(std::size_t size) {
+    return std::make_shared<Region>(size);
+  }
+
+  void register_region(const RegionRef& region) {
+    if (!region) throw std::invalid_argument("null region");
+    if (region->registered_) {
+      throw std::logic_error("region already registered");
+    }
+    region->registered_ = true;
+    bytes_registered_ += region->size();
+  }
+
+  void deregister_region(const RegionRef& region) {
+    if (!region || !region->registered_) {
+      throw std::logic_error("deregistering an unregistered region");
+    }
+    if (region->pins_ > 0) {
+      throw std::logic_error(
+          "deregistering memory with " + std::to_string(region->pins_) +
+          " NIC operation(s) in flight — GM requires the replica to stay "
+          "registered until all acknowledgments arrive");
+    }
+    region->registered_ = false;
+    bytes_registered_ -= region->size();
+  }
+
+  /// Marks the region as in use by an in-flight NIC operation.
+  void pin(const RegionRef& region) {
+    if (!region->registered_) {
+      throw std::logic_error("DMA from unregistered memory");
+    }
+    ++region->pins_;
+  }
+
+  void unpin(const RegionRef& region) {
+    if (region->pins_ == 0) throw std::logic_error("unpin underflow");
+    --region->pins_;
+  }
+
+  [[nodiscard]] std::size_t bytes_registered() const {
+    return bytes_registered_;
+  }
+
+ private:
+  std::size_t bytes_registered_ = 0;
+};
+
+}  // namespace nicmcast::gm

@@ -1,0 +1,42 @@
+// GM-level broadcast/multicast drivers.
+//
+// host_bcast — the traditional baseline: every tree node's *host* receives
+// the message, returns from its blocking receive, and re-posts sends to its
+// children (two extra PCI crossings and a host wakeup per hop).
+//
+// nic_bcast — the paper's scheme: the root posts one NIC-based multicast
+// send; intermediate NICs forward from the group table without host
+// involvement; hosts just collect the delivered message.
+//
+// install_group — programs every member NIC's group table from a Tree (the
+// benchmark/test path; the MPI layer does the same thing demand-driven via
+// setup messages).
+#pragma once
+
+#include <cstdint>
+
+#include "gm/cluster.hpp"
+#include "gm/port.hpp"
+#include "mcast/tree.hpp"
+
+namespace nicmcast::mcast {
+
+/// Programs `tree`'s entry into every member NIC's group table.
+void install_group(gm::Cluster& cluster, const Tree& tree,
+                   net::GroupId group, net::PortId port = 0);
+
+/// Runs one node's part of a host-based broadcast along `tree`.
+/// The root passes the payload; every other member receives it (a receive
+/// buffer must be pre-posted) and forwards to its children.  Returns the
+/// message payload on every node.
+sim::Task<gm::Payload> host_bcast(gm::Port& port, const Tree& tree,
+                                  gm::Payload data, std::uint32_t tag = 0);
+
+/// Runs one node's part of a NIC-based multicast for `group`.
+/// The root posts a single multicast send; everyone else blocks on the
+/// delivered message.  Returns the payload on every node.
+sim::Task<gm::Payload> nic_bcast(gm::Port& port, const Tree& tree,
+                                 net::GroupId group, gm::Payload data,
+                                 std::uint32_t tag = 0);
+
+}  // namespace nicmcast::mcast

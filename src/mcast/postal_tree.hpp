@@ -1,0 +1,61 @@
+// Optimal multicast trees in the postal model (Bar-Noy & Kipnis).
+//
+// The paper (§5, "The Spanning Tree") builds latency-optimal trees by
+// keeping the maximum number of nodes sending at any instant: a node keeps
+// sending to further destinations until the first destination it sent to is
+// itself ready to send.  That count is the ratio of (a) the end-to-end
+// message delivery time L and (b) the per-additional-destination cost g —
+// both functions of message size, so different sizes yield different tree
+// shapes (large fan-out/shallow for small messages, deeper for large).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "mcast/tree.hpp"
+#include "net/network.hpp"
+#include "nic/config.hpp"
+#include "sim/time.hpp"
+
+namespace nicmcast::mcast {
+
+/// The two postal-model parameters for a given message size and transport.
+struct PostalCostModel {
+  sim::Duration latency{0};  // L: send start -> receiver can send onwards
+  sim::Duration gap{0};      // g: cost of one additional destination
+
+  [[nodiscard]] double lambda() const {
+    return gap > sim::Duration{0} ? latency / gap : 1.0;
+  }
+
+  /// Destinations a sender reaches before its first receiver can start
+  /// sending (the paper's fan-out ratio).
+  [[nodiscard]] std::size_t fanout() const {
+    const double ratio = lambda();
+    const auto k = static_cast<std::size_t>(ratio);
+    return k < 1 ? 1 : k;
+  }
+
+  /// Cost model of the NIC-based multicast: the extra destination costs a
+  /// header rewrite plus one message serialisation per packet.
+  static PostalCostModel nic_based(std::size_t message_bytes,
+                                   const nic::NicConfig& nic,
+                                   const net::NetworkConfig& net);
+
+  /// Cost model of the host-based multicast: the extra destination costs a
+  /// full send-token processing, pipelined against DMA and the wire.
+  static PostalCostModel host_based(std::size_t message_bytes,
+                                    const nic::NicConfig& nic,
+                                    const net::NetworkConfig& net);
+};
+
+/// Greedy postal-model schedule: destinations (sorted by network id) are
+/// assigned, in order, to whichever informed node can deliver earliest.
+/// Because the informed set always holds the smallest ids, every non-root
+/// parent ends up smaller than its children — the deadlock invariant holds
+/// by construction.
+[[nodiscard]] Tree build_postal_tree(net::NodeId root,
+                                     std::vector<net::NodeId> dests,
+                                     const PostalCostModel& cost);
+
+}  // namespace nicmcast::mcast

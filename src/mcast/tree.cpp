@@ -1,0 +1,152 @@
+#include "mcast/tree.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace nicmcast::mcast {
+
+void Tree::add_edge(net::NodeId parent, net::NodeId child) {
+  if (!children_.contains(parent)) {
+    throw std::logic_error("add_edge: parent not in tree");
+  }
+  if (children_.contains(child)) {
+    throw std::logic_error("add_edge: child already in tree");
+  }
+  children_[parent].push_back(child);
+  children_[child];
+  parent_[child] = parent;
+  order_.push_back(child);
+}
+
+const std::vector<net::NodeId>& Tree::children(net::NodeId node) const {
+  auto it = children_.find(node);
+  if (it == children_.end()) {
+    throw std::out_of_range("children: node not in tree");
+  }
+  return it->second;
+}
+
+std::optional<net::NodeId> Tree::parent(net::NodeId node) const {
+  auto it = parent_.find(node);
+  if (it == parent_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::size_t Tree::depth() const {
+  std::size_t deepest = 0;
+  for (net::NodeId node : order_) {
+    std::size_t d = 0;
+    for (auto p = parent(node); p; p = parent(*p)) ++d;
+    deepest = std::max(deepest, d);
+  }
+  return deepest;
+}
+
+std::size_t Tree::max_fanout() const {
+  std::size_t widest = 0;
+  for (const auto& [node, kids] : children_) {
+    widest = std::max(widest, kids.size());
+  }
+  return widest;
+}
+
+nic::GroupEntry Tree::entry_for(net::NodeId node, net::PortId port) const {
+  if (!contains(node)) {
+    throw std::out_of_range("entry_for: node not in tree");
+  }
+  nic::GroupEntry entry;
+  entry.port = port;
+  entry.parent = parent(node).value_or(nic::kNoNode);
+  entry.children = children(node);
+  return entry;
+}
+
+void Tree::validate() const {
+  // Construction already prevents cycles and reconnections (a child may be
+  // added once, under an existing parent); check the root and counts.
+  if (!children_.contains(root_)) {
+    throw std::logic_error("tree: root missing");
+  }
+  if (parent_.contains(root_)) {
+    throw std::logic_error("tree: root has a parent");
+  }
+  if (order_.size() != children_.size() ||
+      parent_.size() + 1 != order_.size()) {
+    throw std::logic_error("tree: inconsistent membership");
+  }
+}
+
+bool Tree::satisfies_id_ordering() const {
+  for (const auto& [child, par] : parent_) {
+    if (par == root_) continue;  // the root may feed any id
+    if (par >= child) return false;
+  }
+  return true;
+}
+
+std::string Tree::describe() const {
+  std::string out = "root=" + std::to_string(root_);
+  for (net::NodeId node : order_) {
+    const auto& kids = children(node);
+    if (kids.empty()) continue;
+    out += " " + std::to_string(node) + "->[";
+    for (std::size_t i = 0; i < kids.size(); ++i) {
+      if (i != 0) out += ",";
+      out += std::to_string(kids[i]);
+    }
+    out += "]";
+  }
+  return out;
+}
+
+std::vector<net::NodeId> normalize_destinations(
+    net::NodeId root, std::vector<net::NodeId> dests) {
+  std::sort(dests.begin(), dests.end());
+  dests.erase(std::unique(dests.begin(), dests.end()), dests.end());
+  std::erase(dests, root);
+  return dests;
+}
+
+Tree build_binomial_tree(net::NodeId root, std::vector<net::NodeId> dests) {
+  dests = normalize_destinations(root, std::move(dests));
+  Tree tree(root);
+  // Relative rank r: 0 = root, r >= 1 = dests[r - 1] (sorted ascending, so
+  // "relative parent < relative child" implies the id-ordering invariant).
+  const std::size_t n = dests.size() + 1;
+  auto node_of = [&](std::size_t r) {
+    return r == 0 ? root : dests[r - 1];
+  };
+  // Children in ascending-rank order — MPICH 1.2.x's `mask <<= 1` send
+  // order: the nearest child first and the deepest subtree last.  This is
+  // the send order of the era's MPIR_Bcast and of the paper's host-based
+  // baseline; it is what makes the host-based large-message broadcast pay
+  // a full message serialisation per sibling ahead of the deep subtree.
+  for (std::size_t r = 1; r < n; ++r) {
+    const std::size_t parent_rank = r & (r - 1);  // clear the lowest set bit
+    tree.add_edge(node_of(parent_rank), node_of(r));
+  }
+  return tree;
+}
+
+Tree build_chain_tree(net::NodeId root, std::vector<net::NodeId> dests) {
+  dests = normalize_destinations(root, std::move(dests));
+  Tree tree(root);
+  net::NodeId prev = root;
+  for (net::NodeId d : dests) {
+    tree.add_edge(prev, d);
+    prev = d;
+  }
+  return tree;
+}
+
+Tree build_flat_tree(net::NodeId root, std::vector<net::NodeId> dests) {
+  dests = normalize_destinations(root, std::move(dests));
+  Tree tree(root);
+  for (net::NodeId d : dests) {
+    tree.add_edge(root, d);
+  }
+  return tree;
+}
+
+}  // namespace nicmcast::mcast

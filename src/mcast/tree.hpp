@@ -1,0 +1,94 @@
+// Spanning trees for multicast.
+//
+// The host constructs the tree (the LANai is too slow — paper §5) and
+// preposts per-node entries into NIC group tables.  All builders sort the
+// destination list by network id first and only ever attach children with
+// ids greater than their (non-root) parent: the paper's deadlock-avoidance
+// invariant, which makes cyclic parent-child waits impossible across
+// concurrent multicasts.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "nic/types.hpp"
+
+namespace nicmcast::mcast {
+
+class Tree {
+ public:
+  Tree() { children_[root_]; }
+  explicit Tree(net::NodeId root) : root_(root), order_{root} {
+    children_[root];  // the root is always a member
+  }
+
+  [[nodiscard]] net::NodeId root() const { return root_; }
+
+  /// Adds `child` under `parent`.  Both become members.
+  void add_edge(net::NodeId parent, net::NodeId child);
+
+  [[nodiscard]] bool contains(net::NodeId node) const {
+    return children_.contains(node);
+  }
+  [[nodiscard]] std::size_t size() const { return children_.size(); }
+
+  /// Children of `node` in send order.
+  [[nodiscard]] const std::vector<net::NodeId>& children(
+      net::NodeId node) const;
+
+  /// Parent of `node`; nullopt for the root.
+  [[nodiscard]] std::optional<net::NodeId> parent(net::NodeId node) const;
+
+  /// All member node ids (root first, then insertion order).
+  [[nodiscard]] std::vector<net::NodeId> nodes() const { return order_; }
+
+  /// Longest root-to-leaf path length in edges.
+  [[nodiscard]] std::size_t depth() const;
+
+  /// Largest child count of any member.
+  [[nodiscard]] std::size_t max_fanout() const;
+
+  /// The NIC group-table entry for `node`'s role in this tree.
+  [[nodiscard]] nic::GroupEntry entry_for(net::NodeId node,
+                                          net::PortId port) const;
+
+  /// Checks connectivity and acyclicity; throws std::logic_error on a
+  /// malformed tree.
+  void validate() const;
+
+  /// The deadlock-avoidance invariant: every non-root parent has an id
+  /// smaller than each of its children (paper §5, "Deadlock").
+  [[nodiscard]] bool satisfies_id_ordering() const;
+
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  net::NodeId root_ = 0;
+  std::unordered_map<net::NodeId, std::vector<net::NodeId>> children_;
+  std::unordered_map<net::NodeId, net::NodeId> parent_;
+  std::vector<net::NodeId> order_{0};  // rewritten by the root constructor
+};
+
+/// Sorts and deduplicates destinations, dropping the root if present
+/// (shared preprocessing for every tree builder).
+[[nodiscard]] std::vector<net::NodeId> normalize_destinations(
+    net::NodeId root, std::vector<net::NodeId> dests);
+
+/// Binomial tree (MPICH's default broadcast shape; the paper's host-based
+/// baseline).
+[[nodiscard]] Tree build_binomial_tree(net::NodeId root,
+                                       std::vector<net::NodeId> dests);
+
+/// Chain: root -> d0 -> d1 -> ... (worst latency, minimal fan-out).
+[[nodiscard]] Tree build_chain_tree(net::NodeId root,
+                                    std::vector<net::NodeId> dests);
+
+/// Flat/star: root sends to everyone directly (pure multisend).
+[[nodiscard]] Tree build_flat_tree(net::NodeId root,
+                                   std::vector<net::NodeId> dests);
+
+}  // namespace nicmcast::mcast

@@ -1,0 +1,52 @@
+// Communicators: an ordered set of member nodes plus a context id that
+// isolates its traffic from other communicators (MPI semantics).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace nicmcast::mpi {
+
+class Comm {
+ public:
+  Comm() = default;
+  Comm(std::uint8_t context, std::vector<net::NodeId> members)
+      : context_(context), members_(std::move(members)) {
+    if (members_.empty()) throw std::invalid_argument("empty communicator");
+  }
+
+  [[nodiscard]] std::uint8_t context() const { return context_; }
+  [[nodiscard]] int size() const { return static_cast<int>(members_.size()); }
+
+  [[nodiscard]] net::NodeId node_of(int rank) const {
+    if (rank < 0 || rank >= size()) {
+      throw std::out_of_range("rank out of range");
+    }
+    return members_[rank];
+  }
+
+  /// Rank of `node` in this communicator, or -1 if not a member.
+  [[nodiscard]] int rank_of(net::NodeId node) const {
+    for (int r = 0; r < size(); ++r) {
+      if (members_[r] == node) return r;
+    }
+    return -1;
+  }
+
+  [[nodiscard]] bool contains(net::NodeId node) const {
+    return rank_of(node) >= 0;
+  }
+
+  [[nodiscard]] const std::vector<net::NodeId>& members() const {
+    return members_;
+  }
+
+ private:
+  std::uint8_t context_ = 0;
+  std::vector<net::NodeId> members_;
+};
+
+}  // namespace nicmcast::mpi

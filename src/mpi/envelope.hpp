@@ -1,0 +1,46 @@
+// MPI message envelope, packed into the GM 32-bit tag field.
+//
+// Layout: [31:28] kind | [27:20] communicator context id | [19:4] MPI tag |
+// [3:0] reserved.  The source rank is recovered from the GM source node id
+// through the communicator's member table.
+#pragma once
+
+#include <cstdint>
+
+namespace nicmcast::mpi {
+
+enum class Kind : std::uint8_t {
+  kEager = 1,      // eager-mode point-to-point data
+  kRndvRts = 2,    // rendezvous request-to-send (payload: 8-byte size)
+  kRndvCts = 3,    // rendezvous clear-to-send
+  kRndvData = 4,   // rendezvous bulk data
+  kBcast = 5,      // host-based broadcast data / NIC-based multicast data
+  kBcastSetup = 6, // demand-driven group creation: tree entry for a member
+  kBcastSetupAck = 7,
+  kBarrier = 8,    // dissemination barrier round
+  kReduce = 9,     // reduction contribution (Allreduce upward phase)
+};
+
+struct Envelope {
+  Kind kind = Kind::kEager;
+  std::uint8_t context = 0;
+  std::uint16_t tag = 0;
+
+  [[nodiscard]] std::uint32_t encode() const {
+    return (static_cast<std::uint32_t>(kind) << 28) |
+           (static_cast<std::uint32_t>(context) << 20) |
+           (static_cast<std::uint32_t>(tag) << 4);
+  }
+
+  static Envelope decode(std::uint32_t raw) {
+    Envelope e;
+    e.kind = static_cast<Kind>((raw >> 28) & 0xF);
+    e.context = static_cast<std::uint8_t>((raw >> 20) & 0xFF);
+    e.tag = static_cast<std::uint16_t>((raw >> 4) & 0xFFFF);
+    return e;
+  }
+
+  [[nodiscard]] bool operator==(const Envelope&) const = default;
+};
+
+}  // namespace nicmcast::mpi

@@ -1,0 +1,117 @@
+// Fault injection for the network channel.
+//
+// Real Myrinet has a nonzero bit-error rate (paper §2: "a network cannot be
+// considered reliable"), which is exactly why the multicast scheme carries
+// its own ack/timeout/retransmission machinery.  The injector decides, per
+// packet, whether it traverses cleanly, is dropped in the fabric, or arrives
+// corrupted (and is then discarded by the receiving NIC's CRC check).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/random.hpp"
+
+namespace nicmcast::net {
+
+enum class FaultAction : std::uint8_t { kNone, kDrop, kCorrupt };
+
+class FaultInjector {
+ public:
+  virtual ~FaultInjector() = default;
+  virtual FaultAction on_packet(const Packet& packet) = 0;
+};
+
+/// The default: a perfect fabric.
+class NoFaults final : public FaultInjector {
+ public:
+  FaultAction on_packet(const Packet&) override { return FaultAction::kNone; }
+};
+
+/// Independent per-packet drop/corrupt probabilities.
+class RandomFaults final : public FaultInjector {
+ public:
+  RandomFaults(double drop_probability, double corrupt_probability,
+               sim::Rng rng)
+      : drop_p_(drop_probability), corrupt_p_(corrupt_probability),
+        rng_(rng) {}
+
+  FaultAction on_packet(const Packet&) override {
+    const double u = rng_.uniform();
+    if (u < drop_p_) return FaultAction::kDrop;
+    if (u < drop_p_ + corrupt_p_) return FaultAction::kCorrupt;
+    return FaultAction::kNone;
+  }
+
+ private:
+  double drop_p_;
+  double corrupt_p_;
+  sim::Rng rng_;
+};
+
+/// Deterministic, test-oriented faults: match specific packets and apply an
+/// action a bounded number of times.  Rules are evaluated in order; the
+/// first live match wins.
+class ScriptedFaults final : public FaultInjector {
+ public:
+  struct Match {
+    std::optional<PacketType> type;
+    std::optional<NodeId> src;
+    std::optional<NodeId> dst;
+    std::optional<std::uint32_t> seq;
+    std::optional<GroupId> group;
+
+    [[nodiscard]] bool matches(const Packet& p) const {
+      const PacketHeader& h = p.header;
+      return (!type || *type == h.type) && (!src || *src == h.src) &&
+             (!dst || *dst == h.dst) && (!seq || *seq == h.seq) &&
+             (!group || *group == h.group);
+    }
+  };
+
+  /// Applies `action` to the first `count` packets matching `match`.
+  void add_rule(Match match, FaultAction action, std::uint32_t count = 1) {
+    rules_.push_back(Rule{match, action, count, nullptr});
+  }
+
+  /// Arbitrary-predicate rule for conditions Match cannot express.
+  void add_predicate_rule(std::function<bool(const Packet&)> predicate,
+                          FaultAction action, std::uint32_t count = 1) {
+    rules_.push_back(Rule{Match{}, action, count, std::move(predicate)});
+  }
+
+  FaultAction on_packet(const Packet& p) override {
+    for (Rule& rule : rules_) {
+      if (rule.remaining == 0) continue;
+      const bool hit =
+          rule.predicate ? rule.predicate(p) : rule.match.matches(p);
+      if (hit) {
+        --rule.remaining;
+        return rule.action;
+      }
+    }
+    return FaultAction::kNone;
+  }
+
+  /// Total fault applications still pending (0 = every rule exhausted).
+  [[nodiscard]] std::uint64_t pending() const {
+    std::uint64_t n = 0;
+    for (const Rule& r : rules_) n += r.remaining;
+    return n;
+  }
+
+ private:
+  struct Rule {
+    Match match;
+    FaultAction action;
+    std::uint32_t remaining;
+    std::function<bool(const Packet&)> predicate;
+  };
+  std::vector<Rule> rules_;
+};
+
+}  // namespace nicmcast::net

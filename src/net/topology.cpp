@@ -1,0 +1,110 @@
+#include "net/topology.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace nicmcast::net {
+
+namespace {
+constexpr VertexId kNoVertex = std::numeric_limits<VertexId>::max();
+constexpr LinkId kNoLink = std::numeric_limits<LinkId>::max();
+}  // namespace
+
+Route Topology::route(NodeId from, NodeId to) const {
+  if (from >= endpoint_count_ || to >= endpoint_count_) {
+    throw std::out_of_range("route: endpoint id out of range");
+  }
+  if (from == to) return {};
+
+  // BFS over vertices; packets may not pass *through* an endpoint vertex
+  // (NICs do not cut through), so intermediate hops must be switches.
+  std::vector<LinkId> via(vertex_count_, kNoLink);
+  std::vector<VertexId> prev(vertex_count_, kNoVertex);
+  std::queue<VertexId> frontier;
+  frontier.push(from);
+  prev[from] = from;
+
+  while (!frontier.empty() && prev[to] == kNoVertex) {
+    const VertexId v = frontier.front();
+    frontier.pop();
+    if (v != from && is_endpoint(v)) continue;  // endpoints terminate paths
+    for (LinkId id = 0; id < links_.size(); ++id) {
+      const LinkDesc& l = links_[id];
+      if (l.from != v || prev[l.to] != kNoVertex) continue;
+      prev[l.to] = v;
+      via[l.to] = id;
+      frontier.push(l.to);
+    }
+  }
+
+  if (prev[to] == kNoVertex) {
+    throw std::runtime_error("no route between endpoints " +
+                             std::to_string(from) + " and " +
+                             std::to_string(to));
+  }
+
+  Route path;
+  for (VertexId v = to; v != from; v = prev[v]) {
+    path.push_back(via[v]);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::vector<std::vector<Route>> Topology::all_routes() const {
+  std::vector<std::vector<Route>> out(endpoint_count_);
+  for (NodeId i = 0; i < endpoint_count_; ++i) {
+    out[i].resize(endpoint_count_);
+    for (NodeId j = 0; j < endpoint_count_; ++j) {
+      if (i != j) out[i][j] = route(i, j);
+    }
+  }
+  return out;
+}
+
+Topology Topology::single_switch(std::size_t n) {
+  Topology t(n);
+  const VertexId sw = t.add_switch();
+  for (VertexId e = 0; e < n; ++e) {
+    t.add_cable(e, sw);
+  }
+  return t;
+}
+
+Topology Topology::clos(std::size_t n, std::size_t radix) {
+  if (radix < 2 || radix % 2 != 0) {
+    throw std::invalid_argument("clos: radix must be even and >= 2");
+  }
+  if (n <= radix) return single_switch(n);
+
+  const std::size_t per_leaf = radix / 2;
+  const std::size_t leaves = (n + per_leaf - 1) / per_leaf;
+  const std::size_t spines = radix / 2;
+
+  Topology t(n);
+  std::vector<VertexId> leaf_ids;
+  std::vector<VertexId> spine_ids;
+  leaf_ids.reserve(leaves);
+  spine_ids.reserve(spines);
+  for (std::size_t i = 0; i < leaves; ++i) leaf_ids.push_back(t.add_switch());
+  for (std::size_t i = 0; i < spines; ++i) spine_ids.push_back(t.add_switch());
+
+  for (VertexId e = 0; e < n; ++e) {
+    t.add_cable(e, leaf_ids[e / per_leaf]);
+  }
+  for (VertexId leaf : leaf_ids) {
+    for (VertexId spine : spine_ids) {
+      t.add_cable(leaf, spine);
+    }
+  }
+  return t;
+}
+
+Topology Topology::back_to_back() {
+  Topology t(2);
+  t.add_cable(0, 1);
+  return t;
+}
+
+}  // namespace nicmcast::net

@@ -1,0 +1,98 @@
+// Switched-network topology and source-route computation.
+//
+// A topology is a graph over two vertex kinds: NIC endpoints (the leaves)
+// and crossbar switches.  Myrinet uses source routing: the sending NIC knows
+// the full path.  We precompute shortest paths (BFS) and hand the per-pair
+// link sequence to the channel model.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace nicmcast::net {
+
+/// Index of a vertex in the topology graph (endpoints and switches share
+/// one id space internally; NodeId maps onto the first `endpoint_count`
+/// vertices).
+using VertexId = std::uint32_t;
+
+/// Index of a (unidirectional) link.
+using LinkId = std::uint32_t;
+
+struct LinkDesc {
+  VertexId from = 0;
+  VertexId to = 0;
+};
+
+/// A source route: the sequence of links a packet traverses from the source
+/// NIC to the destination NIC.
+using Route = std::vector<LinkId>;
+
+class Topology {
+ public:
+  /// Builds an empty topology with `endpoints` NIC endpoints and no links.
+  explicit Topology(std::size_t endpoints) : endpoint_count_(endpoints) {
+    if (endpoints == 0) throw std::invalid_argument("topology needs >=1 node");
+    vertex_count_ = static_cast<VertexId>(endpoints);
+  }
+
+  /// Adds a crossbar switch vertex and returns its id.
+  VertexId add_switch() { return vertex_count_++; }
+
+  /// Adds a bidirectional cable as two unidirectional links.
+  /// Returns the id of the a->b link (the b->a link is id+1).
+  LinkId add_cable(VertexId a, VertexId b) {
+    check_vertex(a);
+    check_vertex(b);
+    const LinkId id = static_cast<LinkId>(links_.size());
+    links_.push_back(LinkDesc{a, b});
+    links_.push_back(LinkDesc{b, a});
+    return id;
+  }
+
+  [[nodiscard]] std::size_t endpoint_count() const { return endpoint_count_; }
+  [[nodiscard]] std::size_t vertex_count() const { return vertex_count_; }
+  [[nodiscard]] std::size_t link_count() const { return links_.size(); }
+  [[nodiscard]] const LinkDesc& link(LinkId id) const { return links_.at(id); }
+
+  [[nodiscard]] bool is_endpoint(VertexId v) const {
+    return v < endpoint_count_;
+  }
+
+  /// Computes the shortest route (fewest links) between two endpoints via
+  /// BFS.  Direct endpoint-to-endpoint cables are allowed (back-to-back
+  /// two-node setups).  Throws if no path exists.
+  [[nodiscard]] Route route(NodeId from, NodeId to) const;
+
+  /// All-pairs routes between endpoints; routes[i][j].
+  [[nodiscard]] std::vector<std::vector<Route>> all_routes() const;
+
+  // ---- Canned topologies ----
+
+  /// All `n` endpoints on one crossbar switch (a Myrinet-2000 line card;
+  /// the paper's 16-node cluster fits one 16-port switch).
+  static Topology single_switch(std::size_t n);
+
+  /// Two-level Clos (leaf/spine) network of `radix`-port switches, the
+  /// default Myrinet wiring for larger clusters.  Each leaf switch hosts
+  /// radix/2 endpoints and uplinks to radix/2 spine switches.
+  static Topology clos(std::size_t n, std::size_t radix = 16);
+
+  /// Two endpoints wired back to back (no switch).
+  static Topology back_to_back();
+
+ private:
+  void check_vertex(VertexId v) const {
+    if (v >= vertex_count_) throw std::out_of_range("bad vertex id");
+  }
+
+  std::size_t endpoint_count_;
+  VertexId vertex_count_ = 0;
+  std::vector<LinkDesc> links_;
+};
+
+}  // namespace nicmcast::net

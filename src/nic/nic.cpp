@@ -1,0 +1,1355 @@
+#include "nic/nic.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace nicmcast::nic {
+
+namespace {
+
+/// Builds the reverse-direction header for an acknowledgment of `data`.
+net::PacketHeader ack_header_for(const net::Packet& data, SeqNum cumulative) {
+  net::PacketHeader h;
+  h.type = data.header.type == net::PacketType::kMcastData
+               ? net::PacketType::kMcastAck
+               : net::PacketType::kAck;
+  h.src = data.header.dst;
+  h.dst = data.header.src;
+  h.src_port = data.header.dst_port;
+  h.dst_port = data.header.src_port;
+  h.seq = cumulative;
+  h.group = data.header.group;
+  return h;
+}
+
+}  // namespace
+
+Nic::Nic(sim::Simulator& sim, net::Network& network, net::NodeId id,
+         NicConfig config, NicOptions options)
+    : sim_(sim),
+      network_(network),
+      id_(id),
+      config_(config),
+      options_(options),
+      cpu_(sim, "lanai"),
+      sdma_(sim, "sdma"),
+      rdma_(sim, "rdma") {
+  if (options_.num_ports == 0) {
+    throw std::invalid_argument("NIC needs at least one port");
+  }
+  ports_.reserve(options_.num_ports);
+  for (std::size_t i = 0; i < options_.num_ports; ++i) {
+    ports_.push_back(std::make_unique<Port>());
+  }
+  network_.attach(id_, *this);
+}
+
+// ---------------------------------------------------------------------------
+// Host-facing interface
+// ---------------------------------------------------------------------------
+
+void Nic::post_send(SendRequest request) {
+  if (request.port >= ports_.size()) {
+    throw std::out_of_range("post_send: bad port");
+  }
+  if (request.dest == id_) {
+    throw std::logic_error("post_send: self-send must be handled by the "
+                           "library layer, not the NIC");
+  }
+  consume_send_token(request.port);
+  auto message = std::make_shared<const Payload>(std::move(request.data));
+  const auto fragments = fragment_message(message->size());
+  auto [it, inserted] = pending_ops_.emplace(
+      request.handle, PendingOp{HostEvent::Type::kSendComplete, request.port,
+                                fragments.size(), false});
+  if (!inserted) throw std::logic_error("post_send: duplicate handle");
+  trace("nic", "send token posted, " + std::to_string(message->size()) +
+                   "B to node " + std::to_string(request.dest));
+  cpu_.run(config_.send_token_processing,
+           [this, request = std::move(request), message] {
+             start_unicast_packets(request.port, request.dest,
+                                   request.dest_port, message, request.tag,
+                                   request.handle);
+           });
+}
+
+void Nic::post_multisend(MultisendRequest request) {
+  if (request.port >= ports_.size()) {
+    throw std::out_of_range("post_multisend: bad port");
+  }
+  if (request.dests.empty()) {
+    throw std::invalid_argument("post_multisend: empty destination list");
+  }
+  consume_send_token(request.port);
+  auto message = std::make_shared<const Payload>(std::move(request.data));
+  const auto fragments = fragment_message(message->size());
+  auto [it, inserted] = pending_ops_.emplace(
+      request.handle,
+      PendingOp{HostEvent::Type::kMultisendComplete, request.port,
+                fragments.size() * request.dests.size(), false});
+  if (!inserted) throw std::logic_error("post_multisend: duplicate handle");
+
+  if (options_.multisend_uses_multiple_tokens) {
+    // Ablation (paper §5 alternative 1): one full send-token translation
+    // and one host DMA per destination; saves only the host postings.
+    for (net::NodeId dest : request.dests) {
+      cpu_.run(config_.send_token_processing,
+               [this, port = request.port, dest,
+                dest_port = request.dest_port, message, tag = request.tag,
+                handle = request.handle] {
+                 start_unicast_packets(port, dest, dest_port, message, tag,
+                                       handle);
+               });
+    }
+    return;
+  }
+
+  // Chosen design (alternative 2): one token translation, one host DMA per
+  // packet, then replica chaining through the descriptor callback.
+  cpu_.run(config_.send_token_processing, [this, request = std::move(request),
+                                           message, fragments] {
+    for (const Fragment frag : fragments) {
+      sdma_then(frag.length, [this, request, message, frag] {
+        net::PacketHeader header;
+        header.type = net::PacketType::kData;
+        header.src = id_;
+        header.src_port = request.port;
+        header.dst_port = request.dest_port;
+        header.msg_offset = frag.offset;
+        header.msg_length = static_cast<std::uint32_t>(message->size());
+        header.tag = request.tag;
+        auto descriptor = make_descriptor(build_packet(header, message, frag));
+        start_replica_chain(
+            descriptor, request.dests,
+            [this, message, frag, handle = request.handle](net::Packet& p,
+                                                           net::NodeId dest) {
+              // Per-replica: aim at the next destination and stamp the
+              // per-connection Go-back-N sequence number + send record.
+              p.header.dst = dest;
+              const std::uint64_t key =
+                  conn_key(p.header.src_port, dest, p.header.dst_port);
+              SenderConn& conn = sender_conns_[key];
+              p.header.seq = conn.next_seq++;
+              conn.records.push_back(SendRecord{p.header.seq, message, frag,
+                                                p.header, sim_.now(), 0,
+                                                handle});
+            },
+            [this](const net::Packet& p,
+                   const net::Network::TxTiming& timing) {
+              const std::uint64_t key = conn_key(p.header.src_port,
+                                                 p.header.dst,
+                                                 p.header.dst_port);
+              SenderConn& conn = sender_conns_[key];
+              for (auto rit = conn.records.rbegin();
+                   rit != conn.records.rend(); ++rit) {
+                if (rit->seq == p.header.seq) {
+                  rit->sent_at = std::max(rit->sent_at, timing.tx_done);
+                  break;
+                }
+              }
+              arm_conn_timer(key);
+            });
+      });
+    }
+  });
+}
+
+void Nic::post_mcast_send(McastSendRequest request) {
+  if (request.port >= ports_.size()) {
+    throw std::out_of_range("post_mcast_send: bad port");
+  }
+  auto it = groups_.find(request.group);
+  if (it == groups_.end()) {
+    throw std::logic_error("post_mcast_send: unknown group");
+  }
+  GroupState& group = it->second;
+  if (group.entry.port != request.port) {
+    throw std::logic_error("post_mcast_send: protection violation — group "
+                           "belongs to another port");
+  }
+  if (group.entry.parent != kNoNode) {
+    throw std::logic_error("post_mcast_send: only the tree root initiates "
+                           "a multicast");
+  }
+  consume_send_token(request.port);
+  auto message = std::make_shared<const Payload>(std::move(request.data));
+  const auto fragments = fragment_message(message->size());
+  auto [op_it, inserted] = pending_ops_.emplace(
+      request.handle, PendingOp{HostEvent::Type::kMcastSendComplete,
+                                request.port, fragments.size(), false});
+  if (!inserted) throw std::logic_error("post_mcast_send: duplicate handle");
+  trace("mcast", "mcast send posted grp=" + std::to_string(request.group) +
+                     " " + std::to_string(message->size()) + "B");
+
+  cpu_.run(config_.send_token_processing,
+           [this, group_id = request.group, message, fragments,
+            tag = request.tag, handle = request.handle] {
+             for (const Fragment frag : fragments) {
+               sdma_then(frag.length,
+                         [this, group_id, message, frag, tag, handle] {
+                           launch_mcast_packet(group_id, groups_.at(group_id),
+                                               message, frag, tag, handle);
+                         });
+             }
+           });
+}
+
+void Nic::post_barrier(net::PortId port, net::GroupId group,
+                       OpHandle handle) {
+  if (port >= ports_.size()) {
+    throw std::out_of_range("post_barrier: bad port");
+  }
+  auto it = groups_.find(group);
+  if (it == groups_.end()) {
+    throw std::logic_error("post_barrier: unknown group");
+  }
+  if (it->second.entry.port != port) {
+    throw std::logic_error("post_barrier: protection violation — group "
+                           "belongs to another port");
+  }
+  if (it->second.barrier.host_posted) {
+    throw std::logic_error("post_barrier: round already entered");
+  }
+  it->second.barrier.host_posted = true;
+  cpu_.run(config_.ack_processing, [this, group, handle] {
+    GroupState& g = groups_.at(group);
+    g.barrier.host_arrived = true;
+    g.barrier.handle = handle;
+    barrier_check_complete(group);
+  });
+}
+
+void Nic::post_reduce(net::PortId port, net::GroupId group, Payload data,
+                      OpHandle handle) {
+  if (port >= ports_.size()) {
+    throw std::out_of_range("post_reduce: bad port");
+  }
+  if (data.empty() || data.size() % 8 != 0) {
+    throw std::invalid_argument("post_reduce: data must be 8-byte lanes");
+  }
+  auto it = groups_.find(group);
+  if (it == groups_.end()) {
+    throw std::logic_error("post_reduce: unknown group");
+  }
+  if (it->second.entry.port != port) {
+    throw std::logic_error("post_reduce: protection violation — group "
+                           "belongs to another port");
+  }
+  if (it->second.reduce.host_posted) {
+    throw std::logic_error("post_reduce: round already entered");
+  }
+  it->second.reduce.host_posted = true;
+  // The contribution crosses the PCI bus like any send payload.
+  sdma_then(data.size(), [this, group, data = std::move(data), handle] {
+    GroupState& g = groups_.at(group);
+    reduce_combine(group, data);
+    g.reduce.host_arrived = true;
+    g.reduce.handle = handle;
+    reduce_check_complete(group);
+  });
+}
+
+void Nic::post_recv_buffer(RecvBuffer buffer) {
+  if (buffer.port >= ports_.size()) {
+    throw std::out_of_range("post_recv_buffer: bad port");
+  }
+  cpu_.run(config_.recv_token_processing, [this, buffer] {
+    ports_[buffer.port]->recv_buffers.push_back(buffer);
+  });
+}
+
+void Nic::set_group(net::GroupId group, GroupEntry entry) {
+  if (group == net::kNoGroup) {
+    throw std::invalid_argument("set_group: kNoGroup is reserved");
+  }
+  if (entry.port >= ports_.size()) {
+    throw std::out_of_range("set_group: bad port");
+  }
+  for (net::NodeId child : entry.children) {
+    if (child == id_) {
+      throw std::logic_error("set_group: node cannot be its own child");
+    }
+  }
+  GroupState& state = groups_[group];
+  if (!state.records.empty() ||
+      (state.assembly && !state.assembly->fully_received())) {
+    throw std::logic_error("set_group: group has traffic in flight");
+  }
+  state.entry = std::move(entry);
+  state.child_next_acked.assign(state.entry.children.size(), 0);
+  state.recv_seq = 0;
+  state.send_seq = 0;
+  state.barrier = BarrierState{};
+  state.barrier.child_arrived.assign(state.entry.children.size(), false);
+  state.reduce = ReduceState{};
+  state.reduce.child_arrived.assign(state.entry.children.size(), false);
+}
+
+bool Nic::has_group(net::GroupId group) const {
+  return groups_.contains(group);
+}
+
+void Nic::remove_group(net::GroupId group) {
+  auto it = groups_.find(group);
+  if (it == groups_.end()) return;
+  if (!it->second.records.empty() ||
+      (it->second.assembly && !it->second.assembly->fully_received())) {
+    throw std::logic_error("remove_group: group has traffic in flight");
+  }
+  if (it->second.timer) sim_.cancel(*it->second.timer);
+  if (it->second.barrier.resend_timer) {
+    sim_.cancel(*it->second.barrier.resend_timer);
+  }
+  if (it->second.reduce.resend_timer) {
+    sim_.cancel(*it->second.reduce.resend_timer);
+  }
+  groups_.erase(it);
+}
+
+sim::Channel<HostEvent>& Nic::events(net::PortId port) {
+  return ports_.at(port)->events;
+}
+
+std::size_t Nic::send_tokens_available(net::PortId port) const {
+  return config_.send_tokens_per_port - ports_.at(port)->send_tokens_in_use;
+}
+
+std::size_t Nic::recv_buffers_posted(net::PortId port) const {
+  return ports_.at(port)->recv_buffers.size();
+}
+
+// ---------------------------------------------------------------------------
+// Send path
+// ---------------------------------------------------------------------------
+
+std::vector<Nic::Fragment> Nic::fragment_message(std::size_t size) const {
+  std::vector<Fragment> fragments;
+  if (size == 0) {
+    fragments.push_back(Fragment{0, 0});
+    return fragments;
+  }
+  for (std::size_t offset = 0; offset < size;
+       offset += config_.max_packet_payload) {
+    const std::size_t len =
+        std::min(config_.max_packet_payload, size - offset);
+    fragments.push_back(Fragment{static_cast<std::uint32_t>(offset),
+                                 static_cast<std::uint32_t>(len)});
+  }
+  return fragments;
+}
+
+void Nic::start_unicast_packets(net::PortId port, net::NodeId dest,
+                                net::PortId dest_port, MessageRef message,
+                                std::uint32_t tag, OpHandle handle) {
+  for (const Fragment frag : fragment_message(message->size())) {
+    sdma_then(frag.length, [this, port, dest, dest_port, message, frag, tag,
+                            handle] {
+      send_data_packet(port, dest, dest_port, message, frag, tag, handle);
+    });
+  }
+}
+
+void Nic::sdma_then(std::size_t bytes, std::function<void()> next) {
+  const sim::Duration busy =
+      config_.dma_startup + config_.per_packet_processing +
+      sim::transfer_time(bytes, config_.host_dma_mbps);
+  sdma_.run(busy, std::move(next));
+}
+
+void Nic::send_data_packet(net::PortId port, net::NodeId dest,
+                           net::PortId dest_port, const MessageRef& message,
+                           Fragment fragment, std::uint32_t tag,
+                           OpHandle handle) {
+  const std::uint64_t key = conn_key(port, dest, dest_port);
+  SenderConn& conn = sender_conns_[key];
+
+  net::PacketHeader header;
+  header.type = net::PacketType::kData;
+  header.src = id_;
+  header.dst = dest;
+  header.src_port = port;
+  header.dst_port = dest_port;
+  header.seq = conn.next_seq++;
+  header.msg_offset = fragment.offset;
+  header.msg_length = static_cast<std::uint32_t>(message->size());
+  header.tag = tag;
+
+  conn.records.push_back(
+      SendRecord{header.seq, message, fragment, header, sim_.now(), 0,
+                 handle});
+  const auto timing =
+      transmit(make_descriptor(build_packet(header, message, fragment)));
+  // Timers measure from the wire: long streams queue far behind the CPU.
+  conn.records.back().sent_at = timing.tx_done;
+  arm_conn_timer(key);
+}
+
+net::Packet Nic::build_packet(const net::PacketHeader& header,
+                              const MessageRef& message,
+                              Fragment fragment) const {
+  net::Packet packet;
+  packet.header = header;
+  packet.payload.assign(message->begin() + fragment.offset,
+                        message->begin() + fragment.offset + fragment.length);
+  return packet;
+}
+
+net::Network::TxTiming Nic::transmit(DescriptorRef descriptor) {
+  ++stats_.packets_sent;
+  const auto timing = network_.transmit(descriptor->packet);
+  if (descriptor->on_tx_complete) {
+    sim_.schedule_at(timing.tx_done, [descriptor] {
+      descriptor->on_tx_complete(descriptor);
+    });
+  }
+  return timing;
+}
+
+void Nic::start_replica_chain(
+    DescriptorRef descriptor, std::vector<net::NodeId> dests,
+    std::function<void(net::Packet&, net::NodeId)> prepare,
+    std::function<void(const net::Packet&, const net::Network::TxTiming&)>
+        on_transmit) {
+  struct ChainState {
+    std::vector<net::NodeId> dests;
+    std::size_t index = 0;
+    std::function<void(net::Packet&, net::NodeId)> prepare;
+    std::function<void(const net::Packet&, const net::Network::TxTiming&)>
+        on_transmit;
+  };
+  auto state = std::make_shared<ChainState>();
+  state->dests = std::move(dests);
+  state->prepare = std::move(prepare);
+  state->on_transmit = std::move(on_transmit);
+
+  state->prepare(descriptor->packet, state->dests[0]);
+  if (state->dests.size() > 1) {
+    descriptor->on_tx_complete = [this, state](DescriptorRef d) {
+      ++state->index;
+      if (state->index >= state->dests.size()) return;  // chain done; freed
+      ++stats_.header_rewrites;
+      cpu_.run(config_.header_rewrite, [this, state, d] {
+        state->prepare(d->packet, state->dests[state->index]);
+        const auto timing = transmit(d);
+        if (state->on_transmit) state->on_transmit(d->packet, timing);
+      });
+    };
+  }
+  const auto timing = transmit(descriptor);
+  if (state->on_transmit) state->on_transmit(descriptor->packet, timing);
+}
+
+void Nic::touch_group_record(net::GroupId group_id, SeqNum seq,
+                             sim::TimePoint sent_at) {
+  auto it = groups_.find(group_id);
+  if (it == groups_.end()) return;
+  // Records are in ascending seq order and the touched one is usually at
+  // the back (the packet just handed to the wire).
+  auto& records = it->second.records;
+  for (auto rit = records.rbegin(); rit != records.rend(); ++rit) {
+    if (rit->seq == seq) {
+      rit->sent_at = std::max(rit->sent_at, sent_at);
+      return;
+    }
+    if (seq_before(rit->seq, seq)) return;  // passed it; already pruned
+  }
+}
+
+void Nic::launch_mcast_packet(net::GroupId group_id, GroupState& group,
+                              const MessageRef& message, Fragment fragment,
+                              std::uint32_t tag, OpHandle handle) {
+  if (group.entry.children.empty()) {
+    // Degenerate tree: nothing to transmit, the packet is "delivered".
+    op_packet_acked(handle);
+    return;
+  }
+  net::PacketHeader header;
+  header.type = net::PacketType::kMcastData;
+  header.src = id_;
+  header.src_port = group.entry.port;
+  header.dst_port = group.entry.port;
+  // Paper §5: a multicast packet carries the SAME sequence number and send
+  // record towards every child.
+  header.seq = group.send_seq++;
+  header.group = group_id;
+  header.msg_offset = fragment.offset;
+  header.msg_length = static_cast<std::uint32_t>(message->size());
+  header.tag = tag;
+
+  group.records.push_back(GroupRecord{header.seq, message, fragment, header,
+                                      sim_.now(), 0, handle});
+  arm_group_timer(group_id);
+
+  auto descriptor =
+      make_descriptor(build_packet(header, message, fragment));
+  start_replica_chain(
+      descriptor, group.entry.children,
+      [](net::Packet& p, net::NodeId dest) { p.header.dst = dest; },
+      [this, group_id](const net::Packet& p,
+                       const net::Network::TxTiming& timing) {
+        touch_group_record(group_id, p.header.seq, timing.tx_done);
+        arm_group_timer(group_id);
+      });
+}
+
+// ---------------------------------------------------------------------------
+// Receive path
+// ---------------------------------------------------------------------------
+
+void Nic::packet_arrived(net::Packet packet) {
+  if (packet.corrupted) {
+    // CRC failure: silently dropped; the sender's timeout recovers it.
+    ++stats_.crc_drops;
+    trace("nic", "CRC drop " + packet.describe());
+    return;
+  }
+  ++stats_.packets_received;
+  switch (packet.header.type) {
+    case net::PacketType::kData:
+      cpu_.run(config_.recv_packet_processing,
+               [this, p = std::move(packet)] { handle_data(p); });
+      break;
+    case net::PacketType::kAck:
+      cpu_.run(config_.ack_processing,
+               [this, p = std::move(packet)] { handle_ack(p); });
+      break;
+    case net::PacketType::kMcastData:
+      cpu_.run(config_.recv_packet_processing,
+               [this, p = std::move(packet)] { handle_mcast_data(p); });
+      break;
+    case net::PacketType::kMcastAck:
+      cpu_.run(config_.ack_processing,
+               [this, p = std::move(packet)] { handle_mcast_ack(p); });
+      break;
+    case net::PacketType::kBarrier:
+      cpu_.run(config_.ack_processing,
+               [this, p = std::move(packet)] { handle_barrier(p); });
+      break;
+    case net::PacketType::kReduce:
+      cpu_.run(config_.recv_packet_processing,
+               [this, p = std::move(packet)] { handle_reduce(p); });
+      break;
+    case net::PacketType::kReduceAck:
+      cpu_.run(config_.ack_processing,
+               [this, p = std::move(packet)] { handle_reduce_ack(p); });
+      break;
+    case net::PacketType::kCtrl:
+      // Reserved for future extensions; no consumer yet.
+      trace("nic", "ignoring CTRL packet " + packet.describe());
+      break;
+  }
+}
+
+void Nic::handle_data(const net::Packet& packet) {
+  const std::uint64_t key = conn_key(packet.header.dst_port,
+                                     packet.header.src,
+                                     packet.header.src_port);
+  ReceiverConn& conn = receiver_conns_[key];
+  if (packet.header.seq == conn.expected_seq) {
+    if (!ensure_assembly(packet.header.dst_port, conn.assembly, packet)) {
+      // Receiver overrun: no receive token.  Do not ack; Go-back-N at the
+      // sender retries until the host posts a buffer.
+      ++stats_.no_token_drops;
+      trace("nic", "no recv token, dropping " + packet.describe());
+      return;
+    }
+    if (!acquire_rx_buffer()) {
+      // NIC SRAM exhausted: refuse the packet, the sender retries.
+      ++stats_.nic_buffer_drops;
+      return;
+    }
+    ++conn.expected_seq;
+    send_ack(packet, packet.header.seq);
+    conn.assembly->accepted += packet.payload.size();
+    accept_payload(packet.header.dst_port, conn.assembly, packet,
+                   HostEvent::Type::kRecvComplete,
+                   [this] { release_rx_buffer(); });
+  } else if (seq_before(packet.header.seq, conn.expected_seq)) {
+    // Duplicate (our ack was lost): re-ack so the sender advances.
+    ++stats_.duplicate_drops;
+    send_ack(packet, conn.expected_seq - 1);
+  } else {
+    // Gap: a predecessor was lost.  Drop; Go-back-N resends the window.
+    ++stats_.out_of_order_drops;
+  }
+}
+
+void Nic::handle_ack(const net::Packet& packet) {
+  const std::uint64_t key = conn_key(packet.header.dst_port,
+                                     packet.header.src,
+                                     packet.header.src_port);
+  auto it = sender_conns_.find(key);
+  if (it == sender_conns_.end()) return;  // stale ack
+  SenderConn& conn = it->second;
+  while (!conn.records.empty() &&
+         seq_before_eq(conn.records.front().seq, packet.header.seq)) {
+    op_packet_acked(conn.records.front().handle);
+    conn.records.pop_front();
+  }
+  if (conn.timer) {
+    sim_.cancel(*conn.timer);
+    conn.timer.reset();
+  }
+  arm_conn_timer(key);
+}
+
+void Nic::handle_mcast_data(const net::Packet& packet) {
+  auto it = groups_.find(packet.header.group);
+  if (it == groups_.end()) {
+    // Demand-driven group creation hasn't reached this node yet; drop
+    // without acking, the parent keeps retrying.
+    ++stats_.no_token_drops;
+    trace("mcast", "unknown group, dropping " + packet.describe());
+    return;
+  }
+  GroupState& group = it->second;
+  if (packet.header.seq == group.recv_seq) {
+    if (!ensure_assembly(group.entry.port, group.assembly, packet)) {
+      ++stats_.no_token_drops;
+      trace("mcast", "no recv token, dropping " + packet.describe());
+      return;
+    }
+    if (!acquire_rx_buffer()) {
+      ++stats_.nic_buffer_drops;
+      return;
+    }
+    ++group.recv_seq;
+    send_ack(packet, packet.header.seq);
+    // Staging-buffer release policy (paper §5, "Messages Forwarding"):
+    // chosen = release once the RDMA and every forwarding transmission
+    // finished (the host replica covers retransmissions); naive ablation
+    // (hold_buffers_until_acked) = pin until every child acknowledged.
+    const bool forwards = !group.entry.children.empty();
+    // In the naive ablation a FORWARDED packet's buffer is pinned by its
+    // send record until every child acks; leaves (nothing to forward)
+    // always release at RDMA completion.
+    const bool record_pins = forwards && options_.hold_buffers_until_acked;
+    std::function<void()> rdma_release;
+    if (record_pins) {
+      rdma_release = nullptr;  // released when the record is pruned
+    } else if (forwards) {
+      // Shared between the RDMA completion and the last replica's wire
+      // push.
+      auto shares = std::make_shared<int>(2);
+      rdma_release = [this, shares] {
+        if (--*shares == 0) release_rx_buffer();
+      };
+    } else {
+      rdma_release = [this] { release_rx_buffer(); };
+    }
+    if (forwards) {
+      // NIC-based forwarding: re-queue towards the children without any
+      // host involvement, per-packet (pipelining across the tree).
+      start_forward(packet.header.group, packet, rdma_release);
+    }
+    group.assembly->accepted += packet.payload.size();
+    accept_payload(group.entry.port, group.assembly, packet,
+                   HostEvent::Type::kMcastRecvComplete, rdma_release);
+  } else if (seq_before(packet.header.seq, group.recv_seq)) {
+    ++stats_.duplicate_drops;
+    send_ack(packet, group.recv_seq - 1);
+  } else {
+    ++stats_.out_of_order_drops;
+  }
+}
+
+void Nic::handle_mcast_ack(const net::Packet& packet) {
+  auto it = groups_.find(packet.header.group);
+  if (it == groups_.end()) return;
+  GroupState& group = it->second;
+  const auto& children = group.entry.children;
+  const auto child_it =
+      std::find(children.begin(), children.end(), packet.header.src);
+  if (child_it == children.end()) return;  // stale/foreign ack
+  const std::size_t child = child_it - children.begin();
+
+  const SeqNum next = packet.header.seq + 1;
+  if (seq_before(group.child_next_acked[child], next)) {
+    group.child_next_acked[child] = next;
+  }
+
+  // Prune records every child has acknowledged.
+  while (!group.records.empty()) {
+    const GroupRecord& front = group.records.front();
+    const bool all_acked = std::all_of(
+        group.child_next_acked.begin(), group.child_next_acked.end(),
+        [&](SeqNum n) { return seq_before(front.seq, n); });
+    if (!all_acked) break;
+    if (front.handle != 0) op_packet_acked(front.handle);
+    if (front.holds_token) release_send_token(group.entry.port);
+    if (front.holds_rx_buffer) release_rx_buffer();
+    group.records.pop_front();
+  }
+  if (group.timer) {
+    sim_.cancel(*group.timer);
+    group.timer.reset();
+  }
+  arm_group_timer(packet.header.group);
+}
+
+void Nic::send_ack(const net::Packet& data_packet, SeqNum cumulative_seq) {
+  net::Packet ack;
+  ack.header = ack_header_for(data_packet, cumulative_seq);
+  ++stats_.acks_sent;
+  cpu_.run(config_.ack_processing, [this, ack = std::move(ack)] {
+    transmit(make_descriptor(ack));
+  });
+}
+
+bool Nic::ensure_assembly(net::PortId port, AssemblyRef& slot,
+                          const net::Packet& packet) {
+  // In-order delivery means a new message begins exactly when the previous
+  // one has had all its bytes accepted (its RDMA may still be draining).
+  if (slot && !slot->fully_accepted()) return true;
+
+  // GM matches receive buffers by size: take the first posted buffer large
+  // enough for the whole message.  No fit => receiver overrun; the sender's
+  // Go-back-N retries until the host posts a suitable buffer.
+  auto& buffers = ports_.at(port)->recv_buffers;
+  const auto fit = std::find_if(
+      buffers.begin(), buffers.end(), [&](const RecvBuffer& b) {
+        return b.capacity >= packet.header.msg_length;
+      });
+  if (fit == buffers.end()) return false;
+  auto assembly = std::make_shared<Assembly>();
+  assembly->buffer = *fit;
+  buffers.erase(fit);
+  assembly->data.resize(packet.header.msg_length);
+  assembly->tag = packet.header.tag;
+  slot = std::move(assembly);
+  return true;
+}
+
+void Nic::accept_payload(net::PortId port, AssemblyRef assembly,
+                         const net::Packet& packet,
+                         HostEvent::Type event_type,
+                         std::function<void()> on_rdma_done) {
+  const sim::Duration busy =
+      config_.dma_startup +
+      sim::transfer_time(packet.payload.size(), config_.host_dma_mbps);
+  rdma_.run(busy, [this, port, assembly = std::move(assembly),
+                   payload = packet.payload, header = packet.header,
+                   event_type, on_rdma_done = std::move(on_rdma_done)] {
+    std::copy(payload.begin(), payload.end(),
+              assembly->data.begin() + header.msg_offset);
+    assembly->received += payload.size();
+    if (on_rdma_done) on_rdma_done();
+    if (!assembly->fully_received()) return;
+
+    HostEvent event;
+    event.type = event_type;
+    event.handle = assembly->buffer.handle;
+    event.src = header.src;
+    event.src_port = header.src_port;
+    event.group = header.group;
+    event.tag = assembly->tag;
+    event.data = std::move(assembly->data);
+    deliver_event(port, std::move(event));
+  });
+}
+
+// ---------------------------------------------------------------------------
+// NIC-level barrier (extension, paper §7)
+// ---------------------------------------------------------------------------
+
+namespace {
+constexpr std::uint32_t kBarrierArrive = 0;
+constexpr std::uint32_t kBarrierRelease = 1;
+}  // namespace
+
+void Nic::handle_barrier(const net::Packet& packet) {
+  auto it = groups_.find(packet.header.group);
+  if (it == groups_.end()) {
+    // Group not installed yet (skewed first round); the child's arrive
+    // resend recovers once the host programs the table.
+    return;
+  }
+  GroupState& group = it->second;
+  BarrierState& barrier = group.barrier;
+
+  if (packet.header.msg_offset == kBarrierArrive) {
+    const auto& children = group.entry.children;
+    const auto child_it =
+        std::find(children.begin(), children.end(), packet.header.src);
+    if (child_it == children.end()) return;  // stale/foreign arrive
+    if (packet.header.seq == barrier.epoch) {
+      barrier.child_arrived[child_it - children.begin()] = true;
+      barrier_check_complete(packet.header.group);
+    } else if (seq_before(packet.header.seq, barrier.epoch)) {
+      // The child missed our release for a past round: re-release it
+      // directly (the release is the implicit ack of the arrive).
+      net::PacketHeader header;
+      header.type = net::PacketType::kBarrier;
+      header.src = id_;
+      header.dst = packet.header.src;
+      header.src_port = group.entry.port;
+      header.dst_port = group.entry.port;
+      header.seq = packet.header.seq;
+      header.group = packet.header.group;
+      header.msg_offset = kBarrierRelease;
+      transmit(make_descriptor(net::Packet{header, {}, false}));
+    }
+    return;
+  }
+
+  // Release from the parent.
+  if (packet.header.seq != barrier.epoch) return;  // duplicate old release
+  barrier_release(packet.header.group, packet.header.seq);
+}
+
+void Nic::barrier_check_complete(net::GroupId group_id) {
+  GroupState& group = groups_.at(group_id);
+  BarrierState& barrier = group.barrier;
+  if (!barrier.host_arrived) return;
+  for (bool arrived : barrier.child_arrived) {
+    if (!arrived) return;
+  }
+  if (group.entry.parent == kNoNode) {
+    // Root: everyone is in — release the tree.
+    barrier_release(group_id, barrier.epoch);
+  } else {
+    barrier_send_arrive(group_id);
+  }
+}
+
+void Nic::barrier_send_arrive(net::GroupId group_id) {
+  GroupState& group = groups_.at(group_id);
+  BarrierState& barrier = group.barrier;
+  net::PacketHeader header;
+  header.type = net::PacketType::kBarrier;
+  header.src = id_;
+  header.dst = group.entry.parent;
+  header.src_port = group.entry.port;
+  header.dst_port = group.entry.port;
+  header.seq = barrier.epoch;
+  header.group = group_id;
+  header.msg_offset = kBarrierArrive;
+  transmit(make_descriptor(net::Packet{header, {}, false}));
+  if (!barrier.resend_timer) {
+    barrier.resend_timer = sim_.schedule_after(
+        config_.retransmit_timeout,
+        [this, group_id] { barrier_resend_timeout(group_id); });
+  }
+}
+
+void Nic::barrier_resend_timeout(net::GroupId group_id) {
+  GroupState& group = groups_.at(group_id);
+  BarrierState& barrier = group.barrier;
+  barrier.resend_timer.reset();
+  // The release advances the epoch and cancels the timer; if we are here
+  // the round is still pending — the arrive (or the release) was lost.
+  if (barrier.resends >= config_.max_retries) {
+    // The parent is unreachable: fail the host's barrier call.
+    HostEvent event;
+    event.type = HostEvent::Type::kSendFailed;
+    event.handle = barrier.handle;
+    event.group = group_id;
+    deliver_event(group.entry.port, std::move(event));
+    const SeqNum stuck_epoch = barrier.epoch;
+    barrier = BarrierState{};
+    barrier.epoch = stuck_epoch;  // stay aligned with the tree's round
+    // host_posted stays false: the host may re-enter after the failure.
+    barrier.child_arrived.assign(group.entry.children.size(), false);
+    return;
+  }
+  ++barrier.resends;
+  ++stats_.barrier_resends;
+  barrier_send_arrive(group_id);
+}
+
+void Nic::barrier_release(net::GroupId group_id, SeqNum epoch) {
+  GroupState& group = groups_.at(group_id);
+  BarrierState& barrier = group.barrier;
+  if (barrier.resend_timer) {
+    sim_.cancel(*barrier.resend_timer);
+    barrier.resend_timer.reset();
+  }
+  ++stats_.barriers_completed;
+  HostEvent event;
+  event.type = HostEvent::Type::kBarrierDone;
+  event.handle = barrier.handle;
+  event.group = group_id;
+  deliver_event(group.entry.port, std::move(event));
+
+  // Next round.
+  barrier.epoch = epoch + 1;
+  barrier.host_posted = false;
+  barrier.host_arrived = false;
+  barrier.handle = 0;
+  barrier.resends = 0;
+  std::fill(barrier.child_arrived.begin(), barrier.child_arrived.end(),
+            false);
+
+  // Propagate the release down the tree (tiny control packets; children
+  // that miss it will keep re-arriving and get a direct re-release).
+  if (group.entry.children.empty()) return;
+  net::PacketHeader header;
+  header.type = net::PacketType::kBarrier;
+  header.src = id_;
+  header.src_port = group.entry.port;
+  header.dst_port = group.entry.port;
+  header.seq = epoch;
+  header.group = group_id;
+  header.msg_offset = kBarrierRelease;
+  start_replica_chain(make_descriptor(net::Packet{header, {}, false}),
+                      group.entry.children,
+                      [](net::Packet& p, net::NodeId dest) {
+                        p.header.dst = dest;
+                      });
+}
+
+// ---------------------------------------------------------------------------
+// NIC-level reduction (extension, paper §7)
+// ---------------------------------------------------------------------------
+
+void Nic::reduce_combine(net::GroupId group_id,
+                         const Payload& contribution) {
+  GroupState& group = groups_.at(group_id);
+  ReduceState& reduce = group.reduce;
+  if (reduce.accumulator.empty()) {
+    reduce.accumulator = contribution;
+  } else {
+    if (reduce.accumulator.size() != contribution.size()) {
+      throw std::logic_error("reduce: mismatched vector sizes in group");
+    }
+    // Lane-wise 64-bit add on the LANai.
+    for (std::size_t lane = 0; lane + 8 <= contribution.size(); lane += 8) {
+      std::uint64_t a = 0;
+      std::uint64_t b = 0;
+      for (int i = 0; i < 8; ++i) {
+        a |= std::to_integer<std::uint64_t>(reduce.accumulator[lane + i])
+             << (8 * i);
+        b |= std::to_integer<std::uint64_t>(contribution[lane + i]) << (8 * i);
+      }
+      const std::uint64_t sum = a + b;
+      for (int i = 0; i < 8; ++i) {
+        reduce.accumulator[lane + i] =
+            std::byte{static_cast<std::uint8_t>(sum >> (8 * i))};
+      }
+    }
+  }
+  ++stats_.reductions_combined;
+  // The combine itself occupies the LANai.
+  cpu_.run(sim::transfer_time(contribution.size(), config_.nic_combine_mbps),
+           [] {});
+}
+
+void Nic::handle_reduce(const net::Packet& packet) {
+  auto it = groups_.find(packet.header.group);
+  if (it == groups_.end()) return;  // not installed yet; child resends
+  GroupState& group = it->second;
+  ReduceState& reduce = group.reduce;
+  const auto& children = group.entry.children;
+  const auto child_it =
+      std::find(children.begin(), children.end(), packet.header.src);
+  if (child_it == children.end()) return;
+  const std::size_t child = child_it - children.begin();
+
+  auto ack_child = [&](SeqNum epoch) {
+    net::PacketHeader header;
+    header.type = net::PacketType::kReduceAck;
+    header.src = id_;
+    header.dst = packet.header.src;
+    header.src_port = group.entry.port;
+    header.dst_port = group.entry.port;
+    header.seq = epoch;
+    header.group = packet.header.group;
+    transmit(make_descriptor(net::Packet{header, {}, false}));
+  };
+
+  if (packet.header.seq == reduce.epoch) {
+    if (!reduce.child_arrived[child]) {
+      reduce.child_arrived[child] = true;
+      reduce_combine(packet.header.group, packet.payload);
+      reduce_check_complete(packet.header.group);
+    }
+    ack_child(packet.header.seq);
+  } else if (seq_before(packet.header.seq, reduce.epoch)) {
+    // Duplicate from a completed round (our ack was lost): re-ack, never
+    // re-combine.
+    ack_child(packet.header.seq);
+  }
+  // Future epochs are impossible unless our own round lags; ignore — the
+  // child's resend recovers once we catch up.
+}
+
+void Nic::reduce_check_complete(net::GroupId group_id) {
+  GroupState& group = groups_.at(group_id);
+  ReduceState& reduce = group.reduce;
+  if (!reduce.host_arrived || reduce.sent_up) return;
+  for (bool arrived : reduce.child_arrived) {
+    if (!arrived) return;
+  }
+  if (group.entry.parent == kNoNode) {
+    // Root: the accumulator is the cluster-wide sum.
+    HostEvent event;
+    event.type = HostEvent::Type::kReduceDone;
+    event.handle = reduce.handle;
+    event.group = group_id;
+    event.data = std::move(reduce.accumulator);
+    // The result crosses back to host memory.
+    const sim::Duration busy =
+        config_.dma_startup +
+        sim::transfer_time(event.data.size(), config_.host_dma_mbps);
+    rdma_.run(busy, [this, group_id, event = std::move(event)]() mutable {
+      GroupState& g = groups_.at(group_id);
+      deliver_event(g.entry.port, std::move(event));
+      ReduceState& r = g.reduce;
+      r.epoch += 1;
+      r.host_posted = false;
+      r.host_arrived = false;
+      r.handle = 0;
+      r.sent_up = false;
+      r.resends = 0;
+      r.accumulator.clear();
+      std::fill(r.child_arrived.begin(), r.child_arrived.end(), false);
+    });
+    return;
+  }
+  reduce.sent_up = true;
+  reduce_send_up(group_id);
+}
+
+void Nic::reduce_send_up(net::GroupId group_id) {
+  GroupState& group = groups_.at(group_id);
+  ReduceState& reduce = group.reduce;
+  net::PacketHeader header;
+  header.type = net::PacketType::kReduce;
+  header.src = id_;
+  header.dst = group.entry.parent;
+  header.src_port = group.entry.port;
+  header.dst_port = group.entry.port;
+  header.seq = reduce.epoch;
+  header.group = group_id;
+  header.msg_length = static_cast<std::uint32_t>(reduce.accumulator.size());
+  net::Packet packet;
+  packet.header = header;
+  packet.payload = reduce.accumulator;
+  transmit(make_descriptor(std::move(packet)));
+  if (!reduce.resend_timer) {
+    reduce.resend_timer = sim_.schedule_after(
+        config_.retransmit_timeout,
+        [this, group_id] { reduce_resend_timeout(group_id); });
+  }
+}
+
+void Nic::reduce_resend_timeout(net::GroupId group_id) {
+  GroupState& group = groups_.at(group_id);
+  ReduceState& reduce = group.reduce;
+  reduce.resend_timer.reset();
+  if (!reduce.sent_up) return;  // acked meanwhile
+  if (reduce.resends >= config_.max_retries) {
+    HostEvent event;
+    event.type = HostEvent::Type::kSendFailed;
+    event.handle = reduce.handle;
+    event.group = group_id;
+    deliver_event(group.entry.port, std::move(event));
+    const SeqNum stuck = reduce.epoch;
+    reduce = ReduceState{};
+    reduce.epoch = stuck;
+    reduce.child_arrived.assign(group.entry.children.size(), false);
+    return;
+  }
+  ++reduce.resends;
+  ++stats_.reduce_resends;
+  reduce_send_up(group_id);
+}
+
+void Nic::handle_reduce_ack(const net::Packet& packet) {
+  auto it = groups_.find(packet.header.group);
+  if (it == groups_.end()) return;
+  GroupState& group = it->second;
+  ReduceState& reduce = group.reduce;
+  if (packet.header.seq != reduce.epoch || !reduce.sent_up) return;
+  if (reduce.resend_timer) {
+    sim_.cancel(*reduce.resend_timer);
+    reduce.resend_timer.reset();
+  }
+  HostEvent event;
+  event.type = HostEvent::Type::kSendComplete;
+  event.handle = reduce.handle;
+  event.group = packet.header.group;
+  deliver_event(group.entry.port, std::move(event));
+  reduce.epoch += 1;
+  reduce.host_posted = false;
+  reduce.host_arrived = false;
+  reduce.handle = 0;
+  reduce.sent_up = false;
+  reduce.resends = 0;
+  reduce.accumulator.clear();
+  std::fill(reduce.child_arrived.begin(), reduce.child_arrived.end(), false);
+}
+
+// ---------------------------------------------------------------------------
+// NIC-based forwarding
+// ---------------------------------------------------------------------------
+
+void Nic::start_forward(net::GroupId group_id, const net::Packet& packet,
+                        std::function<void()> on_forwarded) {
+  bool holds_token = false;
+  if (options_.forwarding_uses_send_tokens) {
+    // Ablation: the rejected design — forwarding draws from the finite
+    // send-token pool and stalls when it is empty.
+    Port& port = *ports_.at(groups_.at(group_id).entry.port);
+    if (port.send_tokens_in_use >= config_.send_tokens_per_port) {
+      deferred_forwards_.push_back(
+          DeferredForward{group_id, packet, std::move(on_forwarded)});
+      trace("mcast", "forward STALLED waiting for send token");
+      return;
+    }
+    ++port.send_tokens_in_use;
+    stats_.send_tokens_in_use_high_water =
+        std::max<std::uint64_t>(stats_.send_tokens_in_use_high_water,
+                                port.send_tokens_in_use);
+    holds_token = true;
+  }
+  // Chosen design: the receive token doubles as the transmission token, so
+  // forwarding needs no extra NIC resource (paper §5, "Messages
+  // Forwarding").
+  ++stats_.forwards;
+  ++stats_.header_rewrites;  // first replica needs its header rewritten too
+  cpu_.run(config_.forward_processing + config_.header_rewrite,
+           [this, group_id, packet, holds_token,
+            on_forwarded = std::move(on_forwarded)] {
+             begin_forward_chain(group_id, packet, holds_token, on_forwarded);
+           });
+}
+
+void Nic::begin_forward_chain(net::GroupId group_id,
+                              const net::Packet& packet, bool holds_token,
+                              std::function<void()> on_forwarded) {
+  GroupState& group = groups_.at(group_id);
+  auto message = std::make_shared<const Payload>(packet.payload);
+  // The replica buffer holds exactly this packet's bytes, so the record's
+  // fragment is relative to it (offset 0); the wire offset within the whole
+  // message lives in the header and is preserved across retransmissions.
+  const Fragment fragment{0,
+                          static_cast<std::uint32_t>(packet.payload.size())};
+
+  net::PacketHeader header = packet.header;
+  header.src = id_;  // acks must come back to this hop
+  group.records.push_back(GroupRecord{header.seq, message, fragment, header,
+                                      sim_.now(), 0, /*handle=*/0,
+                                      holds_token,
+                                      options_.hold_buffers_until_acked});
+  arm_group_timer(group_id);
+
+  net::Packet fwd;
+  fwd.header = header;
+  fwd.payload = packet.payload;
+  auto replicas_left =
+      std::make_shared<std::size_t>(group.entry.children.size());
+  start_replica_chain(
+      make_descriptor(std::move(fwd)), group.entry.children,
+      [](net::Packet& p, net::NodeId dest) { p.header.dst = dest; },
+      [this, group_id, replicas_left,
+       on_forwarded = std::move(on_forwarded)](
+          const net::Packet& p, const net::Network::TxTiming& timing) {
+        touch_group_record(group_id, p.header.seq, timing.tx_done);
+        arm_group_timer(group_id);
+        if (--*replicas_left == 0 && on_forwarded) {
+          // The staging buffer is free once the last replica has left the
+          // wire (retransmissions refetch from host memory).
+          sim_.schedule_at(timing.tx_done, on_forwarded);
+        }
+      });
+}
+
+// ---------------------------------------------------------------------------
+// Reliability: timers and retransmission
+// ---------------------------------------------------------------------------
+
+void Nic::arm_conn_timer(std::uint64_t key) {
+  SenderConn& conn = sender_conns_[key];
+  if (conn.timer || conn.records.empty()) return;
+  const sim::TimePoint deadline =
+      std::max(conn.records.front().sent_at + config_.retransmit_timeout,
+               sim_.now());
+  conn.timer = sim_.schedule_at(deadline, [this, key] { conn_timeout(key); });
+}
+
+void Nic::conn_timeout(std::uint64_t key) {
+  SenderConn& conn = sender_conns_[key];
+  conn.timer.reset();
+  if (conn.records.empty()) return;
+
+  // The front record may have been (re-)stamped with a later wire time
+  // after this timer was armed; fire only when genuinely overdue.
+  if (sim_.now() - conn.records.front().sent_at <
+      config_.retransmit_timeout) {
+    arm_conn_timer(key);
+    return;
+  }
+
+  if (conn.records.front().retries >= config_.max_retries) {
+    // Peer unreachable: fail every operation with records on this
+    // connection and drop the window.
+    for (const SendRecord& record : conn.records) {
+      fail_operation(record.handle);
+    }
+    conn.records.clear();
+    return;
+  }
+  // Go-back-N: retransmit the full outstanding window, refetching each
+  // packet's bytes from (registered) host memory over the SDMA engine.
+  trace("nic", "timeout, retransmitting " +
+                   std::to_string(conn.records.size()) + " packet(s)");
+  for (SendRecord& record : conn.records) {
+    ++record.retries;
+    record.sent_at = sim_.now();
+    ++stats_.retransmissions;
+    retransmit_record(record.header, record.message, record.fragment);
+  }
+  arm_conn_timer(key);
+}
+
+void Nic::arm_group_timer(net::GroupId group_id) {
+  GroupState& group = groups_.at(group_id);
+  if (group.timer || group.records.empty()) return;
+  const sim::TimePoint deadline =
+      std::max(group.records.front().sent_at + config_.retransmit_timeout,
+               sim_.now());
+  group.timer = sim_.schedule_at(
+      deadline, [this, group_id] { group_timeout(group_id); });
+}
+
+void Nic::group_timeout(net::GroupId group_id) {
+  GroupState& group = groups_.at(group_id);
+  group.timer.reset();
+  if (group.records.empty()) return;
+
+  if (sim_.now() - group.records.front().sent_at <
+      config_.retransmit_timeout) {
+    arm_group_timer(group_id);
+    return;
+  }
+
+  if (group.records.front().retries >= config_.max_retries) {
+    for (const GroupRecord& record : group.records) {
+      if (record.handle != 0) fail_operation(record.handle);
+      if (record.holds_token) release_send_token(group.entry.port);
+      if (record.holds_rx_buffer) release_rx_buffer();
+    }
+    group.records.clear();
+    return;
+  }
+  // Selective Go-back-N (paper §5): retransmit a timed-out packet and its
+  // successors ONLY towards children that have not acknowledged it.
+  const auto& children = group.entry.children;
+  for (GroupRecord& record : group.records) {
+    ++record.retries;
+    record.sent_at = sim_.now();
+    for (std::size_t c = 0; c < children.size(); ++c) {
+      if (seq_before(record.seq, group.child_next_acked[c])) continue;
+      ++stats_.retransmissions;
+      net::PacketHeader header = record.header;
+      header.dst = children[c];
+      retransmit_record(header, record.message, record.fragment);
+    }
+  }
+  arm_group_timer(group_id);
+}
+
+void Nic::retransmit_record(const net::PacketHeader& header,
+                            const MessageRef& message, Fragment fragment) {
+  // The replica lives in registered host memory (the NIC buffer was
+  // released when forwarding/transmission completed), so a retransmission
+  // pays a fresh host DMA — the paper's chosen alternative.
+  sdma_then(fragment.length, [this, header, message, fragment] {
+    transmit(make_descriptor(build_packet(header, message, fragment)));
+  });
+}
+
+void Nic::fail_operation(OpHandle handle) {
+  auto it = pending_ops_.find(handle);
+  if (it == pending_ops_.end()) return;
+  const net::PortId port = it->second.port;
+  HostEvent event;
+  event.type = HostEvent::Type::kSendFailed;
+  event.handle = handle;
+  pending_ops_.erase(it);
+  release_send_token(port);
+  deliver_event(port, std::move(event));
+}
+
+// ---------------------------------------------------------------------------
+// Completion plumbing
+// ---------------------------------------------------------------------------
+
+void Nic::op_packet_acked(OpHandle handle) {
+  auto it = pending_ops_.find(handle);
+  if (it == pending_ops_.end()) return;  // already failed
+  if (--it->second.remaining > 0) return;
+  HostEvent event;
+  event.type = it->second.complete_type;
+  event.handle = handle;
+  const net::PortId port = it->second.port;
+  pending_ops_.erase(it);
+  release_send_token(port);
+  deliver_event(port, std::move(event));
+}
+
+void Nic::deliver_event(net::PortId port, HostEvent event) {
+  sim_.schedule_after(config_.event_delivery,
+                      [this, port, event = std::move(event)] {
+                        ports_.at(port)->events.push(event);
+                      });
+}
+
+bool Nic::acquire_rx_buffer() {
+  if (rx_buffers_in_use_ >= config_.nic_rx_buffers) return false;
+  ++rx_buffers_in_use_;
+  stats_.rx_buffers_high_water = std::max<std::uint64_t>(
+      stats_.rx_buffers_high_water, rx_buffers_in_use_);
+  return true;
+}
+
+void Nic::release_rx_buffer() {
+  if (rx_buffers_in_use_ == 0) {
+    throw std::logic_error("NIC rx-buffer release underflow");
+  }
+  --rx_buffers_in_use_;
+}
+
+void Nic::consume_send_token(net::PortId port) {
+  Port& p = *ports_.at(port);
+  if (p.send_tokens_in_use >= config_.send_tokens_per_port) {
+    throw std::logic_error("send-token pool exhausted; the GM layer must "
+                           "wait for a completion before posting");
+  }
+  ++p.send_tokens_in_use;
+  stats_.send_tokens_in_use_high_water = std::max<std::uint64_t>(
+      stats_.send_tokens_in_use_high_water, p.send_tokens_in_use);
+}
+
+void Nic::release_send_token(net::PortId port) {
+  Port& p = *ports_.at(port);
+  if (p.send_tokens_in_use == 0) {
+    throw std::logic_error("send-token release underflow");
+  }
+  --p.send_tokens_in_use;
+  if (options_.forwarding_uses_send_tokens && !deferred_forwards_.empty()) {
+    // A token freed up: restart the oldest stalled forward on this port.
+    for (auto it = deferred_forwards_.begin(); it != deferred_forwards_.end();
+         ++it) {
+      if (groups_.at(it->group).entry.port == port) {
+        DeferredForward deferred = std::move(*it);
+        deferred_forwards_.erase(it);
+        start_forward(deferred.group, deferred.packet,
+                      std::move(deferred.on_forwarded));
+        break;
+      }
+    }
+  }
+}
+
+void Nic::trace(const char* category, const std::string& message) {
+  if (sim_.tracer().enabled(category)) {
+    sim_.tracer().emit(sim_.now(), category,
+                       "node" + std::to_string(id_) + ".nic", message);
+  }
+}
+
+}  // namespace nicmcast::nic

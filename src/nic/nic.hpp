@@ -1,0 +1,392 @@
+// The LANai firmware model: GM's reliable ordered transport plus the
+// paper's NIC-based multisend and multicast-forwarding extensions.
+//
+// Engines: one LANai CPU (every token translation, sequence check, ack and
+// header rewrite serialises here), an SDMA engine (host -> NIC over PCI), an
+// RDMA engine (NIC -> host), and the wire itself (modelled by the Network's
+// link occupancy).
+//
+// Reliability: per-connection Go-back-N exactly as GM does it — send
+// records with timeout/retransmission, cumulative acks, receivers accept
+// only the expected sequence number.  The multicast extension keeps, per
+// group: a receive sequence number (from the parent), a send sequence number
+// (to the children) and an array of per-child acknowledged sequence numbers;
+// a timeout retransmits only to the children that have not acked (paper §5,
+// "Reliability and In Order Delivery").
+//
+// Deadlock policy (paper §5, "Deadlock"): no credit-based flow control;
+// forwarding transforms the receive token instead of drawing from the send-
+// token pool.  Setting NicOptions::forwarding_uses_send_tokens replicates
+// the rejected alternative for the ablation study.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/network.hpp"
+#include "net/packet.hpp"
+#include "nic/config.hpp"
+#include "nic/engine.hpp"
+#include "nic/packet_descriptor.hpp"
+#include "nic/sequence.hpp"
+#include "nic/types.hpp"
+#include "sim/simulator.hpp"
+
+namespace nicmcast::nic {
+
+struct NicOptions {
+  std::size_t num_ports = 4;
+  /// Ablation: make the forwarding path grab tokens from the free send-token
+  /// pool (the deadlock-prone alternative the paper rejects).  Forwards
+  /// stall while the pool is empty.
+  bool forwarding_uses_send_tokens = false;
+  /// Ablation: disable the descriptor-callback replica chain and process one
+  /// full send token per destination (the paper's alternative 1).
+  bool multisend_uses_multiple_tokens = false;
+  /// Ablation: the "naive solution" of §5 — keep the received packet's NIC
+  /// staging buffer until every child acknowledges, instead of releasing it
+  /// once the forwarding transmissions (and the host RDMA) are done.
+  bool hold_buffers_until_acked = false;
+};
+
+class Nic final : public net::PacketSink {
+ public:
+  Nic(sim::Simulator& sim, net::Network& network, net::NodeId id,
+      NicConfig config = {}, NicOptions options = {});
+
+  Nic(const Nic&) = delete;
+  Nic& operator=(const Nic&) = delete;
+
+  // ---- Host-facing interface (called by the GM library layer) ----
+  // These model writes that have already crossed the PCI bus; the GM layer
+  // charges host-side overhead and enforces send-token availability before
+  // calling.
+
+  void post_send(SendRequest request);
+  void post_multisend(MultisendRequest request);
+  void post_mcast_send(McastSendRequest request);
+  void post_recv_buffer(RecvBuffer buffer);
+
+  /// NIC-level barrier arrival (extension; paper §7).  The host announces
+  /// it reached the barrier for `group`'s current epoch; the NICs gather
+  /// arrivals up the tree and the root's NIC releases everyone — no host
+  /// involvement between entry and the kBarrierDone event.
+  void post_barrier(net::PortId port, net::GroupId group, OpHandle handle);
+
+  /// NIC-level reduction contribution (extension; paper §7 / "NIC-Based
+  /// Reduction in Myrinet Clusters").  `data` is a vector of 8-byte
+  /// little-endian integer lanes; the NICs fold children's contributions
+  /// lane-wise as they arrive and forward the partial sum up the tree.
+  /// Completion: non-root hosts get kSendComplete when the parent absorbs
+  /// their combined value; the root host gets kReduceDone carrying the
+  /// cluster-wide sum.  All ranks must contribute equal-size vectors.
+  void post_reduce(net::PortId port, net::GroupId group, Payload data,
+                   OpHandle handle);
+
+  /// Preposts/updates the spanning-tree entry for `group` in the NIC group
+  /// table.  Constant-time for the NIC; the host built the tree.
+  void set_group(net::GroupId group, GroupEntry entry);
+  [[nodiscard]] bool has_group(net::GroupId group) const;
+  /// Drops a group's table entry (communicator teardown).  Outstanding
+  /// traffic for the group must have quiesced.
+  void remove_group(net::GroupId group);
+
+  /// The receive-event queue of a port.  Host processes co_await on this.
+  [[nodiscard]] sim::Channel<HostEvent>& events(net::PortId port);
+
+  // ---- Introspection ----
+
+  [[nodiscard]] net::NodeId id() const { return id_; }
+  [[nodiscard]] const NicConfig& config() const { return config_; }
+  [[nodiscard]] const NicStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t num_ports() const { return ports_.size(); }
+  [[nodiscard]] std::size_t send_tokens_available(net::PortId port) const;
+  [[nodiscard]] std::size_t recv_buffers_posted(net::PortId port) const;
+  /// Cumulative LANai CPU busy time (NIC utilisation benches).
+  [[nodiscard]] sim::Duration cpu_busy_time() const {
+    return cpu_.total_busy();
+  }
+
+  // ---- Network-facing interface ----
+  void packet_arrived(net::Packet packet) override;
+
+  // ---- Test hooks ----
+  // Forces connection sequence counters so tests can exercise 32-bit
+  // wraparound without sending 4 billion packets.
+  void debug_set_send_seq(net::PortId port, net::NodeId dest,
+                          net::PortId dest_port, SeqNum seq) {
+    sender_conns_[conn_key(port, dest, dest_port)].next_seq = seq;
+  }
+  void debug_set_recv_seq(net::PortId port, net::NodeId src,
+                          net::PortId src_port, SeqNum seq) {
+    receiver_conns_[conn_key(port, src, src_port)].expected_seq = seq;
+  }
+
+ private:
+  // Shared, immutable message bytes; send records reference this instead of
+  // copying the payload per destination.
+  using MessageRef = std::shared_ptr<const Payload>;
+
+  struct Fragment {
+    std::uint32_t offset = 0;
+    std::uint32_t length = 0;
+  };
+
+  // -- Point-to-point Go-back-N state --
+
+  struct SendRecord {
+    SeqNum seq = 0;
+    MessageRef message;
+    Fragment fragment;
+    net::PacketHeader header;  // re-created on retransmission
+    sim::TimePoint sent_at;
+    std::uint32_t retries = 0;
+    OpHandle handle = 0;
+  };
+
+  struct SenderConn {
+    SeqNum next_seq = 0;
+    std::deque<SendRecord> records;  // in seq order, all unacked
+    std::optional<sim::EventId> timer;
+  };
+
+  // One in-flight incoming message.  `accepted` counts bytes the receive
+  // path has sequenced (claim/boundary decisions happen here); `received`
+  // counts bytes the RDMA engine has landed in host memory.  Back-to-back
+  // messages overlap: message m+1's packets can be accepted while message
+  // m's RDMA is still draining, so each packet's completion must target its
+  // own message's assembly — hence shared ownership.
+  struct Assembly {
+    RecvBuffer buffer;
+    Payload data;
+    std::size_t accepted = 0;
+    std::size_t received = 0;
+    std::uint32_t tag = 0;
+
+    [[nodiscard]] bool fully_accepted() const {
+      return accepted >= data.size();
+    }
+    [[nodiscard]] bool fully_received() const {
+      return received >= data.size();
+    }
+  };
+  using AssemblyRef = std::shared_ptr<Assembly>;
+
+  struct ReceiverConn {
+    SeqNum expected_seq = 0;
+    AssemblyRef assembly;  // the message currently being sequenced
+  };
+
+  // -- Multicast group state --
+
+  struct GroupRecord {
+    SeqNum seq = 0;
+    MessageRef message;
+    Fragment fragment;
+    net::PacketHeader header;
+    sim::TimePoint sent_at;
+    std::uint32_t retries = 0;
+    OpHandle handle = 0;  // root only; 0 for forwarded records
+    // Ablation mode: the forward grabbed a send token to release on prune.
+    bool holds_token = false;
+    // Naive-buffer ablation: the packet's staging buffer is pinned until
+    // this record is pruned (all children acked).
+    bool holds_rx_buffer = false;
+  };
+
+  // NIC-level barrier state (extension; paper §7 / Buntinas et al.'s
+  // "Fast NIC-Level Barrier").  A round completes at a node when its host
+  // has arrived AND every child's arrive was seen; then the node reports
+  // up (arrive to parent) or, at the root, releases down the tree.
+  // Reliability: a non-root resends its arrive every timeout until it
+  // sees the release (the release is the implicit ack); a parent answers
+  // stale arrives for past epochs with an immediate re-release.
+  struct BarrierState {
+    SeqNum epoch = 0;                 // current (not yet released) round
+    std::vector<bool> child_arrived;  // indexed like entry.children
+    bool host_posted = false;         // set synchronously at post time
+    bool host_arrived = false;
+    OpHandle handle = 0;              // host completion cookie
+    std::optional<sim::EventId> resend_timer;
+    std::uint32_t resends = 0;
+  };
+
+  // NIC-level reduction state (extension).  Contributions are combined
+  // lane-wise on the LANai as they arrive; the partial sum travels up the
+  // tree once the local host and every child have contributed.
+  // Reliability mirrors the barrier: the upward packet is resent until the
+  // parent's explicit kReduceAck; duplicates of already-absorbed
+  // contributions are re-acked without re-combining.
+  struct ReduceState {
+    SeqNum epoch = 0;
+    std::vector<bool> child_arrived;
+    bool host_posted = false;   // synchronous double-entry guard
+    bool host_arrived = false;
+    Payload accumulator;        // lane-wise sum of everything absorbed
+    OpHandle handle = 0;
+    bool sent_up = false;
+    std::optional<sim::EventId> resend_timer;
+    std::uint32_t resends = 0;
+  };
+
+  struct GroupState {
+    GroupEntry entry;
+    SeqNum recv_seq = 0;  // next expected from the parent
+    SeqNum send_seq = 0;  // next to assign towards the children
+    std::vector<SeqNum> child_next_acked;  // per child: next seq they expect
+    std::deque<GroupRecord> records;
+    AssemblyRef assembly;
+    std::optional<sim::EventId> timer;
+    BarrierState barrier;
+    ReduceState reduce;
+  };
+
+  // -- Operation completion accounting --
+
+  struct PendingOp {
+    HostEvent::Type complete_type = HostEvent::Type::kSendComplete;
+    net::PortId port = 0;
+    std::uint64_t remaining = 0;  // packet-destination acks outstanding
+    bool failed = false;
+  };
+
+  struct Port {
+    sim::Channel<HostEvent> events;
+    std::deque<RecvBuffer> recv_buffers;
+    std::size_t send_tokens_in_use = 0;
+  };
+
+  // -- Key packing for connection maps --
+  static std::uint64_t conn_key(net::PortId my_port, net::NodeId peer,
+                                net::PortId peer_port) {
+    return (static_cast<std::uint64_t>(my_port) << 32) |
+           (static_cast<std::uint64_t>(peer) << 8) |
+           static_cast<std::uint64_t>(peer_port);
+  }
+
+  // -- Send path --
+  [[nodiscard]] std::vector<Fragment> fragment_message(std::size_t size) const;
+  void start_unicast_packets(net::PortId port, net::NodeId dest,
+                             net::PortId dest_port, MessageRef message,
+                             std::uint32_t tag, OpHandle handle);
+  void sdma_then(std::size_t bytes, std::function<void()> next);
+  void send_data_packet(net::PortId port, net::NodeId dest,
+                        net::PortId dest_port, const MessageRef& message,
+                        Fragment fragment, std::uint32_t tag, OpHandle handle);
+  net::Network::TxTiming transmit(DescriptorRef descriptor);
+  net::Packet build_packet(const net::PacketHeader& header,
+                           const MessageRef& message, Fragment fragment) const;
+
+  // -- Multisend / multicast replica chain --
+  // `prepare` retargets the descriptor before each replica; `on_transmit`
+  // (optional) reports the wire timing of each replica so callers can stamp
+  // their send records with the true injection time (long streams queue on
+  // the wire far behind the CPU, and retransmission timers must measure
+  // from the wire, not from record creation).
+  void start_replica_chain(
+      DescriptorRef descriptor, std::vector<net::NodeId> dests,
+      std::function<void(net::Packet&, net::NodeId)> prepare,
+      std::function<void(const net::Packet&, const net::Network::TxTiming&)>
+          on_transmit = nullptr);
+  void touch_group_record(net::GroupId group_id, SeqNum seq,
+                          sim::TimePoint sent_at);
+
+  void launch_mcast_packet(net::GroupId group_id, GroupState& group,
+                           const MessageRef& message, Fragment fragment,
+                           std::uint32_t tag, OpHandle handle);
+  // `on_forwarded` (optional) fires once the last replica left the wire —
+  // the chosen staging-buffer release point; null in the naive ablation
+  // (the record pins the buffer until all children ack).
+  void start_forward(net::GroupId group_id, const net::Packet& packet,
+                     std::function<void()> on_forwarded);
+  void begin_forward_chain(net::GroupId group_id, const net::Packet& packet,
+                           bool holds_token,
+                           std::function<void()> on_forwarded);
+
+  // -- Receive path --
+  void handle_data(const net::Packet& packet);
+  void handle_ack(const net::Packet& packet);
+  void handle_mcast_data(const net::Packet& packet);
+  void handle_mcast_ack(const net::Packet& packet);
+
+  // -- NIC-level barrier --
+  void handle_barrier(const net::Packet& packet);
+  void barrier_check_complete(net::GroupId group_id);
+  void barrier_send_arrive(net::GroupId group_id);
+  void barrier_release(net::GroupId group_id, SeqNum epoch);
+  void barrier_resend_timeout(net::GroupId group_id);
+
+  // -- NIC-level reduction --
+  void handle_reduce(const net::Packet& packet);
+  void handle_reduce_ack(const net::Packet& packet);
+  void reduce_combine(net::GroupId group_id, const Payload& contribution);
+  void reduce_check_complete(net::GroupId group_id);
+  void reduce_send_up(net::GroupId group_id);
+  void reduce_resend_timeout(net::GroupId group_id);
+  void send_ack(const net::Packet& data_packet, SeqNum cumulative_seq);
+  // Ensures `slot` holds the assembly for the message `packet` belongs to,
+  // claiming a fresh receive buffer at message boundaries.  Returns false
+  // when no fitting buffer is posted (receiver overrun).
+  bool ensure_assembly(net::PortId port, AssemblyRef& slot,
+                       const net::Packet& packet);
+  // `on_rdma_done` (optional) fires when this packet's RDMA completes —
+  // used to return the NIC staging buffer.
+  void accept_payload(net::PortId port, AssemblyRef assembly,
+                      const net::Packet& packet, HostEvent::Type event_type,
+                      std::function<void()> on_rdma_done = nullptr);
+
+  // -- Reliability --
+  void arm_conn_timer(std::uint64_t key);
+  void conn_timeout(std::uint64_t key);
+  void arm_group_timer(net::GroupId group_id);
+  void group_timeout(net::GroupId group_id);
+  void retransmit_record(const net::PacketHeader& header,
+                         const MessageRef& message, Fragment fragment);
+  void fail_operation(OpHandle handle);
+
+  // -- Completion --
+  void op_packet_acked(OpHandle handle);
+  void deliver_event(net::PortId port, HostEvent event);
+
+  // -- Send tokens --
+  void consume_send_token(net::PortId port);
+  void release_send_token(net::PortId port);
+
+  // -- NIC SRAM staging buffers --
+  [[nodiscard]] bool acquire_rx_buffer();
+  void release_rx_buffer();
+
+  void trace(const char* category, const std::string& message);
+
+  sim::Simulator& sim_;
+  net::Network& network_;
+  net::NodeId id_;
+  NicConfig config_;
+  NicOptions options_;
+
+  Engine cpu_;
+  Engine sdma_;
+  Engine rdma_;
+
+  std::vector<std::unique_ptr<Port>> ports_;
+  std::unordered_map<std::uint64_t, SenderConn> sender_conns_;
+  std::unordered_map<std::uint64_t, ReceiverConn> receiver_conns_;
+  std::unordered_map<net::GroupId, GroupState> groups_;
+  std::unordered_map<OpHandle, PendingOp> pending_ops_;
+  // Forwards stalled on send-token exhaustion (ablation mode only).
+  struct DeferredForward {
+    net::GroupId group;
+    net::Packet packet;
+    std::function<void()> on_forwarded;
+  };
+  std::deque<DeferredForward> deferred_forwards_;
+  std::size_t rx_buffers_in_use_ = 0;
+
+  NicStats stats_;
+};
+
+}  // namespace nicmcast::nic

@@ -1,0 +1,34 @@
+// GM-2's "myrinet packet descriptor" with a callback handler.
+//
+// The paper's multisend and forwarding mechanisms are built on exactly this
+// GM-2.0-alpha feature (paper §4): every queued packet carries a descriptor
+// whose callback fires when the transmit DMA engine completes.  The callback
+// may rewrite the header (next destination) and queue the same descriptor
+// again instead of freeing it — that re-queue is what replaces per-
+// destination send-token processing with a cheap header rewrite.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "net/packet.hpp"
+
+namespace nicmcast::nic {
+
+struct PacketDescriptor;
+using DescriptorRef = std::shared_ptr<PacketDescriptor>;
+
+struct PacketDescriptor {
+  net::Packet packet;
+  /// Invoked when the transmit DMA engine has pushed the last byte of this
+  /// packet onto the wire.  Empty => the descriptor is freed.
+  std::function<void(DescriptorRef)> on_tx_complete;
+};
+
+[[nodiscard]] inline DescriptorRef make_descriptor(net::Packet packet) {
+  auto d = std::make_shared<PacketDescriptor>();
+  d->packet = std::move(packet);
+  return d;
+}
+
+}  // namespace nicmcast::nic

@@ -1,0 +1,28 @@
+// Wrap-safe 32-bit sequence-number arithmetic (RFC 1982 style).
+//
+// GM sequence spaces are per connection / per multicast group and
+// unbounded over a long run, so all comparisons must tolerate wraparound.
+#pragma once
+
+#include <cstdint>
+
+namespace nicmcast::nic {
+
+using SeqNum = std::uint32_t;
+
+/// True when `a` precedes `b` in wrap-around order.
+[[nodiscard]] constexpr bool seq_before(SeqNum a, SeqNum b) {
+  return static_cast<std::int32_t>(a - b) < 0;
+}
+
+/// True when `a` is `b` or precedes it.
+[[nodiscard]] constexpr bool seq_before_eq(SeqNum a, SeqNum b) {
+  return a == b || seq_before(a, b);
+}
+
+/// Forward distance from `a` to `b` (b - a in sequence space).
+[[nodiscard]] constexpr std::uint32_t seq_distance(SeqNum a, SeqNum b) {
+  return b - a;
+}
+
+}  // namespace nicmcast::nic

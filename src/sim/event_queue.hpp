@@ -1,0 +1,91 @@
+// Deterministic pending-event set for the discrete-event engine.
+//
+// Events at equal timestamps fire in insertion order (FIFO), which makes
+// whole-cluster simulations reproducible run to run: the heap key is the
+// pair (time, sequence number).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace nicmcast::sim {
+
+/// Opaque handle used to cancel a scheduled event.
+struct EventId {
+  std::uint64_t seq = 0;
+  constexpr auto operator<=>(const EventId&) const = default;
+};
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Schedules `action` at absolute time `when`.  Returns an id usable with
+  /// cancel().
+  EventId schedule(TimePoint when, Action action) {
+    const EventId id{next_seq_++};
+    heap_.push(Entry{when, id.seq, std::move(action)});
+    ++live_;
+    return id;
+  }
+
+  /// Cancels a previously scheduled event.  Cancellation is lazy: the entry
+  /// stays in the heap but its action is skipped when popped.  Returns true
+  /// if the event had not fired or been cancelled yet.
+  bool cancel(EventId id) {
+    return cancelled_.insert(id.seq).second && live_-- > 0;
+  }
+
+  [[nodiscard]] bool empty() const { return live_ == 0; }
+  [[nodiscard]] std::size_t size() const { return live_; }
+
+  /// Earliest pending (non-cancelled) event time.  Precondition: !empty().
+  [[nodiscard]] TimePoint next_time() {
+    skip_cancelled();
+    return heap_.top().when;
+  }
+
+  /// Pops and returns the earliest pending event.  Precondition: !empty().
+  std::pair<TimePoint, Action> pop() {
+    skip_cancelled();
+    Entry top = std::move(const_cast<Entry&>(heap_.top()));
+    heap_.pop();
+    --live_;
+    return {top.when, std::move(top.action)};
+  }
+
+ private:
+  struct Entry {
+    TimePoint when;
+    std::uint64_t seq;
+    Action action;
+    // std::priority_queue is a max-heap; invert so earliest (time, seq) wins.
+    bool operator<(const Entry& other) const {
+      if (when != other.when) return when > other.when;
+      return seq > other.seq;
+    }
+  };
+
+  void skip_cancelled() {
+    while (!heap_.empty()) {
+      auto it = cancelled_.find(heap_.top().seq);
+      if (it == cancelled_.end()) return;
+      cancelled_.erase(it);
+      heap_.pop();
+    }
+  }
+
+  std::priority_queue<Entry> heap_;
+  // Set of cancelled sequence numbers not yet popped.
+  std::unordered_set<std::uint64_t> cancelled_;
+  std::uint64_t next_seq_ = 0;
+  std::size_t live_ = 0;
+};
+
+}  // namespace nicmcast::sim

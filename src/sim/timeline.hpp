@@ -1,0 +1,115 @@
+// ASCII swimlane rendering of trace records.
+//
+// Turns a Tracer's retained records into a per-actor timeline — one lane
+// per actor, time flowing left to right — plus a numbered legend.  Used by
+// examples/timing_diagram to render the paper's Figure 2 from live events,
+// and handy when debugging protocol interleavings.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/trace.hpp"
+
+namespace nicmcast::sim {
+
+struct TimelineOptions {
+  /// Columns available for the time axis.
+  std::size_t width = 72;
+  /// Explicit window; end <= start means auto-fit to the records.
+  TimePoint start{0};
+  TimePoint end{0};
+  /// Cap on legend entries (0 = unlimited).
+  std::size_t max_legend = 0;
+};
+
+/// Renders `records` as a swimlane diagram.  Events in the same lane that
+/// collide on a column are stacked into one mark; each mark is labelled
+/// with the index of its (first) record in the legend below.
+inline std::string render_timeline(const std::vector<TraceRecord>& records,
+                                   TimelineOptions options = {}) {
+  if (records.empty()) return "(no trace records)\n";
+
+  TimePoint t0 = options.start;
+  TimePoint t1 = options.end;
+  if (t1 <= t0) {
+    t0 = records.front().when;
+    t1 = records.front().when;
+    for (const auto& r : records) {
+      t0 = std::min(t0, r.when);
+      t1 = std::max(t1, r.when);
+    }
+  }
+  const double span =
+      std::max(1.0, static_cast<double>((t1 - t0).nanoseconds()));
+  const std::size_t width = std::max<std::size_t>(options.width, 10);
+
+  // Lanes in first-appearance order.
+  std::vector<std::string> actors;
+  std::map<std::string, std::size_t> lane_of;
+  for (const auto& r : records) {
+    if (!lane_of.contains(r.actor)) {
+      lane_of[r.actor] = actors.size();
+      actors.push_back(r.actor);
+    }
+  }
+  std::size_t label_width = 0;
+  for (const auto& a : actors) label_width = std::max(label_width, a.size());
+
+  std::vector<std::string> lanes(actors.size(),
+                                 std::string(width + 1, '.'));
+  auto column = [&](TimePoint t) {
+    const double frac =
+        static_cast<double>((t - t0).nanoseconds()) / span;
+    return static_cast<std::size_t>(frac * static_cast<double>(width));
+  };
+
+  struct LegendEntry {
+    char tag;
+    const TraceRecord* record;
+  };
+  std::vector<LegendEntry> legend;
+  char next_tag = 'a';
+  for (const auto& r : records) {
+    if (r.when < t0 || r.when > t1) continue;
+    const std::size_t col = column(r.when);
+    std::string& lane = lanes[lane_of[r.actor]];
+    if (lane[col] == '.') {
+      lane[col] = next_tag;
+      legend.push_back(LegendEntry{next_tag, &r});
+      next_tag = next_tag == 'z' ? 'A' : static_cast<char>(next_tag + 1);
+      if (next_tag == 'Z' + 1) next_tag = 'a';  // wrap; tags repeat
+    } else {
+      lane[col] = '+';  // collision marker: several events share a column
+    }
+  }
+
+  std::ostringstream out;
+  out << std::string(label_width + 2, ' ') << t0.microseconds() << "us";
+  const std::string right = std::to_string(t1.microseconds()) + "us";
+  out << std::string(width > right.size() + 8 ? width - right.size() - 4 : 1,
+                     ' ')
+      << right << "\n";
+  for (std::size_t i = 0; i < actors.size(); ++i) {
+    out << actors[i] << std::string(label_width - actors[i].size(), ' ')
+        << " |" << lanes[i] << "\n";
+  }
+  out << "\n";
+  std::size_t shown = 0;
+  for (const auto& entry : legend) {
+    if (options.max_legend != 0 && shown++ >= options.max_legend) {
+      out << "  ... (" << legend.size() - options.max_legend
+          << " more)\n";
+      break;
+    }
+    out << "  " << entry.tag << ": [" << entry.record->when.microseconds()
+        << "us] " << entry.record->message << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace nicmcast::sim

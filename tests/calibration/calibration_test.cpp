@@ -1,0 +1,227 @@
+// Calibration pins: the derived quantities of the cost model that the
+// paper's figures depend on.  If a change to the NIC/network constants
+// moves these out of band, the reproduced figures change shape — fail
+// loudly here rather than silently in bench output.
+//
+// DESIGN.md §5 records the calibration targets and their sources.
+#include <gtest/gtest.h>
+
+#include "gm/cluster.hpp"
+#include "mcast/bcast.hpp"
+#include "mcast/postal_tree.hpp"
+#include "mpi/skew.hpp"
+
+namespace nicmcast {
+namespace {
+
+using gm::Cluster;
+using gm::ClusterConfig;
+using gm::Payload;
+
+std::vector<net::NodeId> everyone_but(net::NodeId root, std::size_t n) {
+  std::vector<net::NodeId> v;
+  for (net::NodeId i = 0; i < n; ++i) {
+    if (i != root) v.push_back(i);
+  }
+  return v;
+}
+
+double one_way_latency_us(std::size_t bytes) {
+  Cluster c(ClusterConfig{.nodes = 2});
+  c.port(1).provide_receive_buffer(std::max<std::size_t>(bytes, 64));
+  auto arrived = std::make_shared<sim::TimePoint>();
+  c.simulator().spawn([](Cluster& cl, std::size_t n) -> sim::Task<void> {
+    co_await cl.port(0).send(1, 0, Payload(n), 0);
+  }(c, bytes));
+  c.simulator().spawn([](Cluster& cl,
+                         std::shared_ptr<sim::TimePoint> t) -> sim::Task<void> {
+    co_await cl.port(1).receive();
+    *t = cl.simulator().now();
+  }(c, arrived));
+  c.run();
+  return arrived->microseconds();
+}
+
+double mcast_latency_us(std::size_t nodes, std::size_t bytes,
+                        bool nic_based) {
+  Cluster c(ClusterConfig{.nodes = nodes});
+  const auto dests = everyone_but(0, nodes);
+  const mcast::Tree tree =
+      nic_based ? mcast::build_postal_tree(
+                      0, dests,
+                      mcast::PostalCostModel::nic_based(
+                          bytes, nic::NicConfig{}, net::NetworkConfig{}))
+                : mcast::build_binomial_tree(0, dests);
+  if (nic_based) mcast::install_group(c, tree, 1);
+  for (net::NodeId n = 1; n < nodes; ++n) {
+    c.port(n).provide_receive_buffer(std::max<std::size_t>(bytes, 64));
+  }
+  auto last = std::make_shared<sim::TimePoint>();
+  c.run_on_all([tree, bytes, nic_based, last](Cluster& cl,
+                                              net::NodeId me)
+                   -> sim::Task<void> {
+    Payload data;
+    if (me == 0) data = Payload(bytes);
+    Payload got;
+    if (nic_based) {
+      got = co_await mcast::nic_bcast(cl.port(me), tree, 1, std::move(data),
+                                      0);
+    } else {
+      got = co_await mcast::host_bcast(cl.port(me), tree, std::move(data),
+                                       0);
+    }
+    if (got.size() != bytes) throw std::logic_error("bad payload");
+    *last = std::max(*last, cl.simulator().now());
+  });
+  c.run();
+  return last->microseconds();
+}
+
+TEST(Calibration, OneWaySmallMessageLatency) {
+  // GM-2 on LANai-9 class hardware: ~7-8us one-way for tiny messages.
+  const double us = one_way_latency_us(1);
+  EXPECT_GT(us, 6.0);
+  EXPECT_LT(us, 9.0);
+}
+
+TEST(Calibration, OneWayLatencyGrowsWithSize) {
+  const double small = one_way_latency_us(8);
+  const double mid = one_way_latency_us(4096);
+  const double large = one_way_latency_us(16384);
+  EXPECT_LT(small, mid);
+  EXPECT_LT(mid, large);
+  // 16KB one-way dominated by 4 packets of wire time (~66us) plus
+  // overheads; the paper-era GM measured ~90-110us.
+  EXPECT_GT(large, 70.0);
+  EXPECT_LT(large, 110.0);
+}
+
+TEST(Calibration, Fig5FactorBandsAt16Nodes) {
+  const double hb512 = mcast_latency_us(16, 512, false);
+  const double nb512 = mcast_latency_us(16, 512, true);
+  const double f512 = hb512 / nb512;
+  const double hb2k = mcast_latency_us(16, 2048, false);
+  const double nb2k = mcast_latency_us(16, 2048, true);
+  const double f2k = hb2k / nb2k;
+  const double hb16k = mcast_latency_us(16, 16384, false);
+  const double nb16k = mcast_latency_us(16, 16384, true);
+  const double f16k = hb16k / nb16k;
+
+  // Paper: 1.48 / dip / 1.86.  Our model overshoots but must keep the
+  // ordering: NB always wins, dip at 2KB, maximum at 16KB.
+  EXPECT_GT(f512, 1.5);
+  EXPECT_GT(f2k, 1.2);
+  EXPECT_GT(f16k, f512);
+  EXPECT_LT(f2k, f512);
+  EXPECT_LT(f2k, f16k);
+  // Absolute host-based scale should match the paper's Figure 5(a) axis
+  // (HB-16 at 16KB lands in the upper half of the 0-700us range).
+  EXPECT_GT(hb16k, 500.0);
+  EXPECT_LT(hb16k, 1000.0);
+}
+
+TEST(Calibration, PostalTreeShapeSweep) {
+  const nic::NicConfig nic;
+  const net::NetworkConfig net;
+  const auto dests = everyone_but(0, 16);
+  std::size_t last_fanout = 16;
+  for (std::size_t bytes : {4u, 512u, 2048u, 4096u, 16384u}) {
+    const auto tree = mcast::build_postal_tree(
+        0, dests, mcast::PostalCostModel::nic_based(bytes, nic, net));
+    // Fan-out decreases (weakly) with message size.
+    EXPECT_LE(tree.max_fanout(), last_fanout) << bytes;
+    last_fanout = tree.max_fanout();
+    EXPECT_TRUE(tree.satisfies_id_ordering());
+  }
+  EXPECT_LE(last_fanout, 2u);  // 16KB: narrow tree
+}
+
+TEST(Calibration, SkewCurveAnchors) {
+  auto run = [](double max_skew_us, mpi::BcastAlgorithm algo) {
+    mpi::SkewConfig config;
+    config.nodes = 16;
+    config.message_bytes = 4;
+    config.max_skew = sim::usec(max_skew_us);
+    config.iterations = 25;
+    config.warmup = 3;
+    config.algorithm = algo;
+    return run_skew_experiment(config).avg_bcast_cpu_us;
+  };
+  // Anchor: at 400us mean |skew| (max_skew = 1600), host-based average CPU
+  // time lands near the paper's ~130us; NIC-based stays far below.
+  const double hb400 = run(1600, mpi::BcastAlgorithm::kHostBased);
+  const double nb400 = run(1600, mpi::BcastAlgorithm::kNicBased);
+  EXPECT_GT(hb400, 90.0);
+  EXPECT_LT(hb400, 190.0);
+  EXPECT_LT(nb400, 25.0);
+  // The small-skew dip: both algorithms benefit from a little skew.
+  const double hb0 = run(0, mpi::BcastAlgorithm::kHostBased);
+  const double hb_small = run(100, mpi::BcastAlgorithm::kHostBased);
+  EXPECT_LT(hb_small, hb0);
+}
+
+TEST(Calibration, MultisendFactorBand) {
+  // Fig 3 anchor: 64B to 4 destinations, NB/HB in [1.6, 2.3] (paper 2.05).
+  auto measure = [](bool nb) {
+    Cluster c(ClusterConfig{.nodes = 5});
+    for (net::NodeId n = 1; n < 5; ++n) {
+      c.port(n).provide_receive_buffer(4096);
+    }
+    auto done = std::make_shared<sim::TimePoint>();
+    c.simulator().spawn([](Cluster& cl, bool nic_based,
+                           std::shared_ptr<sim::TimePoint> t)
+                            -> sim::Task<void> {
+      if (nic_based) {
+        std::vector<net::NodeId> dests{1, 2, 3, 4};
+        co_await cl.port(0).multisend(std::move(dests), 0, Payload(64), 0);
+      } else {
+        std::vector<nic::OpHandle> handles;
+        for (net::NodeId d = 1; d < 5; ++d) {
+          co_await cl.simulator().wait(
+              cl.port(0).nic().config().host_post_overhead);
+          handles.push_back(cl.port(0).post_send_nowait(d, 0, Payload(64), 0));
+        }
+        for (auto h : handles) co_await cl.port(0).wait_completion(h);
+      }
+      *t = cl.simulator().now();
+    }(c, nb, done));
+    c.run();
+    return done->microseconds();
+  };
+  const double factor = measure(false) / measure(true);
+  EXPECT_GT(factor, 1.6);
+  EXPECT_LT(factor, 2.3);
+}
+
+TEST(Calibration, StreamingBandwidthNearWireRate) {
+  Cluster c(ClusterConfig{.nodes = 2});
+  const int chunks = 32;
+  const std::size_t chunk = 16384;
+  c.port(1).provide_receive_buffers(chunks, chunk);
+  auto done = std::make_shared<sim::TimePoint>();
+  c.simulator().spawn([](Cluster& cl, int n, std::size_t size)
+                          -> sim::Task<void> {
+    std::vector<nic::OpHandle> handles;
+    for (int i = 0; i < n; ++i) {
+      while (!cl.port(0).can_post_nowait()) {
+        co_await cl.simulator().wait(sim::usec(5));
+      }
+      handles.push_back(cl.port(0).post_send_nowait(1, 0, Payload(size), 0));
+    }
+    for (auto h : handles) co_await cl.port(0).wait_completion(h);
+  }(c, chunks, chunk));
+  c.simulator().spawn([](Cluster& cl, int n,
+                         std::shared_ptr<sim::TimePoint> t) -> sim::Task<void> {
+    for (int i = 0; i < n; ++i) co_await cl.port(1).receive();
+    *t = cl.simulator().now();
+  }(c, chunks, done));
+  c.run();
+  const double mbps =
+      static_cast<double>(chunk) * chunks / done->microseconds();
+  // Myrinet-2000 wire rate is 250MB/s; GM sustained ~240+.
+  EXPECT_GT(mbps, 230.0);
+  EXPECT_LE(mbps, 250.0);
+}
+
+}  // namespace
+}  // namespace nicmcast

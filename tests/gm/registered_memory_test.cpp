@@ -1,0 +1,90 @@
+#include "gm/registered_memory.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nicmcast::gm {
+namespace {
+
+TEST(RegisteredMemory, AllocateAndRegister) {
+  MemoryRegistry registry;
+  RegionRef r = registry.allocate(1024);
+  EXPECT_EQ(r->size(), 1024u);
+  EXPECT_FALSE(r->registered());
+  registry.register_region(r);
+  EXPECT_TRUE(r->registered());
+  EXPECT_EQ(registry.bytes_registered(), 1024u);
+}
+
+TEST(RegisteredMemory, DeregisterReturnsBytes) {
+  MemoryRegistry registry;
+  RegionRef r = registry.allocate(100);
+  registry.register_region(r);
+  registry.deregister_region(r);
+  EXPECT_FALSE(r->registered());
+  EXPECT_EQ(registry.bytes_registered(), 0u);
+}
+
+TEST(RegisteredMemory, DoubleRegisterThrows) {
+  MemoryRegistry registry;
+  RegionRef r = registry.allocate(8);
+  registry.register_region(r);
+  EXPECT_THROW(registry.register_region(r), std::logic_error);
+}
+
+TEST(RegisteredMemory, DeregisterUnregisteredThrows) {
+  MemoryRegistry registry;
+  RegionRef r = registry.allocate(8);
+  EXPECT_THROW(registry.deregister_region(r), std::logic_error);
+  EXPECT_THROW(registry.deregister_region(nullptr), std::logic_error);
+}
+
+TEST(RegisteredMemory, PinRequiresRegistration) {
+  MemoryRegistry registry;
+  RegionRef r = registry.allocate(8);
+  EXPECT_THROW(registry.pin(r), std::logic_error);
+  registry.register_region(r);
+  registry.pin(r);
+  EXPECT_EQ(r->pin_count(), 1u);
+}
+
+TEST(RegisteredMemory, DeregisterWhilePinnedThrows) {
+  // The paper's forwarding design: host memory is the retransmission
+  // source, so it must stay registered until every child acknowledges.
+  MemoryRegistry registry;
+  RegionRef r = registry.allocate(8);
+  registry.register_region(r);
+  registry.pin(r);
+  EXPECT_THROW(registry.deregister_region(r), std::logic_error);
+  registry.unpin(r);
+  registry.deregister_region(r);  // fine once the NIC is done
+}
+
+TEST(RegisteredMemory, UnpinUnderflowThrows) {
+  MemoryRegistry registry;
+  RegionRef r = registry.allocate(8);
+  registry.register_region(r);
+  EXPECT_THROW(registry.unpin(r), std::logic_error);
+}
+
+TEST(RegisteredMemory, MultiplePins) {
+  MemoryRegistry registry;
+  RegionRef r = registry.allocate(8);
+  registry.register_region(r);
+  registry.pin(r);
+  registry.pin(r);
+  EXPECT_EQ(r->pin_count(), 2u);
+  registry.unpin(r);
+  EXPECT_THROW(registry.deregister_region(r), std::logic_error);
+  registry.unpin(r);
+  registry.deregister_region(r);
+}
+
+TEST(RegisteredMemory, RegionDataIsWritable) {
+  MemoryRegistry registry;
+  RegionRef r = registry.allocate(4);
+  r->data()[2] = std::byte{0xAB};
+  EXPECT_EQ(r->data()[2], std::byte{0xAB});
+}
+
+}  // namespace
+}  // namespace nicmcast::gm

@@ -1,0 +1,244 @@
+// End-to-end GM-level broadcast: host-based baseline vs NIC-based multicast
+// over installed group trees — the heart of the paper's Figure 5 claim.
+#include "mcast/bcast.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "mcast/postal_tree.hpp"
+
+namespace nicmcast::mcast {
+namespace {
+
+using gm::Cluster;
+using gm::ClusterConfig;
+using gm::Payload;
+
+Payload make_payload(std::size_t n, std::uint8_t salt = 0) {
+  Payload p(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    p[i] = std::byte{static_cast<std::uint8_t>(i * 131u + salt)};
+  }
+  return p;
+}
+
+std::vector<net::NodeId> everyone_but(net::NodeId root, std::size_t n) {
+  std::vector<net::NodeId> v;
+  for (net::NodeId i = 0; i < n; ++i) {
+    if (i != root) v.push_back(i);
+  }
+  return v;
+}
+
+/// Runs one broadcast on every node; returns the wall-clock when the last
+/// node (including the root's completion) finished.
+sim::TimePoint run_bcast(Cluster& c, const Tree& tree, bool nic_based,
+                         net::GroupId group, const Payload& msg,
+                         std::size_t buffer_capacity) {
+  for (net::NodeId node : tree.nodes()) {
+    if (node != tree.root()) {
+      c.port(node).provide_receive_buffer(buffer_capacity);
+    }
+  }
+  auto last = std::make_shared<sim::TimePoint>();
+  for (net::NodeId node : tree.nodes()) {
+    // NOTE: conditional expressions are hoisted out of coroutine call
+    // argument lists throughout — GCC 12 double-frees such temporaries
+    // (PR c++/103909 family).
+    Payload input = node == tree.root() ? msg : Payload{};
+    c.simulator().spawn(
+        [](Cluster& cl, const Tree& t, bool nb, net::GroupId g,
+           Payload data, net::NodeId me,
+           std::shared_ptr<sim::TimePoint> done) -> sim::Task<void> {
+          Payload got;
+          if (nb) {
+            got = co_await nic_bcast(cl.port(me), t, g, std::move(data), 1);
+          } else {
+            got = co_await host_bcast(cl.port(me), t, std::move(data), 1);
+          }
+          EXPECT_FALSE(got.empty());
+          *done = std::max(*done, cl.simulator().now());
+        }(c, tree, nic_based, group, std::move(input), node, last));
+  }
+  c.run();
+  return *last;
+}
+
+TEST(InstallGroup, ProgramsEveryMemberNic) {
+  Cluster c(ClusterConfig{.nodes = 4});
+  const Tree tree = build_binomial_tree(0, {1, 2, 3});
+  install_group(c, tree, 9);
+  for (net::NodeId i = 0; i < 4; ++i) {
+    EXPECT_TRUE(c.nic(i).has_group(9)) << "node " << i;
+  }
+}
+
+TEST(HostBcast, DeliversToAllNodes) {
+  Cluster c(ClusterConfig{.nodes = 8});
+  const Tree tree = build_binomial_tree(0, everyone_but(0, 8));
+  const Payload msg = make_payload(600);
+  std::vector<Payload> results(8);
+  for (net::NodeId node = 0; node < 8; ++node) {
+    if (node != 0) c.port(node).provide_receive_buffer(4096);
+  }
+  for (net::NodeId node = 0; node < 8; ++node) {
+    c.simulator().spawn(
+        [](Cluster& cl, const Tree& t, Payload data, net::NodeId me,
+           Payload& out) -> sim::Task<void> {
+          out = co_await host_bcast(cl.port(me), t, std::move(data), 1);
+        }(c, tree, Payload(node == 0 ? msg : Payload{}), node,
+          results[node]));
+  }
+  c.run();
+  for (net::NodeId node = 0; node < 8; ++node) {
+    EXPECT_EQ(results[node], msg) << "node " << node;
+  }
+}
+
+TEST(NicBcast, DeliversToAllNodes) {
+  Cluster c(ClusterConfig{.nodes = 8});
+  const Tree tree = build_binomial_tree(0, everyone_but(0, 8));
+  install_group(c, tree, 3);
+  const Payload msg = make_payload(600);
+  std::vector<Payload> results(8);
+  for (net::NodeId node = 0; node < 8; ++node) {
+    if (node != 0) c.port(node).provide_receive_buffer(4096);
+  }
+  for (net::NodeId node = 0; node < 8; ++node) {
+    c.simulator().spawn(
+        [](Cluster& cl, const Tree& t, Payload data, net::NodeId me,
+           Payload& out) -> sim::Task<void> {
+          out = co_await nic_bcast(cl.port(me), t, 3, std::move(data), 1);
+        }(c, tree, Payload(node == 0 ? msg : Payload{}), node,
+          results[node]));
+  }
+  c.run();
+  for (net::NodeId node = 0; node < 8; ++node) {
+    EXPECT_EQ(results[node], msg) << "node " << node;
+  }
+}
+
+TEST(NicBcast, BeatsHostBcastOnSmallMessages16Nodes) {
+  // Figure 5: >= 1.4x for <= 512-byte messages on 16 nodes.
+  const std::size_t n = 16;
+  const Payload msg = make_payload(512);
+
+  Cluster host_cluster(ClusterConfig{.nodes = n});
+  const Tree binomial = build_binomial_tree(0, everyone_but(0, n));
+  const sim::TimePoint hb =
+      run_bcast(host_cluster, binomial, false, 0, msg, 4096);
+
+  Cluster nic_cluster(ClusterConfig{.nodes = n});
+  const auto cost = PostalCostModel::nic_based(msg.size(), nic::NicConfig{},
+                                               net::NetworkConfig{});
+  const Tree optimal = build_postal_tree(0, everyone_but(0, n), cost);
+  install_group(nic_cluster, optimal, 1);
+  const sim::TimePoint nb = run_bcast(nic_cluster, optimal, true, 1, msg, 4096);
+
+  const double factor = static_cast<double>(hb.nanoseconds()) /
+                        static_cast<double>(nb.nanoseconds());
+  // Paper reports 1.48; our cost model overshoots (EXPERIMENTS.md discusses
+  // why) but the win and its rough magnitude must hold.
+  EXPECT_GT(factor, 1.5);
+  EXPECT_LT(factor, 3.2);
+}
+
+TEST(NicBcast, BeatsHostBcastOnLargeMessages16Nodes) {
+  // Figure 5: up to 1.86x at 16KB on 16 nodes (forwarding pipelining).
+  const std::size_t n = 16;
+  const Payload msg = make_payload(16384);
+
+  Cluster host_cluster(ClusterConfig{.nodes = n});
+  const Tree binomial = build_binomial_tree(0, everyone_but(0, n));
+  const sim::TimePoint hb =
+      run_bcast(host_cluster, binomial, false, 0, msg, 16384);
+
+  Cluster nic_cluster(ClusterConfig{.nodes = n});
+  const auto cost = PostalCostModel::nic_based(msg.size(), nic::NicConfig{},
+                                               net::NetworkConfig{});
+  const Tree optimal = build_postal_tree(0, everyone_but(0, n), cost);
+  install_group(nic_cluster, optimal, 1);
+  const sim::TimePoint nb =
+      run_bcast(nic_cluster, optimal, true, 1, msg, 16384);
+
+  const double factor = static_cast<double>(hb.nanoseconds()) /
+                        static_cast<double>(nb.nanoseconds());
+  // Paper reports 1.86 at 16KB (pipelined forwarding); ours overshoots.
+  EXPECT_GT(factor, 1.8);
+  EXPECT_LT(factor, 3.8);
+}
+
+TEST(NicBcast, WorksUnderPacketLoss) {
+  const std::size_t n = 8;
+  Cluster c(ClusterConfig{.nodes = n});
+  c.network().set_fault_injector(
+      std::make_unique<net::RandomFaults>(0.08, 0.04, sim::Rng(11)));
+  const Tree tree = build_binomial_tree(0, everyone_but(0, n));
+  install_group(c, tree, 2);
+  const Payload msg = make_payload(3000);
+  const sim::TimePoint done = run_bcast(c, tree, true, 2, msg, 4096);
+  EXPECT_GT(done.nanoseconds(), 0);
+}
+
+TEST(NicBcast, RootNotInTreeThrows) {
+  Cluster c(ClusterConfig{.nodes = 4});
+  const Tree tree = build_binomial_tree(0, {1, 2});
+  install_group(c, tree, 2);
+  bool threw = false;
+  c.simulator().spawn([](Cluster& cl, const Tree& t,
+                         bool& flag) -> sim::Task<void> {
+    try {
+      co_await nic_bcast(cl.port(3), t, 2, Payload(8), 0);
+    } catch (const std::logic_error&) {
+      flag = true;
+    }
+  }(c, tree, threw));
+  c.run();
+  EXPECT_TRUE(threw);
+}
+
+TEST(NicBcast, SequentialBroadcastsReuseGroup) {
+  const std::size_t n = 4;
+  Cluster c(ClusterConfig{.nodes = n});
+  const Tree tree = build_binomial_tree(0, everyone_but(0, n));
+  install_group(c, tree, 5);
+  for (net::NodeId node = 1; node < n; ++node) {
+    c.port(node).provide_receive_buffers(3, 4096);
+  }
+  std::vector<int> rounds(n, 0);
+  for (net::NodeId node = 0; node < n; ++node) {
+    c.simulator().spawn(
+        [](Cluster& cl, const Tree& t, net::NodeId me,
+           int& count) -> sim::Task<void> {
+          for (std::uint32_t r = 0; r < 3; ++r) {
+            Payload input;
+            if (me == 0) {
+              input = make_payload(64, static_cast<std::uint8_t>(r));
+            }
+            const Payload got = co_await nic_bcast(cl.port(me), t, 5,
+                                                   std::move(input), r);
+            EXPECT_EQ(got, make_payload(64, static_cast<std::uint8_t>(r)));
+            ++count;
+          }
+        }(c, tree, node, rounds[node]));
+  }
+  c.run();
+  for (net::NodeId node = 0; node < n; ++node) EXPECT_EQ(rounds[node], 3);
+}
+
+TEST(PostalVsBinomial, OptimalTreeShapeDependsOnSize) {
+  const nic::NicConfig nic;
+  const net::NetworkConfig net;
+  const auto dests = everyone_but(0, 16);
+  const Tree small_tree = build_postal_tree(
+      0, dests, PostalCostModel::nic_based(8, nic, net));
+  const Tree large_tree = build_postal_tree(
+      0, dests, PostalCostModel::nic_based(16384, nic, net));
+  // Paper: small messages -> larger average fan-out, shallower depth.
+  EXPECT_LT(small_tree.depth(), build_binomial_tree(0, dests).depth());
+  EXPECT_GT(small_tree.max_fanout(), large_tree.max_fanout());
+}
+
+}  // namespace
+}  // namespace nicmcast::mcast

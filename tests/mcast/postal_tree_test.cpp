@@ -1,0 +1,148 @@
+#include "mcast/postal_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace nicmcast::mcast {
+namespace {
+
+std::vector<net::NodeId> range(net::NodeId lo, net::NodeId hi) {
+  std::vector<net::NodeId> v(hi - lo);
+  std::iota(v.begin(), v.end(), lo);
+  return v;
+}
+
+PostalCostModel model(double latency_us, double gap_us) {
+  PostalCostModel m;
+  m.latency = sim::usec(latency_us);
+  m.gap = sim::usec(gap_us);
+  return m;
+}
+
+TEST(PostalCostModel, LambdaAndFanout) {
+  EXPECT_DOUBLE_EQ(model(10, 2).lambda(), 5.0);
+  EXPECT_EQ(model(10, 2).fanout(), 5u);
+  EXPECT_EQ(model(10, 12).fanout(), 1u);  // never below 1
+  EXPECT_EQ(model(10, 0).fanout(), 1u);   // degenerate gap
+}
+
+TEST(PostalCostModel, NicBasedSmallMessagesHaveLargeLambda) {
+  const nic::NicConfig nic;
+  const net::NetworkConfig net;
+  const auto small = PostalCostModel::nic_based(8, nic, net);
+  const auto large = PostalCostModel::nic_based(16384, nic, net);
+  // Small messages: cheap replicas, so keep sending (big fan-out).
+  EXPECT_GE(small.fanout(), 4u);
+  // Large messages: each replica costs a full serialisation; fan-out ~1-2.
+  EXPECT_LE(large.fanout(), 2u);
+}
+
+TEST(PostalCostModel, HostBasedLambdaIsSmallForSmallMessages) {
+  const nic::NicConfig nic;
+  const net::NetworkConfig net;
+  const auto hb = PostalCostModel::host_based(8, nic, net);
+  const auto nb = PostalCostModel::nic_based(8, nic, net);
+  // The NIC-based scheme sends extra replicas much more cheaply.
+  EXPECT_LT(nb.gap.nanoseconds(), hb.gap.nanoseconds());
+  EXPECT_GT(nb.fanout(), hb.fanout());
+}
+
+TEST(PostalTree, FlatWhenLatencyDominates) {
+  // lambda >= n: the root reaches everyone before anyone could help.
+  const Tree t = build_postal_tree(0, range(1, 8), model(100, 1));
+  EXPECT_EQ(t.depth(), 1u);
+  EXPECT_EQ(t.max_fanout(), 7u);
+}
+
+TEST(PostalTree, LatencyClampedToGapPreventsChains) {
+  // Pipelined large messages can report per-hop latency below the
+  // per-message gap; the builder clamps L >= g and floors the fan-out cap
+  // at 2, so the schedule degrades to narrow doubling — never to a
+  // depth-n chain and never to a star.
+  const Tree t = build_postal_tree(0, range(1, 6), model(1, 10));
+  EXPECT_LE(t.depth(), 3u);   // not a 5-deep chain
+  EXPECT_GE(t.depth(), 2u);   // not a star either
+  EXPECT_LE(t.max_fanout(), 2u);
+}
+
+TEST(PostalTree, IntermediateLambdaGivesIntermediateShape) {
+  const Tree flat = build_postal_tree(0, range(1, 16), model(100, 1));
+  const Tree mid = build_postal_tree(0, range(1, 16), model(3, 1));
+  const Tree deep = build_postal_tree(0, range(1, 16), model(1, 1));
+  EXPECT_LT(flat.depth(), mid.depth());
+  EXPECT_LE(mid.depth(), deep.depth());
+  EXPECT_GT(mid.max_fanout(), deep.max_fanout());
+}
+
+TEST(PostalTree, CoversAllDestinationsExactlyOnce) {
+  const auto dests = range(1, 16);
+  const Tree t = build_postal_tree(0, dests, model(7, 2));
+  EXPECT_EQ(t.size(), 16u);
+  for (net::NodeId d : dests) EXPECT_TRUE(t.contains(d));
+  t.validate();
+}
+
+TEST(PostalTree, SatisfiesIdOrderingByConstruction) {
+  for (double lambda : {1.0, 2.5, 4.0, 50.0}) {
+    const Tree t =
+        build_postal_tree(0, range(1, 16), model(lambda, 1.0));
+    EXPECT_TRUE(t.satisfies_id_ordering()) << "lambda " << lambda;
+  }
+  // Root in the middle of the id space.
+  const Tree t = build_postal_tree(8, range(0, 16), model(3, 1));
+  EXPECT_TRUE(t.satisfies_id_ordering());
+  EXPECT_EQ(t.size(), 16u);
+}
+
+TEST(PostalTree, DeterministicForEqualInputs) {
+  const Tree a = build_postal_tree(0, range(1, 12), model(3.7, 1.1));
+  const Tree b = build_postal_tree(0, range(1, 12), model(3.7, 1.1));
+  EXPECT_EQ(a.describe(), b.describe());
+}
+
+TEST(PostalTree, NarrowDoublingWhenLatencyEqualsGap) {
+  // With L == g every sender hands off after at most two children: the
+  // shape sits between the binomial tree and a chain.
+  const Tree postal = build_postal_tree(0, range(1, 16), model(1, 1));
+  const Tree binomial = build_binomial_tree(0, range(1, 16));
+  EXPECT_LE(postal.max_fanout(), 2u);
+  EXPECT_GE(postal.depth(), binomial.depth());
+  EXPECT_LE(postal.depth(), 8u);  // far from a 15-deep chain
+}
+
+TEST(PostalTree, ScheduleMakespanBeatsBinomialWhenReplicasAreCheap) {
+  // Simulate the postal schedule analytically: arrival time of the last
+  // destination must be lower for the postal tree than the binomial tree
+  // when lambda is large (the whole point of the optimal tree).
+  const PostalCostModel m = model(10, 1);
+  auto makespan = [&](const Tree& t) {
+    // Arrival time of each node: parent's arrival + position-in-children *
+    // gap + latency.
+    std::unordered_map<net::NodeId, double> arrival;
+    arrival[t.root()] = 0.0;
+    double worst = 0.0;
+    // nodes() is in insertion order = parents before children.
+    for (net::NodeId node : t.nodes()) {
+      const auto& kids = t.children(node);
+      for (std::size_t i = 0; i < kids.size(); ++i) {
+        arrival[kids[i]] = arrival[node] +
+                           static_cast<double>(i + 1) * m.gap.microseconds() +
+                           m.latency.microseconds() - m.gap.microseconds();
+        worst = std::max(worst, arrival[kids[i]]);
+      }
+    }
+    return worst;
+  };
+  const Tree postal = build_postal_tree(0, range(1, 16), m);
+  const Tree binomial = build_binomial_tree(0, range(1, 16));
+  EXPECT_LT(makespan(postal), makespan(binomial));
+}
+
+TEST(PostalTree, EmptyDestinations) {
+  const Tree t = build_postal_tree(0, {}, model(5, 1));
+  EXPECT_EQ(t.size(), 1u);
+}
+
+}  // namespace
+}  // namespace nicmcast::mcast

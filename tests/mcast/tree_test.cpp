@@ -1,0 +1,171 @@
+#include "mcast/tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+namespace nicmcast::mcast {
+namespace {
+
+std::vector<net::NodeId> range(net::NodeId lo, net::NodeId hi) {
+  std::vector<net::NodeId> v(hi - lo);
+  std::iota(v.begin(), v.end(), lo);
+  return v;
+}
+
+TEST(Tree, BasicConstruction) {
+  Tree t(0);
+  t.add_edge(0, 1);
+  t.add_edge(0, 2);
+  t.add_edge(1, 3);
+  EXPECT_EQ(t.size(), 4u);
+  EXPECT_EQ(t.root(), 0);
+  EXPECT_EQ(t.children(0), (std::vector<net::NodeId>{1, 2}));
+  EXPECT_EQ(t.children(1), (std::vector<net::NodeId>{3}));
+  EXPECT_TRUE(t.children(3).empty());
+  EXPECT_EQ(t.parent(3), std::optional<net::NodeId>(1));
+  EXPECT_EQ(t.parent(0), std::nullopt);
+  EXPECT_EQ(t.depth(), 2u);
+  EXPECT_EQ(t.max_fanout(), 2u);
+  t.validate();
+}
+
+TEST(Tree, RejectsMalformedEdges) {
+  Tree t(0);
+  t.add_edge(0, 1);
+  EXPECT_THROW(t.add_edge(5, 6), std::logic_error);   // unknown parent
+  EXPECT_THROW(t.add_edge(0, 1), std::logic_error);   // re-add child
+  EXPECT_THROW(t.add_edge(1, 0), std::logic_error);   // root as child
+}
+
+TEST(Tree, EntryForMapsRoles) {
+  Tree t(2);
+  t.add_edge(2, 5);
+  t.add_edge(5, 7);
+  const nic::GroupEntry root = t.entry_for(2, 1);
+  EXPECT_EQ(root.parent, nic::kNoNode);
+  EXPECT_EQ(root.children, (std::vector<net::NodeId>{5}));
+  EXPECT_EQ(root.port, 1);
+  const nic::GroupEntry mid = t.entry_for(5, 1);
+  EXPECT_EQ(mid.parent, 2);
+  EXPECT_EQ(mid.children, (std::vector<net::NodeId>{7}));
+  const nic::GroupEntry leaf = t.entry_for(7, 1);
+  EXPECT_EQ(leaf.parent, 5);
+  EXPECT_TRUE(leaf.children.empty());
+  EXPECT_THROW(static_cast<void>(t.entry_for(99, 0)), std::out_of_range);
+}
+
+TEST(Tree, NormalizeDestinationsSortsDedupsAndDropsRoot) {
+  const auto out = normalize_destinations(3, {5, 1, 3, 5, 9, 1});
+  EXPECT_EQ(out, (std::vector<net::NodeId>{1, 5, 9}));
+}
+
+TEST(BinomialTree, ClassicShapeFor8) {
+  const Tree t = build_binomial_tree(0, range(1, 8));
+  EXPECT_EQ(t.size(), 8u);
+  // Children are in ascending-rank order (MPICH 1.2.x's mask<<=1 send
+  // order: nearest child first, deepest subtree last).
+  EXPECT_EQ(t.children(0), (std::vector<net::NodeId>{1, 2, 4}));
+  EXPECT_EQ(t.children(2), (std::vector<net::NodeId>{3}));
+  EXPECT_EQ(t.children(4), (std::vector<net::NodeId>{5, 6}));
+  EXPECT_EQ(t.children(6), (std::vector<net::NodeId>{7}));
+  EXPECT_EQ(t.depth(), 3u);  // log2(8)
+  t.validate();
+}
+
+TEST(BinomialTree, DepthIsLogarithmic) {
+  for (std::size_t n : {2u, 4u, 16u, 32u}) {
+    const Tree t = build_binomial_tree(0, range(1, static_cast<net::NodeId>(n)));
+    std::size_t log2n = 0;
+    while ((1u << log2n) < n) ++log2n;
+    EXPECT_EQ(t.depth(), log2n) << "n=" << n;
+  }
+}
+
+TEST(BinomialTree, NonPowerOfTwo) {
+  const Tree t = build_binomial_tree(0, range(1, 6));  // 6 nodes
+  EXPECT_EQ(t.size(), 6u);
+  t.validate();
+  EXPECT_TRUE(t.satisfies_id_ordering());
+}
+
+TEST(BinomialTree, NonZeroRootKeepsInvariant) {
+  // Root 10 with smaller-id destinations: only root->child edges may point
+  // "down" in id space.
+  const Tree t = build_binomial_tree(10, {1, 2, 3, 4, 5});
+  EXPECT_EQ(t.size(), 6u);
+  t.validate();
+  EXPECT_TRUE(t.satisfies_id_ordering());
+}
+
+TEST(BinomialTree, IdOrderingInvariantHoldsForManyShapes) {
+  for (net::NodeId root : {net::NodeId{0}, net::NodeId{7}, net::NodeId{15}}) {
+    std::vector<net::NodeId> dests;
+    for (net::NodeId i = 0; i < 16; ++i) {
+      if (i != root) dests.push_back(i);
+    }
+    const Tree t = build_binomial_tree(root, dests);
+    EXPECT_TRUE(t.satisfies_id_ordering()) << "root " << root;
+    EXPECT_EQ(t.size(), 16u);
+  }
+}
+
+TEST(ChainTree, LinearShape) {
+  const Tree t = build_chain_tree(0, range(1, 5));
+  EXPECT_EQ(t.depth(), 4u);
+  EXPECT_EQ(t.max_fanout(), 1u);
+  EXPECT_TRUE(t.satisfies_id_ordering());
+}
+
+TEST(FlatTree, StarShape) {
+  const Tree t = build_flat_tree(0, range(1, 9));
+  EXPECT_EQ(t.depth(), 1u);
+  EXPECT_EQ(t.max_fanout(), 8u);
+  EXPECT_TRUE(t.satisfies_id_ordering());
+}
+
+TEST(Tree, IdOrderingViolationDetected) {
+  Tree t(0);
+  t.add_edge(0, 5);
+  t.add_edge(5, 3);  // 3 < 5 and 5 is not the root
+  EXPECT_FALSE(t.satisfies_id_ordering());
+}
+
+TEST(Tree, SingleNodeTree) {
+  const Tree t = build_binomial_tree(4, {});
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.depth(), 0u);
+  t.validate();
+}
+
+TEST(Tree, DescribeIsHumanReadable) {
+  Tree t(0);
+  t.add_edge(0, 1);
+  t.add_edge(1, 2);
+  const std::string d = t.describe();
+  EXPECT_NE(d.find("root=0"), std::string::npos);
+  EXPECT_NE(d.find("0->[1]"), std::string::npos);
+  EXPECT_NE(d.find("1->[2]"), std::string::npos);
+}
+
+TEST(Tree, NodesForNonZeroRootListsRootFirstOnce) {
+  // Regression: a constructor defect once hard-coded node 0 into the node
+  // list, duplicating it and dropping a non-zero root.
+  const Tree t = build_binomial_tree(10, {1, 2, 3});
+  const auto nodes = t.nodes();
+  ASSERT_EQ(nodes.size(), 4u);
+  EXPECT_EQ(nodes.front(), 10);
+  EXPECT_EQ(std::set<net::NodeId>(nodes.begin(), nodes.end()),
+            (std::set<net::NodeId>{1, 2, 3, 10}));
+}
+
+TEST(Tree, NodesListsAllMembers) {
+  const Tree t = build_binomial_tree(0, range(1, 8));
+  const auto nodes = t.nodes();
+  EXPECT_EQ(std::set<net::NodeId>(nodes.begin(), nodes.end()),
+            (std::set<net::NodeId>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+}  // namespace
+}  // namespace nicmcast::mcast

@@ -1,0 +1,31 @@
+#include "mpi/comm.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nicmcast::mpi {
+namespace {
+
+TEST(Comm, RankNodeMapping) {
+  const Comm c(3, {5, 2, 9});
+  EXPECT_EQ(c.size(), 3);
+  EXPECT_EQ(c.context(), 3);
+  EXPECT_EQ(c.node_of(0), 5);
+  EXPECT_EQ(c.node_of(2), 9);
+  EXPECT_EQ(c.rank_of(2), 1);
+  EXPECT_EQ(c.rank_of(7), -1);
+  EXPECT_TRUE(c.contains(9));
+  EXPECT_FALSE(c.contains(0));
+}
+
+TEST(Comm, OutOfRangeRankThrows) {
+  const Comm c(0, {1, 2});
+  EXPECT_THROW(static_cast<void>(c.node_of(2)), std::out_of_range);
+  EXPECT_THROW(static_cast<void>(c.node_of(-1)), std::out_of_range);
+}
+
+TEST(Comm, EmptyMembershipRejected) {
+  EXPECT_THROW(Comm(1, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nicmcast::mpi

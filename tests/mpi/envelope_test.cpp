@@ -1,0 +1,36 @@
+#include "mpi/envelope.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nicmcast::mpi {
+namespace {
+
+TEST(Envelope, RoundTripsAllFields) {
+  for (Kind kind : {Kind::kEager, Kind::kRndvRts, Kind::kRndvCts,
+                    Kind::kRndvData, Kind::kBcast, Kind::kBcastSetup,
+                    Kind::kBcastSetupAck, Kind::kBarrier, Kind::kReduce}) {
+    const Envelope e{kind, 0xAB, 0x1234};
+    const Envelope back = Envelope::decode(e.encode());
+    EXPECT_EQ(back, e);
+  }
+}
+
+TEST(Envelope, ExtremeValues) {
+  const Envelope e{Kind::kReduce, 0xFF, 0xFFFF};
+  EXPECT_EQ(Envelope::decode(e.encode()), e);
+  const Envelope zero{Kind::kEager, 0, 0};
+  EXPECT_EQ(Envelope::decode(zero.encode()), zero);
+}
+
+TEST(Envelope, DistinctEnvelopesDistinctEncodings) {
+  const Envelope a{Kind::kEager, 1, 5};
+  const Envelope b{Kind::kBcast, 1, 5};
+  const Envelope c{Kind::kEager, 2, 5};
+  const Envelope d{Kind::kEager, 1, 6};
+  EXPECT_NE(a.encode(), b.encode());
+  EXPECT_NE(a.encode(), c.encode());
+  EXPECT_NE(a.encode(), d.encode());
+}
+
+}  // namespace
+}  // namespace nicmcast::mpi

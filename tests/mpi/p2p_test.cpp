@@ -1,0 +1,240 @@
+// MPI point-to-point: eager and rendezvous protocols, matching, ordering.
+#include <gtest/gtest.h>
+
+#include "mpi/mpi.hpp"
+
+namespace nicmcast::mpi {
+namespace {
+
+Payload make_payload(std::size_t n, std::uint8_t salt = 0) {
+  Payload p(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    p[i] = std::byte{static_cast<std::uint8_t>(i * 131u + salt)};
+  }
+  return p;
+}
+
+struct Fixture {
+  explicit Fixture(std::size_t nodes, MpiConfig config = {})
+      : cluster(gm::ClusterConfig{.nodes = nodes}), world(cluster, config) {}
+  gm::Cluster cluster;
+  World world;
+};
+
+TEST(MpiP2p, EagerSendRecv) {
+  Fixture f(2);
+  const Payload msg = make_payload(1000);
+  f.world.launch([&msg](Process& self) -> sim::Task<void> {
+    if (self.rank() == 0) {
+      co_await self.send(1, 42, msg);
+    } else {
+      const Payload got = co_await self.recv(0, 42);
+      EXPECT_EQ(got, msg);
+    }
+  });
+  f.world.run();
+  EXPECT_EQ(f.world.process(1).stats().receives, 1u);
+}
+
+TEST(MpiP2p, RendezvousLargeMessage) {
+  Fixture f(2);
+  const Payload msg = make_payload(100'000);  // well past the eager limit
+  bool received = false;
+  f.world.launch([&](Process& self) -> sim::Task<void> {
+    if (self.rank() == 0) {
+      co_await self.send(1, 1, msg);
+    } else {
+      const Payload got = co_await self.recv(0, 1);
+      EXPECT_EQ(got.size(), msg.size());
+      EXPECT_EQ(got, msg);
+      received = true;
+    }
+  });
+  f.world.run();
+  EXPECT_TRUE(received);
+}
+
+TEST(MpiP2p, EagerLimitBoundary) {
+  // 16287 goes eager; 16288 goes rendezvous; both must arrive intact.
+  for (std::size_t size : {16287u, 16288u}) {
+    Fixture f(2);
+    const Payload msg = make_payload(size);
+    bool ok = false;
+    f.world.launch([&](Process& self) -> sim::Task<void> {
+      if (self.rank() == 0) {
+        co_await self.send(1, 2, msg);
+      } else {
+        const Payload got = co_await self.recv(0, 2);
+        EXPECT_EQ(got, msg);
+        ok = true;
+      }
+    });
+    f.world.run();
+    EXPECT_TRUE(ok) << "size " << size;
+  }
+}
+
+TEST(MpiP2p, TagMatchingOutOfOrder) {
+  // Receiver asks for tag 9 first although tag 5 arrives first: the tag-5
+  // message waits in the unexpected queue.
+  Fixture f(2);
+  std::vector<int> order;
+  f.world.launch([&](Process& self) -> sim::Task<void> {
+    if (self.rank() == 0) {
+      co_await self.send(1, 5, make_payload(10, 5));
+      co_await self.send(1, 9, make_payload(10, 9));
+    } else {
+      const Payload nine = co_await self.recv(0, 9);
+      EXPECT_EQ(nine, make_payload(10, 9));
+      order.push_back(9);
+      const Payload five = co_await self.recv(0, 5);
+      EXPECT_EQ(five, make_payload(10, 5));
+      order.push_back(5);
+    }
+  });
+  f.world.run();
+  EXPECT_EQ(order, (std::vector<int>{9, 5}));
+}
+
+TEST(MpiP2p, SameTagPreservesOrder) {
+  Fixture f(2);
+  std::vector<std::uint8_t> salts;
+  f.world.launch([&](Process& self) -> sim::Task<void> {
+    if (self.rank() == 0) {
+      for (std::uint8_t i = 0; i < 5; ++i) {
+        co_await self.send(1, 3, make_payload(64, i));
+      }
+    } else {
+      for (int i = 0; i < 5; ++i) {
+        const Payload got = co_await self.recv(0, 3);
+        salts.push_back(std::to_integer<std::uint8_t>(got[0]));
+      }
+    }
+  });
+  f.world.run();
+  // Byte 0 of make_payload(_, salt) is salt itself.
+  EXPECT_EQ(salts, (std::vector<std::uint8_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(MpiP2p, SourceMatching) {
+  Fixture f(3);
+  f.world.launch([&](Process& self) -> sim::Task<void> {
+    if (self.rank() == 0) {
+      co_await self.send(2, 1, make_payload(8, 10));
+    } else if (self.rank() == 1) {
+      co_await self.send(2, 1, make_payload(8, 20));
+    } else {
+      // Ask for rank 1's message first regardless of arrival order.
+      const Payload from1 = co_await self.recv(1, 1);
+      EXPECT_EQ(std::to_integer<std::uint8_t>(from1[0]), 20);
+      const Payload from0 = co_await self.recv(0, 1);
+      EXPECT_EQ(std::to_integer<std::uint8_t>(from0[0]), 10);
+    }
+  });
+  f.world.run();
+}
+
+TEST(MpiP2p, ExchangePattern) {
+  // Both ranks send then receive — must not deadlock with eager traffic.
+  Fixture f(2);
+  int done = 0;
+  f.world.launch([&](Process& self) -> sim::Task<void> {
+    const int peer = 1 - self.rank();
+    co_await self.send(
+        peer, 7, make_payload(256, static_cast<std::uint8_t>(self.rank())));
+    const Payload got = co_await self.recv(peer, 7);
+    EXPECT_EQ(std::to_integer<std::uint8_t>(got[0]), peer);
+    ++done;
+  });
+  f.world.run();
+  EXPECT_EQ(done, 2);
+}
+
+TEST(MpiP2p, SubCommunicatorIsolation) {
+  // The same (src, tag) in two communicators must not cross-match.
+  Fixture f(2);
+  const Comm& sub = f.world.create_comm({0, 1});
+  f.world.launch([&](Process& self) -> sim::Task<void> {
+    if (self.rank() == 0) {
+      co_await self.send(self.world_comm(), 1, 4, make_payload(8, 1));
+      co_await self.send(sub, 1, 4, make_payload(8, 2));
+    } else {
+      const Payload in_sub = co_await self.recv(sub, 0, 4);
+      EXPECT_EQ(std::to_integer<std::uint8_t>(in_sub[0]), 2);
+      const Payload in_world = co_await self.recv(self.world_comm(), 0, 4);
+      EXPECT_EQ(std::to_integer<std::uint8_t>(in_world[0]), 1);
+    }
+  });
+  f.world.run();
+}
+
+TEST(MpiP2p, ZeroByteMessage) {
+  Fixture f(2);
+  bool got_empty = false;
+  f.world.launch([&](Process& self) -> sim::Task<void> {
+    if (self.rank() == 0) {
+      co_await self.send(1, 0, Payload{});
+    } else {
+      const Payload got = co_await self.recv(0, 0);
+      got_empty = got.empty();
+    }
+  });
+  f.world.run();
+  EXPECT_TRUE(got_empty);
+}
+
+TEST(MpiP2p, EagerSendToSelf) {
+  Fixture f(2);
+  bool ok = false;
+  f.world.launch([&](Process& self) -> sim::Task<void> {
+    if (self.rank() != 0) co_return;
+    co_await self.send(0, 9, make_payload(500));
+    const Payload got = co_await self.recv(0, 9);
+    ok = got == make_payload(500);
+  });
+  f.world.run();
+  EXPECT_TRUE(ok);
+}
+
+TEST(MpiP2p, RendezvousSendToSelfRejected) {
+  Fixture f(2);
+  bool threw = false;
+  f.world.launch([&](Process& self) -> sim::Task<void> {
+    if (self.rank() != 0) co_return;
+    try {
+      co_await self.send(0, 9, make_payload(50'000));
+    } catch (const std::logic_error&) {
+      threw = true;
+    }
+  });
+  f.world.run();
+  EXPECT_TRUE(threw);
+}
+
+TEST(MpiP2p, ManyMessagesWithLoss) {
+  Fixture f(2);
+  f.cluster.network().set_fault_injector(
+      std::make_unique<net::RandomFaults>(0.05, 0.02, sim::Rng(31)));
+  const int kCount = 20;
+  int received = 0;
+  f.world.launch([&](Process& self) -> sim::Task<void> {
+    if (self.rank() == 0) {
+      for (int i = 0; i < kCount; ++i) {
+        co_await self.send(1, static_cast<std::uint16_t>(i),
+                           make_payload(300 + i, static_cast<std::uint8_t>(i)));
+      }
+    } else {
+      for (int i = 0; i < kCount; ++i) {
+        const Payload got =
+            co_await self.recv(0, static_cast<std::uint16_t>(i));
+        EXPECT_EQ(got, make_payload(300 + i, static_cast<std::uint8_t>(i)));
+        ++received;
+      }
+    }
+  });
+  f.world.run();
+  EXPECT_EQ(received, kCount);
+}
+
+}  // namespace
+}  // namespace nicmcast::mpi

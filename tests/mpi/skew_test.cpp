@@ -1,0 +1,99 @@
+// Process-skew tolerance (paper §6.3): under skew the NIC-based broadcast
+// keeps host CPU time low and falling while the host-based broadcast's
+// rises.
+#include <gtest/gtest.h>
+
+#include "mpi/skew.hpp"
+
+namespace nicmcast::mpi {
+namespace {
+
+SkewConfig base_config(BcastAlgorithm algorithm, double max_skew_us,
+                       std::size_t bytes = 4) {
+  SkewConfig config;
+  config.nodes = 16;
+  config.message_bytes = bytes;
+  config.max_skew = sim::usec(max_skew_us);
+  config.iterations = 30;
+  config.warmup = 3;
+  config.algorithm = algorithm;
+  return config;
+}
+
+TEST(Skew, ZeroSkewBothAlgorithmsBehave) {
+  const auto hb = run_skew_experiment(base_config(BcastAlgorithm::kHostBased, 0));
+  const auto nb = run_skew_experiment(base_config(BcastAlgorithm::kNicBased, 0));
+  EXPECT_GT(hb.avg_bcast_cpu_us, 0.0);
+  EXPECT_GT(nb.avg_bcast_cpu_us, 0.0);
+  EXPECT_EQ(hb.avg_applied_skew_us, 0.0);
+  // Without skew the NIC-based bcast is already cheaper on average.
+  EXPECT_LT(nb.avg_bcast_cpu_us, hb.avg_bcast_cpu_us);
+}
+
+TEST(Skew, NicBasedWinsGrowsWithSkew) {
+  // Figure 6(b): the improvement factor rises with average skew, up to
+  // ~5.8x at 400us average skew for small messages.
+  double previous_factor = 0.0;
+  for (double max_skew : {200.0, 800.0, 1600.0}) {
+    const auto hb =
+        run_skew_experiment(base_config(BcastAlgorithm::kHostBased, max_skew));
+    const auto nb =
+        run_skew_experiment(base_config(BcastAlgorithm::kNicBased, max_skew));
+    const double factor = hb.avg_bcast_cpu_us / nb.avg_bcast_cpu_us;
+    EXPECT_GT(factor, 1.0) << "max_skew " << max_skew;
+    EXPECT_GT(factor, previous_factor * 0.8)
+        << "factor should broadly grow with skew";
+    previous_factor = factor;
+  }
+  EXPECT_GT(previous_factor, 2.0);
+}
+
+TEST(Skew, HostBasedCpuTimeGrowsWithSkew) {
+  const auto small =
+      run_skew_experiment(base_config(BcastAlgorithm::kHostBased, 100));
+  const auto large =
+      run_skew_experiment(base_config(BcastAlgorithm::kHostBased, 1600));
+  EXPECT_GT(large.avg_bcast_cpu_us, small.avg_bcast_cpu_us);
+}
+
+TEST(Skew, NicBasedCpuTimeShrinksWithSkew) {
+  // Delayed ranks find the (NIC-forwarded) message already delivered.
+  const auto small =
+      run_skew_experiment(base_config(BcastAlgorithm::kNicBased, 100));
+  const auto large =
+      run_skew_experiment(base_config(BcastAlgorithm::kNicBased, 1600));
+  EXPECT_LT(large.avg_bcast_cpu_us, small.avg_bcast_cpu_us * 1.1);
+}
+
+TEST(Skew, BenefitGrowsWithSystemSize) {
+  // Figure 7: at fixed skew, bigger systems benefit more.
+  auto factor_for = [](std::size_t nodes) {
+    SkewConfig hb = base_config(BcastAlgorithm::kHostBased, 1600);
+    hb.nodes = nodes;
+    SkewConfig nb = base_config(BcastAlgorithm::kNicBased, 1600);
+    nb.nodes = nodes;
+    return run_skew_experiment(hb).avg_bcast_cpu_us /
+           run_skew_experiment(nb).avg_bcast_cpu_us;
+  };
+  const double f4 = factor_for(4);
+  const double f16 = factor_for(16);
+  EXPECT_GT(f16, f4);
+}
+
+TEST(Skew, AppliedSkewMatchesDistribution) {
+  // Uniform[-M/2, M/2] clipped at 0: mean contribution M/8.
+  const auto r =
+      run_skew_experiment(base_config(BcastAlgorithm::kNicBased, 800));
+  EXPECT_NEAR(r.avg_applied_skew_us, 100.0, 35.0);
+}
+
+TEST(Skew, DeterministicForSeed) {
+  const auto a =
+      run_skew_experiment(base_config(BcastAlgorithm::kNicBased, 400));
+  const auto b =
+      run_skew_experiment(base_config(BcastAlgorithm::kNicBased, 400));
+  EXPECT_DOUBLE_EQ(a.avg_bcast_cpu_us, b.avg_bcast_cpu_us);
+}
+
+}  // namespace
+}  // namespace nicmcast::mpi

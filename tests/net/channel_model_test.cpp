@@ -1,0 +1,128 @@
+// Focused tests of the wormhole channel model's subtleties: the
+// small-packet (control) bypass, cut-through hop accounting across deeper
+// fabrics, and cross-traffic contention on shared Clos links.
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "net/network.hpp"
+
+namespace nicmcast::net {
+namespace {
+
+struct RecordingSink final : PacketSink {
+  sim::Simulator* sim = nullptr;
+  std::vector<std::pair<Packet, sim::TimePoint>> arrivals;
+  void packet_arrived(Packet packet) override {
+    arrivals.emplace_back(std::move(packet), sim->now());
+  }
+};
+
+struct Rig {
+  explicit Rig(Topology topology) : network(sim, std::move(topology)) {
+    sinks.resize(network.topology().endpoint_count());
+    for (NodeId i = 0; i < sinks.size(); ++i) {
+      sinks[i].sim = &sim;
+      network.attach(i, sinks[i]);
+    }
+  }
+  Packet make(NodeId src, NodeId dst, std::size_t bytes,
+              PacketType type = PacketType::kData) {
+    Packet p;
+    p.header.src = src;
+    p.header.dst = dst;
+    p.header.type = type;
+    p.payload.assign(bytes, std::byte{1});
+    return p;
+  }
+  sim::Simulator sim;
+  Network network;
+  std::deque<RecordingSink> sinks;
+};
+
+TEST(ChannelModel, ControlPacketBypassesBusyPath) {
+  // A long data packet occupies 0->switch; a 0-byte ack injected right
+  // after must NOT wait for it (flit interleaving), while a second data
+  // packet must.
+  Rig r(Topology::single_switch(4));
+  const auto data = r.network.transmit(r.make(0, 1, 4096));
+  const auto ack = r.network.transmit(r.make(0, 2, 0, PacketType::kAck));
+  const auto data2 = r.network.transmit(r.make(0, 3, 4096));
+  EXPECT_LT(ack.arrival.nanoseconds(), data.arrival.nanoseconds());
+  EXPECT_GT(data2.arrival.nanoseconds(), data.arrival.nanoseconds());
+  r.sim.run();
+}
+
+TEST(ChannelModel, ControlPacketDoesNotReserveTheLink) {
+  // The bypassed ack must leave no occupancy footprint: a data packet
+  // right behind it starts as if the ack never existed.
+  Rig a(Topology::single_switch(2));
+  a.network.transmit(a.make(0, 1, 0, PacketType::kAck));
+  const auto with_ack = a.network.transmit(a.make(0, 1, 4096));
+
+  Rig b(Topology::single_switch(2));
+  const auto without_ack = b.network.transmit(b.make(0, 1, 4096));
+  EXPECT_EQ(with_ack.arrival.nanoseconds(),
+            without_ack.arrival.nanoseconds());
+}
+
+TEST(ChannelModel, BypassThresholdIsConfigurable) {
+  NetworkConfig config;
+  config.small_packet_bypass_bytes = 0;  // nothing bypasses
+  sim::Simulator sim;
+  Network net(sim, Topology::single_switch(2), config);
+  RecordingSink sink;
+  sink.sim = &sim;
+  net.attach(0, sink);
+  net.attach(1, sink);
+  Packet big;
+  big.header.src = 0;
+  big.header.dst = 1;
+  big.payload.assign(4096, std::byte{1});
+  Packet ack;
+  ack.header.src = 0;
+  ack.header.dst = 1;
+  ack.header.type = PacketType::kAck;
+  const auto t_big = net.transmit(big);
+  const auto t_ack = net.transmit(ack);
+  // With no bypass, the ack queues behind the data packet.
+  EXPECT_GT(t_ack.arrival.nanoseconds(), t_big.arrival.nanoseconds());
+  sim.run();
+}
+
+TEST(ChannelModel, DeeperFabricsAddHopLatencyOnly) {
+  Rig flat(Topology::single_switch(4));       // 2 hops
+  Rig clos(Topology::clos(32, 8));            // 4 hops cross-leaf
+  const auto near = flat.network.transmit(flat.make(0, 1, 1000));
+  const auto far = clos.network.transmit(clos.make(0, 31, 1000));
+  const double hop_us =
+      NetworkConfig{}.hop_latency.microseconds();
+  EXPECT_NEAR(far.arrival.microseconds() - near.arrival.microseconds(),
+              2 * hop_us, 1e-6);
+  flat.sim.run();
+  clos.sim.run();
+}
+
+TEST(ChannelModel, SpineContentionSerialisesCrossLeafFlows) {
+  // Two cross-leaf flows from one leaf share the leaf's uplink pool; with
+  // a radix-4 Clos (2 uplinks) a third concurrent flow must queue.
+  Rig r(Topology::clos(8, 4));  // 2 endpoints/leaf, 2 spines
+  const auto f1 = r.network.transmit(r.make(0, 6, 4096));
+  const auto f2 = r.network.transmit(r.make(1, 7, 4096));
+  // Same-leaf sources 0 and 1 use distinct access links, and BFS routes
+  // both via the first spine — so they serialise on the leaf->spine link.
+  EXPECT_NE(f1.arrival.nanoseconds(), f2.arrival.nanoseconds());
+  r.sim.run();
+}
+
+TEST(ChannelModel, SelfContainedOccupancyPerDirection) {
+  // Full duplex: a big transfer 0->1 does not delay 1->0.
+  Rig r(Topology::single_switch(2));
+  const auto fwd = r.network.transmit(r.make(0, 1, 4096));
+  const auto rev = r.network.transmit(r.make(1, 0, 4096));
+  EXPECT_EQ(fwd.arrival.nanoseconds(), rev.arrival.nanoseconds());
+  r.sim.run();
+}
+
+}  // namespace
+}  // namespace nicmcast::net

@@ -1,0 +1,127 @@
+#include "net/fault_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nicmcast::net {
+namespace {
+
+Packet make_packet(NodeId src, NodeId dst, std::uint32_t seq,
+                   PacketType type = PacketType::kData,
+                   GroupId group = kNoGroup) {
+  Packet p;
+  p.header.src = src;
+  p.header.dst = dst;
+  p.header.seq = seq;
+  p.header.type = type;
+  p.header.group = group;
+  return p;
+}
+
+TEST(NoFaults, AlwaysClean) {
+  NoFaults f;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(f.on_packet(make_packet(0, 1, i)), FaultAction::kNone);
+  }
+}
+
+TEST(RandomFaults, ZeroProbabilityNeverFaults) {
+  RandomFaults f(0.0, 0.0, sim::Rng(1));
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(f.on_packet(make_packet(0, 1, i)), FaultAction::kNone);
+  }
+}
+
+TEST(RandomFaults, CertainDropAlwaysDrops) {
+  RandomFaults f(1.0, 0.0, sim::Rng(1));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(f.on_packet(make_packet(0, 1, i)), FaultAction::kDrop);
+  }
+}
+
+TEST(RandomFaults, RatesApproximatelyRespected) {
+  RandomFaults f(0.1, 0.05, sim::Rng(7));
+  int drops = 0;
+  int corrupts = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    switch (f.on_packet(make_packet(0, 1, i))) {
+      case FaultAction::kDrop: ++drops; break;
+      case FaultAction::kCorrupt: ++corrupts; break;
+      case FaultAction::kNone: break;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(drops) / n, 0.10, 0.01);
+  EXPECT_NEAR(static_cast<double>(corrupts) / n, 0.05, 0.01);
+}
+
+TEST(RandomFaults, DeterministicForSeed) {
+  RandomFaults a(0.5, 0.0, sim::Rng(42));
+  RandomFaults b(0.5, 0.0, sim::Rng(42));
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.on_packet(make_packet(0, 1, i)),
+              b.on_packet(make_packet(0, 1, i)));
+  }
+}
+
+TEST(ScriptedFaults, MatchesSeqOnce) {
+  ScriptedFaults f;
+  f.add_rule({.seq = 5}, FaultAction::kDrop);
+  EXPECT_EQ(f.on_packet(make_packet(0, 1, 4)), FaultAction::kNone);
+  EXPECT_EQ(f.on_packet(make_packet(0, 1, 5)), FaultAction::kDrop);
+  // Rule exhausted: the retransmission of seq 5 passes.
+  EXPECT_EQ(f.on_packet(make_packet(0, 1, 5)), FaultAction::kNone);
+  EXPECT_EQ(f.pending(), 0u);
+}
+
+TEST(ScriptedFaults, CountedRule) {
+  ScriptedFaults f;
+  f.add_rule({.dst = 3}, FaultAction::kDrop, 2);
+  EXPECT_EQ(f.on_packet(make_packet(0, 3, 0)), FaultAction::kDrop);
+  EXPECT_EQ(f.on_packet(make_packet(0, 3, 1)), FaultAction::kDrop);
+  EXPECT_EQ(f.on_packet(make_packet(0, 3, 2)), FaultAction::kNone);
+}
+
+TEST(ScriptedFaults, MatchOnTypeAndGroup) {
+  ScriptedFaults f;
+  f.add_rule({.type = PacketType::kMcastData, .group = 7},
+             FaultAction::kCorrupt, 100);
+  EXPECT_EQ(f.on_packet(make_packet(0, 1, 0, PacketType::kData, 7)),
+            FaultAction::kNone);
+  EXPECT_EQ(f.on_packet(make_packet(0, 1, 0, PacketType::kMcastData, 8)),
+            FaultAction::kNone);
+  EXPECT_EQ(f.on_packet(make_packet(0, 1, 0, PacketType::kMcastData, 7)),
+            FaultAction::kCorrupt);
+}
+
+TEST(ScriptedFaults, FirstLiveRuleWins) {
+  ScriptedFaults f;
+  f.add_rule({.seq = 1}, FaultAction::kDrop);
+  f.add_rule({.src = 0}, FaultAction::kCorrupt, 100);
+  EXPECT_EQ(f.on_packet(make_packet(0, 1, 1)), FaultAction::kDrop);
+  // First rule exhausted; second now applies.
+  EXPECT_EQ(f.on_packet(make_packet(0, 1, 1)), FaultAction::kCorrupt);
+}
+
+TEST(ScriptedFaults, PredicateRule) {
+  ScriptedFaults f;
+  f.add_predicate_rule(
+      [](const Packet& p) { return p.payload.size() > 100; },
+      FaultAction::kDrop, 1);
+  Packet small = make_packet(0, 1, 0);
+  small.payload.resize(10);
+  Packet big = make_packet(0, 1, 1);
+  big.payload.resize(200);
+  EXPECT_EQ(f.on_packet(small), FaultAction::kNone);
+  EXPECT_EQ(f.on_packet(big), FaultAction::kDrop);
+  EXPECT_EQ(f.on_packet(big), FaultAction::kNone);  // exhausted
+}
+
+TEST(ScriptedFaults, EmptyMatchMatchesEverything) {
+  ScriptedFaults f;
+  f.add_rule({}, FaultAction::kDrop, 3);
+  EXPECT_EQ(f.on_packet(make_packet(9, 2, 77)), FaultAction::kDrop);
+  EXPECT_EQ(f.pending(), 2u);
+}
+
+}  // namespace
+}  // namespace nicmcast::net

@@ -1,0 +1,58 @@
+#include "net/packet.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nicmcast::net {
+namespace {
+
+TEST(Packet, WireSizeAddsFraming) {
+  Packet p;
+  p.payload.resize(100);
+  EXPECT_EQ(p.wire_size(24), 124u);
+  EXPECT_EQ(p.payload_size(), 100u);
+}
+
+TEST(Packet, EmptyPayloadStillHasFraming) {
+  Packet p;
+  EXPECT_EQ(p.wire_size(24), 24u);
+}
+
+TEST(Packet, DescribeIncludesKeyFields) {
+  Packet p;
+  p.header.type = PacketType::kMcastData;
+  p.header.src = 3;
+  p.header.dst = 7;
+  p.header.seq = 42;
+  p.header.group = 9;
+  p.payload.resize(64);
+  const std::string d = p.describe();
+  EXPECT_NE(d.find("MCAST"), std::string::npos);
+  EXPECT_NE(d.find("3->7"), std::string::npos);
+  EXPECT_NE(d.find("seq=42"), std::string::npos);
+  EXPECT_NE(d.find("grp=9"), std::string::npos);
+  EXPECT_NE(d.find("len=64"), std::string::npos);
+}
+
+TEST(Packet, DescribeOmitsGroupForPointToPoint) {
+  Packet p;
+  p.header.group = kNoGroup;
+  EXPECT_EQ(p.describe().find("grp="), std::string::npos);
+}
+
+TEST(PacketTypeNames, AllCovered) {
+  EXPECT_STREQ(to_string(PacketType::kData), "DATA");
+  EXPECT_STREQ(to_string(PacketType::kAck), "ACK");
+  EXPECT_STREQ(to_string(PacketType::kMcastData), "MCAST");
+  EXPECT_STREQ(to_string(PacketType::kMcastAck), "MACK");
+  EXPECT_STREQ(to_string(PacketType::kCtrl), "CTRL");
+}
+
+TEST(Packet, DefaultHeaderIsPointToPointData) {
+  Packet p;
+  EXPECT_EQ(p.header.type, PacketType::kData);
+  EXPECT_EQ(p.header.group, kNoGroup);
+  EXPECT_FALSE(p.corrupted);
+}
+
+}  // namespace
+}  // namespace nicmcast::net

@@ -1,0 +1,131 @@
+#include "net/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace nicmcast::net {
+namespace {
+
+TEST(Topology, BackToBackRouteIsOneLink) {
+  const Topology t = Topology::back_to_back();
+  EXPECT_EQ(t.endpoint_count(), 2u);
+  const Route r = t.route(0, 1);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(t.link(r[0]).from, 0u);
+  EXPECT_EQ(t.link(r[0]).to, 1u);
+}
+
+TEST(Topology, RouteToSelfIsEmpty) {
+  const Topology t = Topology::single_switch(4);
+  EXPECT_TRUE(t.route(2, 2).empty());
+}
+
+TEST(Topology, SingleSwitchRoutesAreTwoLinks) {
+  const Topology t = Topology::single_switch(16);
+  for (NodeId i = 0; i < 16; ++i) {
+    for (NodeId j = 0; j < 16; ++j) {
+      if (i == j) continue;
+      const Route r = t.route(i, j);
+      EXPECT_EQ(r.size(), 2u) << i << "->" << j;
+      EXPECT_EQ(t.link(r.front()).from, i);
+      EXPECT_EQ(t.link(r.back()).to, j);
+    }
+  }
+}
+
+TEST(Topology, RouteLinksAreContiguous) {
+  const Topology t = Topology::clos(32, 8);
+  const Route r = t.route(0, 31);
+  ASSERT_FALSE(r.empty());
+  for (std::size_t i = 1; i < r.size(); ++i) {
+    EXPECT_EQ(t.link(r[i - 1]).to, t.link(r[i]).from);
+  }
+}
+
+TEST(Topology, ClosSmallFallsBackToSingleSwitch) {
+  const Topology t = Topology::clos(8, 16);
+  EXPECT_EQ(t.route(0, 7).size(), 2u);
+}
+
+TEST(Topology, ClosSameLeafIsTwoHops) {
+  // radix 8 -> 4 endpoints per leaf; nodes 0..3 share a leaf.
+  const Topology t = Topology::clos(32, 8);
+  EXPECT_EQ(t.route(0, 3).size(), 2u);
+}
+
+TEST(Topology, ClosCrossLeafIsFourHops) {
+  // leaf -> spine -> leaf: 4 links endpoint to endpoint.
+  const Topology t = Topology::clos(32, 8);
+  EXPECT_EQ(t.route(0, 31).size(), 4u);
+}
+
+TEST(Topology, ClosConnectsAllPairs) {
+  const Topology t = Topology::clos(20, 8);
+  for (NodeId i = 0; i < 20; ++i) {
+    for (NodeId j = 0; j < 20; ++j) {
+      if (i == j) continue;
+      EXPECT_NO_THROW(static_cast<void>(t.route(i, j)));
+    }
+  }
+}
+
+TEST(Topology, RoutesNeverCutThroughEndpoints) {
+  const Topology t = Topology::clos(32, 8);
+  for (NodeId i : {NodeId{0}, NodeId{5}, NodeId{17}}) {
+    for (NodeId j : {NodeId{3}, NodeId{12}, NodeId{31}}) {
+      if (i == j) continue;
+      const Route r = t.route(i, j);
+      for (std::size_t k = 0; k + 1 < r.size(); ++k) {
+        EXPECT_FALSE(t.is_endpoint(t.link(r[k]).to));
+      }
+    }
+  }
+}
+
+TEST(Topology, AllRoutesMatrixShape) {
+  const Topology t = Topology::single_switch(4);
+  const auto routes = t.all_routes();
+  ASSERT_EQ(routes.size(), 4u);
+  for (NodeId i = 0; i < 4; ++i) {
+    ASSERT_EQ(routes[i].size(), 4u);
+    EXPECT_TRUE(routes[i][i].empty());
+  }
+  EXPECT_EQ(routes[1][3].size(), 2u);
+}
+
+TEST(Topology, DisconnectedThrows) {
+  Topology t(3);
+  t.add_cable(0, 1);
+  EXPECT_THROW(static_cast<void>(t.route(0, 2)), std::runtime_error);
+}
+
+TEST(Topology, InvalidArgumentsThrow) {
+  EXPECT_THROW(Topology t(0), std::invalid_argument);
+  EXPECT_THROW(Topology::clos(32, 7), std::invalid_argument);
+  Topology t(2);
+  EXPECT_THROW(t.add_cable(0, 99), std::out_of_range);
+  EXPECT_THROW(static_cast<void>(t.route(0, 5)), std::out_of_range);
+}
+
+TEST(Topology, CableCreatesBothDirections) {
+  Topology t(2);
+  const LinkId id = t.add_cable(0, 1);
+  EXPECT_EQ(t.link_count(), 2u);
+  EXPECT_EQ(t.link(id).from, 0u);
+  EXPECT_EQ(t.link(id + 1).from, 1u);
+  EXPECT_EQ(t.link(id + 1).to, 0u);
+}
+
+TEST(Topology, ForwardAndReverseRoutesUseDistinctLinks) {
+  const Topology t = Topology::single_switch(3);
+  const Route fwd = t.route(0, 1);
+  const Route rev = t.route(1, 0);
+  std::set<LinkId> fwd_set(fwd.begin(), fwd.end());
+  for (LinkId l : rev) {
+    EXPECT_FALSE(fwd_set.contains(l));
+  }
+}
+
+}  // namespace
+}  // namespace nicmcast::net

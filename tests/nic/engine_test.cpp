@@ -1,0 +1,83 @@
+#include "nic/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace nicmcast::nic {
+namespace {
+
+TEST(Engine, RunsWorkAfterDuration) {
+  sim::Simulator sim;
+  Engine engine(sim, "test");
+  std::vector<double> completions;
+  engine.run(sim::usec(5), [&] { completions.push_back(sim.now().microseconds()); });
+  sim.run();
+  EXPECT_EQ(completions, (std::vector<double>{5.0}));
+}
+
+TEST(Engine, SerializesSubmissions) {
+  sim::Simulator sim;
+  Engine engine(sim, "test");
+  std::vector<double> completions;
+  auto log = [&] { completions.push_back(sim.now().microseconds()); };
+  engine.run(sim::usec(5), log);
+  engine.run(sim::usec(3), log);
+  engine.run(sim::usec(2), log);
+  sim.run();
+  EXPECT_EQ(completions, (std::vector<double>{5.0, 8.0, 10.0}));
+}
+
+TEST(Engine, IdleGapResetsStart) {
+  sim::Simulator sim;
+  Engine engine(sim, "test");
+  std::vector<double> completions;
+  auto log = [&] { completions.push_back(sim.now().microseconds()); };
+  engine.run(sim::usec(2), log);
+  sim.schedule_after(sim::usec(10), [&] { engine.run(sim::usec(2), log); });
+  sim.run();
+  EXPECT_EQ(completions, (std::vector<double>{2.0, 12.0}));
+}
+
+TEST(Engine, SubmissionWhileBusyQueuesFromFreeInstant) {
+  sim::Simulator sim;
+  Engine engine(sim, "test");
+  std::vector<double> completions;
+  auto log = [&] { completions.push_back(sim.now().microseconds()); };
+  engine.run(sim::usec(10), log);
+  sim.schedule_after(sim::usec(4), [&] { engine.run(sim::usec(1), log); });
+  sim.run();
+  EXPECT_EQ(completions, (std::vector<double>{10.0, 11.0}));
+}
+
+TEST(Engine, ReportsBusyState) {
+  sim::Simulator sim;
+  Engine engine(sim, "test");
+  EXPECT_FALSE(engine.busy());
+  engine.run(sim::usec(5), [] {});
+  EXPECT_TRUE(engine.busy());
+  sim.run();
+  EXPECT_FALSE(engine.busy());
+}
+
+TEST(Engine, AccumulatesBusyTime) {
+  sim::Simulator sim;
+  Engine engine(sim, "test");
+  engine.run(sim::usec(5), [] {});
+  engine.run(sim::usec(7), [] {});
+  sim.run();
+  EXPECT_EQ(engine.total_busy(), sim::usec(12));
+}
+
+TEST(Engine, ZeroDurationWorkRunsImmediately) {
+  sim::Simulator sim;
+  Engine engine(sim, "test");
+  bool ran = false;
+  engine.run(sim::Duration{0}, [&] { ran = true; });
+  sim.run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(sim.now(), sim::TimePoint{0});
+}
+
+}  // namespace
+}  // namespace nicmcast::nic

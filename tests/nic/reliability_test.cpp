@@ -1,0 +1,181 @@
+// Go-back-N reliability under injected faults: drops, corruption, lost
+// acks, bursty loss, peer death.
+#include <gtest/gtest.h>
+
+#include "nic_test_util.hpp"
+
+namespace nicmcast::nic {
+namespace {
+
+using testing::TestCluster;
+using testing::make_payload;
+
+std::unique_ptr<net::ScriptedFaults> scripted() {
+  return std::make_unique<net::ScriptedFaults>();
+}
+
+TEST(Reliability, DroppedDataPacketRetransmitted) {
+  TestCluster c(2);
+  c.post_buffers(1, 1, 4096);
+  auto faults = scripted();
+  faults->add_rule({.type = net::PacketType::kData}, net::FaultAction::kDrop);
+  c.network.set_fault_injector(std::move(faults));
+  const Payload msg = make_payload(128);
+  c.nic(0).post_send(SendRequest{0, 1, 0, msg, 0, 1});
+  c.sim.run();
+  const auto recv = c.drain_events(1);
+  ASSERT_EQ(recv.size(), 1u);
+  EXPECT_EQ(recv[0].data, msg);
+  EXPECT_EQ(c.nic(0).stats().retransmissions, 1u);
+  EXPECT_EQ(c.drain_events(0).size(), 1u);  // send still completes
+}
+
+TEST(Reliability, CorruptedPacketDroppedByCrcAndRecovered) {
+  TestCluster c(2);
+  c.post_buffers(1, 1, 4096);
+  auto faults = scripted();
+  faults->add_rule({.type = net::PacketType::kData},
+                   net::FaultAction::kCorrupt);
+  c.network.set_fault_injector(std::move(faults));
+  c.nic(0).post_send(SendRequest{0, 1, 0, make_payload(128), 0, 1});
+  c.sim.run();
+  EXPECT_EQ(c.nic(1).stats().crc_drops, 1u);
+  ASSERT_EQ(c.drain_events(1).size(), 1u);
+  EXPECT_GE(c.nic(0).stats().retransmissions, 1u);
+}
+
+TEST(Reliability, LostAckCausesDuplicateWhichIsReAcked) {
+  TestCluster c(2);
+  c.post_buffers(1, 1, 4096);
+  auto faults = scripted();
+  faults->add_rule({.type = net::PacketType::kAck}, net::FaultAction::kDrop);
+  c.network.set_fault_injector(std::move(faults));
+  c.nic(0).post_send(SendRequest{0, 1, 0, make_payload(128), 0, 1});
+  c.sim.run();
+  // Exactly one receive event despite the duplicate data packet.
+  EXPECT_EQ(c.drain_events(1).size(), 1u);
+  EXPECT_EQ(c.nic(1).stats().duplicate_drops, 1u);
+  // Sender eventually completes off the re-ack.
+  const auto sent = c.drain_events(0);
+  ASSERT_EQ(sent.size(), 1u);
+  EXPECT_EQ(sent[0].type, HostEvent::Type::kSendComplete);
+}
+
+TEST(Reliability, MidMessageLossTriggersGoBackN) {
+  TestCluster c(2);
+  c.post_buffers(1, 1, 20000);
+  auto faults = scripted();
+  // Drop the second packet (seq=1) of a 3-packet message.
+  faults->add_rule({.type = net::PacketType::kData, .seq = 1},
+                   net::FaultAction::kDrop);
+  c.network.set_fault_injector(std::move(faults));
+  const Payload msg = make_payload(10000);
+  c.nic(0).post_send(SendRequest{0, 1, 0, msg, 0, 1});
+  c.sim.run();
+  const auto recv = c.drain_events(1);
+  ASSERT_EQ(recv.size(), 1u);
+  EXPECT_EQ(recv[0].data, msg);
+  // Packet 2 arrived out of order and was discarded, then 1 and 2 were
+  // both retransmitted (Go-back-N window resend).
+  EXPECT_GE(c.nic(1).stats().out_of_order_drops, 1u);
+  EXPECT_GE(c.nic(0).stats().retransmissions, 2u);
+}
+
+TEST(Reliability, RandomLossStressStillDeliversEverything) {
+  NicConfig config;
+  config.send_tokens_per_port = 64;  // post the whole burst at once
+  TestCluster c(2, config);
+  const int kMessages = 30;
+  c.post_buffers(1, kMessages, 8192);
+  c.network.set_fault_injector(
+      std::make_unique<net::RandomFaults>(0.10, 0.05, sim::Rng(99)));
+  for (int i = 0; i < kMessages; ++i) {
+    c.nic(0).post_send(SendRequest{
+        0, 1, 0, make_payload(500 + i * 37, static_cast<std::uint8_t>(i)),
+        static_cast<std::uint32_t>(i), static_cast<OpHandle>(1 + i)});
+  }
+  c.sim.run();
+  const auto recv = c.drain_events(1);
+  ASSERT_EQ(recv.size(), static_cast<std::size_t>(kMessages));
+  for (int i = 0; i < kMessages; ++i) {
+    EXPECT_EQ(recv[i].tag, static_cast<std::uint32_t>(i)) << "order broken";
+    EXPECT_EQ(recv[i].data,
+              make_payload(500 + i * 37, static_cast<std::uint8_t>(i)));
+  }
+  EXPECT_EQ(c.drain_events(0).size(), static_cast<std::size_t>(kMessages));
+  EXPECT_GT(c.nic(0).stats().retransmissions, 0u);
+}
+
+TEST(Reliability, UnreachablePeerFailsTheOperation) {
+  NicConfig config;
+  config.retransmit_timeout = sim::usec(100);
+  config.max_retries = 3;
+  TestCluster c(2, config);
+  c.post_buffers(1, 1, 4096);
+  auto faults = scripted();
+  faults->add_rule({.type = net::PacketType::kData}, net::FaultAction::kDrop,
+                   1000);  // black-hole every data packet
+  c.network.set_fault_injector(std::move(faults));
+  c.nic(0).post_send(SendRequest{0, 1, 0, make_payload(64), 0, 1});
+  c.sim.run();
+  const auto sent = c.drain_events(0);
+  ASSERT_EQ(sent.size(), 1u);
+  EXPECT_EQ(sent[0].type, HostEvent::Type::kSendFailed);
+  EXPECT_EQ(sent[0].handle, 1u);
+  // The send token came back despite the failure.
+  EXPECT_EQ(c.nic(0).send_tokens_available(0),
+            c.nic(0).config().send_tokens_per_port);
+}
+
+TEST(Reliability, RetriesBoundedUnderTotalBlackout) {
+  NicConfig config;
+  config.retransmit_timeout = sim::usec(100);
+  config.max_retries = 5;
+  TestCluster c(2, config);
+  auto faults = scripted();
+  faults->add_rule({}, net::FaultAction::kDrop, 1'000'000);
+  c.network.set_fault_injector(std::move(faults));
+  c.nic(0).post_send(SendRequest{0, 1, 0, make_payload(64), 0, 1});
+  c.sim.run();
+  EXPECT_LE(c.nic(0).stats().retransmissions, 5u);
+}
+
+TEST(Reliability, BackToBackLossOnSamePacket) {
+  TestCluster c(2);
+  c.post_buffers(1, 1, 4096);
+  auto faults = scripted();
+  faults->add_rule({.type = net::PacketType::kData, .seq = 0},
+                   net::FaultAction::kDrop, 3);  // drop 3 attempts
+  c.network.set_fault_injector(std::move(faults));
+  c.nic(0).post_send(SendRequest{0, 1, 0, make_payload(64), 0, 1});
+  c.sim.run();
+  ASSERT_EQ(c.drain_events(1).size(), 1u);
+  EXPECT_EQ(c.nic(0).stats().retransmissions, 3u);
+}
+
+TEST(Reliability, ConcurrentConnectionsIsolated) {
+  // Loss on the 0->1 connection must not disturb 0->2 (per-connection
+  // Go-back-N state).
+  TestCluster c(3);
+  c.post_buffers(1, 1, 4096);
+  c.post_buffers(2, 1, 4096);
+  auto faults = scripted();
+  faults->add_rule({.type = net::PacketType::kData, .dst = 1},
+                   net::FaultAction::kDrop, 2);
+  c.network.set_fault_injector(std::move(faults));
+  c.nic(0).post_send(SendRequest{0, 1, 0, make_payload(64, 1), 0, 1});
+  c.nic(0).post_send(SendRequest{0, 2, 0, make_payload(64, 2), 0, 2});
+
+  sim::TimePoint t2{0};
+  c.sim.spawn([](TestCluster& cl, sim::TimePoint& t) -> sim::Task<void> {
+    co_await cl.nic(2).events(0).pop();
+    t = cl.sim.now();
+  }(c, t2));
+  c.sim.run();
+  ASSERT_EQ(c.drain_events(1).size(), 1u);
+  // Node 2 was not delayed by node 1's retransmission timeout.
+  EXPECT_LT(t2.microseconds(), 100.0);
+}
+
+}  // namespace
+}  // namespace nicmcast::nic

@@ -1,0 +1,42 @@
+#include "nic/sequence.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nicmcast::nic {
+namespace {
+
+TEST(Sequence, BasicOrdering) {
+  EXPECT_TRUE(seq_before(1, 2));
+  EXPECT_FALSE(seq_before(2, 1));
+  EXPECT_FALSE(seq_before(5, 5));
+}
+
+TEST(Sequence, BeforeEq) {
+  EXPECT_TRUE(seq_before_eq(5, 5));
+  EXPECT_TRUE(seq_before_eq(4, 5));
+  EXPECT_FALSE(seq_before_eq(6, 5));
+}
+
+TEST(Sequence, WrapAroundOrdering) {
+  const SeqNum near_max = 0xFFFFFFFFu;
+  EXPECT_TRUE(seq_before(near_max, 0));       // max precedes wrapped 0
+  EXPECT_TRUE(seq_before(near_max - 5, near_max));
+  EXPECT_TRUE(seq_before(near_max, 5));
+  EXPECT_FALSE(seq_before(5, near_max));
+}
+
+TEST(Sequence, DistanceAcrossWrap) {
+  EXPECT_EQ(seq_distance(0xFFFFFFFFu, 1), 2u);
+  EXPECT_EQ(seq_distance(10, 10), 0u);
+  EXPECT_EQ(seq_distance(10, 15), 5u);
+}
+
+TEST(Sequence, HalfSpaceBoundary) {
+  // Elements more than 2^31 apart invert the comparison — that is the
+  // inherent limit of serial-number arithmetic, sanity-check it holds.
+  EXPECT_TRUE(seq_before(0, 0x7FFFFFFFu));
+  EXPECT_FALSE(seq_before(0, 0x80000001u));  // "before" flips past half-space
+}
+
+}  // namespace
+}  // namespace nicmcast::nic

@@ -1,0 +1,104 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace nicmcast::sim {
+namespace {
+
+TEST(EventQueue, StartsEmpty) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(TimePoint{30}, [&] { order.push_back(3); });
+  q.schedule(TimePoint{10}, [&] { order.push_back(1); });
+  q.schedule(TimePoint{20}, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, EqualTimesFireInInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule(TimePoint{100}, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, PopReturnsTimestamp) {
+  EventQueue q;
+  q.schedule(TimePoint{42}, [] {});
+  auto [when, action] = q.pop();
+  EXPECT_EQ(when, TimePoint{42});
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  const EventId id = q.schedule(TimePoint{5}, [&] { ran = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelTwiceReturnsFalse) {
+  EventQueue q;
+  const EventId id = q.schedule(TimePoint{5}, [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelledEventSkippedByNextTime) {
+  EventQueue q;
+  const EventId early = q.schedule(TimePoint{5}, [] {});
+  q.schedule(TimePoint{9}, [] {});
+  q.cancel(early);
+  EXPECT_EQ(q.next_time(), TimePoint{9});
+}
+
+TEST(EventQueue, SizeTracksLiveEventsOnly) {
+  EventQueue q;
+  const EventId a = q.schedule(TimePoint{1}, [] {});
+  q.schedule(TimePoint{2}, [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+  q.pop();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, InterleavedScheduleAndPop) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(TimePoint{10}, [&] { order.push_back(1); });
+  q.pop().second();
+  q.schedule(TimePoint{5}, [&] { order.push_back(2); });  // earlier than last
+  q.pop().second();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, ManyEventsStressOrdering) {
+  EventQueue q;
+  std::vector<std::int64_t> popped;
+  // Insert in a scrambled but deterministic order.
+  for (std::int64_t i = 0; i < 1000; ++i) {
+    const std::int64_t t = (i * 7919) % 1000;
+    q.schedule(TimePoint{t}, [] {});
+  }
+  while (!q.empty()) popped.push_back(q.pop().first.nanoseconds());
+  for (std::size_t i = 1; i < popped.size(); ++i) {
+    EXPECT_LE(popped[i - 1], popped[i]);
+  }
+  EXPECT_EQ(popped.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace nicmcast::sim

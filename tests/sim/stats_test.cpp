@@ -1,0 +1,92 @@
+#include "sim/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nicmcast::sim {
+namespace {
+
+TEST(OnlineStats, MeanOfKnownValues) {
+  OnlineStats s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+}
+
+TEST(OnlineStats, SampleVariance) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_NEAR(s.variance(), 4.571428, 1e-5);  // n-1 denominator
+  EXPECT_NEAR(s.stddev(), 2.13809, 1e-4);
+}
+
+TEST(OnlineStats, SingleSampleHasZeroVariance) {
+  OnlineStats s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, EmptyDefaults) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(Series, PercentileInterpolates) {
+  Series s;
+  for (double x : {10.0, 20.0, 30.0, 40.0, 50.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 50.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 30.0);
+  EXPECT_DOUBLE_EQ(s.percentile(25), 20.0);
+  EXPECT_DOUBLE_EQ(s.percentile(12.5), 15.0);  // between samples
+}
+
+TEST(Series, MedianOfEvenCount) {
+  Series s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.median(), 2.5);
+}
+
+TEST(Series, PercentileOfEmptyThrows) {
+  Series s;
+  EXPECT_THROW(static_cast<void>(s.percentile(50)), std::logic_error);
+}
+
+TEST(Series, UnsortedInputHandled) {
+  Series s;
+  for (double x : {5.0, 1.0, 3.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(Histogram, BucketsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);    // bucket 0
+  h.add(3.0);    // bucket 1
+  h.add(9.99);   // bucket 4
+  h.add(-5.0);   // clamps to bucket 0
+  h.add(100.0);  // clamps to bucket 4
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 0u);
+  EXPECT_EQ(h.bucket(4), 2u);
+}
+
+TEST(Histogram, BucketLowEdges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bucket_low(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bucket_low(4), 8.0);
+}
+
+TEST(Histogram, InvalidConstructionThrows) {
+  EXPECT_THROW(Histogram(0.0, 10.0, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(10.0, 0.0, 5), std::invalid_argument);
+  EXPECT_THROW(Histogram(5.0, 5.0, 5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nicmcast::sim

@@ -1,0 +1,73 @@
+#include "sim/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nicmcast::sim {
+namespace {
+
+TEST(Duration, FactoryHelpersConvert) {
+  EXPECT_EQ(nsec(1).nanoseconds(), 1);
+  EXPECT_EQ(usec(1).nanoseconds(), 1000);
+  EXPECT_EQ(usec(2.5).nanoseconds(), 2500);
+  EXPECT_EQ(msec(1).nanoseconds(), 1'000'000);
+  EXPECT_EQ(sec(1).nanoseconds(), 1'000'000'000);
+}
+
+TEST(Duration, Arithmetic) {
+  EXPECT_EQ(usec(3) + usec(2), usec(5));
+  EXPECT_EQ(usec(3) - usec(2), usec(1));
+  EXPECT_EQ(usec(3) * 4, usec(12));
+  EXPECT_EQ(4 * usec(3), usec(12));
+  EXPECT_EQ(usec(12) / 4, usec(3));
+  Duration d = usec(1);
+  d += usec(2);
+  d -= usec(1);
+  EXPECT_EQ(d, usec(2));
+}
+
+TEST(Duration, RatioIsDouble) {
+  EXPECT_DOUBLE_EQ(usec(10) / usec(4), 2.5);
+}
+
+TEST(Duration, ComparisonAndNegative) {
+  EXPECT_LT(usec(1), usec(2));
+  EXPECT_GT(usec(2), usec(1));
+  EXPECT_LE(usec(2), usec(2));
+  EXPECT_LT(usec(1) - usec(2), Duration{0});
+}
+
+TEST(Duration, UnitAccessors) {
+  EXPECT_DOUBLE_EQ(usec(1500).milliseconds(), 1.5);
+  EXPECT_DOUBLE_EQ(msec(2500).seconds(), 2.5);
+  EXPECT_DOUBLE_EQ(nsec(500).microseconds(), 0.5);
+}
+
+TEST(TimePoint, ArithmeticWithDuration) {
+  TimePoint t{1000};
+  EXPECT_EQ((t + usec(1)).nanoseconds(), 2000);
+  EXPECT_EQ((usec(1) + t).nanoseconds(), 2000);
+  EXPECT_EQ((t - nsec(500)).nanoseconds(), 500);
+  EXPECT_EQ(TimePoint{3000} - t, usec(2));
+}
+
+TEST(TimePoint, Ordering) {
+  EXPECT_LT(TimePoint{1}, TimePoint{2});
+  EXPECT_EQ(TimePoint{5}, TimePoint{5});
+}
+
+TEST(TransferTime, MatchesBandwidthMath) {
+  // 250 MB/s wire: 4096 bytes should take ~16.384 us (rounded up 1 ns).
+  const Duration t = transfer_time(4096, 250.0);
+  EXPECT_NEAR(t.microseconds(), 16.384, 0.01);
+}
+
+TEST(TransferTime, RoundsUpSoTransfersNeverOverlap) {
+  EXPECT_GT(transfer_time(1, 1e9).nanoseconds(), 0);
+}
+
+TEST(TransferTime, ZeroBytesStillPositive) {
+  EXPECT_EQ(transfer_time(0, 250.0).nanoseconds(), 1);
+}
+
+}  // namespace
+}  // namespace nicmcast::sim

@@ -1,0 +1,93 @@
+#include "sim/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nicmcast::sim {
+namespace {
+
+std::vector<TraceRecord> sample_records() {
+  return {
+      {TimePoint{0}, "net", "node0.nic", "tx seq=0"},
+      {TimePoint{5000}, "net", "node1.nic", "rx seq=0"},
+      {TimePoint{10000}, "net", "node0.nic", "ack seq=0"},
+  };
+}
+
+TEST(Timeline, EmptyInput) {
+  EXPECT_EQ(render_timeline({}), "(no trace records)\n");
+}
+
+TEST(Timeline, OneLanePerActorInFirstAppearanceOrder) {
+  const std::string out = render_timeline(sample_records());
+  const auto lane0 = out.find("node0.nic |");
+  const auto lane1 = out.find("node1.nic |");
+  ASSERT_NE(lane0, std::string::npos);
+  ASSERT_NE(lane1, std::string::npos);
+  EXPECT_LT(lane0, lane1);
+}
+
+TEST(Timeline, LegendListsEveryEvent) {
+  const std::string out = render_timeline(sample_records());
+  EXPECT_NE(out.find("a: [0us] tx seq=0"), std::string::npos);
+  EXPECT_NE(out.find("b: [5us] rx seq=0"), std::string::npos);
+  EXPECT_NE(out.find("c: [10us] ack seq=0"), std::string::npos);
+}
+
+TEST(Timeline, MarksLandAtProportionalColumns) {
+  TimelineOptions options;
+  options.width = 100;
+  const std::string out = render_timeline(sample_records(), options);
+  // node0's lane: first mark at column 0, second (ack) at column 100.
+  const auto lane_start = out.find("node0.nic |") + std::string("node0.nic |").size();
+  const std::string lane = out.substr(lane_start, 101);
+  EXPECT_EQ(lane[0], 'a');
+  EXPECT_EQ(lane[100], 'c');
+  // node1's mark at the midpoint.
+  const auto lane1_start = out.find("node1.nic |") + std::string("node1.nic |").size();
+  const std::string lane1 = out.substr(lane1_start, 101);
+  EXPECT_EQ(lane1[50], 'b');
+}
+
+TEST(Timeline, CollidingEventsBecomePlus) {
+  std::vector<TraceRecord> records = {
+      {TimePoint{0}, "x", "a", "first"},
+      {TimePoint{1}, "x", "a", "second (same column)"},
+      {TimePoint{100000}, "x", "a", "far away"},
+  };
+  const std::string out = render_timeline(records);
+  EXPECT_NE(out.find('+'), std::string::npos);
+}
+
+TEST(Timeline, ExplicitWindowFiltersRecords) {
+  TimelineOptions options;
+  options.start = TimePoint{4000};
+  options.end = TimePoint{6000};
+  const std::string out = render_timeline(sample_records(), options);
+  EXPECT_EQ(out.find("tx seq=0"), std::string::npos);
+  EXPECT_NE(out.find("rx seq=0"), std::string::npos);
+  EXPECT_EQ(out.find("ack seq=0"), std::string::npos);
+}
+
+TEST(Timeline, LegendCap) {
+  std::vector<TraceRecord> records;
+  for (int i = 0; i < 10; ++i) {
+    records.push_back({TimePoint{i * 10000}, "x", "a",
+                       "event " + std::to_string(i)});
+  }
+  TimelineOptions options;
+  options.max_legend = 3;
+  const std::string out = render_timeline(records, options);
+  EXPECT_NE(out.find("... (7 more)"), std::string::npos);
+}
+
+TEST(Timeline, SingleInstantSpan) {
+  // All records at the same instant must not divide by zero.
+  std::vector<TraceRecord> records = {
+      {TimePoint{42}, "x", "a", "only"},
+  };
+  const std::string out = render_timeline(records);
+  EXPECT_NE(out.find("only"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nicmcast::sim

@@ -1,0 +1,83 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace nicmcast::sim {
+namespace {
+
+TEST(Tracer, DisabledByDefault) {
+  Tracer t;
+  EXPECT_FALSE(t.enabled("nic"));
+  t.emit(TimePoint{0}, "nic", "node0.nic", "hello");
+  EXPECT_TRUE(t.records().empty());
+}
+
+TEST(Tracer, EnabledCategoryRetainsRecords) {
+  Tracer t;
+  t.enable("nic");
+  t.emit(TimePoint{1000}, "nic", "node0.nic", "tx packet 1");
+  t.emit(TimePoint{2000}, "net", "link0", "ignored");
+  ASSERT_EQ(t.records().size(), 1u);
+  EXPECT_EQ(t.records()[0].category, "nic");
+  EXPECT_EQ(t.records()[0].actor, "node0.nic");
+  EXPECT_EQ(t.records()[0].when, TimePoint{1000});
+}
+
+TEST(Tracer, WildcardEnablesEverything) {
+  Tracer t;
+  t.enable("*");
+  t.emit(TimePoint{0}, "anything", "a", "m");
+  t.emit(TimePoint{0}, "else", "b", "m");
+  EXPECT_EQ(t.records().size(), 2u);
+}
+
+TEST(Tracer, DisableRemovesCategory) {
+  Tracer t;
+  t.enable("nic");
+  t.disable("nic");
+  t.emit(TimePoint{0}, "nic", "a", "m");
+  EXPECT_TRUE(t.records().empty());
+}
+
+TEST(Tracer, SinkReceivesFormattedLines) {
+  Tracer t;
+  std::ostringstream os;
+  t.enable("gm");
+  t.set_sink(&os);
+  t.emit(TimePoint{1500}, "gm", "node2.host", "send posted");
+  EXPECT_EQ(os.str(), "[1.5us] gm node2.host: send posted\n");
+}
+
+TEST(Tracer, RetainFalseStreamsOnly) {
+  Tracer t;
+  std::ostringstream os;
+  t.enable("*");
+  t.set_sink(&os);
+  t.set_retain(false);
+  t.emit(TimePoint{0}, "x", "a", "m");
+  EXPECT_TRUE(t.records().empty());
+  EXPECT_FALSE(os.str().empty());
+}
+
+TEST(Tracer, CountMatching) {
+  Tracer t;
+  t.enable("nic");
+  t.emit(TimePoint{0}, "nic", "a", "retransmit seq=5");
+  t.emit(TimePoint{0}, "nic", "a", "ack seq=5");
+  t.emit(TimePoint{0}, "nic", "b", "retransmit seq=6");
+  EXPECT_EQ(t.count_matching("retransmit"), 2u);
+  EXPECT_EQ(t.count_matching("nack"), 0u);
+}
+
+TEST(Tracer, ClearEmptiesRecords) {
+  Tracer t;
+  t.enable("*");
+  t.emit(TimePoint{0}, "x", "a", "m");
+  t.clear();
+  EXPECT_TRUE(t.records().empty());
+}
+
+}  // namespace
+}  // namespace nicmcast::sim

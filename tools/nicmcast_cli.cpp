@@ -1,0 +1,237 @@
+// nicmcast command-line experiment driver.
+//
+// Runs one configurable experiment on the simulated Myrinet/GM cluster and
+// prints a result line (or a sweep table).  Everything the figure benches
+// do, but parameterised from the shell:
+//
+//   nicmcast_cli mcast   --nodes 16 --size 512 --algo nic --tree postal
+//   nicmcast_cli mcast   --nodes 16 --size 512 --algo host --loss 0.02
+//   nicmcast_cli bcast   --nodes 16 --size 8192 --algo host --skew 400
+//   nicmcast_cli barrier --nodes 32 --algo nic
+//   nicmcast_cli sweep   --nodes 16 --iters 30
+//
+// Exit code 0 on success; 2 on bad usage.
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "mcast/bcast.hpp"
+#include "mcast/postal_tree.hpp"
+#include "mpi/skew.hpp"
+#include "sim/stats.hpp"
+
+using namespace nicmcast;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const {
+    auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+  [[nodiscard]] std::size_t get_u(const std::string& key,
+                                  std::size_t fallback) const {
+    auto it = options.find(key);
+    return it == options.end() ? fallback : std::stoul(it->second);
+  }
+  [[nodiscard]] double get_d(const std::string& key, double fallback) const {
+    auto it = options.find(key);
+    return it == options.end() ? fallback : std::stod(it->second);
+  }
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: nicmcast_cli <mcast|bcast|barrier|sweep> [options]\n"
+               "  common: --nodes N --size BYTES --iters K --loss P "
+               "--seed S\n"
+               "  mcast:  --algo nic|host --tree postal|binomial|chain|flat\n"
+               "  bcast:  --algo nic|host --skew AVG_US (MPI level)\n"
+               "  barrier:--algo nic|host\n");
+  return 2;
+}
+
+mcast::Tree build_tree(const std::string& shape, std::size_t nodes,
+                       std::size_t size) {
+  std::vector<net::NodeId> dests;
+  for (net::NodeId i = 1; i < nodes; ++i) dests.push_back(i);
+  if (shape == "binomial") return mcast::build_binomial_tree(0, dests);
+  if (shape == "chain") return mcast::build_chain_tree(0, dests);
+  if (shape == "flat") return mcast::build_flat_tree(0, dests);
+  return mcast::build_postal_tree(
+      0, dests,
+      mcast::PostalCostModel::nic_based(size, nic::NicConfig{},
+                                        net::NetworkConfig{}));
+}
+
+double run_gm_mcast(std::size_t nodes, std::size_t size, bool nic_based,
+                    const std::string& tree_shape, double loss,
+                    std::uint64_t seed, int iters) {
+  gm::ClusterConfig config;
+  config.nodes = nodes;
+  config.seed = seed;
+  config.wiring = nodes > 16 ? gm::ClusterConfig::Wiring::kClos
+                             : gm::ClusterConfig::Wiring::kSingleSwitch;
+  gm::Cluster cluster(config);
+  if (loss > 0) {
+    cluster.network().set_fault_injector(std::make_unique<net::RandomFaults>(
+        loss, loss / 2, sim::Rng(seed)));
+  }
+  const mcast::Tree tree =
+      build_tree(nic_based ? tree_shape : "binomial", nodes, size);
+  if (nic_based) mcast::install_group(cluster, tree, 1);
+  const int warmup = 2;
+  for (net::NodeId n = 1; n < nodes; ++n) {
+    cluster.port(n).provide_receive_buffers(warmup + iters,
+                                            std::max<std::size_t>(size, 64));
+  }
+  auto stats = std::make_shared<sim::OnlineStats>();
+  auto count = std::make_shared<int>(0);
+  auto start = std::make_shared<sim::TimePoint>();
+  auto done = std::make_shared<sim::TimePoint>();
+  auto gate = std::make_shared<sim::Gate>();
+  // One extra round-trip through the barrier finalises the last
+  // iteration's `done` before it is sampled.
+  cluster.run_on_all([=, &tree](gm::Cluster& cl,
+                                net::NodeId me) -> sim::Task<void> {
+    for (int iter = 0; iter <= warmup + iters; ++iter) {
+      if (++*count == static_cast<int>(cl.size())) {
+        *count = 0;
+        gate->release();
+      } else {
+        co_await gate->wait();
+      }
+      // Everyone has passed the previous iteration: its `done` is final.
+      if (me == 0 && iter > warmup) {
+        stats->add((*done - *start).microseconds());
+      }
+      if (iter == warmup + iters) co_return;
+      if (me == 0) {
+        *start = cl.simulator().now();
+        *done = cl.simulator().now();
+      }
+      gm::Payload data;
+      if (me == 0) data = gm::Payload(size, std::byte{0x11});
+      gm::Payload got;
+      if (nic_based) {
+        got = co_await mcast::nic_bcast(cl.port(me), tree, 1, std::move(data),
+                                        static_cast<std::uint32_t>(iter));
+      } else {
+        got = co_await mcast::host_bcast(cl.port(me), tree, std::move(data),
+                                         static_cast<std::uint32_t>(iter));
+      }
+      if (got.size() != size) throw std::logic_error("payload corrupted");
+      *done = std::max(*done, cl.simulator().now());
+    }
+  });
+  cluster.run();
+  return stats->mean();
+}
+
+int cmd_mcast(const Args& args) {
+  const std::size_t nodes = args.get_u("nodes", 16);
+  const std::size_t size = args.get_u("size", 512);
+  const bool nic_based = args.get("algo", "nic") == "nic";
+  const std::string tree = args.get("tree", "postal");
+  const double loss = args.get_d("loss", 0.0);
+  const auto seed = static_cast<std::uint64_t>(args.get_u("seed", 1));
+  const int iters = static_cast<int>(args.get_u("iters", 20));
+  const double us =
+      run_gm_mcast(nodes, size, nic_based, tree, loss, seed, iters);
+  std::printf("gm-mcast nodes=%zu size=%zuB algo=%s tree=%s loss=%.3f: "
+              "%.2f us\n",
+              nodes, size, nic_based ? "nic" : "host",
+              nic_based ? tree.c_str() : "binomial", loss, us);
+  return 0;
+}
+
+int cmd_bcast(const Args& args) {
+  mpi::SkewConfig config;
+  config.nodes = args.get_u("nodes", 16);
+  config.message_bytes = args.get_u("size", 4);
+  config.max_skew = sim::usec(args.get_d("skew", 0.0) * 4.0);
+  config.iterations = static_cast<int>(args.get_u("iters", 30));
+  config.algorithm = args.get("algo", "nic") == "nic"
+                         ? mpi::BcastAlgorithm::kNicBased
+                         : mpi::BcastAlgorithm::kHostBased;
+  config.seed = static_cast<std::uint64_t>(args.get_u("seed", 7));
+  const auto result = mpi::run_skew_experiment(config);
+  std::printf("mpi-bcast nodes=%zu size=%zuB algo=%s avg-skew=%.0fus: "
+              "avg CPU time in MPI_Bcast %.2f us (max %.2f us)\n",
+              config.nodes, config.message_bytes,
+              config.algorithm == mpi::BcastAlgorithm::kNicBased ? "nic"
+                                                                 : "host",
+              result.avg_applied_skew_us, result.avg_bcast_cpu_us,
+              result.max_bcast_cpu_us);
+  return 0;
+}
+
+int cmd_barrier(const Args& args) {
+  const std::size_t nodes = args.get_u("nodes", 16);
+  const bool nic = args.get("algo", "nic") == "nic";
+  gm::ClusterConfig cluster_config;
+  cluster_config.nodes = nodes;
+  cluster_config.wiring = nodes > 16 ? gm::ClusterConfig::Wiring::kClos
+                                     : gm::ClusterConfig::Wiring::kSingleSwitch;
+  gm::Cluster cluster(cluster_config);
+  mpi::MpiConfig config;
+  config.barrier_algorithm = nic ? mpi::BarrierAlgorithm::kNicBased
+                                 : mpi::BarrierAlgorithm::kDissemination;
+  mpi::World world(cluster, config);
+  const int rounds = static_cast<int>(args.get_u("iters", 20));
+  auto total = std::make_shared<sim::Duration>();
+  world.launch([total, rounds](mpi::Process& self) -> sim::Task<void> {
+    co_await self.barrier();
+    const sim::TimePoint start = self.simulator().now();
+    for (int i = 0; i < rounds; ++i) co_await self.barrier();
+    if (self.rank() == 0) *total = self.simulator().now() - start;
+  });
+  world.run();
+  std::printf("barrier nodes=%zu algo=%s: %.2f us per round\n", nodes,
+              nic ? "nic" : "host", total->microseconds() / rounds);
+  return 0;
+}
+
+int cmd_sweep(const Args& args) {
+  const std::size_t nodes = args.get_u("nodes", 16);
+  const int iters = static_cast<int>(args.get_u("iters", 20));
+  const double loss = args.get_d("loss", 0.0);
+  std::printf("%8s | %10s | %10s | %6s\n", "size(B)", "host(us)", "nic(us)",
+              "factor");
+  for (std::size_t size : {4u, 64u, 512u, 2048u, 4096u, 8192u, 16384u}) {
+    const double hb =
+        run_gm_mcast(nodes, size, false, "binomial", loss, 1, iters);
+    const double nb = run_gm_mcast(nodes, size, true, "postal", loss, 1,
+                                   iters);
+    std::printf("%8zu | %10.2f | %10.2f | %6.2f\n", size, hb, nb, hb / nb);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  Args args;
+  args.command = argv[1];
+  for (int i = 2; i + 1 < argc; i += 2) {
+    const char* key = argv[i];
+    if (std::strncmp(key, "--", 2) != 0) return usage();
+    args.options[key + 2] = argv[i + 1];
+  }
+  try {
+    if (args.command == "mcast") return cmd_mcast(args);
+    if (args.command == "bcast") return cmd_bcast(args);
+    if (args.command == "barrier") return cmd_barrier(args);
+    if (args.command == "sweep") return cmd_sweep(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
