@@ -10,79 +10,31 @@
 //      extra NIC resource) vs drawing from the free send-token pool, which
 //      stalls forwarding when the pool is empty (the deadlock-prone
 //      rejected design).
+//
+//  (3) Staging-buffer release policy — release once forwarding finished
+//      (chosen; the host replica covers retransmissions) vs holding the
+//      SRAM buffer until every child acked (pins the pool behind laggards).
 #include <cstdio>
+#include <memory>
+#include <vector>
 
-#include "bench_util.hpp"
+#include "harness/bench_io.hpp"
+#include "harness/experiment_util.hpp"
+#include "harness/runners.hpp"
+#include "mcast/bcast.hpp"
 
 namespace nicmcast::bench {
 namespace {
 
-double multisend_us(std::size_t bytes, nic::NicOptions options,
-                    nic::NicConfig config = {}) {
-  gm::ClusterConfig cluster_config;
-  cluster_config.nodes = 5;
-  cluster_config.nic = config;
-  cluster_config.nic_options = options;
-  gm::Cluster cluster(cluster_config);
-  const int warmup = 3;
-  const int iters = 30;
-  for (std::size_t n = 1; n < 5; ++n) {
-    cluster.port(n).provide_receive_buffers(warmup + iters,
-                                            std::max<std::size_t>(bytes, 64));
-  }
-  sim::OnlineStats stats;
-  cluster.simulator().spawn(
-      [](gm::Cluster& cl, std::size_t size, int wu, int n,
-         sim::OnlineStats& out) -> sim::Task<void> {
-        for (int i = 0; i < wu + n; ++i) {
-          const sim::TimePoint start = cl.simulator().now();
-          std::vector<net::NodeId> dests{1, 2, 3, 4};
-          const gm::SendStatus st = co_await cl.port(0).multisend(
-              std::move(dests), 0, make_payload(size), 0);
-          if (st != gm::SendStatus::kOk) throw std::runtime_error("fail");
-          if (i >= wu) {
-            out.add((cl.simulator().now() - start).microseconds());
-          }
-        }
-      }(cluster, bytes, warmup, iters, stats));
-  cluster.run();
-  return stats.mean();
-}
+using namespace nicmcast::harness;
 
-void multisend_ablation() {
-  std::printf("\n--- multisend alternatives (4 destinations) ---\n");
-  std::printf("%8s | %12s | %12s | %12s\n", "size(B)", "alt1 tokens",
-              "alt2 chain", "alt3 bound");
-  for (std::size_t bytes : {8u, 64u, 512u, 4096u, 16384u}) {
-    nic::NicOptions tokens;
-    tokens.multisend_uses_multiple_tokens = true;
-    const double alt1 = multisend_us(bytes, tokens);
-    const double alt2 = multisend_us(bytes, {});
-    nic::NicConfig free_rewrite;
-    free_rewrite.header_rewrite = sim::usec(0.02);
-    const double alt3 = multisend_us(bytes, {}, free_rewrite);
-    std::printf("%8zu | %9.2fus | %9.2fus | %9.2fus\n", bytes, alt1, alt2,
-                alt3);
-  }
-  std::printf("Chosen: alternative 2 — saves the per-destination token\n"
-              "processing; alternative 3 could shave the rewrite cost but\n"
-              "needs risky DMA-engine timing (left as future work in the\n"
-              "paper).\n");
-}
+// Chain 0 -> 1 -> 2 -> 3; node 1 concurrently runs point-to-point sends
+// (spec.aux of them) that occupy its send-token pool.  Reported: when the
+// leaf got the full message.
+RunResult forward_policy(const RunSpec& spec) {
+  gm::Cluster cluster(cluster_config(spec));
+  const std::size_t busy_sends = spec.aux;
 
-double forward_policy_us(bool pool_tokens, std::size_t busy_sends) {
-  nic::NicConfig config;
-  config.send_tokens_per_port = 4;
-  nic::NicOptions options;
-  options.forwarding_uses_send_tokens = pool_tokens;
-  gm::ClusterConfig cluster_config;
-  cluster_config.nodes = 4;
-  cluster_config.nic = config;
-  cluster_config.nic_options = options;
-  gm::Cluster cluster(cluster_config);
-
-  // Chain 0 -> 1 -> 2 -> 3; node 1 concurrently runs point-to-point sends
-  // that occupy its send-token pool.
   mcast::Tree tree(0);
   tree.add_edge(0, 1);
   tree.add_edge(1, 2);
@@ -114,39 +66,20 @@ double forward_policy_us(bool pool_tokens, std::size_t busy_sends) {
     if (me == 3) *leaf_done = cl.simulator().now();
   });
   cluster.run();
-  return leaf_done->microseconds();
-}
 
-void forwarding_ablation() {
-  std::printf("\n--- forwarding token policy (chain, node 1 busy with "
-              "unicasts, 4-token pool) ---\n");
-  std::printf("%18s | %16s | %16s\n", "competing sends",
-              "recv-token(us)", "send-pool(us)");
-  for (std::size_t busy : {0u, 2u, 4u}) {
-    const double transform = forward_policy_us(false, busy);
-    const double pool = forward_policy_us(true, busy);
-    std::printf("%18zu | %16.2f | %16.2f\n", busy, transform, pool);
+  RunResult out;
+  out.spec = spec;
+  out.latency_us.add(leaf_done->microseconds());
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    nic::accumulate(out.nic_totals, cluster.nic(i).stats());
   }
-  std::printf("Chosen: transforming the receive token — forwarding never\n"
-              "competes for send tokens, so the leaf latency is flat no\n"
-              "matter how busy the intermediate host is.  The pool variant\n"
-              "stalls (and in cyclic configurations can deadlock).\n");
+  return out;
 }
 
-double buffer_policy_us(bool naive, std::size_t pool) {
-  // 0 -> 1 -> {2, 3}; node 3's host posts its receive buffer 2ms late.
-  // Reported: when the HEALTHY sibling (node 2) gets the full message.
-  nic::NicConfig config;
-  config.nic_rx_buffers = pool;
-  config.retransmit_timeout = sim::usec(300);
-  config.max_retries = 1000;
-  nic::NicOptions options;
-  options.hold_buffers_until_acked = naive;
-  gm::ClusterConfig cluster_config;
-  cluster_config.nodes = 4;
-  cluster_config.nic = config;
-  cluster_config.nic_options = options;
-  gm::Cluster cluster(cluster_config);
+// 0 -> 1 -> {2, 3}; node 3's host posts its receive buffer 2ms late.
+// Reported: when the HEALTHY sibling (node 2) gets the full message.
+RunResult buffer_policy(const RunSpec& spec) {
+  gm::Cluster cluster(cluster_config(spec));
   mcast::Tree tree(0);
   tree.add_edge(0, 1);
   tree.add_edge(1, 2);
@@ -168,18 +101,129 @@ double buffer_policy_us(bool naive, std::size_t pool) {
     if (me == 2) *healthy_done = cl.simulator().now();
   });
   cluster.run();
-  return healthy_done->microseconds();
+
+  RunResult out;
+  out.spec = spec;
+  out.latency_us.add(healthy_done->microseconds());
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    nic::accumulate(out.nic_totals, cluster.nic(i).stats());
+  }
+  return out;
 }
 
-void buffer_policy_ablation() {
+RunResult dispatch(const RunSpec& spec) {
+  if (spec.experiment != Experiment::kCustom) return run_one(spec);
+  if (spec.label == "forward_policy") return forward_policy(spec);
+  return buffer_policy(spec);
+}
+
+void run(const BenchOptions& options) {
+  print_header(
+      "Ablation — the paper's §5 design alternatives",
+      "Multisend: tokens vs callback chain vs rewrite bound; forwarding: "
+      "receive-token transform vs send-token pool; staging-buffer policy.");
+  const std::vector<std::size_t> ms_sizes{8, 64, 512, 4096, 16384};
+  const std::vector<std::size_t> busy_counts{0, 2, 4};
+  const std::vector<std::size_t> pools{2, 4, 8, 32};
+
+  std::vector<RunSpec> specs;
+
+  // Part 1: multisend alternatives (stock kMultisend runner; the variants
+  // differ only in the NIC config/options a spec already carries).
+  RunSpec ms;
+  ms.experiment = Experiment::kMultisend;
+  ms.destinations = 4;
+  ms.nodes = 5;
+  ms.warmup = 3;
+  ms.iterations = options.iterations > 0 ? options.iterations : 30;
+  for (std::size_t bytes : ms_sizes) {
+    ms.message_bytes = bytes;
+    ms.label = "alt1_tokens";
+    ms.nic = {};
+    ms.nic_options = {};
+    ms.nic_options.multisend_uses_multiple_tokens = true;
+    specs.push_back(ms);
+    ms.label = "alt2_chain";
+    ms.nic_options = {};
+    specs.push_back(ms);
+    ms.label = "alt3_bound";
+    ms.nic.header_rewrite = sim::usec(0.02);
+    specs.push_back(ms);
+    ms.nic = {};
+  }
+  const std::size_t part2_at = specs.size();
+
+  // Part 2: forwarding token policy.
+  RunSpec fwd;
+  fwd.experiment = Experiment::kCustom;
+  fwd.label = "forward_policy";
+  fwd.nodes = 4;
+  fwd.nic.send_tokens_per_port = 4;
+  for (std::size_t busy : busy_counts) {
+    fwd.aux = busy;
+    fwd.nic_options.forwarding_uses_send_tokens = false;
+    specs.push_back(fwd);
+    fwd.nic_options.forwarding_uses_send_tokens = true;
+    specs.push_back(fwd);
+  }
+  const std::size_t part3_at = specs.size();
+
+  // Part 3: staging-buffer release policy (64KB, one child 2ms late).
+  RunSpec buf;
+  buf.experiment = Experiment::kCustom;
+  buf.label = "buffer_policy";
+  buf.nodes = 4;
+  buf.message_bytes = 65536;
+  buf.nic.retransmit_timeout = sim::usec(300);
+  buf.nic.max_retries = 1000;
+  for (std::size_t pool : pools) {
+    buf.aux = pool;
+    buf.nic.nic_rx_buffers = pool;
+    buf.nic_options.hold_buffers_until_acked = false;
+    specs.push_back(buf);
+    buf.nic_options.hold_buffers_until_acked = true;
+    specs.push_back(buf);
+  }
+
+  const auto results =
+      ParallelRunner(runner_options(options)).run(specs, dispatch);
+
+  std::printf("\n--- multisend alternatives (4 destinations) ---\n");
+  std::printf("%8s | %12s | %12s | %12s\n", "size(B)", "alt1 tokens",
+              "alt2 chain", "alt3 bound");
+  for (std::size_t si = 0; si < ms_sizes.size(); ++si) {
+    const std::size_t idx = si * 3;
+    std::printf("%8zu | %9.2fus | %9.2fus | %9.2fus\n", ms_sizes[si],
+                results[idx].mean_us(), results[idx + 1].mean_us(),
+                results[idx + 2].mean_us());
+  }
+  std::printf("Chosen: alternative 2 — saves the per-destination token\n"
+              "processing; alternative 3 could shave the rewrite cost but\n"
+              "needs risky DMA-engine timing (left as future work in the\n"
+              "paper).\n");
+
+  std::printf("\n--- forwarding token policy (chain, node 1 busy with "
+              "unicasts, 4-token pool) ---\n");
+  std::printf("%18s | %16s | %16s\n", "competing sends",
+              "recv-token(us)", "send-pool(us)");
+  for (std::size_t bi = 0; bi < busy_counts.size(); ++bi) {
+    const std::size_t idx = part2_at + bi * 2;
+    std::printf("%18zu | %16.2f | %16.2f\n", busy_counts[bi],
+                results[idx].mean_us(), results[idx + 1].mean_us());
+  }
+  std::printf("Chosen: transforming the receive token — forwarding never\n"
+              "competes for send tokens, so the leaf latency is flat no\n"
+              "matter how busy the intermediate host is.  The pool variant\n"
+              "stalls (and in cyclic configurations can deadlock).\n");
+
   std::printf("\n--- staging-buffer release policy (64KB, one child 2ms "
               "late) ---\n");
   std::printf("%10s | %22s | %22s\n", "SRAM pool",
               "healthy sibling, fwd(us)", "healthy sibling, hold(us)");
-  for (std::size_t pool : {2u, 4u, 8u, 32u}) {
-    const double chosen = buffer_policy_us(false, pool);
-    const double naive = buffer_policy_us(true, pool);
-    std::printf("%10zu | %22.1f | %22.1f\n", pool, chosen, naive);
+  for (std::size_t pi = 0; pi < pools.size(); ++pi) {
+    const std::size_t idx = part3_at + pi * 2;
+    std::printf("%10zu | %22.1f | %22.1f\n", pools[pi],
+                results[idx].mean_us(), results[idx + 1].mean_us());
   }
   std::printf("Chosen: release once forwarding (and the RDMA) finished —\n"
               "the host replica covers retransmissions, so a slow child\n"
@@ -187,18 +231,15 @@ void buffer_policy_ablation() {
               "policy pins the pool behind the laggard and drags the\n"
               "healthy subtree past its wake-up (the paper's \"slow down\n"
               "the receiver or even block the network\").\n");
+
+  write_bench_json("ablation_alternatives", options, results);
 }
 
 }  // namespace
 }  // namespace nicmcast::bench
 
-int main() {
-  nicmcast::bench::print_header(
-      "Ablation — the paper's §5 design alternatives",
-      "Multisend: tokens vs callback chain vs rewrite bound; forwarding: "
-      "receive-token transform vs send-token pool; staging-buffer policy.");
-  nicmcast::bench::multisend_ablation();
-  nicmcast::bench::forwarding_ablation();
-  nicmcast::bench::buffer_policy_ablation();
+int main(int argc, char** argv) {
+  nicmcast::bench::run(nicmcast::harness::parse_bench_options(
+      argc, argv, "ablation_alternatives"));
   return 0;
 }

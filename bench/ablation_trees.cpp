@@ -6,55 +6,60 @@
 // flat-ish for small messages (cheap replicas, shallow depth wins),
 // narrow and deeper for large messages (wire-bound replicas).
 #include <cstdio>
+#include <vector>
 
-#include "bench_util.hpp"
+#include "harness/bench_io.hpp"
+#include "harness/experiment_util.hpp"
+#include "harness/sweep.hpp"
 
 namespace nicmcast::bench {
 namespace {
 
-void run() {
+using namespace nicmcast::harness;
+
+void run(const BenchOptions& options) {
   print_header(
       "Ablation — spanning-tree shapes for the NIC-based multicast (16 "
       "nodes)",
       "Optimal (postal, size-dependent) vs binomial vs chain vs flat.");
-  const std::size_t n = 16;
-  const auto dests = everyone_but(0, n);
+  const std::vector<std::size_t> sizes{4, 64, 512, 2048, 4096, 16384};
+  const std::vector<TreeShape> shapes{TreeShape::kPostal, TreeShape::kBinomial,
+                                      TreeShape::kChain, TreeShape::kFlat};
+
+  RunSpec base;
+  base.experiment = Experiment::kGmMulticast;
+  base.nodes = 16;
+  base.algo = Algo::kNicBased;
+  base.iterations = options.iterations > 0 ? options.iterations : 25;
+
+  const auto specs =
+      Sweep(base).message_sizes(sizes).trees(shapes).build();
+  const auto results = ParallelRunner(runner_options(options)).run(specs);
 
   std::printf("%8s | %10s %10s %10s %10s | %s\n", "size(B)", "postal",
               "binomial", "chain", "flat", "postal shape");
-  for (std::size_t bytes : {4u, 64u, 512u, 2048u, 4096u, 16384u}) {
-    McastLatencyConfig config;
-    config.nodes = n;
-    config.message_bytes = bytes;
-    config.nic_based = true;
-    config.iterations = 25;
-
-    const auto cost = mcast::PostalCostModel::nic_based(
-        bytes, nic::NicConfig{}, net::NetworkConfig{});
-    const mcast::Tree postal = mcast::build_postal_tree(0, dests, cost);
-
-    const double t_postal = measure_mcast_latency_us(config, postal);
-    const double t_binomial = measure_mcast_latency_us(
-        config, mcast::build_binomial_tree(0, dests));
-    const double t_chain =
-        measure_mcast_latency_us(config, mcast::build_chain_tree(0, dests));
-    const double t_flat =
-        measure_mcast_latency_us(config, mcast::build_flat_tree(0, dests));
-
+  const auto dests = everyone_but(0, base.nodes);
+  for (std::size_t si = 0; si < sizes.size(); ++si) {
+    const std::size_t idx = si * shapes.size();
+    const mcast::Tree postal = build_tree(results[idx].spec, dests);
     std::printf("%8zu | %9.2f %10.2f %10.2f %10.2f | depth=%zu fanout=%zu\n",
-                bytes, t_postal, t_binomial, t_chain, t_flat, postal.depth(),
-                postal.max_fanout());
+                sizes[si], results[idx].mean_us(), results[idx + 1].mean_us(),
+                results[idx + 2].mean_us(), results[idx + 3].mean_us(),
+                postal.depth(), postal.max_fanout());
   }
   std::printf(
       "\nShape check: the postal tree is never materially worse than the\n"
       "best fixed shape; small sizes favour wide/shallow, large sizes\n"
       "favour narrow/deeper trees.\n");
+
+  write_bench_json("ablation_trees", options, results);
 }
 
 }  // namespace
 }  // namespace nicmcast::bench
 
-int main() {
-  nicmcast::bench::run();
+int main(int argc, char** argv) {
+  nicmcast::bench::run(
+      nicmcast::harness::parse_bench_options(argc, argv, "ablation_trees"));
   return 0;
 }

@@ -10,74 +10,59 @@
 // rounds): large at zero skew, and washed out as skew dominates — the NIC
 // version never pays more, but cannot make stragglers arrive earlier.
 #include <cstdio>
+#include <vector>
 
-#include "bench_util.hpp"
-#include "mpi/mpi.hpp"
+#include "harness/bench_io.hpp"
+#include "harness/sweep.hpp"
 
 namespace nicmcast::bench {
 namespace {
 
-struct Result {
-  double latency_us = 0;    // barrier wall time, no skew
-  double cpu_us = 0;        // mean time blocked in barrier under skew
-};
+using namespace nicmcast::harness;
 
-Result measure(std::size_t nodes, mpi::BarrierAlgorithm algorithm,
-               double max_skew_us) {
-  gm::Cluster cluster(gm::ClusterConfig{.nodes = nodes});
-  mpi::MpiConfig config;
-  config.barrier_algorithm = algorithm;
-  mpi::World world(cluster, config);
-
-  const int rounds = 20;
-  auto wall = std::make_shared<sim::Duration>();
-  auto cpu = std::make_shared<sim::OnlineStats>();
-  world.launch([wall, cpu, rounds, max_skew_us,
-                algorithm](mpi::Process& self) -> sim::Task<void> {
-    sim::Rng rng(42 + self.rank());
-    co_await self.barrier(self.world_comm(), algorithm);  // bootstrap
-    const sim::TimePoint start = self.simulator().now();
-    for (int i = 0; i < rounds; ++i) {
-      if (max_skew_us > 0 && self.rank() != 0) {
-        co_await self.simulator().wait(
-            sim::usec(rng.uniform(0, max_skew_us)));
-      }
-      const sim::TimePoint entered = self.simulator().now();
-      co_await self.barrier(self.world_comm(), algorithm);
-      cpu->add((self.simulator().now() - entered).microseconds());
-    }
-    if (self.rank() == 0) *wall = self.simulator().now() - start;
-  });
-  world.run();
-  return Result{wall->microseconds() / rounds, cpu->mean()};
-}
-
-void run() {
+void run(const BenchOptions& options) {
   print_header(
       "Extension — NIC-level barrier vs host-level dissemination",
       "Paper §7 / ref [6]: gather+release in firmware; hosts only enter "
       "and leave.");
+  const std::vector<std::size_t> node_counts{4, 8, 16, 32};
+  const std::vector<double> skews{0.0, 100.0, 400.0};
+  const std::vector<Algo> algos{Algo::kHostBased, Algo::kNicBased};
+
+  RunSpec base;
+  base.experiment = Experiment::kBarrier;
+  base.iterations = options.iterations > 0 ? options.iterations : 20;
+
+  // Part 1: wall latency per barrier at zero skew, across node counts.
+  auto specs = Sweep(base).node_counts(node_counts).algos(algos).build();
+  const std::size_t part2_at = specs.size();
+
+  // Part 2: mean blocked time under skew at 16 nodes.
+  base.nodes = 16;
+  for (RunSpec& s :
+       Sweep(base).skews_us(skews).algos(algos).build()) {
+    specs.push_back(std::move(s));
+  }
+  const auto results = ParallelRunner(runner_options(options)).run(specs);
+
   std::printf("--- latency per barrier, no skew ---\n");
   std::printf("%6s | %10s | %10s | %6s\n", "nodes", "host(us)", "nic(us)",
               "factor");
-  for (std::size_t nodes : {4u, 8u, 16u, 32u}) {
-    const double host =
-        measure(nodes, mpi::BarrierAlgorithm::kDissemination, 0).latency_us;
-    const double nic =
-        measure(nodes, mpi::BarrierAlgorithm::kNicBased, 0).latency_us;
-    std::printf("%6zu | %10.2f | %10.2f | %6.2f\n", nodes, host, nic,
-                host / nic);
+  for (std::size_t ni = 0; ni < node_counts.size(); ++ni) {
+    const double host = results[ni * 2].metric("wall_us_per_round");
+    const double nic = results[ni * 2 + 1].metric("wall_us_per_round");
+    std::printf("%6zu | %10.2f | %10.2f | %6.2f\n", node_counts[ni], host,
+                nic, host / nic);
   }
+
   std::printf("\n--- mean time blocked in the barrier under skew "
               "(16 nodes) ---\n");
   std::printf("%10s | %10s | %10s | %6s\n", "skew(us)", "host(us)",
               "nic(us)", "factor");
-  for (double skew : {0.0, 100.0, 400.0}) {
-    const double host =
-        measure(16, mpi::BarrierAlgorithm::kDissemination, skew).cpu_us;
-    const double nic =
-        measure(16, mpi::BarrierAlgorithm::kNicBased, skew).cpu_us;
-    std::printf("%10.0f | %10.2f | %10.2f | %6.2f\n", skew, host, nic,
+  for (std::size_t ki = 0; ki < skews.size(); ++ki) {
+    const double host = results[part2_at + ki * 2].mean_us();
+    const double nic = results[part2_at + ki * 2 + 1].mean_us();
+    std::printf("%10.0f | %10.2f | %10.2f | %6.2f\n", skews[ki], host, nic,
                 host / nic);
   }
   std::printf(
@@ -85,12 +70,15 @@ void run() {
       "node counts; under skew both algorithms converge to the straggler\n"
       "bound (a barrier must wait for the last arrival), with the NIC\n"
       "version never slower.\n");
+
+  write_bench_json("ext_nic_barrier", options, results);
 }
 
 }  // namespace
 }  // namespace nicmcast::bench
 
-int main() {
-  nicmcast::bench::run();
+int main(int argc, char** argv) {
+  nicmcast::bench::run(
+      nicmcast::harness::parse_bench_options(argc, argv, "ext_nic_barrier"));
   return 0;
 }

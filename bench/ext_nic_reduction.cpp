@@ -8,74 +8,54 @@
 // small vectors (fewer host crossings) and loses on large ones (slow
 // lane-adds serialise on the NIC CPU): the same crossover ref [4] reports.
 #include <cstdio>
+#include <vector>
 
-#include "bench_util.hpp"
-#include "mpi/mpi.hpp"
+#include "harness/bench_io.hpp"
+#include "harness/sweep.hpp"
 
 namespace nicmcast::bench {
 namespace {
 
-double allreduce_us(std::size_t nodes, std::size_t lanes, bool nic) {
-  gm::Cluster cluster(gm::ClusterConfig{.nodes = nodes});
-  mpi::MpiConfig config;
-  config.nic_reduction = nic;
-  mpi::World world(cluster, config);
+using namespace nicmcast::harness;
 
-  const int warmup = 2;
-  const int iterations = 15;
-  auto barrier = std::make_shared<SimBarrier>(nodes);
-  auto done =
-      std::make_shared<std::vector<sim::TimePoint>>(warmup + iterations);
-  auto started =
-      std::make_shared<std::vector<sim::TimePoint>>(warmup + iterations);
-  world.launch([barrier, done, started, lanes, warmup, iterations,
-                nodes](mpi::Process& self) -> sim::Task<void> {
-    for (int iter = 0; iter < warmup + iterations; ++iter) {
-      co_await barrier->arrive();
-      if (self.rank() == 0) (*started)[iter] = self.simulator().now();
-      std::vector<std::int64_t> mine(lanes, self.rank() + iter);
-      const auto sum =
-          co_await self.allreduce_sum(self.world_comm(), std::move(mine));
-      const auto expected = static_cast<std::int64_t>(
-          nodes * (nodes - 1) / 2 + nodes * iter);
-      if (sum.at(0) != expected) {
-        throw std::logic_error("allreduce bench: wrong sum");
-      }
-      auto& d = (*done)[iter];
-      d = std::max(d, self.simulator().now());
-    }
-  });
-  world.run();
-
-  sim::OnlineStats stats;
-  for (int iter = warmup; iter < warmup + iterations; ++iter) {
-    stats.add(((*done)[iter] - (*started)[iter]).microseconds());
-  }
-  return stats.mean();
-}
-
-void run() {
+void run(const BenchOptions& options) {
   print_header(
       "Extension — NIC-based reduction: is it beneficial? (16 nodes)",
       "Paper §7 + ref [4]: firmware folding wins for small vectors, the "
       "slow LANai loses for large ones.");
+  const std::vector<std::size_t> lane_counts{1, 4, 16, 64, 256, 1024, 2048};
+
+  RunSpec base;
+  base.experiment = Experiment::kAllreduce;
+  base.warmup = 2;
+  base.iterations = options.iterations > 0 ? options.iterations : 15;
+
+  const auto specs = Sweep(base)
+                         .lane_counts(lane_counts)
+                         .algos({Algo::kHostBased, Algo::kNicBased})
+                         .build();
+  const auto results = ParallelRunner(runner_options(options)).run(specs);
+
   std::printf("%10s | %14s | %14s | %6s\n", "lanes(x8B)", "host-lvl(us)",
               "NIC-lvl(us)", "factor");
-  for (std::size_t lanes : {1u, 4u, 16u, 64u, 256u, 1024u, 2048u}) {
-    const double host = allreduce_us(16, lanes, false);
-    const double nic = allreduce_us(16, lanes, true);
-    std::printf("%10zu | %14.1f | %14.1f | %6.2f\n", lanes, host, nic,
-                host / nic);
+  for (std::size_t li = 0; li < lane_counts.size(); ++li) {
+    const double host = results[li * 2].mean_us();
+    const double nic = results[li * 2 + 1].mean_us();
+    std::printf("%10zu | %14.1f | %14.1f | %6.2f\n", lane_counts[li], host,
+                nic, host / nic);
   }
   std::printf(
       "\nShape check: factor > 1 for small vectors, crossing below 1 as\n"
       "the vector grows (the LANai's ~100MB/s lane-adds serialise).\n");
+
+  write_bench_json("ext_nic_reduction", options, results);
 }
 
 }  // namespace
 }  // namespace nicmcast::bench
 
-int main() {
-  nicmcast::bench::run();
+int main(int argc, char** argv) {
+  nicmcast::bench::run(
+      nicmcast::harness::parse_bench_options(argc, argv, "ext_nic_reduction"));
   return 0;
 }

@@ -7,77 +7,61 @@
 // with per-packet NIC forwarding into pre-registered buffers, zero host
 // copies).
 #include <cstdio>
+#include <vector>
 
-#include "bench_util.hpp"
-#include "mpi/mpi.hpp"
+#include "harness/bench_io.hpp"
+#include "harness/sweep.hpp"
 
 namespace nicmcast::bench {
 namespace {
 
-double measure_us(std::size_t nodes, std::size_t bytes, bool rdma) {
-  gm::Cluster cluster(gm::ClusterConfig{.nodes = nodes});
-  mpi::MpiConfig config;
-  config.bcast_algorithm =
-      rdma ? mpi::BcastAlgorithm::kNicBased : mpi::BcastAlgorithm::kHostBased;
-  config.rdma_multicast = rdma;
-  mpi::World world(cluster, config);
+using namespace nicmcast::harness;
 
-  const int warmup = 2;
-  const int iterations = 10;
-  auto barrier = std::make_shared<SimBarrier>(nodes);
-  auto done =
-      std::make_shared<std::vector<sim::TimePoint>>(warmup + iterations);
-  auto started =
-      std::make_shared<std::vector<sim::TimePoint>>(warmup + iterations);
-  world.launch([barrier, done, started, bytes, warmup,
-                iterations](mpi::Process& self) -> sim::Task<void> {
-    for (int iter = 0; iter < warmup + iterations; ++iter) {
-      co_await barrier->arrive();
-      if (self.rank() == 0) (*started)[iter] = self.simulator().now();
-      mpi::Payload data(bytes);
-      if (self.rank() == 0) {
-        data = make_payload(bytes, static_cast<std::uint8_t>(iter));
-      }
-      co_await self.bcast(data, 0);
-      if (data != make_payload(bytes, static_cast<std::uint8_t>(iter))) {
-        throw std::logic_error("rdma bench: corrupted broadcast");
-      }
-      auto& d = (*done)[iter];
-      d = std::max(d, self.simulator().now());
-    }
-  });
-  world.run();
-
-  sim::OnlineStats stats;
-  for (int iter = warmup; iter < warmup + iterations; ++iter) {
-    stats.add(((*done)[iter] - (*started)[iter]).microseconds());
-  }
-  return stats.mean();
-}
-
-void run() {
+void run(const BenchOptions& options) {
   print_header(
       "Extension — RDMA-based NIC multicast for >16KB broadcasts (16 "
       "nodes)",
       "Paper §7 future work: \"the NIC-based multicast using remote DMA "
       "operations\".");
+  const std::vector<std::size_t> sizes{32768, 65536, 131072, 262144, 524288};
+
+  RunSpec base;
+  base.experiment = Experiment::kMpiBcast;
+  base.warmup = 2;
+  base.iterations = options.iterations > 0 ? options.iterations : 10;
+
+  const auto specs =
+      Sweep(base)
+          .message_sizes(sizes)
+          .axis(std::vector<bool>{false, true},
+                [](RunSpec& s, bool rdma) {
+                  s.rdma = rdma;
+                  s.algo = rdma ? Algo::kNicBased : Algo::kHostBased;
+                })
+          .build();
+  const auto results = ParallelRunner(runner_options(options)).run(specs);
+
   std::printf("%9s | %14s | %14s | %6s\n", "size(B)", "HB rndv(us)",
               "NB rdma(us)", "factor");
-  for (std::size_t bytes : {32768u, 65536u, 131072u, 262144u, 524288u}) {
-    const double hb = measure_us(16, bytes, false);
-    const double nb = measure_us(16, bytes, true);
-    std::printf("%9zu | %14.1f | %14.1f | %6.2f\n", bytes, hb, nb, hb / nb);
+  for (std::size_t si = 0; si < sizes.size(); ++si) {
+    const double hb = results[si * 2].mean_us();
+    const double nb = results[si * 2 + 1].mean_us();
+    std::printf("%9zu | %14.1f | %14.1f | %6.2f\n", sizes[si], hb, nb,
+                hb / nb);
   }
   std::printf(
       "\nShape check: the RDMA multicast's pipelined forwarding keeps the\n"
       "advantage growing with message size, while the rendezvous baseline\n"
       "pays a full store-and-forward plus handshake per hop.\n");
+
+  write_bench_json("ext_rdma_mcast", options, results);
 }
 
 }  // namespace
 }  // namespace nicmcast::bench
 
-int main() {
-  nicmcast::bench::run();
+int main(int argc, char** argv) {
+  nicmcast::bench::run(
+      nicmcast::harness::parse_bench_options(argc, argv, "ext_rdma_mcast"));
   return 0;
 }

@@ -6,115 +6,85 @@
 // fabrics and reports the NIC-based improvement factor, the tree shapes
 // the postal model picks, and the NIC-level barrier against the host-level
 // dissemination barrier at the same sizes.
+#include <algorithm>
 #include <cstdio>
+#include <vector>
 
-#include "bench_util.hpp"
-#include "mpi/mpi.hpp"
+#include "harness/bench_io.hpp"
+#include "harness/run_spec.hpp"
 
 namespace nicmcast::bench {
 namespace {
 
-enum class NbTree { kPostal, kChain };
+using namespace nicmcast::harness;
 
-double mcast_us(std::size_t nodes, std::size_t bytes, bool nic_based,
-                NbTree nb_tree = NbTree::kPostal) {
-  gm::ClusterConfig config;
-  config.nodes = nodes;
-  config.wiring = nodes > 16 ? gm::ClusterConfig::Wiring::kClos
-                             : gm::ClusterConfig::Wiring::kSingleSwitch;
-  gm::Cluster cluster(config);
-  const auto dests = everyone_but(0, nodes);
-  mcast::Tree tree = mcast::build_binomial_tree(0, dests);
-  if (nic_based) {
-    tree = nb_tree == NbTree::kChain
-               ? mcast::build_chain_tree(0, dests)
-               : mcast::build_postal_tree(
-                     0, dests,
-                     mcast::PostalCostModel::nic_based(
-                         bytes, nic::NicConfig{}, net::NetworkConfig{}));
+// Seven runs per node count; a hand-built spec list (not a cartesian grid).
+constexpr std::size_t kRunsPerScale = 7;
+
+std::vector<RunSpec> specs_for(std::size_t nodes, int iterations) {
+  RunSpec mcast;
+  mcast.experiment = Experiment::kGmMulticast;
+  mcast.nodes = nodes;
+  mcast.warmup = 2;
+  mcast.iterations = iterations;
+
+  std::vector<RunSpec> specs;
+  for (auto [bytes, algo, tree] :
+       {std::tuple{std::size_t{512}, Algo::kHostBased, TreeShape::kBinomial},
+        std::tuple{std::size_t{512}, Algo::kNicBased, TreeShape::kPostal},
+        std::tuple{std::size_t{16384}, Algo::kHostBased, TreeShape::kBinomial},
+        std::tuple{std::size_t{16384}, Algo::kNicBased, TreeShape::kPostal},
+        std::tuple{std::size_t{16384}, Algo::kNicBased, TreeShape::kChain}}) {
+    RunSpec s = mcast;
+    s.message_bytes = bytes;
+    s.algo = algo;
+    s.tree = tree;
+    specs.push_back(std::move(s));
   }
-  if (nic_based) mcast::install_group(cluster, tree, 1);
-  const int warmup = 2;
-  const int iterations = 10;
-  for (net::NodeId n = 1; n < nodes; ++n) {
-    cluster.port(n).provide_receive_buffers(warmup + iterations,
-                                            std::max<std::size_t>(bytes, 64));
-  }
-  auto barrier = std::make_shared<SimBarrier>(nodes);
-  auto done =
-      std::make_shared<std::vector<sim::TimePoint>>(warmup + iterations);
-  auto started =
-      std::make_shared<std::vector<sim::TimePoint>>(warmup + iterations);
-  cluster.run_on_all([tree, bytes, nic_based, barrier, done, started, warmup,
-                      iterations](gm::Cluster& cl,
-                                  net::NodeId me) -> sim::Task<void> {
-    for (int iter = 0; iter < warmup + iterations; ++iter) {
-      co_await barrier->arrive();
-      if (me == 0) (*started)[iter] = cl.simulator().now();
-      gm::Payload data;
-      if (me == 0) data = make_payload(bytes, static_cast<std::uint8_t>(iter));
-      gm::Payload got;
-      if (nic_based) {
-        got = co_await mcast::nic_bcast(cl.port(me), tree, 1, std::move(data),
-                                        static_cast<std::uint32_t>(iter));
-      } else {
-        got = co_await mcast::host_bcast(cl.port(me), tree, std::move(data),
-                                         static_cast<std::uint32_t>(iter));
-      }
-      if (got.size() != bytes) throw std::logic_error("bad payload");
-      auto& d = (*done)[iter];
-      d = std::max(d, cl.simulator().now());
-    }
-  });
-  cluster.run();
-  sim::OnlineStats stats;
-  for (int iter = warmup; iter < warmup + iterations; ++iter) {
-    stats.add(((*done)[iter] - (*started)[iter]).microseconds());
-  }
-  return stats.mean();
+
+  RunSpec barrier;
+  barrier.experiment = Experiment::kBarrier;
+  barrier.nodes = nodes;
+  barrier.iterations = 10;
+  barrier.algo = Algo::kHostBased;  // dissemination
+  specs.push_back(barrier);
+  barrier.algo = Algo::kNicBased;
+  specs.push_back(barrier);
+  return specs;
 }
 
-double barrier_us(std::size_t nodes, mpi::BarrierAlgorithm algorithm) {
-  gm::ClusterConfig cluster_config;
-  cluster_config.nodes = nodes;
-  cluster_config.wiring = nodes > 16 ? gm::ClusterConfig::Wiring::kClos
-                                     : gm::ClusterConfig::Wiring::kSingleSwitch;
-  gm::Cluster cluster(cluster_config);
-  mpi::MpiConfig config;
-  config.barrier_algorithm = algorithm;
-  mpi::World world(cluster, config);
-  auto total = std::make_shared<sim::Duration>();
-  world.launch([total](mpi::Process& self) -> sim::Task<void> {
-    co_await self.barrier();  // bootstrap
-    const sim::TimePoint start = self.simulator().now();
-    for (int i = 0; i < 10; ++i) co_await self.barrier();
-    if (self.rank() == 0) *total = self.simulator().now() - start;
-  });
-  world.run();
-  return total->microseconds() / 10.0;
-}
-
-void run() {
+void run(const BenchOptions& options) {
   print_header(
       "Extension — scalability sweep (Clos fabrics up to 128 nodes)",
       "Paper §7: minimal NIC state, no centralized manager => the benefit "
       "should grow with system size.");
+  const std::vector<std::size_t> scales{8, 16, 32, 64, 128};
+  const int iterations = options.iterations > 0 ? options.iterations : 10;
+
+  std::vector<RunSpec> specs;
+  for (std::size_t nodes : scales) {
+    auto batch = specs_for(nodes, iterations);
+    specs.insert(specs.end(), std::make_move_iterator(batch.begin()),
+                 std::make_move_iterator(batch.end()));
+  }
+  const auto results = ParallelRunner(runner_options(options)).run(specs);
+
   std::printf("%6s | %26s | %36s | %21s\n", "nodes",
               "512B mcast HB/NB/factor",
               "16KB mcast HB/NB-postal/NB-chain/best", "barrier host/NIC");
-  for (std::size_t nodes : {8u, 16u, 32u, 64u, 128u}) {
-    const double hb_s = mcast_us(nodes, 512, false);
-    const double nb_s = mcast_us(nodes, 512, true);
-    const double hb_l = mcast_us(nodes, 16384, false);
-    const double nb_postal = mcast_us(nodes, 16384, true, NbTree::kPostal);
-    const double nb_chain = mcast_us(nodes, 16384, true, NbTree::kChain);
+  for (std::size_t ni = 0; ni < scales.size(); ++ni) {
+    const std::size_t at = ni * kRunsPerScale;
+    const double hb_s = results[at + 0].mean_us();
+    const double nb_s = results[at + 1].mean_us();
+    const double hb_l = results[at + 2].mean_us();
+    const double nb_postal = results[at + 3].mean_us();
+    const double nb_chain = results[at + 4].mean_us();
     const double nb_best = std::min(nb_postal, nb_chain);
-    const double bar_host =
-        barrier_us(nodes, mpi::BarrierAlgorithm::kDissemination);
-    const double bar_nic = barrier_us(nodes, mpi::BarrierAlgorithm::kNicBased);
+    const double bar_host = results[at + 5].metric("wall_us_per_round");
+    const double bar_nic = results[at + 6].metric("wall_us_per_round");
     std::printf(
         "%6zu | %8.1f %7.1f %7.2fx | %8.1f %8.1f %8.1f %6.2fx | %8.1f %8.1f\n",
-        nodes, hb_s, nb_s, hb_s / nb_s, hb_l, nb_postal, nb_chain,
+        scales[ni], hb_s, nb_s, hb_s / nb_s, hb_l, nb_postal, nb_chain,
         hb_l / nb_best, bar_host, bar_nic);
   }
   std::printf(
@@ -126,12 +96,15 @@ void run() {
       "needs topology-aware trees — construction the paper explicitly\n"
       "scopes out ('our intent is not to study the effects of hardware\n"
       "topology', §5).\n");
+
+  write_bench_json("ext_scalability", options, results);
 }
 
 }  // namespace
 }  // namespace nicmcast::bench
 
-int main() {
-  nicmcast::bench::run();
+int main(int argc, char** argv) {
+  nicmcast::bench::run(
+      nicmcast::harness::parse_bench_options(argc, argv, "ext_scalability"));
   return 0;
 }

@@ -6,73 +6,35 @@
 // per message size.  Paper landmarks: factor up to 2.05 for <=128 B to 4
 // destinations; decays with size and levels off slightly below 1.
 #include <cstdio>
+#include <vector>
 
-#include "bench_util.hpp"
+#include "harness/bench_io.hpp"
+#include "harness/experiment_util.hpp"
+#include "harness/sweep.hpp"
 
 namespace nicmcast::bench {
 namespace {
 
-struct Point {
-  double hb_us = 0;
-  double nb_us = 0;
-};
+using namespace nicmcast::harness;
 
-double measure_us(std::size_t dests, std::size_t bytes, bool nic_based) {
-  gm::Cluster cluster(gm::ClusterConfig{.nodes = dests + 1});
-  const int warmup = 4;
-  const int iterations = 40;
-  for (std::size_t node = 1; node <= dests; ++node) {
-    cluster.port(node).provide_receive_buffers(
-        warmup + iterations, std::max<std::size_t>(bytes, 64));
-  }
-  sim::OnlineStats stats;
-  cluster.simulator().spawn([](gm::Cluster& cl, std::size_t k,
-                               std::size_t size, bool nb, int wu, int iters,
-                               sim::OnlineStats& out) -> sim::Task<void> {
-    gm::Port& port = cl.port(0);
-    std::vector<net::NodeId> targets;
-    for (std::size_t d = 1; d <= k; ++d) {
-      targets.push_back(static_cast<net::NodeId>(d));
-    }
-    for (int iter = 0; iter < wu + iters; ++iter) {
-      const sim::TimePoint start = cl.simulator().now();
-      if (nb) {
-        // One posting; the NIC chains replicas via descriptor callbacks.
-        std::vector<net::NodeId> copy = targets;
-        const gm::SendStatus st = co_await port.multisend(
-            std::move(copy), 0, make_payload(size), 0);
-        if (st != gm::SendStatus::kOk) throw std::runtime_error("ms failed");
-      } else {
-        // Host-based: post one send per destination back to back, then
-        // wait for every acknowledgment.
-        std::vector<nic::OpHandle> handles;
-        for (net::NodeId t : targets) {
-          co_await cl.simulator().wait(
-              port.nic().config().host_post_overhead);
-          handles.push_back(
-              port.post_send_nowait(t, 0, make_payload(size), 0));
-        }
-        for (nic::OpHandle h : handles) {
-          if (co_await port.wait_completion(h) != gm::SendStatus::kOk) {
-            throw std::runtime_error("send failed");
-          }
-        }
-      }
-      if (iter >= wu) {
-        out.add((cl.simulator().now() - start).microseconds());
-      }
-    }
-  }(cluster, dests, bytes, nic_based, warmup, iterations, stats));
-  cluster.run();
-  return stats.mean();
-}
-
-void run() {
+void run(const BenchOptions& options) {
   print_header(
       "Figure 3 — NIC-based multisend vs host-based multiple unicasts",
       "Paper: improvement up to 2.05x for <=128B to 4 dests; levels off "
       "slightly below 1 for large messages.");
   const std::vector<std::size_t> dest_counts{3, 4, 8};
+  const std::vector<std::size_t> sizes = paper_sizes();
+
+  RunSpec base;
+  base.experiment = Experiment::kMultisend;
+  base.iterations = options.iterations > 0 ? options.iterations : 40;
+
+  const auto specs = Sweep(base)
+                         .message_sizes(sizes)
+                         .destination_counts(dest_counts)
+                         .algos({Algo::kHostBased, Algo::kNicBased})
+                         .build();
+  const auto results = ParallelRunner(runner_options(options)).run(specs);
 
   std::printf("%8s", "size(B)");
   for (std::size_t k : dest_counts) {
@@ -80,11 +42,12 @@ void run() {
   }
   std::printf("\n");
 
-  for (std::size_t bytes : paper_sizes()) {
-    std::printf("%8zu", bytes);
-    for (std::size_t k : dest_counts) {
-      const double hb = measure_us(k, bytes, false);
-      const double nb = measure_us(k, bytes, true);
+  for (std::size_t si = 0; si < sizes.size(); ++si) {
+    std::printf("%8zu", sizes[si]);
+    for (std::size_t ki = 0; ki < dest_counts.size(); ++ki) {
+      const std::size_t idx = (si * dest_counts.size() + ki) * 2;
+      const double hb = results[idx].mean_us();
+      const double nb = results[idx + 1].mean_us();
       std::printf(" | %9.2f %9.2f %6.2f", hb, nb, hb / nb);
     }
     std::printf("\n");
@@ -92,12 +55,15 @@ void run() {
   std::printf(
       "\nShape check: factor peaks at small sizes, decays with size,\n"
       "and approaches (slightly below) 1 at multi-packet sizes.\n");
+
+  write_bench_json("fig3_multisend", options, results);
 }
 
 }  // namespace
 }  // namespace nicmcast::bench
 
-int main() {
-  nicmcast::bench::run();
+int main(int argc, char** argv) {
+  nicmcast::bench::run(
+      nicmcast::harness::parse_bench_options(argc, argv, "fig3_multisend"));
   return 0;
 }

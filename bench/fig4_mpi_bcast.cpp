@@ -6,55 +6,18 @@
 // final dip.  Messages above the eager limit use the rendezvous host path
 // in both configurations.
 #include <cstdio>
+#include <vector>
 
-#include "bench_util.hpp"
-#include "mpi/mpi.hpp"
+#include "harness/bench_io.hpp"
+#include "harness/experiment_util.hpp"
+#include "harness/sweep.hpp"
 
 namespace nicmcast::bench {
 namespace {
 
-double measure_us(std::size_t nodes, std::size_t bytes,
-                  mpi::BcastAlgorithm algorithm) {
-  gm::Cluster cluster(gm::ClusterConfig{.nodes = nodes});
-  mpi::MpiConfig config;
-  config.bcast_algorithm = algorithm;
-  mpi::World world(cluster, config);
+using namespace nicmcast::harness;
 
-  const int warmup = 3;  // covers demand-driven group creation
-  const int iterations = 25;
-  auto barrier = std::make_shared<SimBarrier>(nodes);
-  auto done = std::make_shared<std::vector<sim::TimePoint>>(
-      warmup + iterations);
-  auto started = std::make_shared<std::vector<sim::TimePoint>>(
-      warmup + iterations);
-
-  world.launch([barrier, done, started, bytes, warmup,
-                iterations](mpi::Process& self) -> sim::Task<void> {
-    for (int iter = 0; iter < warmup + iterations; ++iter) {
-      co_await barrier->arrive();
-      if (self.rank() == 0) (*started)[iter] = self.simulator().now();
-      mpi::Payload data(bytes);
-      if (self.rank() == 0) {
-        data = make_payload(bytes, static_cast<std::uint8_t>(iter));
-      }
-      co_await self.bcast(data, 0);
-      if (data != make_payload(bytes, static_cast<std::uint8_t>(iter))) {
-        throw std::logic_error("fig4: corrupted broadcast");
-      }
-      auto& d = (*done)[iter];
-      d = std::max(d, self.simulator().now());
-    }
-  });
-  world.run();
-
-  sim::OnlineStats stats;
-  for (int iter = warmup; iter < warmup + iterations; ++iter) {
-    stats.add(((*done)[iter] - (*started)[iter]).microseconds());
-  }
-  return stats.mean();
-}
-
-void run() {
+void run(const BenchOptions& options) {
   print_header(
       "Figure 4 — MPI-level MPI_Bcast: NIC-based vs host-based",
       "Paper: up to 2.02x at 8KB over 16 nodes; eager limit 16287B (dip "
@@ -63,17 +26,30 @@ void run() {
   std::vector<std::size_t> sizes = paper_sizes();
   sizes.back() = 16287;  // the largest eager-mode message (paper §6.2)
 
+  RunSpec base;
+  base.experiment = Experiment::kMpiBcast;
+  base.warmup = 3;  // covers demand-driven group creation
+  base.iterations = options.iterations > 0 ? options.iterations : 25;
+
+  const auto specs = Sweep(base)
+                         .message_sizes(sizes)
+                         .node_counts(node_counts)
+                         .algos({Algo::kHostBased, Algo::kNicBased})
+                         .build();
+  const auto results = ParallelRunner(runner_options(options)).run(specs);
+
   std::printf("%8s", "size(B)");
   for (std::size_t n : node_counts) {
     std::printf(" | HB-%-2zu(us) NB-%-2zu(us) factor", n, n);
   }
   std::printf("\n");
 
-  for (std::size_t bytes : sizes) {
-    std::printf("%8zu", bytes);
-    for (std::size_t n : node_counts) {
-      const double hb = measure_us(n, bytes, mpi::BcastAlgorithm::kHostBased);
-      const double nb = measure_us(n, bytes, mpi::BcastAlgorithm::kNicBased);
+  for (std::size_t si = 0; si < sizes.size(); ++si) {
+    std::printf("%8zu", sizes[si]);
+    for (std::size_t ni = 0; ni < node_counts.size(); ++ni) {
+      const std::size_t idx = (si * node_counts.size() + ni) * 2;
+      const double hb = results[idx].mean_us();
+      const double nb = results[idx + 1].mean_us();
       std::printf(" | %9.2f %9.2f %6.2f", hb, nb, hb / nb);
     }
     std::printf("\n");
@@ -81,12 +57,15 @@ void run() {
   std::printf(
       "\nShape check: mirrors the GM-level trend (Figure 5); the final\n"
       "row (16287B, the eager limit) shows the copy-cost dip.\n");
+
+  write_bench_json("fig4_mpi_bcast", options, results);
 }
 
 }  // namespace
 }  // namespace nicmcast::bench
 
-int main() {
-  nicmcast::bench::run();
+int main(int argc, char** argv) {
+  nicmcast::bench::run(
+      nicmcast::harness::parse_bench_options(argc, argv, "fig4_mpi_bcast"));
   return 0;
 }

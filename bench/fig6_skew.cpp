@@ -7,67 +7,73 @@
 // (the NIC forwards regardless); improvement up to 5.82x at 400 us average
 // skew.  Large-message companion sweep (2-8 KB) included, per the TR.
 #include <cstdio>
+#include <vector>
 
-#include "bench_util.hpp"
-#include "mpi/skew.hpp"
+#include "harness/bench_io.hpp"
+#include "harness/sweep.hpp"
 
 namespace nicmcast::bench {
 namespace {
 
-mpi::SkewResult measure(std::size_t bytes, double avg_skew_us,
-                        mpi::BcastAlgorithm algorithm,
-                        std::size_t nodes = 16) {
-  mpi::SkewConfig config;
-  config.nodes = nodes;
-  config.message_bytes = bytes;
-  // "Average skew" on the x-axis = mean |skew| of uniform[-M/2, M/2],
-  // i.e. M/4 (the positive half averages M/4 and is applied; the negative
-  // half is clipped to an immediate call).
-  config.max_skew = sim::usec(avg_skew_us * 4.0);
-  config.iterations = 40;
-  config.warmup = 4;
-  config.algorithm = algorithm;
-  return run_skew_experiment(config);
-}
+using namespace nicmcast::harness;
 
-void sweep(const std::vector<std::size_t>& sizes) {
+const std::vector<double> kSkews{0.0,   10.0,  25.0,  50.0,
+                                 100.0, 200.0, 300.0, 400.0};
+const std::vector<std::size_t> kSizes{2, 4, 8, 2048, 4096, 8192};
+
+void print_table(const std::vector<RunResult>& results, std::size_t first_size,
+                 std::size_t n_sizes) {
   std::printf("%10s", "skew(us)");
-  for (std::size_t b : sizes) {
-    std::printf(" | HB-%-4zuB NB-%-4zuB factor", b, b);
+  for (std::size_t si = first_size; si < first_size + n_sizes; ++si) {
+    std::printf(" | HB-%-4zuB NB-%-4zuB factor", kSizes[si], kSizes[si]);
   }
   std::printf("\n");
-  for (double skew : {0.0, 10.0, 25.0, 50.0, 100.0, 200.0, 300.0, 400.0}) {
-    std::printf("%10.0f", skew);
-    for (std::size_t bytes : sizes) {
-      const auto hb = measure(bytes, skew, mpi::BcastAlgorithm::kHostBased);
-      const auto nb = measure(bytes, skew, mpi::BcastAlgorithm::kNicBased);
-      std::printf(" | %7.1f %7.1f %6.2f", hb.avg_bcast_cpu_us,
-                  nb.avg_bcast_cpu_us,
-                  hb.avg_bcast_cpu_us / nb.avg_bcast_cpu_us);
+  for (std::size_t ki = 0; ki < kSkews.size(); ++ki) {
+    std::printf("%10.0f", kSkews[ki]);
+    for (std::size_t si = first_size; si < first_size + n_sizes; ++si) {
+      const std::size_t idx = (ki * kSizes.size() + si) * 2;
+      const double hb = results[idx].metric("avg_bcast_cpu_us");
+      const double nb = results[idx + 1].metric("avg_bcast_cpu_us");
+      std::printf(" | %7.1f %7.1f %6.2f", hb, nb, hb / nb);
     }
     std::printf("\n");
   }
 }
 
-void run() {
+void run(const BenchOptions& options) {
   print_header(
       "Figure 6 — average host CPU time in MPI_Bcast vs process skew (16 "
       "nodes)",
       "Paper: HB rises past ~40us skew, NB falls; improvement up to 5.82x "
       "at 400us for 2-8B (and ~2.9x for 2KB).");
+
+  RunSpec base;
+  base.experiment = Experiment::kSkewBcast;
+  base.iterations = options.iterations > 0 ? options.iterations : 40;
+
+  const auto specs = Sweep(base)
+                         .skews_us(kSkews)
+                         .message_sizes(kSizes)
+                         .algos({Algo::kHostBased, Algo::kNicBased})
+                         .build();
+  const auto results = ParallelRunner(runner_options(options)).run(specs);
+
   std::printf("\n--- small messages (Figure 6) ---\n");
-  sweep({2, 4, 8});
+  print_table(results, 0, 3);
   std::printf("\n--- large messages (technical-report companion) ---\n");
-  sweep({2048, 4096, 8192});
+  print_table(results, 3, 3);
   std::printf(
       "\nShape check: HB average CPU time grows with skew; NB stays low /"
       "\nfalls; the improvement factor grows with skew.\n");
+
+  write_bench_json("fig6_skew", options, results);
 }
 
 }  // namespace
 }  // namespace nicmcast::bench
 
-int main() {
-  nicmcast::bench::run();
+int main(int argc, char** argv) {
+  nicmcast::bench::run(
+      nicmcast::harness::parse_bench_options(argc, argv, "fig6_skew"));
   return 0;
 }

@@ -5,46 +5,58 @@
 // Paper landmark: the factor grows with the number of nodes for both
 // message sizes — larger systems benefit more.
 #include <cstdio>
+#include <vector>
 
-#include "bench_util.hpp"
-#include "mpi/skew.hpp"
+#include "harness/bench_io.hpp"
+#include "harness/sweep.hpp"
 
 namespace nicmcast::bench {
 namespace {
 
-double factor(std::size_t nodes, std::size_t bytes) {
-  auto run_one = [&](mpi::BcastAlgorithm algorithm) {
-    mpi::SkewConfig config;
-    config.nodes = nodes;
-    config.message_bytes = bytes;
-    config.max_skew = sim::usec(400.0 * 4.0);  // 400us mean |skew|
-    config.iterations = 40;
-    config.warmup = 4;
-    config.algorithm = algorithm;
-    return run_skew_experiment(config).avg_bcast_cpu_us;
-  };
-  return run_one(mpi::BcastAlgorithm::kHostBased) /
-         run_one(mpi::BcastAlgorithm::kNicBased);
-}
+using namespace nicmcast::harness;
 
-void run() {
+void run(const BenchOptions& options) {
   print_header(
       "Figure 7 — skew-tolerance improvement factor vs system size "
       "(400us average skew)",
       "Paper: the factor grows with node count for both 4B and 4KB.");
+  const std::vector<std::size_t> node_counts{4, 8, 12, 16};
+  const std::vector<std::size_t> sizes{4, 4096};
+
+  RunSpec base;
+  base.experiment = Experiment::kSkewBcast;
+  base.avg_skew_us = 400.0;
+  base.iterations = options.iterations > 0 ? options.iterations : 40;
+
+  const auto specs = Sweep(base)
+                         .node_counts(node_counts)
+                         .message_sizes(sizes)
+                         .algos({Algo::kHostBased, Algo::kNicBased})
+                         .build();
+  const auto results = ParallelRunner(runner_options(options)).run(specs);
+
   std::printf("%8s | %10s | %10s\n", "nodes", "4B factor", "4KB factor");
-  for (std::size_t nodes : {4u, 8u, 12u, 16u}) {
-    std::printf("%8zu | %10.2f | %10.2f\n", nodes, factor(nodes, 4),
-                factor(nodes, 4096));
+  for (std::size_t ni = 0; ni < node_counts.size(); ++ni) {
+    std::printf("%8zu", node_counts[ni]);
+    for (std::size_t si = 0; si < sizes.size(); ++si) {
+      const std::size_t idx = (ni * sizes.size() + si) * 2;
+      const double hb = results[idx].metric("avg_bcast_cpu_us");
+      const double nb = results[idx + 1].metric("avg_bcast_cpu_us");
+      std::printf(" | %10.2f", hb / nb);
+    }
+    std::printf("\n");
   }
   std::printf("\nShape check: both columns increase monotonically (modulo\n"
               "sampling noise) with system size.\n");
+
+  write_bench_json("fig7_skew_scaling", options, results);
 }
 
 }  // namespace
 }  // namespace nicmcast::bench
 
-int main() {
-  nicmcast::bench::run();
+int main(int argc, char** argv) {
+  nicmcast::bench::run(
+      nicmcast::harness::parse_bench_options(argc, argv, "fig7_skew_scaling"));
   return 0;
 }

@@ -4,20 +4,23 @@
 // We measure point-to-point latency and streaming bandwidth with (a) a bare
 // cluster and (b) a cluster with multicast groups installed and a multicast
 // recently completed, and show the point-to-point numbers are identical.
+// Both runs must execute with the SAME seed, so seed derivation is off.
 #include <cstdio>
+#include <memory>
+#include <vector>
 
-#include "bench_util.hpp"
+#include "harness/bench_io.hpp"
+#include "harness/experiment_util.hpp"
+#include "mcast/bcast.hpp"
 
 namespace nicmcast::bench {
 namespace {
 
-struct PtpNumbers {
-  double latency_us = 0;   // one-way, averaged
-  double bandwidth_mbps = 0;  // 1MB stream
-};
+using namespace nicmcast::harness;
 
-PtpNumbers measure(bool with_multicast_state) {
-  gm::Cluster cluster(gm::ClusterConfig{.nodes = 4});
+RunResult measure(const RunSpec& spec) {
+  const bool with_multicast_state = spec.aux != 0;
+  gm::Cluster cluster(cluster_config(spec));
   if (with_multicast_state) {
     // Install a group and run one multicast so all the multicast machinery
     // has been exercised on these NICs.
@@ -37,27 +40,27 @@ PtpNumbers measure(bool with_multicast_state) {
     cluster.run();
   }
 
-  PtpNumbers out;
-  const int iters = 50;
-  cluster.port(1).provide_receive_buffers(iters + 2, 4096);
+  RunResult out;
+  out.spec = spec;
+  const int iters = spec.iterations;
+  cluster.port(1).provide_receive_buffers(
+      static_cast<std::size_t>(iters) + 2, 4096);
 
   // One-way latency, 1-byte messages.
-  sim::OnlineStats lat;
   cluster.simulator().spawn([](gm::Cluster& cl, int n,
-                               sim::OnlineStats& stats) -> sim::Task<void> {
+                               sim::Series& stats) -> sim::Task<void> {
     for (int i = 0; i < n; ++i) {
       const sim::TimePoint start = cl.simulator().now();
       co_await cl.port(0).send(1, 0, gm::Payload(1), 0);
       stats.add((cl.simulator().now() - start).microseconds());
     }
-  }(cluster, iters, lat));
+  }(cluster, iters, out.latency_us));
   cluster.simulator().spawn([](gm::Cluster& cl, int n) -> sim::Task<void> {
     for (int i = 0; i < n; ++i) {
       co_await cl.port(1).receive();
     }
   }(cluster, iters));
   cluster.run();
-  out.latency_us = lat.mean();
 
   // Streaming bandwidth: 64 x 16KB messages.
   const std::size_t chunk = 16384;
@@ -87,36 +90,62 @@ PtpNumbers measure(bool with_multicast_state) {
     *done = cl.simulator().now();
   }(cluster, chunks, t1));
   cluster.run();
-  out.bandwidth_mbps = static_cast<double>(chunk) * chunks /
-                       (*t1 - *t0).microseconds();
+  out.set_metric("bandwidth_mbps", static_cast<double>(chunk) * chunks /
+                                       (*t1 - *t0).microseconds());
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    nic::accumulate(out.nic_totals, cluster.nic(i).stats());
+  }
   return out;
 }
 
-void run() {
+void run(const BenchOptions& options) {
   print_header(
       "Point-to-point regression — multicast support must not slow "
       "unicast traffic",
       "Paper §6.1: \"no noticeable impact on the performance of "
       "non-multicast communications\".");
-  const PtpNumbers bare = measure(false);
-  const PtpNumbers loaded = measure(true);
+
+  RunSpec base;
+  base.experiment = Experiment::kCustom;
+  base.nodes = 4;
+  base.warmup = 0;
+  base.iterations = options.iterations > 0 ? options.iterations : 50;
+
+  RunSpec bare = base;
+  bare.label = "bare";
+  bare.aux = 0;
+  RunSpec loaded = base;
+  loaded.label = "with_mcast_state";
+  loaded.aux = 1;
+
+  // The IDENTICAL claim compares the two configurations under the same
+  // seed, so per-run seed derivation stays off.
+  RunnerOptions runner = runner_options(options);
+  runner.derive_seeds = false;
+  const auto results =
+      ParallelRunner(runner).run({bare, loaded}, measure);
+
   std::printf("%-28s | %12s | %16s\n", "configuration", "latency(us)",
               "bandwidth(MB/s)");
-  std::printf("%-28s | %12.3f | %16.1f\n", "bare GM", bare.latency_us,
-              bare.bandwidth_mbps);
+  std::printf("%-28s | %12.3f | %16.1f\n", "bare GM", results[0].mean_us(),
+              results[0].metric("bandwidth_mbps"));
   std::printf("%-28s | %12.3f | %16.1f\n", "with multicast installed",
-              loaded.latency_us, loaded.bandwidth_mbps);
+              results[1].mean_us(), results[1].metric("bandwidth_mbps"));
   const bool identical =
-      bare.latency_us == loaded.latency_us &&
-      bare.bandwidth_mbps == loaded.bandwidth_mbps;
+      results[0].mean_us() == results[1].mean_us() &&
+      results[0].metric("bandwidth_mbps") ==
+          results[1].metric("bandwidth_mbps");
   std::printf("\nResult: point-to-point numbers are %s.\n",
               identical ? "IDENTICAL (claim reproduced)" : "DIFFERENT");
+
+  write_bench_json("ptp_regression", options, results);
 }
 
 }  // namespace
 }  // namespace nicmcast::bench
 
-int main() {
-  nicmcast::bench::run();
+int main(int argc, char** argv) {
+  nicmcast::bench::run(
+      nicmcast::harness::parse_bench_options(argc, argv, "ptp_regression"));
   return 0;
 }

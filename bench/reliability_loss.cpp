@@ -7,99 +7,67 @@
 // — real Myrinet's bit-error rate is tiny, but the machinery must hold up
 // far beyond it.
 #include <cstdio>
+#include <utility>
+#include <vector>
 
-#include "bench_util.hpp"
+#include "harness/bench_io.hpp"
+#include "harness/sweep.hpp"
 
 namespace nicmcast::bench {
 namespace {
 
-struct LossResult {
-  double mean_latency_us = 0;
-  std::uint64_t retransmissions = 0;
-  std::uint64_t crc_drops = 0;
-  bool all_delivered = true;
-};
+using namespace nicmcast::harness;
 
-LossResult measure(double drop_rate, double corrupt_rate) {
-  const std::size_t n = 8;
-  nic::NicConfig config;
-  config.retransmit_timeout = sim::usec(300);  // shorten recovery for bench
-  gm::ClusterConfig cluster_config;
-  cluster_config.nodes = n;
-  cluster_config.nic = config;
-  gm::Cluster cluster(cluster_config);
-  cluster.network().set_fault_injector(std::make_unique<net::RandomFaults>(
-      drop_rate, corrupt_rate, sim::Rng(42)));
-
-  const auto dests = everyone_but(0, n);
-  const mcast::Tree tree = mcast::build_binomial_tree(0, dests);
-  mcast::install_group(cluster, tree, 3);
-  const int rounds = 30;
-  for (net::NodeId node = 1; node < n; ++node) {
-    cluster.port(node).provide_receive_buffers(rounds, 4096);
-  }
-
-  auto barrier = std::make_shared<SimBarrier>(n);
-  auto result = std::make_shared<LossResult>();
-  auto lat = std::make_shared<sim::OnlineStats>();
-  cluster.run_on_all([tree, barrier, result, lat,
-                      rounds](gm::Cluster& cl,
-                              net::NodeId me) -> sim::Task<void> {
-    for (int r = 0; r < rounds; ++r) {
-      co_await barrier->arrive();
-      const sim::TimePoint start = cl.simulator().now();
-      gm::Payload data;
-      if (me == 0) {
-        data = make_payload(2048, static_cast<std::uint8_t>(r));
-      }
-      gm::Payload got =
-          co_await mcast::nic_bcast(cl.port(me), tree, 3, std::move(data),
-                                    static_cast<std::uint32_t>(r));
-      if (got != make_payload(2048, static_cast<std::uint8_t>(r))) {
-        result->all_delivered = false;
-      }
-      if (me == 0) {
-        lat->add((cl.simulator().now() - start).microseconds());
-      }
-    }
-  });
-  cluster.run();
-
-  result->mean_latency_us = lat->mean();
-  for (std::size_t i = 0; i < n; ++i) {
-    result->retransmissions += cluster.nic(i).stats().retransmissions;
-    result->crc_drops += cluster.nic(i).stats().crc_drops;
-  }
-  return *result;
-}
-
-void run() {
+void run(const BenchOptions& options) {
   print_header(
       "Reliability — NIC-based multicast under fabric faults (8 nodes, "
       "2KB, 30 rounds)",
       "Every payload must arrive intact and in order at every node, at any "
       "loss rate.");
+  const std::vector<std::pair<double, double>> rates{
+      {0.0, 0.0}, {0.001, 0.0005}, {0.01, 0.005}, {0.05, 0.02}, {0.10, 0.05}};
+
+  RunSpec base;
+  base.experiment = Experiment::kGmMulticast;
+  base.nodes = 8;
+  base.message_bytes = 2048;
+  base.algo = Algo::kNicBased;
+  base.tree = TreeShape::kBinomial;
+  base.warmup = 0;  // fault-recovery cost is part of the measurement
+  base.iterations = options.iterations > 0 ? options.iterations : 30;
+  base.nic.retransmit_timeout = sim::usec(300);  // shorten recovery for bench
+
+  const auto specs =
+      Sweep(base)
+          .axis(rates,
+                [](RunSpec& s, const std::pair<double, double>& r) {
+                  s.loss_rate = r.first;
+                  s.corrupt_rate = r.second;
+                })
+          .build();
+  const auto results = ParallelRunner(runner_options(options)).run(specs);
+
   std::printf("%10s %10s | %14s %8s %9s | %s\n", "drop", "corrupt",
               "latency(us)", "retx", "crc-drop", "delivered");
-  for (auto [drop, corrupt] : std::vector<std::pair<double, double>>{
-           {0.0, 0.0}, {0.001, 0.0005}, {0.01, 0.005}, {0.05, 0.02},
-           {0.10, 0.05}}) {
-    const LossResult r = measure(drop, corrupt);
-    std::printf("%9.2f%% %9.2f%% | %14.2f %8llu %9llu | %s\n", drop * 100,
-                corrupt * 100, r.mean_latency_us,
-                static_cast<unsigned long long>(r.retransmissions),
-                static_cast<unsigned long long>(r.crc_drops),
-                r.all_delivered ? "ALL OK" : "CORRUPTED");
+  for (const RunResult& r : results) {
+    std::printf("%9.2f%% %9.2f%% | %14.2f %8llu %9llu | %s\n",
+                r.spec.loss_rate * 100, r.spec.corrupt_rate * 100, r.mean_us(),
+                static_cast<unsigned long long>(r.nic_totals.retransmissions),
+                static_cast<unsigned long long>(r.nic_totals.crc_drops),
+                r.metric("delivered") == 1.0 ? "ALL OK" : "CORRUPTED");
   }
   std::printf(
       "\nShape check: latency and retransmissions grow with the fault\n"
       "rate; payload integrity and ordering never break.\n");
+
+  write_bench_json("reliability_loss", options, results);
 }
 
 }  // namespace
 }  // namespace nicmcast::bench
 
-int main() {
-  nicmcast::bench::run();
+int main(int argc, char** argv) {
+  nicmcast::bench::run(
+      nicmcast::harness::parse_bench_options(argc, argv, "reliability_loss"));
   return 0;
 }

@@ -4,11 +4,14 @@
 // performance so the figure benches stay fast.
 #include <benchmark/benchmark.h>
 
-#include "bench_util.hpp"
+#include "harness/experiment_util.hpp"
+#include "harness/runners.hpp"
 #include "sim/simulator.hpp"
 
 namespace nicmcast::bench {
 namespace {
+
+using namespace nicmcast::harness;
 
 void BM_EventQueueScheduleRun(benchmark::State& state) {
   for (auto _ : state) {
@@ -63,19 +66,16 @@ void BM_ChannelPingPong(benchmark::State& state) {
 BENCHMARK(BM_ChannelPingPong)->Arg(1000);
 
 void BM_FullMulticast16Nodes(benchmark::State& state) {
-  const auto dests = everyone_but(0, 16);
-  const auto cost = mcast::PostalCostModel::nic_based(
-      static_cast<std::size_t>(state.range(0)), nic::NicConfig{},
-      net::NetworkConfig{});
-  const mcast::Tree tree = mcast::build_postal_tree(0, dests, cost);
+  RunSpec spec;
+  spec.experiment = Experiment::kGmMulticast;
+  spec.nodes = 16;
+  spec.message_bytes = static_cast<std::size_t>(state.range(0));
+  spec.algo = Algo::kNicBased;
+  spec.tree = TreeShape::kPostal;
+  spec.warmup = 0;
+  spec.iterations = 1;
   for (auto _ : state) {
-    McastLatencyConfig config;
-    config.nodes = 16;
-    config.message_bytes = static_cast<std::size_t>(state.range(0));
-    config.nic_based = true;
-    config.warmup = 0;
-    config.iterations = 1;
-    benchmark::DoNotOptimize(measure_mcast_latency_us(config, tree));
+    benchmark::DoNotOptimize(run_gm_mcast(spec).mean_us());
   }
 }
 BENCHMARK(BM_FullMulticast16Nodes)->Arg(64)->Arg(16384);

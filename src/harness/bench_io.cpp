@@ -1,0 +1,187 @@
+#include "harness/bench_io.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+namespace nicmcast::harness {
+
+namespace {
+
+[[noreturn]] void usage_and_exit(std::string_view bench_name, int code) {
+  std::fprintf(stderr,
+               "usage: %.*s [--threads N] [--json PATH] [--iters K] "
+               "[--seed S]\n"
+               "  --threads N   run the sweep on N worker threads "
+               "(default 1; results are\n"
+               "                identical for every N)\n"
+               "  --json PATH   also write the nicmcast-bench-v1 JSON "
+               "document to PATH\n"
+               "  --iters K     override the per-point timed-iteration "
+               "count\n"
+               "  --seed S      base seed for deterministic per-run seed "
+               "derivation\n",
+               static_cast<int>(bench_name.size()), bench_name.data());
+  std::exit(code);
+}
+
+std::uint64_t parse_u64(const char* text, std::string_view bench_name) {
+  try {
+    return std::stoull(text);
+  } catch (const std::exception&) {
+    usage_and_exit(bench_name, 2);
+  }
+}
+
+}  // namespace
+
+BenchOptions parse_bench_options(int argc, char** argv,
+                                 std::string_view bench_name) {
+  BenchOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) usage_and_exit(bench_name, 2);
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      usage_and_exit(bench_name, 0);
+    } else if (arg == "--threads") {
+      options.threads =
+          static_cast<unsigned>(parse_u64(value(), bench_name));
+      if (options.threads == 0) options.threads = 1;
+    } else if (arg == "--json") {
+      options.json_path = value();
+    } else if (arg == "--iters") {
+      options.iterations =
+          static_cast<int>(parse_u64(value(), bench_name));
+    } else if (arg == "--seed") {
+      options.base_seed = parse_u64(value(), bench_name);
+    } else {
+      std::fprintf(stderr, "unknown option: %.*s\n",
+                   static_cast<int>(arg.size()), arg.data());
+      usage_and_exit(bench_name, 2);
+    }
+  }
+  return options;
+}
+
+RunnerOptions runner_options(const BenchOptions& options) {
+  RunnerOptions out;
+  out.threads = options.threads;
+  out.base_seed = options.base_seed;
+  return out;
+}
+
+void print_header(const std::string& title,
+                  const std::string& paper_reference) {
+  std::printf(
+      "\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("%s\n", paper_reference.c_str());
+  std::printf(
+      "================================================================\n");
+}
+
+json::Value spec_to_json(const RunSpec& spec) {
+  json::Value out = json::Value::object();
+  out["experiment"] = to_string(spec.experiment);
+  out["label"] = spec.label;
+  out["nodes"] = spec.nodes;
+  out["wiring"] = to_string(spec.wiring);
+  out["bytes"] = spec.message_bytes;
+  out["algo"] = to_string(spec.algo);
+  out["tree"] = to_string(spec.tree);
+  out["loss"] = spec.loss_rate;
+  out["corrupt"] = spec.corrupt_rate;
+  out["skew_us"] = spec.avg_skew_us;
+  out["destinations"] = spec.destinations;
+  out["lanes"] = spec.lanes;
+  out["rdma"] = spec.rdma;
+  out["warmup"] = spec.warmup;
+  out["iterations"] = spec.iterations;
+  // Seeds are full 64-bit values; a JSON number would lose precision past
+  // 2^53, so the exact value is recorded as a decimal string.
+  out["seed"] = std::to_string(spec.seed);
+  out["aux"] = spec.aux;
+  return out;
+}
+
+json::Value result_to_json(const RunResult& result) {
+  json::Value out = json::Value::object();
+  out["spec"] = spec_to_json(result.spec);
+
+  if (result.latency_us.count() > 0) {
+    json::Value lat = json::Value::object();
+    lat["count"] = result.latency_us.count();
+    lat["mean"] = result.latency_us.mean();
+    lat["min"] = result.latency_us.min();
+    lat["max"] = result.latency_us.max();
+    lat["stddev"] = result.latency_us.stddev();
+    lat["p50"] = result.latency_us.percentile(50.0);
+    lat["p95"] = result.latency_us.percentile(95.0);
+    lat["p99"] = result.latency_us.percentile(99.0);
+    out["latency_us"] = std::move(lat);
+  } else {
+    out["latency_us"] = nullptr;
+  }
+
+  const nic::NicStats& nic = result.nic_totals;
+  json::Value counters = json::Value::object();
+  counters["packets_sent"] = nic.packets_sent;
+  counters["packets_received"] = nic.packets_received;
+  counters["acks_sent"] = nic.acks_sent;
+  counters["retransmissions"] = nic.retransmissions;
+  counters["forwards"] = nic.forwards;
+  counters["header_rewrites"] = nic.header_rewrites;
+  counters["crc_drops"] = nic.crc_drops;
+  counters["out_of_order_drops"] = nic.out_of_order_drops;
+  counters["duplicate_drops"] = nic.duplicate_drops;
+  counters["no_token_drops"] = nic.no_token_drops;
+  counters["nic_buffer_drops"] = nic.nic_buffer_drops;
+  out["nic"] = std::move(counters);
+
+  json::Value metrics = json::Value::object();
+  for (const auto& [name, value] : result.metrics) {
+    metrics[name] = value;
+  }
+  out["metrics"] = std::move(metrics);
+  return out;
+}
+
+json::Value bench_document(std::string_view bench_name,
+                           const BenchOptions& options,
+                           const std::vector<RunResult>& results) {
+  json::Value doc = json::Value::object();
+  doc["schema"] = "nicmcast-bench-v1";
+  doc["bench"] = bench_name;
+  doc["threads"] = options.threads;
+  // Decimal string, like RunSpec::seed: a double cannot hold every uint64.
+  doc["base_seed"] = std::to_string(options.base_seed);
+  json::Value runs = json::Value::array();
+  for (const RunResult& result : results) {
+    runs.push_back(result_to_json(result));
+  }
+  doc["runs"] = std::move(runs);
+  return doc;
+}
+
+void write_bench_json(std::string_view bench_name, const BenchOptions& options,
+                      const std::vector<RunResult>& results) {
+  if (options.json_path.empty()) return;
+  std::ofstream out(options.json_path);
+  if (!out) {
+    // Same convention as parse_bench_options: a usage-level problem ends
+    // the process with a message, not a stack-unwinding abort.
+    std::fprintf(stderr, "error: cannot open JSON output file: %s\n",
+                 options.json_path.c_str());
+    std::exit(1);
+  }
+  out << bench_document(bench_name, options, results).dump(2) << "\n";
+  std::printf("\nJSON: wrote %zu runs to %s\n", results.size(),
+              options.json_path.c_str());
+}
+
+}  // namespace nicmcast::harness

@@ -1,0 +1,78 @@
+// Shared bench front-end: the common command-line flags every bench and
+// the CLI sweep accept (--threads, --json, --iters, --seed), table-header
+// printing, and the BENCH_*.json trajectory writer.
+//
+// JSON schema ("nicmcast-bench-v1"), one document per bench invocation:
+//
+//   {
+//     "schema":    "nicmcast-bench-v1",
+//     "bench":     "<bench name>",
+//     "threads":   N,              // worker threads used
+//     "base_seed": S,              // ParallelRunner seed base
+//     "runs": [
+//       {
+//         "spec": { "experiment": "gm_mcast", "label": "", "nodes": 16,
+//                   "wiring": "auto", "bytes": 512, "algo": "nic",
+//                   "tree": "postal", "loss": 0, "corrupt": 0,
+//                   "skew_us": 0, "destinations": 0, "lanes": 1,
+//                   "rdma": false, "warmup": 4, "iterations": 30,
+//                   "seed": "123" /* decimal string: 64-bit exact */,
+//                   "aux": 0 },
+//         "latency_us": { "count": 30, "mean": ..., "min": ..., "max": ...,
+//                         "stddev": ..., "p50": ..., "p95": ..., "p99": ... },
+//                       // null when the experiment reports only metrics
+//         "nic": { "packets_sent": ..., "packets_received": ...,
+//                  "acks_sent": ..., "retransmissions": ..., "forwards": ...,
+//                  "header_rewrites": ..., "crc_drops": ...,
+//                  "out_of_order_drops": ..., "duplicate_drops": ...,
+//                  "no_token_drops": ..., "nic_buffer_drops": ... },
+//         "metrics": { "<name>": <number>, ... }
+//       }, ...
+//     ]
+//   }
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "harness/json.hpp"
+#include "harness/parallel_runner.hpp"
+#include "harness/run_result.hpp"
+
+namespace nicmcast::harness {
+
+struct BenchOptions {
+  unsigned threads = 1;
+  std::string json_path;     // empty: no JSON output
+  int iterations = 0;        // 0: keep the bench's own default
+  std::uint64_t base_seed = 1;
+};
+
+/// Parses the shared bench flags.  Prints usage and calls std::exit(2) on
+/// a bad flag, std::exit(0) for --help.
+[[nodiscard]] BenchOptions parse_bench_options(int argc, char** argv,
+                                               std::string_view bench_name);
+
+/// RunnerOptions implied by the parsed bench flags.
+[[nodiscard]] RunnerOptions runner_options(const BenchOptions& options);
+
+void print_header(const std::string& title, const std::string& paper_reference);
+
+/// The "spec" object of the schema above.
+[[nodiscard]] json::Value spec_to_json(const RunSpec& spec);
+
+/// One "runs" element of the schema above.
+[[nodiscard]] json::Value result_to_json(const RunResult& result);
+
+/// Assembles a full "nicmcast-bench-v1" document.
+[[nodiscard]] json::Value bench_document(std::string_view bench_name,
+                                         const BenchOptions& options,
+                                         const std::vector<RunResult>& results);
+
+/// Writes the document for `results` to options.json_path (no-op when the
+/// path is empty) and prints a one-line confirmation.
+void write_bench_json(std::string_view bench_name, const BenchOptions& options,
+                      const std::vector<RunResult>& results);
+
+}  // namespace nicmcast::harness

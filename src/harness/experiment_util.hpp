@@ -1,0 +1,73 @@
+// Shared experiment plumbing: the paper's measurement methodology (warm-up
+// iterations, averaged timed iterations, latency to the last destination)
+// plus payload and tree helpers used by the stock runners, the benches and
+// the CLI.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "gm/cluster.hpp"
+#include "harness/run_spec.hpp"
+#include "mcast/postal_tree.hpp"
+#include "mcast/tree.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+
+namespace nicmcast::harness {
+
+inline gm::Payload make_payload(std::size_t n, std::uint8_t salt = 0) {
+  gm::Payload p(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    p[i] = std::byte{static_cast<std::uint8_t>(i * 131u + salt)};
+  }
+  return p;
+}
+
+inline std::vector<net::NodeId> everyone_but(net::NodeId root, std::size_t n) {
+  std::vector<net::NodeId> v;
+  for (net::NodeId i = 0; i < n; ++i) {
+    if (i != root) v.push_back(i);
+  }
+  return v;
+}
+
+/// Zero-cost simulation-side barrier used to align iterations exactly
+/// (the paper used warm-up rounds; determinism lets us do better).
+class SimBarrier {
+ public:
+  explicit SimBarrier(std::size_t parties) : parties_(parties) {}
+  sim::Task<void> arrive() {
+    if (++count_ == parties_) {
+      count_ = 0;
+      gate_.release();
+    } else {
+      co_await gate_.wait();
+    }
+  }
+
+ private:
+  std::size_t parties_;
+  std::size_t count_ = 0;
+  sim::Gate gate_;
+};
+
+/// Standard message-size sweep used by the paper's figures.
+inline std::vector<std::size_t> paper_sizes() {
+  return {1, 4, 16, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384};
+}
+
+/// Resolves Wiring::kAuto the way the benches always have: single switch up
+/// to 16 nodes, radix-16 Clos above.
+[[nodiscard]] gm::ClusterConfig::Wiring resolve_wiring(const RunSpec& spec);
+
+/// Cluster configuration implied by a spec (nodes, wiring, NIC knobs, seed).
+[[nodiscard]] gm::ClusterConfig cluster_config(const RunSpec& spec);
+
+/// Builds the spanning tree a spec asks for, rooted at 0 over `dests`.
+/// The postal shape is cost-modelled for the spec's message size and algo.
+[[nodiscard]] mcast::Tree build_tree(const RunSpec& spec,
+                                     const std::vector<net::NodeId>& dests);
+
+}  // namespace nicmcast::harness

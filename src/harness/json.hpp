@@ -1,0 +1,121 @@
+// Dependency-free JSON: an ordered value tree, a writer with round-trip
+// double formatting, and a small strict parser (used by the round-trip
+// tests and any tooling that consumes the BENCH_*.json trajectory).
+//
+// Objects preserve insertion order so emitted files are stable and
+// diffable run-to-run.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace nicmcast::harness::json {
+
+/// Raised by Value::parse on malformed input.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& what, std::size_t offset)
+      : std::runtime_error(what + " (at byte " + std::to_string(offset) + ")"),
+        offset_(offset) {}
+  [[nodiscard]] std::size_t offset() const { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+class Value {
+ public:
+  using Array = std::vector<Value>;
+  using Object = std::vector<std::pair<std::string, Value>>;
+
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() : data_(nullptr) {}
+  Value(std::nullptr_t) : data_(nullptr) {}
+  Value(bool b) : data_(b) {}
+  Value(double d) : data_(d) {}
+  Value(int i) : data_(static_cast<double>(i)) {}
+  Value(unsigned u) : data_(static_cast<double>(u)) {}
+  Value(long long i) : data_(static_cast<double>(i)) {}
+  Value(unsigned long long u) : data_(static_cast<double>(u)) {}
+  Value(long i) : data_(static_cast<double>(i)) {}
+  Value(unsigned long u) : data_(static_cast<double>(u)) {}
+  Value(const char* s) : data_(std::string(s)) {}
+  Value(std::string s) : data_(std::move(s)) {}
+  Value(std::string_view s) : data_(std::string(s)) {}
+
+  static Value object() { return Value(Object{}); }
+  static Value array() { return Value(Array{}); }
+
+  [[nodiscard]] Type type() const {
+    return static_cast<Type>(data_.index());
+  }
+  [[nodiscard]] bool is_null() const { return type() == Type::kNull; }
+  [[nodiscard]] bool is_bool() const { return type() == Type::kBool; }
+  [[nodiscard]] bool is_number() const { return type() == Type::kNumber; }
+  [[nodiscard]] bool is_string() const { return type() == Type::kString; }
+  [[nodiscard]] bool is_array() const { return type() == Type::kArray; }
+  [[nodiscard]] bool is_object() const { return type() == Type::kObject; }
+
+  [[nodiscard]] bool as_bool() const { return get<bool>("bool"); }
+  [[nodiscard]] double as_number() const { return get<double>("number"); }
+  [[nodiscard]] const std::string& as_string() const {
+    return get<std::string>("string");
+  }
+  [[nodiscard]] const Array& as_array() const { return get<Array>("array"); }
+  [[nodiscard]] const Object& as_object() const {
+    return get<Object>("object");
+  }
+
+  /// Object access: inserts a null member on first use (mutable overload);
+  /// throws std::out_of_range if absent (const overload).
+  Value& operator[](std::string_view key);
+  [[nodiscard]] const Value& at(std::string_view key) const;
+  [[nodiscard]] bool contains(std::string_view key) const;
+
+  /// Array append.
+  void push_back(Value v);
+  [[nodiscard]] std::size_t size() const;
+
+  /// Serialises; indent < 0 emits the compact single-line form, otherwise
+  /// pretty-prints with `indent` spaces per level.
+  [[nodiscard]] std::string dump(int indent = -1) const;
+
+  /// Strict parse of a complete JSON document (trailing junk rejected).
+  [[nodiscard]] static Value parse(std::string_view text);
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.data_ == b.data_;
+  }
+
+ private:
+  explicit Value(Array a) : data_(std::move(a)) {}
+  explicit Value(Object o) : data_(std::move(o)) {}
+
+  template <typename T>
+  [[nodiscard]] const T& get(const char* name) const {
+    if (const T* p = std::get_if<T>(&data_)) return *p;
+    throw std::logic_error(std::string("json: value is not a ") + name);
+  }
+
+  void write(std::string& out, int indent, int depth) const;
+
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object>
+      data_;
+};
+
+/// JSON string escaping (quotes, backslash, control characters; UTF-8
+/// passes through untouched).
+[[nodiscard]] std::string escape(std::string_view raw);
+
+/// Round-trippable number formatting: integral doubles print without an
+/// exponent or trailing ".0"; everything else uses shortest-round-trip.
+[[nodiscard]] std::string format_number(double value);
+
+}  // namespace nicmcast::harness::json

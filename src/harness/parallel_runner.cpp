@@ -1,0 +1,66 @@
+#include "harness/parallel_runner.hpp"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace nicmcast::harness {
+
+std::uint64_t derive_seed(std::uint64_t base_seed, std::size_t run_index) {
+  // splitmix64 over the combined words; never returns 0 so downstream
+  // xoshiro seeding always has entropy to expand.
+  std::uint64_t z = base_seed + 0x9e3779b97f4a7c15ULL *
+                                    (static_cast<std::uint64_t>(run_index) + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return z == 0 ? 0x9e3779b97f4a7c15ULL : z;
+}
+
+std::vector<RunResult> ParallelRunner::run(std::vector<RunSpec> specs,
+                                           const RunFn& fn) const {
+  if (options_.derive_seeds) {
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      specs[i].seed = derive_seed(options_.base_seed, i);
+    }
+  }
+
+  std::vector<RunResult> results(specs.size());
+  if (specs.empty()) return results;
+
+  const unsigned workers = std::min<unsigned>(
+      std::max(1u, options_.threads), static_cast<unsigned>(specs.size()));
+  if (workers == 1) {
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      results[i] = fn(specs[i]);
+    }
+    return results;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  {
+    std::vector<std::jthread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+      pool.emplace_back([&] {
+        for (;;) {
+          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= specs.size()) return;
+          try {
+            results[i] = fn(specs[i]);
+          } catch (...) {
+            const std::lock_guard<std::mutex> lock(error_mutex);
+            if (!first_error) first_error = std::current_exception();
+          }
+        }
+      });
+    }
+  }  // jthreads join here
+  if (first_error) std::rethrow_exception(first_error);
+  return results;
+}
+
+}  // namespace nicmcast::harness

@@ -1,0 +1,88 @@
+// Cartesian parameter grids over a base RunSpec.
+//
+//   auto specs = Sweep(base)
+//                    .message_sizes(paper_sizes())
+//                    .node_counts({4, 8, 16})
+//                    .algos({Algo::kHostBased, Algo::kNicBased})
+//                    .build();
+//
+// Axis order is significant and deterministic: the first axis added varies
+// slowest (outermost), the last varies fastest.  Benches rely on this to
+// index the result vector with a closed-form formula when printing tables.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "harness/run_spec.hpp"
+
+namespace nicmcast::harness {
+
+class Sweep {
+ public:
+  explicit Sweep(RunSpec base) : specs_{std::move(base)} {}
+
+  /// Generic axis: applies `apply(spec, value)` for each value, expanding
+  /// the grid.  Use for coupled knobs (e.g. algo + matching tree shape).
+  template <typename T, typename Fn>
+  Sweep& axis(const std::vector<T>& values, Fn&& apply) {
+    std::vector<RunSpec> expanded;
+    expanded.reserve(specs_.size() * values.size());
+    for (const RunSpec& spec : specs_) {
+      for (const T& value : values) {
+        RunSpec next = spec;
+        apply(next, value);
+        expanded.push_back(std::move(next));
+      }
+    }
+    specs_ = std::move(expanded);
+    return *this;
+  }
+
+  Sweep& message_sizes(const std::vector<std::size_t>& sizes) {
+    return axis(sizes, [](RunSpec& s, std::size_t bytes) {
+      s.message_bytes = bytes;
+    });
+  }
+
+  Sweep& node_counts(const std::vector<std::size_t>& nodes) {
+    return axis(nodes, [](RunSpec& s, std::size_t n) { s.nodes = n; });
+  }
+
+  Sweep& algos(const std::vector<Algo>& algos) {
+    return axis(algos, [](RunSpec& s, Algo a) { s.algo = a; });
+  }
+
+  Sweep& trees(const std::vector<TreeShape>& trees) {
+    return axis(trees, [](RunSpec& s, TreeShape t) { s.tree = t; });
+  }
+
+  Sweep& skews_us(const std::vector<double>& skews) {
+    return axis(skews, [](RunSpec& s, double us) { s.avg_skew_us = us; });
+  }
+
+  Sweep& losses(const std::vector<double>& rates) {
+    return axis(rates, [](RunSpec& s, double rate) { s.loss_rate = rate; });
+  }
+
+  Sweep& destination_counts(const std::vector<std::size_t>& dests) {
+    // A multisend experiment needs one node per destination plus the root.
+    return axis(dests, [](RunSpec& s, std::size_t k) {
+      s.destinations = k;
+      s.nodes = k + 1;
+    });
+  }
+
+  Sweep& lane_counts(const std::vector<std::size_t>& lanes) {
+    return axis(lanes, [](RunSpec& s, std::size_t n) { s.lanes = n; });
+  }
+
+  [[nodiscard]] std::size_t size() const { return specs_.size(); }
+  [[nodiscard]] std::vector<RunSpec> build() const& { return specs_; }
+  [[nodiscard]] std::vector<RunSpec> build() && { return std::move(specs_); }
+
+ private:
+  std::vector<RunSpec> specs_;
+};
+
+}  // namespace nicmcast::harness

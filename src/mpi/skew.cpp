@@ -62,6 +62,9 @@ SkewResult run_skew_experiment(const SkewConfig& config) {
   result.max_bcast_cpu_us = cpu_max_per_rank.mean();
   result.avg_applied_skew_us =
       applied_skew.count() > 0 ? applied_skew.mean() : 0.0;
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    nic::accumulate(result.nic_totals, cluster.nic(i).stats());
+  }
   return result;
 }
 

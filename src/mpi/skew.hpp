@@ -12,6 +12,7 @@
 #include <cstdint>
 
 #include "mpi/mpi.hpp"
+#include "nic/types.hpp"
 
 namespace nicmcast::mpi {
 
@@ -36,6 +37,9 @@ struct SkewResult {
   double max_bcast_cpu_us = 0.0;
   /// Mean positive skew actually applied (the x-axis value).
   double avg_applied_skew_us = 0.0;
+  /// NIC counters summed over every node (observability for the harness:
+  /// sends, forwards, retransmissions under skew).
+  nic::NicStats nic_totals;
 };
 
 /// Builds a cluster, runs the skewed-broadcast loop and reports averages.

@@ -128,4 +128,27 @@ struct NicStats {
   std::uint64_t rx_buffers_high_water = 0;
 };
 
+/// Memberwise sum — aggregates per-NIC counters into cluster-wide totals
+/// (high-water marks are summed too: the totals are a traffic-volume view,
+/// not a point-in-time snapshot).
+inline void accumulate(NicStats& into, const NicStats& from) {
+  into.packets_sent += from.packets_sent;
+  into.packets_received += from.packets_received;
+  into.crc_drops += from.crc_drops;
+  into.out_of_order_drops += from.out_of_order_drops;
+  into.no_token_drops += from.no_token_drops;
+  into.duplicate_drops += from.duplicate_drops;
+  into.acks_sent += from.acks_sent;
+  into.retransmissions += from.retransmissions;
+  into.forwards += from.forwards;
+  into.header_rewrites += from.header_rewrites;
+  into.send_tokens_in_use_high_water += from.send_tokens_in_use_high_water;
+  into.barriers_completed += from.barriers_completed;
+  into.barrier_resends += from.barrier_resends;
+  into.reductions_combined += from.reductions_combined;
+  into.reduce_resends += from.reduce_resends;
+  into.nic_buffer_drops += from.nic_buffer_drops;
+  into.rx_buffers_high_water += from.rx_buffers_high_water;
+}
+
 }  // namespace nicmcast::nic

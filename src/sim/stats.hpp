@@ -45,6 +45,7 @@ class Series {
   void add(double x) {
     samples_.push_back(x);
     stats_.add(x);
+    sorted_stale_ = true;
   }
 
   [[nodiscard]] std::size_t count() const { return samples_.size(); }
@@ -53,19 +54,24 @@ class Series {
   [[nodiscard]] double max() const { return stats_.max(); }
   [[nodiscard]] double stddev() const { return stats_.stddev(); }
 
-  /// Linear-interpolated percentile, p in [0, 100].
+  /// Linear-interpolated percentile, p in [0, 100].  The sorted copy is
+  /// cached, so repeated percentile/median calls sort once per batch of
+  /// adds instead of once per call.
   [[nodiscard]] double percentile(double p) const {
     if (samples_.empty()) {
       throw std::logic_error("percentile of empty series");
     }
-    std::vector<double> sorted = samples_;
-    std::sort(sorted.begin(), sorted.end());
+    if (sorted_stale_) {
+      sorted_ = samples_;
+      std::sort(sorted_.begin(), sorted_.end());
+      sorted_stale_ = false;
+    }
     const double rank =
-        p / 100.0 * static_cast<double>(sorted.size() - 1);
+        p / 100.0 * static_cast<double>(sorted_.size() - 1);
     const auto lo = static_cast<std::size_t>(rank);
-    const auto hi = std::min(lo + 1, sorted.size() - 1);
+    const auto hi = std::min(lo + 1, sorted_.size() - 1);
     const double frac = rank - static_cast<double>(lo);
-    return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+    return sorted_[lo] + (sorted_[hi] - sorted_[lo]) * frac;
   }
 
   [[nodiscard]] double median() const { return percentile(50.0); }
@@ -74,6 +80,9 @@ class Series {
  private:
   std::vector<double> samples_;
   OnlineStats stats_;
+  // Lazily maintained sorted view for percentile(); invalidated by add().
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_stale_ = true;
 };
 
 /// Fixed-width histogram over [lo, hi); out-of-range samples clamp to the

@@ -31,13 +31,17 @@ class Tracer {
     enabled_.insert(std::string(category));
   }
   void disable(std::string_view category) {
-    enabled_.erase(std::string(category));
+    if (auto it = enabled_.find(category); it != enabled_.end()) {
+      enabled_.erase(it);
+    }
   }
 
+  /// Heterogeneous (string_view) lookup: the disabled-tracer fast path and
+  /// every emit() check run without constructing a std::string.
   [[nodiscard]] bool enabled(std::string_view category) const {
     return !enabled_.empty() &&
-           (enabled_.contains("*") ||
-            enabled_.contains(std::string(category)));
+           (enabled_.contains(std::string_view("*")) ||
+            enabled_.contains(category));
   }
 
   /// Streams records live instead of (or in addition to) retaining them.
@@ -74,7 +78,15 @@ class Tracer {
   }
 
  private:
-  std::unordered_set<std::string> enabled_;
+  // Transparent hashing so find/contains accept string_view without an
+  // allocation (C++20 heterogeneous unordered lookup).
+  struct StringHash {
+    using is_transparent = void;
+    [[nodiscard]] std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  std::unordered_set<std::string, StringHash, std::equal_to<>> enabled_;
   std::vector<TraceRecord> records_;
   std::ostream* sink_ = nullptr;
   bool retain_ = true;

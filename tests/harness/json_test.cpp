@@ -1,0 +1,113 @@
+// JSON writer/parser tests: escaping, number formatting, insertion order,
+// round-tripping and strict parse errors.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "harness/json.hpp"
+
+namespace nicmcast::harness::json {
+namespace {
+
+TEST(JsonEscape, ControlAndSpecialCharacters) {
+  EXPECT_EQ(escape("plain"), "plain");
+  EXPECT_EQ(escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(escape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(escape("tab\there"), "tab\\there");
+  EXPECT_EQ(escape("\r\f\b"), "\\r\\f\\b");
+  EXPECT_EQ(escape(std::string_view("\x01\x1f", 2)), "\\u0001\\u001f");
+  // UTF-8 passes through byte-for-byte.
+  EXPECT_EQ(escape("caf\xc3\xa9"), "caf\xc3\xa9");
+}
+
+TEST(JsonNumber, FormattingRules) {
+  EXPECT_EQ(format_number(0.0), "0");
+  EXPECT_EQ(format_number(42.0), "42");
+  EXPECT_EQ(format_number(-7.0), "-7");
+  EXPECT_EQ(format_number(0.5), "0.5");
+  EXPECT_EQ(format_number(1.25), "1.25");
+  // Shortest round-trip representation survives a parse.
+  const double v = 0.1 + 0.2;
+  EXPECT_EQ(Value::parse(format_number(v)).as_number(), v);
+  EXPECT_THROW((void)format_number(std::nan("")), std::invalid_argument);
+  EXPECT_THROW((void)format_number(std::numeric_limits<double>::infinity()),
+               std::invalid_argument);
+}
+
+TEST(JsonValue, ObjectPreservesInsertionOrder) {
+  Value v = Value::object();
+  v["zebra"] = 1;
+  v["apple"] = 2;
+  v["mango"] = 3;
+  EXPECT_EQ(v.dump(), R"({"zebra":1,"apple":2,"mango":3})");
+  v["apple"] = 20;  // update in place, order unchanged
+  EXPECT_EQ(v.dump(), R"({"zebra":1,"apple":20,"mango":3})");
+}
+
+TEST(JsonValue, PrettyPrint) {
+  Value v = Value::object();
+  v["a"] = Value::array();
+  v["a"].push_back(1);
+  v["a"].push_back(true);
+  EXPECT_EQ(v.dump(2), "{\n  \"a\": [\n    1,\n    true\n  ]\n}");
+  EXPECT_EQ(Value::object().dump(2), "{}");
+  EXPECT_EQ(Value::array().dump(2), "[]");
+}
+
+TEST(JsonValue, RoundTrip) {
+  Value v = Value::object();
+  v["null"] = nullptr;
+  v["flag"] = false;
+  v["num"] = -12.75;
+  v["big"] = 1e300;
+  v["str"] = "with \"quotes\" and \\ and \n";
+  v["arr"] = Value::array();
+  v["arr"].push_back("nested");
+  v["arr"].push_back(Value::object());
+  EXPECT_EQ(Value::parse(v.dump()), v);
+  EXPECT_EQ(Value::parse(v.dump(4)), v);
+}
+
+TEST(JsonParse, AcceptsEscapesAndUnicode) {
+  EXPECT_EQ(Value::parse(R"("aAb")").as_string(), "aAb");
+  // Surrogate pair -> 4-byte UTF-8 (U+1F600).
+  EXPECT_EQ(Value::parse(R"("😀")").as_string(),
+            "\xf0\x9f\x98\x80");
+  EXPECT_EQ(Value::parse(R"("\n\t\\\"")").as_string(), "\n\t\\\"");
+  EXPECT_EQ(Value::parse("-0.5e2").as_number(), -50.0);
+  EXPECT_TRUE(Value::parse("null").is_null());
+  EXPECT_EQ(Value::parse(" [ 1 , 2 ] ").size(), 2u);
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  EXPECT_THROW((void)Value::parse(""), ParseError);
+  EXPECT_THROW((void)Value::parse("{"), ParseError);
+  EXPECT_THROW((void)Value::parse("[1,]"), ParseError);
+  EXPECT_THROW((void)Value::parse("{\"a\":}"), ParseError);
+  EXPECT_THROW((void)Value::parse("tru"), ParseError);
+  EXPECT_THROW((void)Value::parse("1 2"), ParseError);  // trailing junk
+  EXPECT_THROW((void)Value::parse("\"unterminated"), ParseError);
+  EXPECT_THROW((void)Value::parse("\"bad\\x\""), ParseError);
+  EXPECT_THROW((void)Value::parse(R"("\ud800 unpaired")"), ParseError);
+  try {
+    (void)Value::parse("[1, x]");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.offset(), 4u);
+  }
+}
+
+TEST(JsonValue, AccessorsThrowOnTypeMismatch) {
+  Value v = Value::object();
+  v["k"] = 1;
+  EXPECT_THROW((void)v.at("missing"), std::out_of_range);
+  EXPECT_TRUE(v.contains("k"));
+  EXPECT_FALSE(v.contains("missing"));
+  EXPECT_THROW((void)v.at("k").as_string(), std::logic_error);
+  EXPECT_THROW((void)v.at("k").size(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace nicmcast::harness::json

@@ -54,6 +54,21 @@ TEST(Series, PercentileOfEmptyThrows) {
   EXPECT_THROW(static_cast<void>(s.percentile(50)), std::logic_error);
 }
 
+TEST(Series, PercentileCacheInvalidatedByAdd) {
+  Series s;
+  for (double x : {30.0, 10.0, 20.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.median(), 20.0);  // primes the sorted cache
+  EXPECT_DOUBLE_EQ(s.percentile(100), 30.0);
+  s.add(5.0);  // must invalidate the cache
+  EXPECT_DOUBLE_EQ(s.median(), 15.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 5.0);
+  s.add(40.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 40.0);
+  // Raw sample order is preserved despite the sorted view.
+  EXPECT_DOUBLE_EQ(s.samples()[0], 30.0);
+  EXPECT_DOUBLE_EQ(s.samples()[4], 40.0);
+}
+
 TEST(Series, UnsortedInputHandled) {
   Series s;
   for (double x : {5.0, 1.0, 3.0}) s.add(x);

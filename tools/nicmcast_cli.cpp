@@ -2,26 +2,27 @@
 //
 // Runs one configurable experiment on the simulated Myrinet/GM cluster and
 // prints a result line (or a sweep table).  Everything the figure benches
-// do, but parameterised from the shell:
+// do, but parameterised from the shell; every command is a RunSpec executed
+// by the shared harness, so --json and --threads work everywhere:
 //
 //   nicmcast_cli mcast   --nodes 16 --size 512 --algo nic --tree postal
 //   nicmcast_cli mcast   --nodes 16 --size 512 --algo host --loss 0.02
 //   nicmcast_cli bcast   --nodes 16 --size 8192 --algo host --skew 400
 //   nicmcast_cli barrier --nodes 32 --algo nic
-//   nicmcast_cli sweep   --nodes 16 --iters 30
+//   nicmcast_cli sweep   --nodes 16 --iters 30 --threads 4 --json out.json
 //
 // Exit code 0 on success; 2 on bad usage.
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <string>
+#include <vector>
 
-#include "mcast/bcast.hpp"
-#include "mcast/postal_tree.hpp"
-#include "mpi/skew.hpp"
-#include "sim/stats.hpp"
+#include "harness/bench_io.hpp"
+#include "harness/sweep.hpp"
 
 using namespace nicmcast;
+using namespace nicmcast::harness;
 
 namespace {
 
@@ -50,166 +51,139 @@ int usage() {
                "usage: nicmcast_cli <mcast|bcast|barrier|sweep> [options]\n"
                "  common: --nodes N --size BYTES --iters K --loss P "
                "--seed S\n"
+               "          --threads N --json PATH\n"
                "  mcast:  --algo nic|host --tree postal|binomial|chain|flat\n"
                "  bcast:  --algo nic|host --skew AVG_US (MPI level)\n"
                "  barrier:--algo nic|host\n");
   return 2;
 }
 
-mcast::Tree build_tree(const std::string& shape, std::size_t nodes,
-                       std::size_t size) {
-  std::vector<net::NodeId> dests;
-  for (net::NodeId i = 1; i < nodes; ++i) dests.push_back(i);
-  if (shape == "binomial") return mcast::build_binomial_tree(0, dests);
-  if (shape == "chain") return mcast::build_chain_tree(0, dests);
-  if (shape == "flat") return mcast::build_flat_tree(0, dests);
-  return mcast::build_postal_tree(
-      0, dests,
-      mcast::PostalCostModel::nic_based(size, nic::NicConfig{},
-                                        net::NetworkConfig{}));
+TreeShape parse_tree(const std::string& shape) {
+  if (shape == "binomial") return TreeShape::kBinomial;
+  if (shape == "chain") return TreeShape::kChain;
+  if (shape == "flat") return TreeShape::kFlat;
+  return TreeShape::kPostal;
 }
 
-double run_gm_mcast(std::size_t nodes, std::size_t size, bool nic_based,
-                    const std::string& tree_shape, double loss,
-                    std::uint64_t seed, int iters) {
-  gm::ClusterConfig config;
-  config.nodes = nodes;
-  config.seed = seed;
-  config.wiring = nodes > 16 ? gm::ClusterConfig::Wiring::kClos
-                             : gm::ClusterConfig::Wiring::kSingleSwitch;
-  gm::Cluster cluster(config);
-  if (loss > 0) {
-    cluster.network().set_fault_injector(std::make_unique<net::RandomFaults>(
-        loss, loss / 2, sim::Rng(seed)));
-  }
-  const mcast::Tree tree =
-      build_tree(nic_based ? tree_shape : "binomial", nodes, size);
-  if (nic_based) mcast::install_group(cluster, tree, 1);
-  const int warmup = 2;
-  for (net::NodeId n = 1; n < nodes; ++n) {
-    cluster.port(n).provide_receive_buffers(warmup + iters,
-                                            std::max<std::size_t>(size, 64));
-  }
-  auto stats = std::make_shared<sim::OnlineStats>();
-  auto count = std::make_shared<int>(0);
-  auto start = std::make_shared<sim::TimePoint>();
-  auto done = std::make_shared<sim::TimePoint>();
-  auto gate = std::make_shared<sim::Gate>();
-  // One extra round-trip through the barrier finalises the last
-  // iteration's `done` before it is sampled.
-  cluster.run_on_all([=, &tree](gm::Cluster& cl,
-                                net::NodeId me) -> sim::Task<void> {
-    for (int iter = 0; iter <= warmup + iters; ++iter) {
-      if (++*count == static_cast<int>(cl.size())) {
-        *count = 0;
-        gate->release();
-      } else {
-        co_await gate->wait();
-      }
-      // Everyone has passed the previous iteration: its `done` is final.
-      if (me == 0 && iter > warmup) {
-        stats->add((*done - *start).microseconds());
-      }
-      if (iter == warmup + iters) co_return;
-      if (me == 0) {
-        *start = cl.simulator().now();
-        *done = cl.simulator().now();
-      }
-      gm::Payload data;
-      if (me == 0) data = gm::Payload(size, std::byte{0x11});
-      gm::Payload got;
-      if (nic_based) {
-        got = co_await mcast::nic_bcast(cl.port(me), tree, 1, std::move(data),
-                                        static_cast<std::uint32_t>(iter));
-      } else {
-        got = co_await mcast::host_bcast(cl.port(me), tree, std::move(data),
-                                         static_cast<std::uint32_t>(iter));
-      }
-      if (got.size() != size) throw std::logic_error("payload corrupted");
-      *done = std::max(*done, cl.simulator().now());
-    }
-  });
-  cluster.run();
-  return stats->mean();
+/// Shared flags -> BenchOptions; the --seed is honoured verbatim for the
+/// single-run commands (derive_seeds off) and used as the derivation base
+/// for the sweep.
+BenchOptions bench_options(const Args& args) {
+  BenchOptions options;
+  options.threads = static_cast<unsigned>(args.get_u("threads", 1));
+  if (options.threads == 0) options.threads = 1;
+  options.json_path = args.get("json", "");
+  options.base_seed = static_cast<std::uint64_t>(args.get_u("seed", 1));
+  return options;
+}
+
+std::vector<RunResult> run_single(const RunSpec& spec,
+                                  const BenchOptions& options) {
+  RunnerOptions runner = runner_options(options);
+  runner.derive_seeds = false;  // honour --seed exactly
+  return ParallelRunner(runner).run({spec});
 }
 
 int cmd_mcast(const Args& args) {
-  const std::size_t nodes = args.get_u("nodes", 16);
-  const std::size_t size = args.get_u("size", 512);
-  const bool nic_based = args.get("algo", "nic") == "nic";
-  const std::string tree = args.get("tree", "postal");
-  const double loss = args.get_d("loss", 0.0);
-  const auto seed = static_cast<std::uint64_t>(args.get_u("seed", 1));
-  const int iters = static_cast<int>(args.get_u("iters", 20));
-  const double us =
-      run_gm_mcast(nodes, size, nic_based, tree, loss, seed, iters);
+  const BenchOptions options = bench_options(args);
+  RunSpec spec;
+  spec.experiment = Experiment::kGmMulticast;
+  spec.nodes = args.get_u("nodes", 16);
+  spec.message_bytes = args.get_u("size", 512);
+  spec.algo = args.get("algo", "nic") == "nic" ? Algo::kNicBased
+                                               : Algo::kHostBased;
+  spec.tree = spec.algo == Algo::kNicBased
+                  ? parse_tree(args.get("tree", "postal"))
+                  : TreeShape::kBinomial;
+  spec.loss_rate = args.get_d("loss", 0.0);
+  spec.corrupt_rate = spec.loss_rate / 2;
+  spec.seed = options.base_seed;
+  spec.warmup = 2;
+  spec.iterations = static_cast<int>(args.get_u("iters", 20));
+  const auto results = run_single(spec, options);
   std::printf("gm-mcast nodes=%zu size=%zuB algo=%s tree=%s loss=%.3f: "
               "%.2f us\n",
-              nodes, size, nic_based ? "nic" : "host",
-              nic_based ? tree.c_str() : "binomial", loss, us);
+              spec.nodes, spec.message_bytes,
+              std::string(to_string(spec.algo)).c_str(),
+              std::string(to_string(spec.tree)).c_str(), spec.loss_rate,
+              results[0].mean_us());
+  write_bench_json("nicmcast_cli_mcast", options, results);
   return 0;
 }
 
 int cmd_bcast(const Args& args) {
-  mpi::SkewConfig config;
-  config.nodes = args.get_u("nodes", 16);
-  config.message_bytes = args.get_u("size", 4);
-  config.max_skew = sim::usec(args.get_d("skew", 0.0) * 4.0);
-  config.iterations = static_cast<int>(args.get_u("iters", 30));
-  config.algorithm = args.get("algo", "nic") == "nic"
-                         ? mpi::BcastAlgorithm::kNicBased
-                         : mpi::BcastAlgorithm::kHostBased;
-  config.seed = static_cast<std::uint64_t>(args.get_u("seed", 7));
-  const auto result = mpi::run_skew_experiment(config);
+  const BenchOptions options = bench_options(args);
+  RunSpec spec;
+  spec.experiment = Experiment::kSkewBcast;
+  spec.nodes = args.get_u("nodes", 16);
+  spec.message_bytes = args.get_u("size", 4);
+  spec.avg_skew_us = args.get_d("skew", 0.0);
+  spec.iterations = static_cast<int>(args.get_u("iters", 30));
+  spec.algo = args.get("algo", "nic") == "nic" ? Algo::kNicBased
+                                               : Algo::kHostBased;
+  spec.seed = static_cast<std::uint64_t>(args.get_u("seed", 7));
+  const auto results = run_single(spec, options);
   std::printf("mpi-bcast nodes=%zu size=%zuB algo=%s avg-skew=%.0fus: "
               "avg CPU time in MPI_Bcast %.2f us (max %.2f us)\n",
-              config.nodes, config.message_bytes,
-              config.algorithm == mpi::BcastAlgorithm::kNicBased ? "nic"
-                                                                 : "host",
-              result.avg_applied_skew_us, result.avg_bcast_cpu_us,
-              result.max_bcast_cpu_us);
+              spec.nodes, spec.message_bytes,
+              std::string(to_string(spec.algo)).c_str(),
+              results[0].metric("avg_applied_skew_us"),
+              results[0].metric("avg_bcast_cpu_us"),
+              results[0].metric("max_bcast_cpu_us"));
+  write_bench_json("nicmcast_cli_bcast", options, results);
   return 0;
 }
 
 int cmd_barrier(const Args& args) {
-  const std::size_t nodes = args.get_u("nodes", 16);
-  const bool nic = args.get("algo", "nic") == "nic";
-  gm::ClusterConfig cluster_config;
-  cluster_config.nodes = nodes;
-  cluster_config.wiring = nodes > 16 ? gm::ClusterConfig::Wiring::kClos
-                                     : gm::ClusterConfig::Wiring::kSingleSwitch;
-  gm::Cluster cluster(cluster_config);
-  mpi::MpiConfig config;
-  config.barrier_algorithm = nic ? mpi::BarrierAlgorithm::kNicBased
-                                 : mpi::BarrierAlgorithm::kDissemination;
-  mpi::World world(cluster, config);
-  const int rounds = static_cast<int>(args.get_u("iters", 20));
-  auto total = std::make_shared<sim::Duration>();
-  world.launch([total, rounds](mpi::Process& self) -> sim::Task<void> {
-    co_await self.barrier();
-    const sim::TimePoint start = self.simulator().now();
-    for (int i = 0; i < rounds; ++i) co_await self.barrier();
-    if (self.rank() == 0) *total = self.simulator().now() - start;
-  });
-  world.run();
-  std::printf("barrier nodes=%zu algo=%s: %.2f us per round\n", nodes,
-              nic ? "nic" : "host", total->microseconds() / rounds);
+  const BenchOptions options = bench_options(args);
+  RunSpec spec;
+  spec.experiment = Experiment::kBarrier;
+  spec.nodes = args.get_u("nodes", 16);
+  spec.algo = args.get("algo", "nic") == "nic" ? Algo::kNicBased
+                                               : Algo::kHostBased;
+  spec.seed = options.base_seed;
+  spec.iterations = static_cast<int>(args.get_u("iters", 20));
+  const auto results = run_single(spec, options);
+  std::printf("barrier nodes=%zu algo=%s: %.2f us per round\n", spec.nodes,
+              std::string(to_string(spec.algo)).c_str(),
+              results[0].metric("wall_us_per_round"));
+  write_bench_json("nicmcast_cli_barrier", options, results);
   return 0;
 }
 
 int cmd_sweep(const Args& args) {
-  const std::size_t nodes = args.get_u("nodes", 16);
-  const int iters = static_cast<int>(args.get_u("iters", 20));
-  const double loss = args.get_d("loss", 0.0);
+  const BenchOptions options = bench_options(args);
+  const std::vector<std::size_t> sizes{4, 64, 512, 2048, 4096, 8192, 16384};
+
+  RunSpec base;
+  base.experiment = Experiment::kGmMulticast;
+  base.nodes = args.get_u("nodes", 16);
+  base.loss_rate = args.get_d("loss", 0.0);
+  base.corrupt_rate = base.loss_rate / 2;
+  base.warmup = 2;
+  base.iterations = static_cast<int>(args.get_u("iters", 20));
+
+  const auto specs =
+      Sweep(base)
+          .message_sizes(sizes)
+          .axis(std::vector<Algo>{Algo::kHostBased, Algo::kNicBased},
+                [](RunSpec& s, Algo a) {
+                  s.algo = a;
+                  s.tree = a == Algo::kNicBased ? TreeShape::kPostal
+                                                : TreeShape::kBinomial;
+                })
+          .build();
+  const auto results = ParallelRunner(runner_options(options)).run(specs);
+
   std::printf("%8s | %10s | %10s | %6s\n", "size(B)", "host(us)", "nic(us)",
               "factor");
-  for (std::size_t size : {4u, 64u, 512u, 2048u, 4096u, 8192u, 16384u}) {
-    const double hb =
-        run_gm_mcast(nodes, size, false, "binomial", loss, 1, iters);
-    const double nb = run_gm_mcast(nodes, size, true, "postal", loss, 1,
-                                   iters);
-    std::printf("%8zu | %10.2f | %10.2f | %6.2f\n", size, hb, nb, hb / nb);
+  for (std::size_t si = 0; si < sizes.size(); ++si) {
+    const double hb = results[si * 2].mean_us();
+    const double nb = results[si * 2 + 1].mean_us();
+    std::printf("%8zu | %10.2f | %10.2f | %6.2f\n", sizes[si], hb, nb,
+                hb / nb);
   }
+  write_bench_json("nicmcast_cli_sweep", options, results);
   return 0;
 }
 
