@@ -96,6 +96,7 @@ json::Value spec_to_json(const RunSpec& spec) {
   out["tree"] = to_string(spec.tree);
   out["loss"] = spec.loss_rate;
   out["corrupt"] = spec.corrupt_rate;
+  out["faults"] = to_string(spec.faults);
   out["skew_us"] = spec.avg_skew_us;
   out["destinations"] = spec.destinations;
   out["lanes"] = spec.lanes;

@@ -14,6 +14,7 @@
 //         "spec": { "experiment": "gm_mcast", "label": "", "nodes": 16,
 //                   "wiring": "auto", "bytes": 512, "algo": "nic",
 //                   "tree": "postal", "loss": 0, "corrupt": 0,
+//                   "faults": "uniform",
 //                   "skew_us": 0, "destinations": 0, "lanes": 1,
 //                   "rdma": false, "warmup": 4, "iterations": 30,
 //                   "seed": "123" /* decimal string: 64-bit exact */,

@@ -17,9 +17,63 @@ namespace nicmcast::harness {
 namespace {
 
 void install_faults(gm::Cluster& cluster, const RunSpec& spec) {
-  if (spec.loss_rate > 0 || spec.corrupt_rate > 0) {
-    cluster.network().set_fault_injector(std::make_unique<net::RandomFaults>(
-        spec.loss_rate, spec.corrupt_rate, sim::Rng(spec.seed)));
+  if (spec.loss_rate <= 0 && spec.corrupt_rate <= 0) return;
+  sim::Rng rng(spec.seed);
+  switch (spec.faults) {
+    case FaultFamily::kUniform:
+      cluster.network().set_fault_injector(std::make_unique<net::RandomFaults>(
+          spec.loss_rate, spec.corrupt_rate, std::move(rng)));
+      return;
+    case FaultFamily::kBurst: {
+      // Gilbert–Elliott tuned so the stationary drop rate matches
+      // loss_rate: the chain is bad p_g2b/(p_g2b+p_b2g) of the time, so
+      // in-burst loss is loss_rate scaled up by the inverse of that.
+      net::GilbertElliottFaults::Params params;
+      params.p_good_to_bad = 0.02;
+      params.p_bad_to_good = 0.25;
+      const double bad_fraction =
+          params.p_good_to_bad / (params.p_good_to_bad + params.p_bad_to_good);
+      params.good_drop = 0.0;
+      params.bad_drop = std::min(0.95, spec.loss_rate / bad_fraction);
+      params.bad_corrupt = std::min(0.5, spec.corrupt_rate / bad_fraction);
+      cluster.network().set_fault_injector(
+          std::make_unique<net::GilbertElliottFaults>(params, std::move(rng)));
+      return;
+    }
+    case FaultFamily::kAckTargeted: {
+      net::LinkFilter filter;
+      filter.traffic = net::TrafficClass::kAck;
+      cluster.network().set_fault_injector(
+          std::make_unique<net::TargetedFaults>(
+              filter, std::make_unique<net::RandomFaults>(
+                          spec.loss_rate, spec.corrupt_rate, std::move(rng))));
+      return;
+    }
+    case FaultFamily::kBlackout: {
+      // Periodic total outages with duty cycle ~ loss_rate, far shorter
+      // than max_retries * retransmit_timeout so nothing gives up.
+      sim::Simulator& sim = cluster.simulator();
+      auto blackout = std::make_unique<net::BlackoutFaults>(
+          [&sim] { return sim.now(); });
+      const sim::Duration period = sim::msec(2);
+      const sim::Duration outage =
+          sim::usec(std::min(0.5, spec.loss_rate * 5.0) * 2000.0);
+      sim::TimePoint at = sim::TimePoint{} + sim::usec(300);
+      for (int k = 0; k < 64; ++k) {
+        blackout->add_window(at, at + outage);
+        at = at + period;
+      }
+      if (spec.corrupt_rate > 0) {
+        auto composite = std::make_unique<net::CompositeFaults>();
+        composite->add(std::move(blackout));
+        composite->add(std::make_unique<net::RandomFaults>(
+            0.0, spec.corrupt_rate, std::move(rng)));
+        cluster.network().set_fault_injector(std::move(composite));
+      } else {
+        cluster.network().set_fault_injector(std::move(blackout));
+      }
+      return;
+    }
   }
 }
 

@@ -15,6 +15,7 @@
 
 #include "net/packet.hpp"
 #include "sim/random.hpp"
+#include "sim/time.hpp"
 
 namespace nicmcast::net {
 
@@ -112,6 +113,154 @@ class ScriptedFaults final : public FaultInjector {
     std::function<bool(const Packet&)> predicate;
   };
   std::vector<Rule> rules_;
+};
+
+/// Coarse traffic class for per-direction fault targeting: the forward
+/// (data-carrying) path vs the reverse (acknowledgment) path.  Killing only
+/// one direction exercises very different recovery code: dead data path ->
+/// receiver never sees the packet; dead ack path -> receiver sees duplicates
+/// and must re-ack without re-delivering.
+enum class TrafficClass : std::uint8_t { kData, kAck };
+
+[[nodiscard]] constexpr TrafficClass traffic_class(PacketType t) {
+  switch (t) {
+    case PacketType::kAck:
+    case PacketType::kMcastAck:
+    case PacketType::kReduceAck:
+      return TrafficClass::kAck;
+    default:
+      return TrafficClass::kData;
+  }
+}
+
+/// Link/direction predicate shared by the targeted injectors.  Empty fields
+/// match everything, so a default LinkFilter selects all traffic.
+struct LinkFilter {
+  std::optional<NodeId> src;
+  std::optional<NodeId> dst;
+  std::optional<TrafficClass> traffic;
+
+  [[nodiscard]] bool matches(const Packet& p) const {
+    return (!src || *src == p.header.src) && (!dst || *dst == p.header.dst) &&
+           (!traffic || *traffic == traffic_class(p.header.type));
+  }
+};
+
+/// Gilbert–Elliott two-state Markov loss model: a mostly-clean "good" state
+/// and a lossy "bad" state with per-packet transition probabilities between
+/// them.  Unlike RandomFaults this produces *bursts* of consecutive loss,
+/// which is what stresses Go-back-N: a burst eats a whole window and forces
+/// timeout-driven recovery rather than one isolated retransmission.
+class GilbertElliottFaults final : public FaultInjector {
+ public:
+  struct Params {
+    double p_good_to_bad = 0.01;  ///< per-packet chance of entering a burst
+    double p_bad_to_good = 0.25;  ///< per-packet chance of a burst ending
+    double good_drop = 0.0;
+    double good_corrupt = 0.0;
+    double bad_drop = 0.5;
+    double bad_corrupt = 0.1;
+  };
+
+  GilbertElliottFaults(Params params, sim::Rng rng)
+      : params_(params), rng_(rng) {}
+
+  FaultAction on_packet(const Packet&) override {
+    if (bad_) {
+      if (rng_.uniform() < params_.p_bad_to_good) bad_ = false;
+    } else {
+      if (rng_.uniform() < params_.p_good_to_bad) bad_ = true;
+    }
+    const double drop = bad_ ? params_.bad_drop : params_.good_drop;
+    const double corrupt = bad_ ? params_.bad_corrupt : params_.good_corrupt;
+    const double u = rng_.uniform();
+    if (u < drop) return FaultAction::kDrop;
+    if (u < drop + corrupt) return FaultAction::kCorrupt;
+    return FaultAction::kNone;
+  }
+
+  [[nodiscard]] bool in_bad_state() const { return bad_; }
+
+ private:
+  Params params_;
+  sim::Rng rng_;
+  bool bad_ = false;
+};
+
+/// Restricts an inner injector to packets matching a link/direction filter;
+/// everything else passes through untouched.  Composes with any injector:
+/// e.g. Gilbert–Elliott bursts on the ack path of one specific link.
+class TargetedFaults final : public FaultInjector {
+ public:
+  TargetedFaults(LinkFilter filter, std::unique_ptr<FaultInjector> inner)
+      : filter_(filter), inner_(std::move(inner)) {}
+
+  FaultAction on_packet(const Packet& p) override {
+    if (!filter_.matches(p)) return FaultAction::kNone;
+    return inner_->on_packet(p);
+  }
+
+ private:
+  LinkFilter filter_;
+  std::unique_ptr<FaultInjector> inner_;
+};
+
+/// Time-windowed blackouts: inside each [start, end) window every matching
+/// packet is dropped; outside all windows the fabric is perfect.  Models a
+/// link or switch going dark and coming back — the recovery path is pure
+/// timeout + retransmission with zero feedback during the outage.  The
+/// clock callback decouples the injector from the Simulator type (tests can
+/// drive it with a plain counter).
+class BlackoutFaults final : public FaultInjector {
+ public:
+  using Clock = std::function<sim::TimePoint()>;
+
+  explicit BlackoutFaults(Clock now) : now_(std::move(now)) {}
+
+  void add_window(sim::TimePoint start, sim::TimePoint end,
+                  LinkFilter filter = {}) {
+    windows_.push_back(Window{start, end, filter});
+  }
+
+  FaultAction on_packet(const Packet& p) override {
+    const sim::TimePoint t = now_();
+    for (const Window& w : windows_) {
+      if (w.start <= t && t < w.end && w.filter.matches(p)) {
+        return FaultAction::kDrop;
+      }
+    }
+    return FaultAction::kNone;
+  }
+
+ private:
+  struct Window {
+    sim::TimePoint start;
+    sim::TimePoint end;
+    LinkFilter filter;
+  };
+  Clock now_;
+  std::vector<Window> windows_;
+};
+
+/// Chains several injectors; the first one to return a non-kNone action
+/// wins.  Lets a soak scenario stack e.g. background random loss with a
+/// targeted blackout.
+class CompositeFaults final : public FaultInjector {
+ public:
+  void add(std::unique_ptr<FaultInjector> injector) {
+    injectors_.push_back(std::move(injector));
+  }
+
+  FaultAction on_packet(const Packet& p) override {
+    for (auto& injector : injectors_) {
+      const FaultAction action = injector->on_packet(p);
+      if (action != FaultAction::kNone) return action;
+    }
+    return FaultAction::kNone;
+  }
+
+ private:
+  std::vector<std::unique_ptr<FaultInjector>> injectors_;
 };
 
 }  // namespace nicmcast::net

@@ -1,0 +1,85 @@
+// Protocol invariant auditor.
+//
+// An observer the chaos soak (and any test) attaches to every NIC in a
+// cluster.  It cross-checks the reliability protocol from outside the
+// protocol's own bookkeeping: a ledger of packets sent / accepted / events
+// delivered, exactly-once in-order acceptance per connection and per group,
+// send-token and NIC-SRAM conservation against the configured pools, and a
+// drain check (no unacked records, no armed timers, no half-open handshakes
+// once the simulator has nothing left to do).  A NIC with no auditor
+// attached pays one pointer compare per hook site.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "nic/sequence.hpp"
+#include "nic/types.hpp"
+
+namespace nicmcast::nic {
+
+class Nic;
+
+class ProtocolAuditor {
+ public:
+  /// Cluster-wide traffic ledger, by packet class.
+  struct Ledger {
+    std::uint64_t data_sent = 0;       // kData + kMcastData leaving any NIC
+    std::uint64_t data_accepted = 0;   // in-sequence acceptances
+    std::uint64_t acks_sent = 0;       // kAck + kMcastAck + kReduceAck
+    std::uint64_t ctrl_sent = 0;       // kCtrl handshake packets
+    std::uint64_t other_sent = 0;      // barrier / reduce traffic
+    std::uint64_t events_delivered = 0;
+    std::uint64_t send_failures = 0;   // kSendFailed events seen
+    std::uint64_t conn_resets = 0;     // receiver-side resyncs applied
+  };
+
+  // ---- Hooks (called by attached NICs) ----
+  void on_packet_sent(const Nic& nic, const net::Packet& packet);
+  /// An in-sequence data packet was accepted (unicast or multicast).  This
+  /// is where exactly-once in-order delivery is enforced: per stream the
+  /// accepted seqs must be exactly 0, 1, 2, ... (wrap-aware), with no gap
+  /// and no repeat.
+  void on_data_accepted(const Nic& nic, const net::Packet& packet);
+  /// The receiver applied a connection reset: the stream's expectation
+  /// jumps to `expected` (the sender abandoned everything before it).
+  void on_conn_reset(const Nic& nic, net::PortId port, net::NodeId src,
+                     net::PortId src_port, SeqNum expected);
+  void on_event(const Nic& nic, net::PortId port, const HostEvent& event);
+  void on_send_tokens(const Nic& nic, net::PortId port, std::size_t in_use);
+  void on_rx_buffers(const Nic& nic, std::size_t in_use);
+
+  // ---- Final checks ----
+  /// Call once per NIC after the simulator drained.  Verifies quiescence:
+  /// no send tokens or SRAM buffers in use, no unacked records, no armed
+  /// timer handles, no pending operations, no stalled forwards, no
+  /// half-open ctrl handshakes, no abandoned partial message assemblies.
+  void check_drained(const Nic& nic);
+
+  [[nodiscard]] bool ok() const { return violations_.empty(); }
+  [[nodiscard]] const std::vector<std::string>& violations() const {
+    return violations_;
+  }
+  [[nodiscard]] const Ledger& ledger() const { return ledger_; }
+  /// First `max_lines` violations, one per line (empty string when ok).
+  [[nodiscard]] std::string report(std::size_t max_lines = 12) const;
+
+ private:
+  // (node, is-multicast, conn_key-or-group) -> next seq this stream must
+  // accept.  Streams appear on first acceptance; unicast streams may also
+  // be (re)positioned by a connection reset.
+  using StreamKey = std::tuple<net::NodeId, bool, std::uint64_t>;
+
+  void violation(const Nic& nic, std::string what);
+
+  std::map<StreamKey, SeqNum> expected_;
+  Ledger ledger_;
+  std::vector<std::string> violations_;
+};
+
+}  // namespace nicmcast::nic

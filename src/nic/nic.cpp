@@ -5,9 +5,22 @@
 #include <string>
 #include <utility>
 
+#include "nic/auditor.hpp"
+
 namespace nicmcast::nic {
 
 namespace {
+
+// kCtrl subtypes, carried in msg_offset (the same discriminator trick the
+// barrier uses for arrive/release).  Reset: after a max-retries failure the
+// sender's next_seq is ahead of the receiver's expected_seq and every later
+// send would be dropped as out-of-order; the request re-seats the receiver
+// at the carried seq.  Close: reclaims an idle connection's Go-back-N state
+// on both ends.
+constexpr std::uint32_t kCtrlResetReq = 0;
+constexpr std::uint32_t kCtrlResetAck = 1;
+constexpr std::uint32_t kCtrlCloseReq = 2;
+constexpr std::uint32_t kCtrlCloseAck = 3;
 
 /// Builds the reverse-direction header for an acknowledgment of `data`.
 net::PacketHeader ack_header_for(const net::Packet& data, SeqNum cumulative) {
@@ -131,6 +144,7 @@ void Nic::post_multisend(MultisendRequest request) {
               const std::uint64_t key =
                   conn_key(p.header.src_port, dest, p.header.dst_port);
               SenderConn& conn = sender_conns_[key];
+              conn_activity(key, conn);
               p.header.seq = conn.next_seq++;
               conn.records.push_back(SendRecord{p.header.seq, message, frag,
                                                 p.header, sim_.now(), 0,
@@ -273,7 +287,7 @@ void Nic::set_group(net::GroupId group, GroupEntry entry) {
     }
   }
   GroupState& state = groups_[group];
-  if (!state.records.empty() ||
+  if (!state.records.empty() || has_deferred_forward(group) ||
       (state.assembly && !state.assembly->fully_received())) {
     throw std::logic_error("set_group: group has traffic in flight");
   }
@@ -294,7 +308,10 @@ bool Nic::has_group(net::GroupId group) const {
 void Nic::remove_group(net::GroupId group) {
   auto it = groups_.find(group);
   if (it == groups_.end()) return;
-  if (!it->second.records.empty() ||
+  // A forward stalled on send-token exhaustion (ablation mode) is traffic
+  // in flight too: erasing the group under it would leave the deferred
+  // entry pointing at nothing and crash the token-release restart path.
+  if (!it->second.records.empty() || has_deferred_forward(group) ||
       (it->second.assembly && !it->second.assembly->fully_received())) {
     throw std::logic_error("remove_group: group has traffic in flight");
   }
@@ -306,6 +323,21 @@ void Nic::remove_group(net::GroupId group) {
     sim_.cancel(*it->second.reduce.resend_timer);
   }
   groups_.erase(it);
+}
+
+bool Nic::has_deferred_forward(net::GroupId group) const {
+  for (const DeferredForward& deferred : deferred_forwards_) {
+    if (deferred.group == group) return true;
+  }
+  return false;
+}
+
+void Nic::debug_set_group_seq(net::GroupId group, SeqNum seq) {
+  GroupState& state = groups_.at(group);
+  state.recv_seq = seq;
+  state.send_seq = seq;
+  std::fill(state.child_next_acked.begin(), state.child_next_acked.end(),
+            seq);
 }
 
 sim::Channel<HostEvent>& Nic::events(net::PortId port) {
@@ -364,6 +396,7 @@ void Nic::send_data_packet(net::PortId port, net::NodeId dest,
                            OpHandle handle) {
   const std::uint64_t key = conn_key(port, dest, dest_port);
   SenderConn& conn = sender_conns_[key];
+  conn_activity(key, conn);
 
   net::PacketHeader header;
   header.type = net::PacketType::kData;
@@ -398,6 +431,7 @@ net::Packet Nic::build_packet(const net::PacketHeader& header,
 
 net::Network::TxTiming Nic::transmit(DescriptorRef descriptor) {
   ++stats_.packets_sent;
+  if (auditor_) auditor_->on_packet_sent(*this, descriptor->packet);
   const auto timing = network_.transmit(descriptor->packet);
   if (descriptor->on_tx_complete) {
     sim_.schedule_at(timing.tx_done, [descriptor] {
@@ -536,8 +570,8 @@ void Nic::packet_arrived(net::Packet packet) {
                [this, p = std::move(packet)] { handle_reduce_ack(p); });
       break;
     case net::PacketType::kCtrl:
-      // Reserved for future extensions; no consumer yet.
-      trace("nic", "ignoring CTRL packet " + packet.describe());
+      cpu_.run(config_.ack_processing,
+               [this, p = std::move(packet)] { handle_ctrl(p); });
       break;
   }
 }
@@ -560,6 +594,7 @@ void Nic::handle_data(const net::Packet& packet) {
       ++stats_.nic_buffer_drops;
       return;
     }
+    if (auditor_) auditor_->on_data_accepted(*this, packet);
     ++conn.expected_seq;
     send_ack(packet, packet.header.seq);
     conn.assembly->accepted += packet.payload.size();
@@ -593,6 +628,7 @@ void Nic::handle_ack(const net::Packet& packet) {
     conn.timer.reset();
   }
   arm_conn_timer(key);
+  if (conn.records.empty()) arm_idle_timer(key);
 }
 
 void Nic::handle_mcast_data(const net::Packet& packet) {
@@ -615,6 +651,7 @@ void Nic::handle_mcast_data(const net::Packet& packet) {
       ++stats_.nic_buffer_drops;
       return;
     }
+    if (auditor_) auditor_->on_data_accepted(*this, packet);
     ++group.recv_seq;
     send_ack(packet, packet.header.seq);
     // Staging-buffer release policy (paper §5, "Messages Forwarding"):
@@ -687,6 +724,230 @@ void Nic::handle_mcast_ack(const net::Packet& packet) {
     group.timer.reset();
   }
   arm_group_timer(packet.header.group);
+}
+
+// ---------------------------------------------------------------------------
+// kCtrl connection handshakes
+//
+// Reset — sent by a sender whose max-retries failure cleared its window:
+// next_seq is now ahead of the receiver's expected_seq, and without a
+// resync every later send on the connection would be dropped as
+// out-of-order and time out as well (the connection is wedged forever).
+// The request carries the seq the receiver must expect next; any
+// half-assembled message it was accumulating is abandoned (the sender
+// already reported kSendFailed for it) and its host buffer returns to the
+// port's pool.
+//
+// Close — sent by a sender whose connection has been idle for
+// conn_idle_timeout: if the receiver agrees the stream is drained
+// (expected_seq matches, no partial assembly) both ends erase their state.
+// New traffic aborts an in-flight close and resyncs with a reset, because
+// the peer may have erased its state already.
+//
+// Both handshakes retry on the retransmit timeout, bounded by max_retries;
+// an unreachable peer makes them give up silently (a future send failure
+// re-initiates the reset; a kept idle entry merely occupies memory).
+// ---------------------------------------------------------------------------
+
+void Nic::handle_ctrl(const net::Packet& packet) {
+  const std::uint64_t key = conn_key(packet.header.dst_port,
+                                     packet.header.src,
+                                     packet.header.src_port);
+  switch (packet.header.msg_offset) {
+    case kCtrlResetReq: {
+      ReceiverConn& conn = receiver_conns_[key];
+      // A reset can race data it was anchored before: if this receiver has
+      // already accepted past the requested seq (the covering acks are in
+      // flight back to the sender), re-seating backwards would re-open the
+      // door to duplicate delivery.  Ignore the stale re-seat but still ack
+      // so the sender's handshake converges.
+      if (!seq_before(packet.header.seq, conn.expected_seq)) {
+        if (conn.assembly && !conn.assembly->fully_accepted()) {
+          // Abandon the partial message; the receive buffer it claimed goes
+          // back to the pool (in-flight RDMA completions hold their own
+          // reference to the assembly and release their staging buffers as
+          // they land).
+          ports_.at(packet.header.dst_port)
+              ->recv_buffers.push_back(conn.assembly->buffer);
+          conn.assembly.reset();
+        }
+        conn.expected_seq = packet.header.seq;
+        if (auditor_) {
+          auditor_->on_conn_reset(*this, packet.header.dst_port,
+                                  packet.header.src, packet.header.src_port,
+                                  packet.header.seq);
+        }
+        trace("nic",
+              "conn reset from node" + std::to_string(packet.header.src) +
+                  ", expecting seq " + std::to_string(packet.header.seq));
+      }
+      send_ctrl(key, kCtrlResetAck, packet.header.seq);
+      break;
+    }
+    case kCtrlResetAck: {
+      auto it = sender_conns_.find(key);
+      if (it == sender_conns_.end()) return;
+      SenderConn& conn = it->second;
+      if (conn.ctrl != Ctrl::kReset || packet.header.seq != conn.ctrl_seq) {
+        return;  // stale ack from an earlier reset attempt
+      }
+      if (conn.ctrl_timer) {
+        sim_.cancel(*conn.ctrl_timer);
+        conn.ctrl_timer.reset();
+      }
+      conn.ctrl = Ctrl::kNone;
+      if (conn.records.empty()) arm_idle_timer(key);
+      break;
+    }
+    case kCtrlCloseReq: {
+      auto it = receiver_conns_.find(key);
+      if (it == receiver_conns_.end()) {
+        // Already reclaimed (or never seen): re-ack so the sender's close
+        // converges even when the first ack was lost.
+        send_ctrl(key, kCtrlCloseAck, packet.header.seq);
+        return;
+      }
+      const ReceiverConn& conn = it->second;
+      const bool drained =
+          conn.expected_seq == packet.header.seq &&
+          (!conn.assembly || conn.assembly->fully_accepted());
+      if (!drained) return;  // traffic still in flight; sender aborts
+      receiver_conns_.erase(it);
+      send_ctrl(key, kCtrlCloseAck, packet.header.seq);
+      break;
+    }
+    case kCtrlCloseAck: {
+      auto it = sender_conns_.find(key);
+      if (it == sender_conns_.end()) return;
+      SenderConn& conn = it->second;
+      if (conn.ctrl != Ctrl::kClose || packet.header.seq != conn.ctrl_seq) {
+        return;
+      }
+      // conn_activity aborts the close before any new record is created, so
+      // reaching here with traffic would be a protocol bug; re-check anyway
+      // rather than erase live state.
+      if (!conn.records.empty() || conn.next_seq != conn.ctrl_seq) return;
+      if (conn.timer) sim_.cancel(*conn.timer);
+      if (conn.ctrl_timer) sim_.cancel(*conn.ctrl_timer);
+      if (conn.idle_timer) sim_.cancel(*conn.idle_timer);
+      ++stats_.conns_reclaimed;
+      trace("nic", "idle conn to node" +
+                       std::to_string(conn_peer(key)) + " reclaimed");
+      sender_conns_.erase(it);
+      break;
+    }
+    default:
+      trace("nic", "ignoring unknown CTRL subtype " + packet.describe());
+      break;
+  }
+}
+
+void Nic::send_ctrl(std::uint64_t key, std::uint32_t subtype, SeqNum seq) {
+  net::PacketHeader header;
+  header.type = net::PacketType::kCtrl;
+  header.src = id_;
+  header.dst = conn_peer(key);
+  header.src_port = conn_my_port(key);
+  header.dst_port = conn_peer_port(key);
+  header.seq = seq;
+  header.msg_offset = subtype;
+  ++stats_.ctrl_packets;
+  cpu_.run(config_.ack_processing, [this, header] {
+    transmit(make_descriptor(net::Packet{header, {}, false}));
+  });
+}
+
+void Nic::begin_conn_reset(std::uint64_t key) {
+  SenderConn& conn = sender_conns_[key];
+  conn.ctrl = Ctrl::kReset;
+  conn.ctrl_retries = 0;
+  conn.ctrl_seq =
+      conn.records.empty() ? conn.next_seq : conn.records.front().seq;
+  ++stats_.conn_resets;
+  trace("nic", "conn to node" + std::to_string(conn_peer(key)) +
+                   " resetting at seq " + std::to_string(conn.ctrl_seq));
+  send_ctrl(key, kCtrlResetReq, conn.ctrl_seq);
+  arm_ctrl_timer(key);
+}
+
+void Nic::arm_ctrl_timer(std::uint64_t key) {
+  SenderConn& conn = sender_conns_[key];
+  if (conn.ctrl_timer) return;
+  conn.ctrl_timer = sim_.schedule_after(config_.retransmit_timeout,
+                                        [this, key] { ctrl_timeout(key); });
+}
+
+void Nic::ctrl_timeout(std::uint64_t key) {
+  auto it = sender_conns_.find(key);
+  if (it == sender_conns_.end()) return;
+  SenderConn& conn = it->second;
+  conn.ctrl_timer.reset();
+  if (conn.ctrl == Ctrl::kNone) return;
+  if (conn.ctrl_retries >= config_.max_retries) {
+    // Peer unreachable.  Reset: give up — the next send failure initiates a
+    // fresh handshake.  Close: back off and retry after another idle period;
+    // GC is best-effort background work and must not strand the entry just
+    // because one handshake fell inside a loss burst.
+    const bool was_close = conn.ctrl == Ctrl::kClose;
+    conn.ctrl = Ctrl::kNone;
+    if (was_close) arm_idle_timer(key);
+    return;
+  }
+  ++conn.ctrl_retries;
+  if (conn.ctrl == Ctrl::kReset) {
+    // New sends may have been posted since the last attempt; re-anchor the
+    // resync point at the oldest outstanding record.
+    conn.ctrl_seq =
+        conn.records.empty() ? conn.next_seq : conn.records.front().seq;
+    send_ctrl(key, kCtrlResetReq, conn.ctrl_seq);
+  } else {
+    send_ctrl(key, kCtrlCloseReq, conn.ctrl_seq);
+  }
+  arm_ctrl_timer(key);
+}
+
+void Nic::conn_activity(std::uint64_t key, SenderConn& conn) {
+  if (conn.idle_timer) {
+    sim_.cancel(*conn.idle_timer);
+    conn.idle_timer.reset();
+  }
+  if (conn.ctrl == Ctrl::kClose) {
+    // The peer may already have erased its receiver state when our
+    // CloseReq landed; without a resync it would drop the new seqs as
+    // out-of-order forever.  If it has not erased, the reset re-seats it
+    // at the seq it already expected — harmless either way.
+    if (conn.ctrl_timer) {
+      sim_.cancel(*conn.ctrl_timer);
+      conn.ctrl_timer.reset();
+    }
+    conn.ctrl = Ctrl::kNone;
+    begin_conn_reset(key);
+  }
+}
+
+void Nic::arm_idle_timer(std::uint64_t key) {
+  if (config_.conn_idle_timeout <= sim::Duration{0}) return;
+  auto it = sender_conns_.find(key);
+  if (it == sender_conns_.end()) return;
+  SenderConn& conn = it->second;
+  if (conn.idle_timer || conn.ctrl != Ctrl::kNone || !conn.records.empty()) {
+    return;
+  }
+  conn.idle_timer = sim_.schedule_after(config_.conn_idle_timeout,
+                                        [this, key] { idle_timeout(key); });
+}
+
+void Nic::idle_timeout(std::uint64_t key) {
+  auto it = sender_conns_.find(key);
+  if (it == sender_conns_.end()) return;
+  SenderConn& conn = it->second;
+  conn.idle_timer.reset();
+  if (!conn.records.empty() || conn.ctrl != Ctrl::kNone) return;
+  conn.ctrl = Ctrl::kClose;
+  conn.ctrl_retries = 0;
+  conn.ctrl_seq = conn.next_seq;
+  send_ctrl(key, kCtrlCloseReq, conn.ctrl_seq);
+  arm_ctrl_timer(key);
 }
 
 void Nic::send_ack(const net::Packet& data_packet, SeqNum cumulative_seq) {
@@ -1092,7 +1353,8 @@ void Nic::start_forward(net::GroupId group_id, const net::Packet& packet,
   if (options_.forwarding_uses_send_tokens) {
     // Ablation: the rejected design — forwarding draws from the finite
     // send-token pool and stalls when it is empty.
-    Port& port = *ports_.at(groups_.at(group_id).entry.port);
+    const net::PortId port_id = groups_.at(group_id).entry.port;
+    Port& port = *ports_.at(port_id);
     if (port.send_tokens_in_use >= config_.send_tokens_per_port) {
       deferred_forwards_.push_back(
           DeferredForward{group_id, packet, std::move(on_forwarded)});
@@ -1103,6 +1365,9 @@ void Nic::start_forward(net::GroupId group_id, const net::Packet& packet,
     stats_.send_tokens_in_use_high_water =
         std::max<std::uint64_t>(stats_.send_tokens_in_use_high_water,
                                 port.send_tokens_in_use);
+    if (auditor_) {
+      auditor_->on_send_tokens(*this, port_id, port.send_tokens_in_use);
+    }
     holds_token = true;
   }
   // Chosen design: the receive token doubles as the transmission token, so
@@ -1190,6 +1455,11 @@ void Nic::conn_timeout(std::uint64_t key) {
       fail_operation(record.handle);
     }
     conn.records.clear();
+    // The receiver's expected_seq is now behind our next_seq (it never
+    // accepted the abandoned window), so without a resync every later send
+    // on this connection would be discarded as out-of-order and fail too —
+    // the connection is wedged.  Handshake the receiver forward.
+    begin_conn_reset(key);
     return;
   }
   // Go-back-N: retransmit the full outstanding window, refetching each
@@ -1292,6 +1562,7 @@ void Nic::op_packet_acked(OpHandle handle) {
 }
 
 void Nic::deliver_event(net::PortId port, HostEvent event) {
+  if (auditor_) auditor_->on_event(*this, port, event);
   sim_.schedule_after(config_.event_delivery,
                       [this, port, event = std::move(event)] {
                         ports_.at(port)->events.push(event);
@@ -1303,6 +1574,7 @@ bool Nic::acquire_rx_buffer() {
   ++rx_buffers_in_use_;
   stats_.rx_buffers_high_water = std::max<std::uint64_t>(
       stats_.rx_buffers_high_water, rx_buffers_in_use_);
+  if (auditor_) auditor_->on_rx_buffers(*this, rx_buffers_in_use_);
   return true;
 }
 
@@ -1311,6 +1583,7 @@ void Nic::release_rx_buffer() {
     throw std::logic_error("NIC rx-buffer release underflow");
   }
   --rx_buffers_in_use_;
+  if (auditor_) auditor_->on_rx_buffers(*this, rx_buffers_in_use_);
 }
 
 void Nic::consume_send_token(net::PortId port) {
@@ -1322,6 +1595,7 @@ void Nic::consume_send_token(net::PortId port) {
   ++p.send_tokens_in_use;
   stats_.send_tokens_in_use_high_water = std::max<std::uint64_t>(
       stats_.send_tokens_in_use_high_water, p.send_tokens_in_use);
+  if (auditor_) auditor_->on_send_tokens(*this, port, p.send_tokens_in_use);
 }
 
 void Nic::release_send_token(net::PortId port) {
@@ -1330,17 +1604,29 @@ void Nic::release_send_token(net::PortId port) {
     throw std::logic_error("send-token release underflow");
   }
   --p.send_tokens_in_use;
+  if (auditor_) auditor_->on_send_tokens(*this, port, p.send_tokens_in_use);
   if (options_.forwarding_uses_send_tokens && !deferred_forwards_.empty()) {
     // A token freed up: restart the oldest stalled forward on this port.
-    for (auto it = deferred_forwards_.begin(); it != deferred_forwards_.end();
-         ++it) {
-      if (groups_.at(it->group).entry.port == port) {
+    // A stalled entry's group may have been torn down while it waited
+    // (remove_group now refuses that, but set_group replacing a tree does
+    // not have to keep old group ids alive) — purge such orphans instead of
+    // dereferencing a dead group, which used to crash here.
+    for (auto it = deferred_forwards_.begin();
+         it != deferred_forwards_.end();) {
+      auto group_it = groups_.find(it->group);
+      if (group_it == groups_.end()) {
+        if (it->on_forwarded) it->on_forwarded();  // free the staging buffer
+        it = deferred_forwards_.erase(it);
+        continue;
+      }
+      if (group_it->second.entry.port == port) {
         DeferredForward deferred = std::move(*it);
         deferred_forwards_.erase(it);
         start_forward(deferred.group, deferred.packet,
                       std::move(deferred.on_forwarded));
         break;
       }
+      ++it;
     }
   }
 }

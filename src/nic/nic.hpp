@@ -38,6 +38,8 @@
 
 namespace nicmcast::nic {
 
+class ProtocolAuditor;
+
 struct NicOptions {
   std::size_t num_ports = 4;
   /// Ablation: make the forwarding path grab tokens from the free send-token
@@ -114,6 +116,12 @@ class Nic final : public net::PacketSink {
   // ---- Network-facing interface ----
   void packet_arrived(net::Packet packet) override;
 
+  // ---- Protocol auditing ----
+  /// Attaches an invariant auditor (nullptr detaches).  Not owned; must
+  /// outlive the NIC.  With no auditor attached every hook is one pointer
+  /// compare.
+  void set_auditor(ProtocolAuditor* auditor) { auditor_ = auditor; }
+
   // ---- Test hooks ----
   // Forces connection sequence counters so tests can exercise 32-bit
   // wraparound without sending 4 billion packets.
@@ -125,8 +133,22 @@ class Nic final : public net::PacketSink {
                           net::PortId src_port, SeqNum seq) {
     receiver_conns_[conn_key(port, src, src_port)].expected_seq = seq;
   }
+  /// Forces a group's whole sequence space (recv, send, per-child acked) so
+  /// soak runs can drive the multicast path across the 2^32 wrap.  Call on
+  /// every member NIC right after the group is installed.
+  void debug_set_group_seq(net::GroupId group, SeqNum seq);
+  [[nodiscard]] std::size_t debug_sender_conn_count() const {
+    return sender_conns_.size();
+  }
+  [[nodiscard]] std::size_t debug_receiver_conn_count() const {
+    return receiver_conns_.size();
+  }
+  [[nodiscard]] std::size_t debug_deferred_forward_count() const {
+    return deferred_forwards_.size();
+  }
 
  private:
+  friend class ProtocolAuditor;
   // Shared, immutable message bytes; send records reference this instead of
   // copying the payload per destination.
   using MessageRef = std::shared_ptr<const Payload>;
@@ -148,10 +170,21 @@ class Nic final : public net::PacketSink {
     OpHandle handle = 0;
   };
 
+  // kCtrl handshake a sender connection may have in flight: a reset
+  // (resynchronise the receiver after a max-retries failure left next_seq
+  // ahead of its expected_seq) or a close (reclaim an idle connection's
+  // state on both ends).  At most one runs at a time per connection.
+  enum class Ctrl : std::uint8_t { kNone, kReset, kClose };
+
   struct SenderConn {
     SeqNum next_seq = 0;
     std::deque<SendRecord> records;  // in seq order, all unacked
     std::optional<sim::EventId> timer;
+    Ctrl ctrl = Ctrl::kNone;
+    SeqNum ctrl_seq = 0;  // seq carried by the outstanding ctrl request
+    std::uint32_t ctrl_retries = 0;
+    std::optional<sim::EventId> ctrl_timer;
+    std::optional<sim::EventId> idle_timer;  // armed when records drain
   };
 
   // One in-flight incoming message.  `accepted` counts bytes the receive
@@ -267,6 +300,15 @@ class Nic final : public net::PacketSink {
            (static_cast<std::uint64_t>(peer) << 8) |
            static_cast<std::uint64_t>(peer_port);
   }
+  static net::PortId conn_my_port(std::uint64_t key) {
+    return static_cast<net::PortId>(key >> 32);
+  }
+  static net::NodeId conn_peer(std::uint64_t key) {
+    return static_cast<net::NodeId>((key >> 8) & 0xFFFF);
+  }
+  static net::PortId conn_peer_port(std::uint64_t key) {
+    return static_cast<net::PortId>(key & 0xFF);
+  }
 
   // -- Send path --
   [[nodiscard]] std::vector<Fragment> fragment_message(std::size_t size) const;
@@ -339,6 +381,18 @@ class Nic final : public net::PacketSink {
                       const net::Packet& packet, HostEvent::Type event_type,
                       std::function<void()> on_rdma_done = nullptr);
 
+  // -- kCtrl connection handshakes (reset after failure; idle close) --
+  void handle_ctrl(const net::Packet& packet);
+  void begin_conn_reset(std::uint64_t key);
+  void send_ctrl(std::uint64_t key, std::uint32_t subtype, SeqNum seq);
+  void arm_ctrl_timer(std::uint64_t key);
+  void ctrl_timeout(std::uint64_t key);
+  // New traffic on a connection: cancels the idle timer and aborts (with a
+  // resync) any close handshake in flight.  Call before assigning seqs.
+  void conn_activity(std::uint64_t key, SenderConn& conn);
+  void arm_idle_timer(std::uint64_t key);
+  void idle_timeout(std::uint64_t key);
+
   // -- Reliability --
   void arm_conn_timer(std::uint64_t key);
   void conn_timeout(std::uint64_t key);
@@ -359,6 +413,8 @@ class Nic final : public net::PacketSink {
   // -- NIC SRAM staging buffers --
   [[nodiscard]] bool acquire_rx_buffer();
   void release_rx_buffer();
+
+  [[nodiscard]] bool has_deferred_forward(net::GroupId group) const;
 
   void trace(const char* category, const std::string& message);
 
@@ -386,6 +442,7 @@ class Nic final : public net::PacketSink {
   std::deque<DeferredForward> deferred_forwards_;
   std::size_t rx_buffers_in_use_ = 0;
 
+  ProtocolAuditor* auditor_ = nullptr;
   NicStats stats_;
 };
 

@@ -126,6 +126,9 @@ struct NicStats {
   std::uint64_t reduce_resends = 0;
   std::uint64_t nic_buffer_drops = 0;     // packets refused: SRAM pool empty
   std::uint64_t rx_buffers_high_water = 0;
+  std::uint64_t ctrl_packets = 0;      // kCtrl reset/close handshake packets
+  std::uint64_t conn_resets = 0;       // reset handshakes initiated
+  std::uint64_t conns_reclaimed = 0;   // idle sender connections closed
 };
 
 /// Memberwise sum — aggregates per-NIC counters into cluster-wide totals
@@ -149,6 +152,9 @@ inline void accumulate(NicStats& into, const NicStats& from) {
   into.reduce_resends += from.reduce_resends;
   into.nic_buffer_drops += from.nic_buffer_drops;
   into.rx_buffers_high_water += from.rx_buffers_high_water;
+  into.ctrl_packets += from.ctrl_packets;
+  into.conn_resets += from.conn_resets;
+  into.conns_reclaimed += from.conns_reclaimed;
 }
 
 }  // namespace nicmcast::nic

@@ -22,6 +22,25 @@ class OnlineStats {
     max_ = std::max(max_, x);
   }
 
+  /// Folds another accumulator in (Chan's parallel Welford update), so
+  /// per-thread / per-scenario stats can be combined without re-streaming
+  /// the samples.  Exact to floating-point roundoff.
+  void merge(const OnlineStats& other) {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+      *this = other;
+      return;
+    }
+    const auto n = static_cast<double>(n_);
+    const auto m = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    mean_ += delta * m / (n + m);
+    m2_ += other.m2_ + delta * delta * n * m / (n + m);
+    n_ += other.n_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
   [[nodiscard]] std::size_t count() const { return n_; }
   [[nodiscard]] double mean() const { return mean_; }
   [[nodiscard]] double min() const { return min_; }

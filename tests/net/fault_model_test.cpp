@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <memory>
+
 namespace nicmcast::net {
 namespace {
 
@@ -121,6 +124,135 @@ TEST(ScriptedFaults, EmptyMatchMatchesEverything) {
   f.add_rule({}, FaultAction::kDrop, 3);
   EXPECT_EQ(f.on_packet(make_packet(9, 2, 77)), FaultAction::kDrop);
   EXPECT_EQ(f.pending(), 2u);
+}
+
+TEST(TrafficClassification, AcksVsData) {
+  EXPECT_EQ(traffic_class(PacketType::kAck), TrafficClass::kAck);
+  EXPECT_EQ(traffic_class(PacketType::kMcastAck), TrafficClass::kAck);
+  EXPECT_EQ(traffic_class(PacketType::kReduceAck), TrafficClass::kAck);
+  EXPECT_EQ(traffic_class(PacketType::kData), TrafficClass::kData);
+  EXPECT_EQ(traffic_class(PacketType::kMcastData), TrafficClass::kData);
+  EXPECT_EQ(traffic_class(PacketType::kCtrl), TrafficClass::kData);
+  EXPECT_EQ(traffic_class(PacketType::kBarrier), TrafficClass::kData);
+  EXPECT_EQ(traffic_class(PacketType::kReduce), TrafficClass::kData);
+}
+
+TEST(LinkFilter, EmptyFilterMatchesEverything) {
+  LinkFilter f;
+  EXPECT_TRUE(f.matches(make_packet(0, 1, 0)));
+  EXPECT_TRUE(f.matches(make_packet(5, 3, 9, PacketType::kMcastAck)));
+}
+
+TEST(LinkFilter, RestrictsByEndpointAndDirection) {
+  const LinkFilter f{.src = 2, .dst = 3, .traffic = TrafficClass::kData};
+  EXPECT_TRUE(f.matches(make_packet(2, 3, 0)));
+  EXPECT_FALSE(f.matches(make_packet(3, 2, 0)));  // reverse direction
+  EXPECT_FALSE(f.matches(make_packet(2, 4, 0)));
+  EXPECT_FALSE(f.matches(make_packet(2, 3, 0, PacketType::kAck)));
+}
+
+TEST(GilbertElliott, CleanWhileGoodStateIsAbsorbing) {
+  GilbertElliottFaults::Params params;
+  params.p_good_to_bad = 0.0;  // never enters the bad state
+  GilbertElliottFaults f(params, sim::Rng(3));
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_EQ(f.on_packet(make_packet(0, 1, 0)), FaultAction::kNone);
+  }
+  EXPECT_FALSE(f.in_bad_state());
+}
+
+TEST(GilbertElliott, ProducesLossBursts) {
+  GilbertElliottFaults::Params params;
+  params.p_good_to_bad = 0.02;
+  params.p_bad_to_good = 0.2;  // mean burst length 5 packets
+  params.bad_drop = 1.0;
+  params.bad_corrupt = 0.0;
+  GilbertElliottFaults f(params, sim::Rng(11));
+  int drops = 0;
+  int run = 0;
+  int longest_run = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    if (f.on_packet(make_packet(0, 1, 0)) == FaultAction::kDrop) {
+      ++drops;
+      longest_run = std::max(longest_run, ++run);
+    } else {
+      run = 0;
+    }
+  }
+  // Stationary bad-state probability is 0.02/(0.02+0.2) ~ 9%, all dropped.
+  EXPECT_NEAR(static_cast<double>(drops) / n, 0.09, 0.03);
+  // Bursty, not i.i.d.: consecutive-loss runs far beyond what independent
+  // 9% loss would produce in this sample.
+  EXPECT_GE(longest_run, 5);
+}
+
+TEST(GilbertElliott, DeterministicForSeed) {
+  GilbertElliottFaults a({}, sim::Rng(42));
+  GilbertElliottFaults b({}, sim::Rng(42));
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.on_packet(make_packet(0, 1, 0)),
+              b.on_packet(make_packet(0, 1, 0)));
+  }
+}
+
+TEST(TargetedFaults, OnlyMatchingTrafficReachesInner) {
+  TargetedFaults f({.src = 0, .dst = 1},
+                   std::make_unique<RandomFaults>(1.0, 0.0, sim::Rng(1)));
+  EXPECT_EQ(f.on_packet(make_packet(0, 1, 0)), FaultAction::kDrop);
+  EXPECT_EQ(f.on_packet(make_packet(1, 0, 0)), FaultAction::kNone);
+  EXPECT_EQ(f.on_packet(make_packet(0, 2, 0)), FaultAction::kNone);
+}
+
+TEST(TargetedFaults, AckPathOnlyLeavesDataUntouched) {
+  TargetedFaults f({.traffic = TrafficClass::kAck},
+                   std::make_unique<RandomFaults>(1.0, 0.0, sim::Rng(1)));
+  EXPECT_EQ(f.on_packet(make_packet(1, 0, 0, PacketType::kAck)),
+            FaultAction::kDrop);
+  EXPECT_EQ(f.on_packet(make_packet(1, 0, 0, PacketType::kMcastAck)),
+            FaultAction::kDrop);
+  EXPECT_EQ(f.on_packet(make_packet(0, 1, 0)), FaultAction::kNone);
+}
+
+TEST(BlackoutFaults, DropsOnlyInsideWindows) {
+  sim::TimePoint now{0};
+  BlackoutFaults f([&now] { return now; });
+  f.add_window(sim::TimePoint{100}, sim::TimePoint{200});
+  f.add_window(sim::TimePoint{500}, sim::TimePoint{600});
+
+  EXPECT_EQ(f.on_packet(make_packet(0, 1, 0)), FaultAction::kNone);
+  now = sim::TimePoint{100};  // window start is inclusive
+  EXPECT_EQ(f.on_packet(make_packet(0, 1, 0)), FaultAction::kDrop);
+  now = sim::TimePoint{199};
+  EXPECT_EQ(f.on_packet(make_packet(0, 1, 0)), FaultAction::kDrop);
+  now = sim::TimePoint{200};  // window end is exclusive
+  EXPECT_EQ(f.on_packet(make_packet(0, 1, 0)), FaultAction::kNone);
+  now = sim::TimePoint{550};
+  EXPECT_EQ(f.on_packet(make_packet(0, 1, 0)), FaultAction::kDrop);
+}
+
+TEST(BlackoutFaults, WindowFilterSparesOtherLinks) {
+  sim::TimePoint now{150};
+  BlackoutFaults f([&now] { return now; });
+  f.add_window(sim::TimePoint{100}, sim::TimePoint{200}, {.src = 0, .dst = 1});
+  EXPECT_EQ(f.on_packet(make_packet(0, 1, 0)), FaultAction::kDrop);
+  EXPECT_EQ(f.on_packet(make_packet(1, 0, 0)), FaultAction::kNone);
+  EXPECT_EQ(f.on_packet(make_packet(2, 3, 0)), FaultAction::kNone);
+}
+
+TEST(CompositeFaults, FirstNonCleanActionWins) {
+  auto scripted_corrupt = std::make_unique<ScriptedFaults>();
+  scripted_corrupt->add_rule({.seq = 7}, FaultAction::kCorrupt, 100);
+  auto scripted_drop = std::make_unique<ScriptedFaults>();
+  scripted_drop->add_rule({.seq = 7}, FaultAction::kDrop, 100);
+  scripted_drop->add_rule({.seq = 8}, FaultAction::kDrop, 100);
+
+  CompositeFaults f;
+  f.add(std::move(scripted_corrupt));
+  f.add(std::move(scripted_drop));
+  EXPECT_EQ(f.on_packet(make_packet(0, 1, 7)), FaultAction::kCorrupt);
+  EXPECT_EQ(f.on_packet(make_packet(0, 1, 8)), FaultAction::kDrop);
+  EXPECT_EQ(f.on_packet(make_packet(0, 1, 9)), FaultAction::kNone);
 }
 
 }  // namespace

@@ -493,5 +493,79 @@ TEST(Mcast, TwoConcurrentGroupsDoNotInterfere) {
   }
 }
 
+TEST(Mcast, GroupSequenceWrapDeliversEverythingInOrder) {
+  // Seed the whole tree's group sequence space just below 2^32: forwarding
+  // seq assignment, per-child cumulative acks and duplicate detection must
+  // all survive the wrap, under loss.
+  NicConfig config;
+  config.send_tokens_per_port = 32;
+  TestCluster c(4, config);
+  setup_tree(c);
+  for (std::size_t i = 0; i < 4; ++i) {
+    c.nic(i).debug_set_group_seq(kGroup, 0xFFFFFFF8u);
+  }
+  const int kMessages = 12;
+  for (std::size_t i = 1; i < 4; ++i) c.post_buffers(i, kMessages, 4096);
+  c.network.set_fault_injector(
+      std::make_unique<net::RandomFaults>(0.05, 0.02, sim::Rng(23)));
+  for (int m = 0; m < kMessages; ++m) {
+    c.nic(0).post_mcast_send(McastSendRequest{
+        0, kGroup, make_payload(256 + m * 7, static_cast<std::uint8_t>(m)),
+        static_cast<std::uint32_t>(m), static_cast<OpHandle>(1 + m)});
+  }
+  c.sim.run();
+  for (std::size_t i = 1; i < 4; ++i) {
+    const auto recv = c.drain_events(i);
+    ASSERT_EQ(recv.size(), static_cast<std::size_t>(kMessages))
+        << "node " << i;
+    for (int m = 0; m < kMessages; ++m) {
+      EXPECT_EQ(recv[m].tag, static_cast<std::uint32_t>(m))
+          << "node " << i << " order broken";
+      EXPECT_EQ(recv[m].data,
+                make_payload(256 + m * 7, static_cast<std::uint8_t>(m)));
+    }
+  }
+  EXPECT_EQ(c.drain_events(0).size(), static_cast<std::size_t>(kMessages));
+}
+
+TEST(Mcast, RemoveGroupWithStalledForwardRefused) {
+  // Regression: under the token-based forwarding ablation a stalled
+  // DeferredForward could outlive its group — remove_group erased the group
+  // state and the token-release restart path then crashed dereferencing it.
+  // Teardown with a stalled forward must be refused as traffic-in-flight,
+  // and the forward must still complete once the token frees up.
+  NicConfig config;
+  config.send_tokens_per_port = 1;
+  NicOptions options;
+  options.forwarding_uses_send_tokens = true;
+  TestCluster c(3, config, options);
+  c.nic(0).set_group(kGroup, GroupEntry{0, kNoNode, {1}});
+  c.nic(1).set_group(kGroup, GroupEntry{0, 0, {2}});
+  c.nic(2).set_group(kGroup, GroupEntry{0, 1, {}});
+  c.post_buffers(0, 1, 4096);
+  c.post_buffers(1, 1, 4096);
+  c.post_buffers(2, 1, 4096);
+  // Pin node 1's only send token: its unicast to node 0 is dropped twice,
+  // so that operation holds the token across two retransmit timeouts.
+  auto faults = std::make_unique<net::ScriptedFaults>();
+  faults->add_rule({.type = net::PacketType::kData, .src = 1},
+                   net::FaultAction::kDrop, 2);
+  c.network.set_fault_injector(std::move(faults));
+  c.nic(1).post_send(SendRequest{0, 0, 0, make_payload(64), 0, 1});
+  const Payload msg = make_payload(256, 3);
+  c.nic(0).post_mcast_send(McastSendRequest{0, kGroup, msg, 0, 2});
+  c.sim.schedule_after(sim::usec(200), [&c] {
+    ASSERT_EQ(c.nic(1).debug_deferred_forward_count(), 1u);
+    EXPECT_THROW(c.nic(1).remove_group(kGroup), std::logic_error);
+  });
+  c.sim.run();
+  // The token came back once the unicast completed and the stalled forward
+  // restarted through the still-live group.
+  const auto recv = c.drain_events(2);
+  ASSERT_EQ(recv.size(), 1u);
+  EXPECT_EQ(recv[0].data, msg);
+  EXPECT_EQ(c.nic(1).debug_deferred_forward_count(), 0u);
+}
+
 }  // namespace
 }  // namespace nicmcast::nic

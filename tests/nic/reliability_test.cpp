@@ -177,5 +177,149 @@ TEST(Reliability, ConcurrentConnectionsIsolated) {
   EXPECT_LT(t2.microseconds(), 100.0);
 }
 
+TEST(Reliability, UnicastSurvivesSequenceWrapUnderLoss) {
+  // Start the connection's sequence space just below 2^32 so the Go-back-N
+  // window, cumulative acks and duplicate detection all straddle the wrap,
+  // with enough loss that retransmission comparisons cross it too.
+  NicConfig config;
+  config.send_tokens_per_port = 64;
+  TestCluster c(2, config);
+  const int kMessages = 32;
+  c.post_buffers(1, kMessages, 4096);
+  c.nic(0).debug_set_send_seq(0, 1, 0, 0xFFFFFFF0u);
+  c.nic(1).debug_set_recv_seq(0, 0, 0, 0xFFFFFFF0u);
+  c.network.set_fault_injector(
+      std::make_unique<net::RandomFaults>(0.10, 0.05, sim::Rng(17)));
+  for (int i = 0; i < kMessages; ++i) {
+    c.nic(0).post_send(SendRequest{
+        0, 1, 0, make_payload(200 + i * 13, static_cast<std::uint8_t>(i)),
+        static_cast<std::uint32_t>(i), static_cast<OpHandle>(1 + i)});
+  }
+  c.sim.run();
+  const auto recv = c.drain_events(1);
+  ASSERT_EQ(recv.size(), static_cast<std::size_t>(kMessages));
+  for (int i = 0; i < kMessages; ++i) {
+    EXPECT_EQ(recv[i].tag, static_cast<std::uint32_t>(i)) << "order broken";
+    EXPECT_EQ(recv[i].data,
+              make_payload(200 + i * 13, static_cast<std::uint8_t>(i)));
+  }
+  EXPECT_EQ(c.drain_events(0).size(), static_cast<std::size_t>(kMessages));
+}
+
+TEST(Reliability, ConnectionRecoversAfterMaxRetriesFailure) {
+  // Regression: a max-retries failure cleared the sender's window but left
+  // next_seq ahead of the receiver's expected_seq, permanently wedging the
+  // connection — every subsequent send was discarded as out-of-order and
+  // timed out too.  The kCtrl reset handshake re-seats the receiver.
+  NicConfig config;
+  config.retransmit_timeout = sim::usec(100);
+  config.max_retries = 3;
+  TestCluster c(2, config);
+  c.post_buffers(1, 1, 4096);
+  auto faults = scripted();
+  // Eat exactly the first message's attempts: initial send + 3 retries.
+  faults->add_rule({.type = net::PacketType::kData}, net::FaultAction::kDrop,
+                   4);
+  c.network.set_fault_injector(std::move(faults));
+  c.nic(0).post_send(SendRequest{0, 1, 0, make_payload(64), 0, 1});
+  c.sim.run();
+  auto sent = c.drain_events(0);
+  ASSERT_EQ(sent.size(), 1u);
+  EXPECT_EQ(sent[0].type, HostEvent::Type::kSendFailed);
+  EXPECT_EQ(c.nic(0).stats().conn_resets, 1u);
+
+  // The connection must be usable again after the failure.
+  const Payload msg = make_payload(128, 7);
+  c.nic(0).post_send(SendRequest{0, 1, 0, msg, 1, 2});
+  c.sim.run();
+  sent = c.drain_events(0);
+  ASSERT_EQ(sent.size(), 1u);
+  EXPECT_EQ(sent[0].type, HostEvent::Type::kSendComplete);
+  const auto recv = c.drain_events(1);
+  ASSERT_EQ(recv.size(), 1u);
+  EXPECT_EQ(recv[0].data, msg);
+}
+
+TEST(Reliability, IdleConnectionsReclaimed) {
+  // Regression: per-peer connection state was never reclaimed — a
+  // long-lived node leaked an entry for every peer it ever talked to.
+  NicConfig config;
+  config.conn_idle_timeout = sim::msec(5);
+  TestCluster c(3, config);
+  c.post_buffers(1, 1, 4096);
+  c.post_buffers(2, 1, 4096);
+  c.nic(0).post_send(SendRequest{0, 1, 0, make_payload(64, 1), 0, 1});
+  c.nic(0).post_send(SendRequest{0, 2, 0, make_payload(64, 2), 0, 2});
+  c.sim.run();  // delivery + acks, then the idle close handshakes
+  EXPECT_EQ(c.drain_events(1).size(), 1u);
+  EXPECT_EQ(c.drain_events(2).size(), 1u);
+  EXPECT_EQ(c.nic(0).debug_sender_conn_count(), 0u);
+  EXPECT_EQ(c.nic(1).debug_receiver_conn_count(), 0u);
+  EXPECT_EQ(c.nic(2).debug_receiver_conn_count(), 0u);
+  EXPECT_EQ(c.nic(0).stats().conns_reclaimed, 2u);
+}
+
+TEST(Reliability, IdleCloseRetriesAfterLossBurstSwallowsHandshake) {
+  // Found by the chaos soak (burst injector): when every packet of an idle
+  // close handshake fell inside a loss burst, the sender exhausted
+  // max_retries, gave up, and stranded the connection entry forever.  The
+  // close must re-arm the idle timer and try again once the burst clears.
+  NicConfig config;
+  config.conn_idle_timeout = sim::msec(5);
+  config.retransmit_timeout = sim::usec(100);
+  config.max_retries = 3;
+  TestCluster c(2, config);
+  c.post_buffers(1, 1, 4096);
+  auto faults = scripted();
+  // Swallow the whole first handshake: initial CloseReq + 3 retries.
+  faults->add_rule({.type = net::PacketType::kCtrl}, net::FaultAction::kDrop,
+                   4);
+  c.network.set_fault_injector(std::move(faults));
+  c.nic(0).post_send(SendRequest{0, 1, 0, make_payload(64, 1), 0, 1});
+  c.sim.run();
+  EXPECT_EQ(c.drain_events(1).size(), 1u);
+  EXPECT_EQ(c.nic(0).debug_sender_conn_count(), 0u);
+  EXPECT_EQ(c.nic(1).debug_receiver_conn_count(), 0u);
+  EXPECT_EQ(c.nic(0).stats().conns_reclaimed, 1u);
+}
+
+TEST(Reliability, IdleReclaimDisabledByDefault) {
+  TestCluster c(2);
+  c.post_buffers(1, 1, 4096);
+  c.nic(0).post_send(SendRequest{0, 1, 0, make_payload(64), 0, 1});
+  c.sim.run();
+  EXPECT_EQ(c.nic(0).debug_sender_conn_count(), 1u);
+  EXPECT_EQ(c.nic(1).debug_receiver_conn_count(), 1u);
+  EXPECT_EQ(c.nic(0).stats().conns_reclaimed, 0u);
+}
+
+TEST(Reliability, NewTrafficAbortsIdleCloseAndResyncs) {
+  // A send posted while a close handshake is in flight must abort the close
+  // and proactively resync (the peer may have erased its state already),
+  // then the connection drains and is reclaimed on the next idle period.
+  NicConfig config;
+  config.conn_idle_timeout = sim::msec(5);
+  TestCluster c(2, config);
+  c.post_buffers(1, 2, 4096);
+  auto faults = scripted();
+  // Lose the first CloseReq so the handshake is still open at t=5.5ms.
+  faults->add_rule({.type = net::PacketType::kCtrl}, net::FaultAction::kDrop,
+                   1);
+  c.network.set_fault_injector(std::move(faults));
+  c.nic(0).post_send(SendRequest{0, 1, 0, make_payload(64, 1), 0, 1});
+  const Payload second = make_payload(96, 2);
+  c.sim.schedule_after(sim::msec(5) + sim::usec(500), [&c, &second] {
+    c.nic(0).post_send(SendRequest{0, 1, 0, second, 0, 2});
+  });
+  c.sim.run();
+  const auto recv = c.drain_events(1);
+  ASSERT_EQ(recv.size(), 2u);
+  EXPECT_EQ(recv[1].data, second);
+  EXPECT_EQ(c.nic(0).stats().conn_resets, 1u);
+  // Once the second message drained, the idle close retried and reclaimed.
+  EXPECT_EQ(c.nic(0).debug_sender_conn_count(), 0u);
+  EXPECT_EQ(c.nic(0).stats().conns_reclaimed, 1u);
+}
+
 }  // namespace
 }  // namespace nicmcast::nic

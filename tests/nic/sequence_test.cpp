@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
+#include "sim/random.hpp"
+
 namespace nicmcast::nic {
 namespace {
 
@@ -36,6 +40,49 @@ TEST(Sequence, HalfSpaceBoundary) {
   // inherent limit of serial-number arithmetic, sanity-check it holds.
   EXPECT_TRUE(seq_before(0, 0x7FFFFFFFu));
   EXPECT_FALSE(seq_before(0, 0x80000001u));  // "before" flips past half-space
+}
+
+// Property: for any base point and any pair of small forward offsets, the
+// ordering predicates agree with the offsets — independent of where the base
+// sits in the 32-bit space, including both sides of the 2^32 wrap and the
+// zero crossing.
+TEST(Sequence, PropertyOrderingMatchesOffsetsEverywhere) {
+  sim::Rng rng(2024);
+  const std::vector<SeqNum> bases = {
+      0u,          1u,          2u,           0x7FFFFFFEu, 0x7FFFFFFFu,
+      0x80000000u, 0x80000001u, 0xFFFFFFF0u,  0xFFFFFFFEu, 0xFFFFFFFFu};
+  for (SeqNum base : bases) {
+    for (int trial = 0; trial < 2000; ++trial) {
+      const auto i = static_cast<std::uint32_t>(rng.uniform_int(0, 1 << 20));
+      const auto j = static_cast<std::uint32_t>(rng.uniform_int(0, 1 << 20));
+      const SeqNum a = base + i;
+      const SeqNum b = base + j;
+      EXPECT_EQ(seq_before(a, b), i < j)
+          << "base=" << base << " i=" << i << " j=" << j;
+      EXPECT_EQ(seq_before_eq(a, b), i <= j)
+          << "base=" << base << " i=" << i << " j=" << j;
+      EXPECT_EQ(seq_distance(a, b), b - a);
+    }
+  }
+}
+
+// Property: walking any window of consecutive seqs across the wrap keeps
+// every Go-back-N acceptance/ack comparison consistent: each seq precedes
+// its successor, cumulative-ack containment holds, and distance telescopes.
+TEST(Sequence, PropertyConsecutiveWindowAcrossWrap) {
+  for (const SeqNum start : {0xFFFFFFC0u, 0xFFFFFFFFu, 0u}) {
+    SeqNum s = start;
+    for (int step = 0; step < 256; ++step, ++s) {
+      EXPECT_TRUE(seq_before(s, s + 1));
+      EXPECT_FALSE(seq_before(s + 1, s));
+      EXPECT_TRUE(seq_before_eq(s, s + 1));
+      // A cumulative ack for s+1 covers a record holding s (the release
+      // test the retransmit path performs).
+      EXPECT_TRUE(seq_before(s, s + 1) && seq_before_eq(s + 1, s + 1));
+      EXPECT_EQ(seq_distance(start, s + 1),
+                static_cast<std::uint32_t>(step + 1));
+    }
+  }
 }
 
 }  // namespace

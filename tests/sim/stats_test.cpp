@@ -1,5 +1,8 @@
 #include "sim/stats.hpp"
 
+#include <cstddef>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 namespace nicmcast::sim {
@@ -31,6 +34,38 @@ TEST(OnlineStats, EmptyDefaults) {
   OnlineStats s;
   EXPECT_EQ(s.count(), 0u);
   EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(OnlineStats, MergeMatchesSingleStream) {
+  const std::vector<double> all{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  OnlineStats whole;
+  for (double x : all) whole.add(x);
+
+  OnlineStats a, b;
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    (i < 3 ? a : b).add(all[i]);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_DOUBLE_EQ(a.mean(), whole.mean());
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(OnlineStats, MergeWithEmptyIsIdentityBothWays) {
+  OnlineStats s;
+  for (double x : {1.0, 3.0}) s.add(x);
+  OnlineStats empty;
+  s.merge(empty);
+  EXPECT_EQ(s.count(), 2u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+
+  OnlineStats target;
+  target.merge(s);
+  EXPECT_EQ(target.count(), 2u);
+  EXPECT_DOUBLE_EQ(target.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(target.min(), 1.0);
 }
 
 TEST(Series, PercentileInterpolates) {
