@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Gate sim_microbench results against the checked-in BENCH_simperf.json.
+
+Usage: check_bench_regression.py <fresh.json> <BENCH_simperf.json>
+
+Two checks per scenario, against the *last* trajectory entry (the current
+engine):
+
+  1. event_order_hash must match exactly.  The executed (time, seq) event
+     order is the determinism contract — it is machine-independent, so any
+     mismatch is a real engine-behaviour change and fails hard.  Update the
+     trajectory and the determinism golden test together if the change is
+     intentional.
+  2. events_per_sec must not drop more than the threshold (default 20%)
+     below the recorded value.  Wall-clock throughput does vary with runner
+     hardware; the generous threshold absorbs that, while a >20% drop on
+     every scenario still catches "someone re-introduced a heap allocation
+     per event" class regressions.
+"""
+import json
+import sys
+
+THRESHOLD = 0.80  # fresh events/sec must be >= 80% of the recorded value
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    fresh_doc = json.load(open(sys.argv[1]))
+    baseline_doc = json.load(open(sys.argv[2]))
+
+    recorded = baseline_doc["trajectory"][-1]["scenarios"]
+    fresh = {run["spec"]["label"]: run for run in fresh_doc["runs"]}
+
+    failures = []
+    for label, want in recorded.items():
+        run = fresh.get(label)
+        if run is None:
+            failures.append(f"{label}: scenario missing from fresh run")
+            continue
+        got_hash = run["engine"]["event_order_hash"]
+        if got_hash != want["event_order_hash"]:
+            failures.append(
+                f"{label}: event_order_hash {got_hash} != recorded "
+                f"{want['event_order_hash']} (determinism contract broken)")
+        got_eps = run["metrics"]["events_per_sec"]
+        floor = THRESHOLD * want["events_per_sec"]
+        verdict = "ok" if got_eps >= floor else "REGRESSED"
+        print(f"{label}: {got_eps:,.0f} ev/s vs recorded "
+              f"{want['events_per_sec']:,} (floor {floor:,.0f}) -> {verdict}")
+        if got_eps < floor:
+            failures.append(
+                f"{label}: {got_eps:,.0f} ev/s is more than 20% below the "
+                f"recorded {want['events_per_sec']:,}")
+
+    if failures:
+        print("\nbench regression check FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("\nbench regression check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

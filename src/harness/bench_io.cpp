@@ -144,6 +144,22 @@ json::Value result_to_json(const RunResult& result) {
   counters["nic_buffer_drops"] = nic.nic_buffer_drops;
   out["nic"] = std::move(counters);
 
+  // Engine memory-model counters live under their own key so the protocol
+  // fields above stay byte-identical across engine optimisations.
+  json::Value engine = json::Value::object();
+  engine["events_scheduled"] = result.engine.events_scheduled;
+  engine["events_executed"] = result.engine.events_executed;
+  engine["events_cancelled"] = result.engine.events_cancelled;
+  engine["heap_actions"] = result.engine.heap_actions;
+  engine["pool_slots"] = result.engine.pool_slots;
+  engine["descriptor_allocs"] = result.engine.descriptor_allocs;
+  engine["descriptor_reuses"] = result.engine.descriptor_reuses;
+  engine["payload_bytes_copied"] = result.engine.payload_bytes_copied;
+  engine["payload_refs"] = result.engine.payload_refs;
+  // Decimal string, like seeds: 64-bit hashes do not fit a JSON double.
+  engine["event_order_hash"] = std::to_string(result.engine.event_order_hash);
+  out["engine"] = std::move(engine);
+
   json::Value metrics = json::Value::object();
   for (const auto& [name, value] : result.metrics) {
     metrics[name] = value;

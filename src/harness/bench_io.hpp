@@ -27,6 +27,12 @@
 //                  "header_rewrites": ..., "crc_drops": ...,
 //                  "out_of_order_drops": ..., "duplicate_drops": ...,
 //                  "no_token_drops": ..., "nic_buffer_drops": ... },
+//         "engine": { "events_scheduled": ..., "events_executed": ...,
+//                     "events_cancelled": ..., "heap_actions": ...,
+//                     "pool_slots": ..., "descriptor_allocs": ...,
+//                     "descriptor_reuses": ..., "payload_bytes_copied": ...,
+//                     "payload_refs": ...,
+//                     "event_order_hash": "<decimal string: 64-bit exact>" },
 //         "metrics": { "<name>": <number>, ... }
 //       }, ...
 //     ]

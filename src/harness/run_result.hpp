@@ -18,6 +18,25 @@
 
 namespace nicmcast::harness {
 
+/// Simulation-engine memory/throughput counters for one run.  These sit
+/// beside (not inside) the protocol-level NicStats because they describe
+/// the simulator's own hot paths: event-queue churn, descriptor pooling,
+/// payload copies avoided by net::Buffer sharing.  Serialised under the
+/// separate "engine" key so pre-existing JSON fields stay byte-stable.
+struct EngineCounters {
+  std::uint64_t events_scheduled = 0;
+  std::uint64_t events_executed = 0;
+  std::uint64_t events_cancelled = 0;
+  std::uint64_t heap_actions = 0;   // event callbacks that spilled to heap
+  std::uint64_t pool_slots = 0;     // event-queue slot pool high water
+  std::uint64_t descriptor_allocs = 0;
+  std::uint64_t descriptor_reuses = 0;
+  std::uint64_t payload_bytes_copied = 0;
+  std::uint64_t payload_refs = 0;
+  /// Deterministic FNV fold of the executed (time, seq) event order.
+  std::uint64_t event_order_hash = 0;
+};
+
 struct RunResult {
   RunSpec spec;
   /// One sample per measured iteration (simulated microseconds); empty for
@@ -25,6 +44,8 @@ struct RunResult {
   sim::Series latency_us;
   /// NicStats summed over every NIC in the cluster.
   nic::NicStats nic_totals;
+  /// Simulator memory-model counters (see EngineCounters).
+  EngineCounters engine;
   /// Named scalar metrics, in insertion order (stable JSON output).
   std::vector<std::pair<std::string, double>> metrics;
 

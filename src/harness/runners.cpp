@@ -77,10 +77,25 @@ void install_faults(gm::Cluster& cluster, const RunSpec& spec) {
   }
 }
 
+void collect_engine(const sim::Simulator& sim, RunResult& result) {
+  const sim::EventQueue::Stats& q = sim.queue_stats();
+  result.engine.events_scheduled = q.scheduled;
+  result.engine.events_executed = q.executed;
+  result.engine.events_cancelled = q.cancelled;
+  result.engine.heap_actions = q.heap_actions;
+  result.engine.pool_slots = q.pool_slots;
+  result.engine.event_order_hash = sim.event_order_hash();
+  result.engine.descriptor_allocs = result.nic_totals.descriptor_allocs;
+  result.engine.descriptor_reuses = result.nic_totals.descriptor_reuses;
+  result.engine.payload_bytes_copied = result.nic_totals.payload_bytes_copied;
+  result.engine.payload_refs = result.nic_totals.payload_refs;
+}
+
 void collect_nic_totals(gm::Cluster& cluster, RunResult& result) {
   for (std::size_t i = 0; i < cluster.size(); ++i) {
     accumulate(result.nic_totals, cluster.nic(i).stats());
   }
+  collect_engine(cluster.simulator(), result);
 }
 
 }  // namespace
@@ -335,6 +350,16 @@ RunResult run_skew_bcast(const RunSpec& spec) {
   const mpi::SkewResult skew = mpi::run_skew_experiment(config);
 
   result.nic_totals = skew.nic_totals;
+  result.engine.events_scheduled = skew.queue_stats.scheduled;
+  result.engine.events_executed = skew.queue_stats.executed;
+  result.engine.events_cancelled = skew.queue_stats.cancelled;
+  result.engine.heap_actions = skew.queue_stats.heap_actions;
+  result.engine.pool_slots = skew.queue_stats.pool_slots;
+  result.engine.event_order_hash = skew.event_order_hash;
+  result.engine.descriptor_allocs = skew.nic_totals.descriptor_allocs;
+  result.engine.descriptor_reuses = skew.nic_totals.descriptor_reuses;
+  result.engine.payload_bytes_copied = skew.nic_totals.payload_bytes_copied;
+  result.engine.payload_refs = skew.nic_totals.payload_refs;
   result.set_metric("avg_bcast_cpu_us", skew.avg_bcast_cpu_us);
   result.set_metric("max_bcast_cpu_us", skew.max_bcast_cpu_us);
   result.set_metric("avg_applied_skew_us", skew.avg_applied_skew_us);

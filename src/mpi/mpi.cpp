@@ -57,9 +57,9 @@ std::pair<net::GroupId, nic::GroupEntry> decode_entry(const Payload& p) {
   entry.parent = static_cast<net::NodeId>(
       std::to_integer<std::uint16_t>(p.at(8)) |
       (std::to_integer<std::uint16_t>(p.at(9)) << 8));
-  const std::uint16_t count =
+  const auto count = static_cast<std::uint16_t>(
       std::to_integer<std::uint16_t>(p.at(10)) |
-      (std::to_integer<std::uint16_t>(p.at(11)) << 8);
+      (std::to_integer<std::uint16_t>(p.at(11)) << 8));
   entry.children.reserve(count);
   for (std::uint16_t i = 0; i < count; ++i) {
     entry.children.push_back(static_cast<net::NodeId>(

@@ -65,6 +65,8 @@ SkewResult run_skew_experiment(const SkewConfig& config) {
   for (std::size_t i = 0; i < cluster.size(); ++i) {
     nic::accumulate(result.nic_totals, cluster.nic(i).stats());
   }
+  result.queue_stats = cluster.simulator().queue_stats();
+  result.event_order_hash = cluster.simulator().event_order_hash();
   return result;
 }
 

@@ -13,6 +13,7 @@
 
 #include "mpi/mpi.hpp"
 #include "nic/types.hpp"
+#include "sim/event_queue.hpp"
 
 namespace nicmcast::mpi {
 
@@ -40,6 +41,10 @@ struct SkewResult {
   /// NIC counters summed over every node (observability for the harness:
   /// sends, forwards, retransmissions under skew).
   nic::NicStats nic_totals;
+  /// Event-queue counters and executed-order hash of the internal cluster
+  /// simulator, so the harness can surface engine throughput per run.
+  sim::EventQueue::Stats queue_stats;
+  std::uint64_t event_order_hash = 0;
 };
 
 /// Builds a cluster, runs the skewed-broadcast loop and reports averages.

@@ -1,0 +1,118 @@
+// Immutable refcounted payload buffer.
+//
+// GM's zero-copy design keeps one copy of a message and hands out
+// references; the simulator mirrors that.  A Buffer is an (owner, offset,
+// length) view over a shared byte block: copying a Buffer or slicing a
+// fragment out of it bumps a refcount instead of duplicating bytes, so NIC
+// multicast forwarding, retransmission from send records and per-link
+// transit all share the single allocation made when the host posted the
+// send.  The bytes are immutable for the Buffer's whole lifetime — fault
+// injection marks a packet corrupted via its flag, never by mutating the
+// shared bytes (which would corrupt every other holder of the block).
+//
+// Copies happen in exactly two places, both explicit: copy_of() (host
+// posts, reduction accumulators) and to_vector() (landing a payload in
+// host memory).  Everything else is slice() and shared_ptr copies.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace nicmcast::net {
+
+class Buffer {
+ public:
+  /// Empty view; data() is nullptr, size() is 0.
+  Buffer() = default;
+
+  /// Takes ownership of `bytes` without copying: the vector becomes the
+  /// shared block.  This is the host-post boundary — the single allocation
+  /// every downstream packet/record slice refers back to.
+  [[nodiscard]] static Buffer take(std::vector<std::byte>&& bytes) {
+    if (bytes.empty()) return Buffer{};
+    // Plain `new` rather than make_shared: GCC 12's -Wfree-nonheap-object
+    // misfires on the moved-from vector when the combined control-block
+    // allocation is inlined into callers at -O2.
+    std::shared_ptr<const std::vector<std::byte>> block(
+        new std::vector<std::byte>(std::move(bytes)));
+    const std::size_t length = block->size();
+    return Buffer{std::move(block), 0, length};
+  }
+
+  /// Copies `count` bytes into a fresh block (explicit copy point).
+  [[nodiscard]] static Buffer copy_of(const std::byte* bytes,
+                                      std::size_t count) {
+    return take(std::vector<std::byte>(bytes, bytes + count));
+  }
+
+  [[nodiscard]] static Buffer copy_of(const std::vector<std::byte>& bytes) {
+    return take(std::vector<std::byte>(bytes));
+  }
+
+  /// A fresh block of `count` copies of `value` (tests, padding).  Kept out
+  /// of line: GCC 12's -Wfree-nonheap-object misfires on the moved-from
+  /// temporary when this is inlined into callers at -O2.
+  [[nodiscard]] [[gnu::noinline]] static Buffer filled(std::size_t count,
+                                                       std::byte value) {
+    return take(std::vector<std::byte>(count, value));
+  }
+
+  /// A narrower view of the same block: refcount bump, no byte copies.
+  /// This is how a packet carries one MTU-sized fragment of a message.
+  [[nodiscard]] Buffer slice(std::size_t offset, std::size_t count) const {
+    if (offset + count > size_) {
+      throw std::out_of_range("Buffer::slice: range outside view");
+    }
+    Buffer out;
+    out.block_ = block_;
+    out.offset_ = offset_ + offset;
+    out.size_ = count;
+    return out;
+  }
+
+  [[nodiscard]] const std::byte* data() const {
+    return block_ ? block_->data() + offset_ : nullptr;
+  }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  [[nodiscard]] const std::byte* begin() const { return data(); }
+  [[nodiscard]] const std::byte* end() const { return data() + size_; }
+
+  [[nodiscard]] std::byte operator[](std::size_t index) const {
+    return data()[index];
+  }
+
+  /// Copies the viewed bytes out into host memory (explicit copy point).
+  [[nodiscard]] std::vector<std::byte> to_vector() const {
+    return std::vector<std::byte>(begin(), end());
+  }
+
+  /// True when both views share one block with equal offsets — the
+  /// zero-copy assertion used by tests (content equality is operator==).
+  [[nodiscard]] bool shares_block_with(const Buffer& other) const {
+    return block_ != nullptr && block_ == other.block_;
+  }
+
+  /// Content equality (byte-wise over the viewed ranges).
+  friend bool operator==(const Buffer& a, const Buffer& b) {
+    if (a.size_ != b.size_) return false;
+    if (a.size_ == 0) return true;
+    return std::memcmp(a.data(), b.data(), a.size_) == 0;
+  }
+
+ private:
+  Buffer(std::shared_ptr<const std::vector<std::byte>> block,
+         std::size_t offset, std::size_t size)
+      : block_(std::move(block)), offset_(offset), size_(size) {}
+
+  std::shared_ptr<const std::vector<std::byte>> block_;
+  std::size_t offset_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace nicmcast::net

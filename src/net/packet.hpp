@@ -9,7 +9,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
-#include <vector>
+
+#include "net/buffer.hpp"
 
 namespace nicmcast::net {
 
@@ -73,9 +74,13 @@ struct PacketHeader {
 
 struct Packet {
   PacketHeader header;
-  std::vector<std::byte> payload;
+  /// Immutable shared view of (a fragment of) the message bytes.  Copying
+  /// a Packet shares the block — forwarding, retransmission and transit
+  /// never duplicate payload bytes (see net/buffer.hpp).
+  Buffer payload;
   /// Set by the fault injector; the receiving NIC's CRC check drops the
-  /// packet without acknowledging it.
+  /// packet without acknowledging it.  Kept outside the payload on purpose:
+  /// corruption flips this flag, it must never mutate shared bytes.
   bool corrupted = false;
 
   [[nodiscard]] std::size_t payload_size() const { return payload.size(); }

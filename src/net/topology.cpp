@@ -53,11 +53,53 @@ Route Topology::route(NodeId from, NodeId to) const {
 }
 
 std::vector<std::vector<Route>> Topology::all_routes() const {
+  // One full BFS per *source* instead of one per pair: the BFS exploration
+  // order is deterministic, so the predecessor tree — and every extracted
+  // route — is bit-identical to what per-pair route() calls produce, at
+  // 1/endpoint_count the cost.  Cluster construction runs this for every
+  // simulated network, so it is on the benchmark setup path.
+  std::vector<std::vector<LinkId>> adjacency(vertex_count_);
+  for (LinkId id = 0; id < links_.size(); ++id) {
+    // Links appended in id order keep each vertex's out-links in increasing
+    // id order — the same order the per-pair BFS discovers them in.
+    adjacency[links_[id].from].push_back(id);
+  }
+
   std::vector<std::vector<Route>> out(endpoint_count_);
-  for (NodeId i = 0; i < endpoint_count_; ++i) {
-    out[i].resize(endpoint_count_);
-    for (NodeId j = 0; j < endpoint_count_; ++j) {
-      if (i != j) out[i][j] = route(i, j);
+  std::vector<LinkId> via(vertex_count_);
+  std::vector<VertexId> prev(vertex_count_);
+  for (NodeId from = 0; from < endpoint_count_; ++from) {
+    std::fill(via.begin(), via.end(), kNoLink);
+    std::fill(prev.begin(), prev.end(), kNoVertex);
+    std::queue<VertexId> frontier;
+    frontier.push(from);
+    prev[from] = from;
+    while (!frontier.empty()) {
+      const VertexId v = frontier.front();
+      frontier.pop();
+      if (v != from && is_endpoint(v)) continue;  // endpoints terminate paths
+      for (const LinkId id : adjacency[v]) {
+        const LinkDesc& l = links_[id];
+        if (prev[l.to] != kNoVertex) continue;
+        prev[l.to] = v;
+        via[l.to] = id;
+        frontier.push(l.to);
+      }
+    }
+
+    out[from].resize(endpoint_count_);
+    for (NodeId to = 0; to < endpoint_count_; ++to) {
+      if (to == from) continue;
+      if (prev[to] == kNoVertex) {
+        throw std::runtime_error("no route between endpoints " +
+                                 std::to_string(from) + " and " +
+                                 std::to_string(to));
+      }
+      Route& path = out[from][to];
+      for (VertexId v = to; v != from; v = prev[v]) {
+        path.push_back(via[v]);
+      }
+      std::reverse(path.begin(), path.end());
     }
   }
   return out;

@@ -12,9 +12,9 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <map>
 #include <string>
 #include <tuple>
+#include <unordered_map>
 #include <vector>
 
 #include "net/packet.hpp"
@@ -75,9 +75,25 @@ class ProtocolAuditor {
   // be (re)positioned by a connection reset.
   using StreamKey = std::tuple<net::NodeId, bool, std::uint64_t>;
 
+  // The per-stream ledger is only probed point-wise (never iterated), so a
+  // hash map beats the red-black tree on the soak's hot acceptance path.
+  struct StreamKeyHash {
+    std::size_t operator()(const StreamKey& key) const noexcept {
+      // FNV-1a over the three fields, folded into 64 bits.
+      std::uint64_t h = 0xcbf29ce484222325ULL;
+      const auto mix = [&h](std::uint64_t v) {
+        h = (h ^ v) * 0x100000001b3ULL;
+      };
+      mix(std::get<0>(key));
+      mix(std::get<1>(key) ? 1 : 0);
+      mix(std::get<2>(key));
+      return static_cast<std::size_t>(h);
+    }
+  };
+
   void violation(const Nic& nic, std::string what);
 
-  std::map<StreamKey, SeqNum> expected_;
+  std::unordered_map<StreamKey, SeqNum, StreamKeyHash> expected_;
   Ledger ledger_;
   std::vector<std::string> violations_;
 };

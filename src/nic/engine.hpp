@@ -7,8 +7,6 @@
 // rewrite and ack competes for the one LANai CPU.
 #pragma once
 
-#include <functional>
-
 #include "sim/simulator.hpp"
 #include "sim/time.hpp"
 
@@ -22,8 +20,10 @@ class Engine {
 
   /// Reserves the engine for `busy` starting at the earliest free instant
   /// and runs `on_complete` when the reservation ends.  Returns the
-  /// completion time.
-  sim::TimePoint run(sim::Duration busy, std::function<void()> on_complete) {
+  /// completion time.  The callback goes straight into the event queue's
+  /// inline-storage Action — no std::function wrapper, no heap allocation
+  /// for the hot NIC captures.
+  sim::TimePoint run(sim::Duration busy, sim::EventQueue::Action on_complete) {
     const sim::TimePoint start = std::max(sim_.now(), free_at_);
     free_at_ = start + busy;
     sim_.schedule_at(free_at_, std::move(on_complete));

@@ -72,14 +72,18 @@ void Nic::post_send(SendRequest request) {
                            "library layer, not the NIC");
   }
   consume_send_token(request.port);
-  auto message = std::make_shared<const Payload>(std::move(request.data));
-  const auto fragments = fragment_message(message->size());
+  // Zero-copy host-post boundary: the request's bytes become the shared
+  // block every fragment, record and retransmission will reference.
+  MessageRef message = net::Buffer::take(std::move(request.data));
+  const auto fragments = fragment_message(message.size());
   auto [it, inserted] = pending_ops_.emplace(
       request.handle, PendingOp{HostEvent::Type::kSendComplete, request.port,
                                 fragments.size(), false});
   if (!inserted) throw std::logic_error("post_send: duplicate handle");
-  trace("nic", "send token posted, " + std::to_string(message->size()) +
-                   "B to node " + std::to_string(request.dest));
+  if (sim_.tracer().enabled("nic")) {
+    trace("nic", "send token posted, " + std::to_string(message.size()) +
+                     "B to node " + std::to_string(request.dest));
+  }
   cpu_.run(config_.send_token_processing,
            [this, request = std::move(request), message] {
              start_unicast_packets(request.port, request.dest,
@@ -96,8 +100,8 @@ void Nic::post_multisend(MultisendRequest request) {
     throw std::invalid_argument("post_multisend: empty destination list");
   }
   consume_send_token(request.port);
-  auto message = std::make_shared<const Payload>(std::move(request.data));
-  const auto fragments = fragment_message(message->size());
+  MessageRef message = net::Buffer::take(std::move(request.data));
+  const auto fragments = fragment_message(message.size());
   auto [it, inserted] = pending_ops_.emplace(
       request.handle,
       PendingOp{HostEvent::Type::kMultisendComplete, request.port,
@@ -131,7 +135,7 @@ void Nic::post_multisend(MultisendRequest request) {
         header.src_port = request.port;
         header.dst_port = request.dest_port;
         header.msg_offset = frag.offset;
-        header.msg_length = static_cast<std::uint32_t>(message->size());
+        header.msg_length = static_cast<std::uint32_t>(message.size());
         header.tag = request.tag;
         auto descriptor = make_descriptor(build_packet(header, message, frag));
         start_replica_chain(
@@ -188,14 +192,16 @@ void Nic::post_mcast_send(McastSendRequest request) {
                            "a multicast");
   }
   consume_send_token(request.port);
-  auto message = std::make_shared<const Payload>(std::move(request.data));
-  const auto fragments = fragment_message(message->size());
+  MessageRef message = net::Buffer::take(std::move(request.data));
+  const auto fragments = fragment_message(message.size());
   auto [op_it, inserted] = pending_ops_.emplace(
       request.handle, PendingOp{HostEvent::Type::kMcastSendComplete,
                                 request.port, fragments.size(), false});
   if (!inserted) throw std::logic_error("post_mcast_send: duplicate handle");
-  trace("mcast", "mcast send posted grp=" + std::to_string(request.group) +
-                     " " + std::to_string(message->size()) + "B");
+  if (sim_.tracer().enabled("mcast")) {
+    trace("mcast", "mcast send posted grp=" + std::to_string(request.group) +
+                       " " + std::to_string(message.size()) + "B");
+  }
 
   cpu_.run(config_.send_token_processing,
            [this, group_id = request.group, message, fragments,
@@ -256,7 +262,8 @@ void Nic::post_reduce(net::PortId port, net::GroupId group, Payload data,
   }
   it->second.reduce.host_posted = true;
   // The contribution crosses the PCI bus like any send payload.
-  sdma_then(data.size(), [this, group, data = std::move(data), handle] {
+  sdma_then(data.size(),
+            [this, group, data = net::Buffer::take(std::move(data)), handle] {
     GroupState& g = groups_.at(group);
     reduce_combine(group, data);
     g.reduce.host_arrived = true;
@@ -375,7 +382,7 @@ std::vector<Nic::Fragment> Nic::fragment_message(std::size_t size) const {
 void Nic::start_unicast_packets(net::PortId port, net::NodeId dest,
                                 net::PortId dest_port, MessageRef message,
                                 std::uint32_t tag, OpHandle handle) {
-  for (const Fragment frag : fragment_message(message->size())) {
+  for (const Fragment frag : fragment_message(message.size())) {
     sdma_then(frag.length, [this, port, dest, dest_port, message, frag, tag,
                             handle] {
       send_data_packet(port, dest, dest_port, message, frag, tag, handle);
@@ -383,11 +390,18 @@ void Nic::start_unicast_packets(net::PortId port, net::NodeId dest,
   }
 }
 
-void Nic::sdma_then(std::size_t bytes, std::function<void()> next) {
+void Nic::sdma_then(std::size_t bytes, sim::EventQueue::Action next) {
   const sim::Duration busy =
       config_.dma_startup + config_.per_packet_processing +
       sim::transfer_time(bytes, config_.host_dma_mbps);
   sdma_.run(busy, std::move(next));
+}
+
+DescriptorRef Nic::make_descriptor(net::Packet packet) {
+  DescriptorRef descriptor = descriptors_.acquire(std::move(packet));
+  stats_.descriptor_allocs = descriptors_.allocs();
+  stats_.descriptor_reuses = descriptors_.reuses();
+  return descriptor;
 }
 
 void Nic::send_data_packet(net::PortId port, net::NodeId dest,
@@ -406,7 +420,7 @@ void Nic::send_data_packet(net::PortId port, net::NodeId dest,
   header.dst_port = dest_port;
   header.seq = conn.next_seq++;
   header.msg_offset = fragment.offset;
-  header.msg_length = static_cast<std::uint32_t>(message->size());
+  header.msg_length = static_cast<std::uint32_t>(message.size());
   header.tag = tag;
 
   conn.records.push_back(
@@ -421,11 +435,13 @@ void Nic::send_data_packet(net::PortId port, net::NodeId dest,
 
 net::Packet Nic::build_packet(const net::PacketHeader& header,
                               const MessageRef& message,
-                              Fragment fragment) const {
+                              Fragment fragment) {
   net::Packet packet;
   packet.header = header;
-  packet.payload.assign(message->begin() + fragment.offset,
-                        message->begin() + fragment.offset + fragment.length);
+  // Refcount bump, no byte copy: the packet views its fragment of the
+  // message block posted by the host.
+  packet.payload = message.slice(fragment.offset, fragment.length);
+  ++stats_.payload_refs;
   return packet;
 }
 
@@ -441,17 +457,14 @@ net::Network::TxTiming Nic::transmit(DescriptorRef descriptor) {
   return timing;
 }
 
-void Nic::start_replica_chain(
-    DescriptorRef descriptor, std::vector<net::NodeId> dests,
-    std::function<void(net::Packet&, net::NodeId)> prepare,
-    std::function<void(const net::Packet&, const net::Network::TxTiming&)>
-        on_transmit) {
+void Nic::start_replica_chain(DescriptorRef descriptor,
+                              std::vector<net::NodeId> dests,
+                              PrepareFn prepare, OnTransmitFn on_transmit) {
   struct ChainState {
     std::vector<net::NodeId> dests;
     std::size_t index = 0;
-    std::function<void(net::Packet&, net::NodeId)> prepare;
-    std::function<void(const net::Packet&, const net::Network::TxTiming&)>
-        on_transmit;
+    PrepareFn prepare;
+    OnTransmitFn on_transmit;
   };
   auto state = std::make_shared<ChainState>();
   state->dests = std::move(dests);
@@ -509,7 +522,7 @@ void Nic::launch_mcast_packet(net::GroupId group_id, GroupState& group,
   header.seq = group.send_seq++;
   header.group = group_id;
   header.msg_offset = fragment.offset;
-  header.msg_length = static_cast<std::uint32_t>(message->size());
+  header.msg_length = static_cast<std::uint32_t>(message.size());
   header.tag = tag;
 
   group.records.push_back(GroupRecord{header.seq, message, fragment, header,
@@ -663,14 +676,18 @@ void Nic::handle_mcast_data(const net::Packet& packet) {
     // send record until every child acks; leaves (nothing to forward)
     // always release at RDMA completion.
     const bool record_pins = forwards && options_.hold_buffers_until_acked;
-    std::function<void()> rdma_release;
+    ReleaseFn rdma_release;
+    ReleaseFn forward_release;
     if (record_pins) {
-      rdma_release = nullptr;  // released when the record is pruned
+      // Released when the record is pruned; both hooks stay empty.
     } else if (forwards) {
       // Shared between the RDMA completion and the last replica's wire
-      // push.
+      // push: each consumer gets its own hook over one counter.
       auto shares = std::make_shared<int>(2);
       rdma_release = [this, shares] {
+        if (--*shares == 0) release_rx_buffer();
+      };
+      forward_release = [this, shares] {
         if (--*shares == 0) release_rx_buffer();
       };
     } else {
@@ -679,11 +696,12 @@ void Nic::handle_mcast_data(const net::Packet& packet) {
     if (forwards) {
       // NIC-based forwarding: re-queue towards the children without any
       // host involvement, per-packet (pipelining across the tree).
-      start_forward(packet.header.group, packet, rdma_release);
+      start_forward(packet.header.group, packet, std::move(forward_release));
     }
     group.assembly->accepted += packet.payload.size();
     accept_payload(group.entry.port, group.assembly, packet,
-                   HostEvent::Type::kMcastRecvComplete, rdma_release);
+                   HostEvent::Type::kMcastRecvComplete,
+                   std::move(rdma_release));
   } else if (seq_before(packet.header.seq, group.recv_seq)) {
     ++stats_.duplicate_drops;
     send_ack(packet, group.recv_seq - 1);
@@ -985,16 +1003,19 @@ bool Nic::ensure_assembly(net::PortId port, AssemblyRef& slot,
 
 void Nic::accept_payload(net::PortId port, AssemblyRef assembly,
                          const net::Packet& packet,
-                         HostEvent::Type event_type,
-                         std::function<void()> on_rdma_done) {
+                         HostEvent::Type event_type, ReleaseFn on_rdma_done) {
   const sim::Duration busy =
       config_.dma_startup +
       sim::transfer_time(packet.payload.size(), config_.host_dma_mbps);
   rdma_.run(busy, [this, port, assembly = std::move(assembly),
                    payload = packet.payload, header = packet.header,
-                   event_type, on_rdma_done = std::move(on_rdma_done)] {
+                   event_type,
+                   on_rdma_done = std::move(on_rdma_done)]() mutable {
+    // The one copy on the receive side: RDMA lands the shared fragment
+    // view into this message's host assembly buffer.
     std::copy(payload.begin(), payload.end(),
               assembly->data.begin() + header.msg_offset);
+    stats_.payload_bytes_copied += payload.size();
     assembly->received += payload.size();
     if (on_rdma_done) on_rdma_done();
     if (!assembly->fully_received()) return;
@@ -1166,11 +1187,15 @@ void Nic::barrier_release(net::GroupId group_id, SeqNum epoch) {
 // ---------------------------------------------------------------------------
 
 void Nic::reduce_combine(net::GroupId group_id,
-                         const Payload& contribution) {
+                         const net::Buffer& contribution) {
   GroupState& group = groups_.at(group_id);
   ReduceState& reduce = group.reduce;
   if (reduce.accumulator.empty()) {
-    reduce.accumulator = contribution;
+    // The accumulator is the one mutable payload in the NIC: it must own
+    // its bytes, so the first contribution is copied out of the shared
+    // block (explicit copy point; lane-adds below mutate it in place).
+    reduce.accumulator = contribution.to_vector();
+    stats_.payload_bytes_copied += contribution.size();
   } else {
     if (reduce.accumulator.size() != contribution.size()) {
       throw std::logic_error("reduce: mismatched vector sizes in group");
@@ -1287,7 +1312,10 @@ void Nic::reduce_send_up(net::GroupId group_id) {
   header.msg_length = static_cast<std::uint32_t>(reduce.accumulator.size());
   net::Packet packet;
   packet.header = header;
-  packet.payload = reduce.accumulator;
+  // The accumulator keeps mutating after this send (later contributions
+  // and the next round), so the wire snapshot must be a copy.
+  packet.payload = net::Buffer::copy_of(reduce.accumulator);
+  stats_.payload_bytes_copied += reduce.accumulator.size();
   transmit(make_descriptor(std::move(packet)));
   if (!reduce.resend_timer) {
     reduce.resend_timer = sim_.schedule_after(
@@ -1348,7 +1376,7 @@ void Nic::handle_reduce_ack(const net::Packet& packet) {
 // ---------------------------------------------------------------------------
 
 void Nic::start_forward(net::GroupId group_id, const net::Packet& packet,
-                        std::function<void()> on_forwarded) {
+                        ReleaseFn on_forwarded) {
   bool holds_token = false;
   if (options_.forwarding_uses_send_tokens) {
     // Ablation: the rejected design — forwarding draws from the finite
@@ -1377,19 +1405,23 @@ void Nic::start_forward(net::GroupId group_id, const net::Packet& packet,
   ++stats_.header_rewrites;  // first replica needs its header rewritten too
   cpu_.run(config_.forward_processing + config_.header_rewrite,
            [this, group_id, packet, holds_token,
-            on_forwarded = std::move(on_forwarded)] {
-             begin_forward_chain(group_id, packet, holds_token, on_forwarded);
+            on_forwarded = std::move(on_forwarded)]() mutable {
+             begin_forward_chain(group_id, packet, holds_token,
+                                 std::move(on_forwarded));
            });
 }
 
 void Nic::begin_forward_chain(net::GroupId group_id,
                               const net::Packet& packet, bool holds_token,
-                              std::function<void()> on_forwarded) {
+                              ReleaseFn on_forwarded) {
   GroupState& group = groups_.at(group_id);
-  auto message = std::make_shared<const Payload>(packet.payload);
-  // The replica buffer holds exactly this packet's bytes, so the record's
-  // fragment is relative to it (offset 0); the wire offset within the whole
-  // message lives in the header and is preserved across retransmissions.
+  // Zero-copy forwarding: the record and every replica share the incoming
+  // packet's view of the root's block — a NIC hop never duplicates bytes.
+  MessageRef message = packet.payload;
+  ++stats_.payload_refs;
+  // The record's view holds exactly this packet's bytes, so the fragment is
+  // relative to it (offset 0); the wire offset within the whole message
+  // lives in the header and is preserved across retransmissions.
   const Fragment fragment{0,
                           static_cast<std::uint32_t>(packet.payload.size())};
 
@@ -1404,20 +1436,22 @@ void Nic::begin_forward_chain(net::GroupId group_id,
   net::Packet fwd;
   fwd.header = header;
   fwd.payload = packet.payload;
-  auto replicas_left =
-      std::make_shared<std::size_t>(group.entry.children.size());
   start_replica_chain(
       make_descriptor(std::move(fwd)), group.entry.children,
       [](net::Packet& p, net::NodeId dest) { p.header.dst = dest; },
-      [this, group_id, replicas_left,
+      // The on_transmit closure fires once per replica and lives exactly as
+      // long as the chain, so the remaining-replica count rides in a
+      // mutable by-value capture instead of a heap counter.
+      [this, group_id, replicas_left = group.entry.children.size(),
        on_forwarded = std::move(on_forwarded)](
-          const net::Packet& p, const net::Network::TxTiming& timing) {
+          const net::Packet& p,
+          const net::Network::TxTiming& timing) mutable {
         touch_group_record(group_id, p.header.seq, timing.tx_done);
         arm_group_timer(group_id);
-        if (--*replicas_left == 0 && on_forwarded) {
+        if (--replicas_left == 0 && on_forwarded) {
           // The staging buffer is free once the last replica has left the
           // wire (retransmissions refetch from host memory).
-          sim_.schedule_at(timing.tx_done, on_forwarded);
+          sim_.schedule_at(timing.tx_done, std::move(on_forwarded));
         }
       });
 }

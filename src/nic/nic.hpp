@@ -34,6 +34,7 @@
 #include "nic/packet_descriptor.hpp"
 #include "nic/sequence.hpp"
 #include "nic/types.hpp"
+#include "sim/ring_deque.hpp"
 #include "sim/simulator.hpp"
 
 namespace nicmcast::nic {
@@ -150,8 +151,15 @@ class Nic final : public net::PacketSink {
  private:
   friend class ProtocolAuditor;
   // Shared, immutable message bytes; send records reference this instead of
-  // copying the payload per destination.
-  using MessageRef = std::shared_ptr<const Payload>;
+  // copying the payload per destination.  Fragments slice views out of the
+  // same block, so retransmission and multicast forwarding never duplicate
+  // payload bytes (see net/buffer.hpp).
+  using MessageRef = net::Buffer;
+
+  // Staging-buffer release hooks (RDMA done, last replica on the wire).
+  // 32 inline bytes holds `this` plus a shared counter without the heap
+  // allocation std::function paid for the same capture.
+  using ReleaseFn = sim::InlineFunction<void(), 32>;
 
   struct Fragment {
     std::uint32_t offset = 0;
@@ -178,7 +186,9 @@ class Nic final : public net::PacketSink {
 
   struct SenderConn {
     SeqNum next_seq = 0;
-    std::deque<SendRecord> records;  // in seq order, all unacked
+    // In seq order, all unacked.  RingDeque keeps its slots across window
+    // drain/refill, so steady-state record churn never touches the heap.
+    sim::RingDeque<SendRecord> records;
     std::optional<sim::EventId> timer;
     Ctrl ctrl = Ctrl::kNone;
     SeqNum ctrl_seq = 0;  // seq carried by the outstanding ctrl request
@@ -271,7 +281,7 @@ class Nic final : public net::PacketSink {
     SeqNum recv_seq = 0;  // next expected from the parent
     SeqNum send_seq = 0;  // next to assign towards the children
     std::vector<SeqNum> child_next_acked;  // per child: next seq they expect
-    std::deque<GroupRecord> records;
+    sim::RingDeque<GroupRecord> records;  // pooled, same as SenderConn
     AssemblyRef assembly;
     std::optional<sim::EventId> timer;
     BarrierState barrier;
@@ -315,25 +325,31 @@ class Nic final : public net::PacketSink {
   void start_unicast_packets(net::PortId port, net::NodeId dest,
                              net::PortId dest_port, MessageRef message,
                              std::uint32_t tag, OpHandle handle);
-  void sdma_then(std::size_t bytes, std::function<void()> next);
+  void sdma_then(std::size_t bytes, sim::EventQueue::Action next);
   void send_data_packet(net::PortId port, net::NodeId dest,
                         net::PortId dest_port, const MessageRef& message,
                         Fragment fragment, std::uint32_t tag, OpHandle handle);
+  /// Checks out a pooled descriptor for `packet` (counted in NicStats).
+  DescriptorRef make_descriptor(net::Packet packet);
   net::Network::TxTiming transmit(DescriptorRef descriptor);
   net::Packet build_packet(const net::PacketHeader& header,
-                           const MessageRef& message, Fragment fragment) const;
+                           const MessageRef& message, Fragment fragment);
 
   // -- Multisend / multicast replica chain --
+  // Inline-storage callables sized for this file's captures (a MessageRef
+  // view + fragment + handles); anything bigger spills to the heap and is
+  // counted by the engine's heap_actions stat.
+  using PrepareFn = sim::InlineFunction<void(net::Packet&, net::NodeId), 64>;
+  using OnTransmitFn = sim::InlineFunction<
+      void(const net::Packet&, const net::Network::TxTiming&), 64>;
   // `prepare` retargets the descriptor before each replica; `on_transmit`
   // (optional) reports the wire timing of each replica so callers can stamp
   // their send records with the true injection time (long streams queue on
   // the wire far behind the CPU, and retransmission timers must measure
   // from the wire, not from record creation).
-  void start_replica_chain(
-      DescriptorRef descriptor, std::vector<net::NodeId> dests,
-      std::function<void(net::Packet&, net::NodeId)> prepare,
-      std::function<void(const net::Packet&, const net::Network::TxTiming&)>
-          on_transmit = nullptr);
+  void start_replica_chain(DescriptorRef descriptor,
+                           std::vector<net::NodeId> dests, PrepareFn prepare,
+                           OnTransmitFn on_transmit = nullptr);
   void touch_group_record(net::GroupId group_id, SeqNum seq,
                           sim::TimePoint sent_at);
 
@@ -344,10 +360,9 @@ class Nic final : public net::PacketSink {
   // the chosen staging-buffer release point; null in the naive ablation
   // (the record pins the buffer until all children ack).
   void start_forward(net::GroupId group_id, const net::Packet& packet,
-                     std::function<void()> on_forwarded);
+                     ReleaseFn on_forwarded);
   void begin_forward_chain(net::GroupId group_id, const net::Packet& packet,
-                           bool holds_token,
-                           std::function<void()> on_forwarded);
+                           bool holds_token, ReleaseFn on_forwarded);
 
   // -- Receive path --
   void handle_data(const net::Packet& packet);
@@ -365,7 +380,7 @@ class Nic final : public net::PacketSink {
   // -- NIC-level reduction --
   void handle_reduce(const net::Packet& packet);
   void handle_reduce_ack(const net::Packet& packet);
-  void reduce_combine(net::GroupId group_id, const Payload& contribution);
+  void reduce_combine(net::GroupId group_id, const net::Buffer& contribution);
   void reduce_check_complete(net::GroupId group_id);
   void reduce_send_up(net::GroupId group_id);
   void reduce_resend_timeout(net::GroupId group_id);
@@ -379,7 +394,7 @@ class Nic final : public net::PacketSink {
   // used to return the NIC staging buffer.
   void accept_payload(net::PortId port, AssemblyRef assembly,
                       const net::Packet& packet, HostEvent::Type event_type,
-                      std::function<void()> on_rdma_done = nullptr);
+                      ReleaseFn on_rdma_done = nullptr);
 
   // -- kCtrl connection handshakes (reset after failure; idle close) --
   void handle_ctrl(const net::Packet& packet);
@@ -437,12 +452,13 @@ class Nic final : public net::PacketSink {
   struct DeferredForward {
     net::GroupId group;
     net::Packet packet;
-    std::function<void()> on_forwarded;
+    ReleaseFn on_forwarded;
   };
   std::deque<DeferredForward> deferred_forwards_;
   std::size_t rx_buffers_in_use_ = 0;
 
   ProtocolAuditor* auditor_ = nullptr;
+  DescriptorPool descriptors_;
   NicStats stats_;
 };
 

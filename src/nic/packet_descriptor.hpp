@@ -6,29 +6,136 @@
 // may rewrite the header (next destination) and queue the same descriptor
 // again instead of freeing it — that re-queue is what replaces per-
 // destination send-token processing with a cheap header rewrite.
+//
+// Descriptors are pooled per NIC, exactly like the real firmware's fixed
+// descriptor ring: DescriptorRef is an intrusive refcount, and when the
+// last reference drops the descriptor's payload view and callback are
+// released and the storage is recycled through a free list instead of
+// going back to the heap.  A NIC allocates only as many descriptors as it
+// ever has concurrently in flight (NicStats::descriptor_allocs); everything
+// after that is a reuse (NicStats::descriptor_reuses).
 #pragma once
 
-#include <functional>
+#include <cstdint>
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "net/packet.hpp"
+#include "sim/inline_function.hpp"
 
 namespace nicmcast::nic {
 
 struct PacketDescriptor;
-using DescriptorRef = std::shared_ptr<PacketDescriptor>;
+class DescriptorPool;
+class DescriptorRef;
 
 struct PacketDescriptor {
   net::Packet packet;
   /// Invoked when the transmit DMA engine has pushed the last byte of this
-  /// packet onto the wire.  Empty => the descriptor is freed.
-  std::function<void(DescriptorRef)> on_tx_complete;
+  /// packet onto the wire.  Empty => the descriptor is freed on last unref.
+  /// 48 inline bytes covers the replica-chain capture (this + chain state).
+  sim::InlineFunction<void(DescriptorRef), 48> on_tx_complete;
+
+ private:
+  friend class DescriptorPool;
+  friend class DescriptorRef;
+  DescriptorPool* pool_ = nullptr;
+  PacketDescriptor* next_free_ = nullptr;
+  std::uint32_t refs_ = 0;
 };
 
-[[nodiscard]] inline DescriptorRef make_descriptor(net::Packet packet) {
-  auto d = std::make_shared<PacketDescriptor>();
-  d->packet = std::move(packet);
-  return d;
+/// Intrusive smart reference to a pooled descriptor.  Copying bumps the
+/// refcount; the last destruction returns the descriptor to its pool.
+class DescriptorRef {
+ public:
+  DescriptorRef() = default;
+  DescriptorRef(const DescriptorRef& other) : d_(other.d_) {
+    if (d_ != nullptr) ++d_->refs_;
+  }
+  DescriptorRef(DescriptorRef&& other) noexcept : d_(other.d_) {
+    other.d_ = nullptr;
+  }
+  DescriptorRef& operator=(const DescriptorRef& other) {
+    if (this != &other) {
+      reset();
+      d_ = other.d_;
+      if (d_ != nullptr) ++d_->refs_;
+    }
+    return *this;
+  }
+  DescriptorRef& operator=(DescriptorRef&& other) noexcept {
+    if (this != &other) {
+      reset();
+      d_ = other.d_;
+      other.d_ = nullptr;
+    }
+    return *this;
+  }
+  ~DescriptorRef() { reset(); }
+
+  [[nodiscard]] PacketDescriptor* operator->() const { return d_; }
+  [[nodiscard]] PacketDescriptor& operator*() const { return *d_; }
+  [[nodiscard]] explicit operator bool() const { return d_ != nullptr; }
+
+  inline void reset();
+
+ private:
+  friend class DescriptorPool;
+  explicit DescriptorRef(PacketDescriptor* d) : d_(d) {}
+  PacketDescriptor* d_ = nullptr;
+};
+
+/// Per-NIC descriptor free list.  Storage is owned here (stable addresses);
+/// the free list threads through the descriptors themselves.
+class DescriptorPool {
+ public:
+  DescriptorPool() = default;
+  DescriptorPool(const DescriptorPool&) = delete;
+  DescriptorPool& operator=(const DescriptorPool&) = delete;
+
+  [[nodiscard]] DescriptorRef acquire(net::Packet packet) {
+    PacketDescriptor* d;
+    if (free_ != nullptr) {
+      d = free_;
+      free_ = d->next_free_;
+      ++reuses_;
+    } else {
+      storage_.push_back(std::make_unique<PacketDescriptor>());
+      d = storage_.back().get();
+      d->pool_ = this;
+      ++allocs_;
+    }
+    d->packet = std::move(packet);
+    d->refs_ = 1;
+    return DescriptorRef{d};
+  }
+
+  [[nodiscard]] std::uint64_t allocs() const { return allocs_; }
+  [[nodiscard]] std::uint64_t reuses() const { return reuses_; }
+
+ private:
+  friend class DescriptorRef;
+  void release(PacketDescriptor* d) {
+    // Drop the payload's block reference and the callback's captures now —
+    // a parked descriptor must not pin a message block alive.
+    d->packet = net::Packet{};
+    d->on_tx_complete = nullptr;
+    d->next_free_ = free_;
+    free_ = d;
+  }
+
+  std::vector<std::unique_ptr<PacketDescriptor>> storage_;
+  PacketDescriptor* free_ = nullptr;
+  std::uint64_t allocs_ = 0;
+  std::uint64_t reuses_ = 0;
+};
+
+inline void DescriptorRef::reset() {
+  if (d_ != nullptr && --d_->refs_ == 0) {
+    d_->pool_->release(d_);
+  }
+  d_ = nullptr;
 }
 
 }  // namespace nicmcast::nic

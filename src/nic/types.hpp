@@ -129,6 +129,11 @@ struct NicStats {
   std::uint64_t ctrl_packets = 0;      // kCtrl reset/close handshake packets
   std::uint64_t conn_resets = 0;       // reset handshakes initiated
   std::uint64_t conns_reclaimed = 0;   // idle sender connections closed
+  // -- memory-model observability (perf trajectory, not protocol state) --
+  std::uint64_t descriptor_allocs = 0;   // descriptor pool grew by one
+  std::uint64_t descriptor_reuses = 0;   // descriptor served from free list
+  std::uint64_t payload_bytes_copied = 0;  // bytes physically memcpy'd
+  std::uint64_t payload_refs = 0;          // zero-copy buffer shares instead
 };
 
 /// Memberwise sum — aggregates per-NIC counters into cluster-wide totals
@@ -155,6 +160,10 @@ inline void accumulate(NicStats& into, const NicStats& from) {
   into.ctrl_packets += from.ctrl_packets;
   into.conn_resets += from.conn_resets;
   into.conns_reclaimed += from.conns_reclaimed;
+  into.descriptor_allocs += from.descriptor_allocs;
+  into.descriptor_reuses += from.descriptor_reuses;
+  into.payload_bytes_copied += from.payload_bytes_copied;
+  into.payload_refs += from.payload_refs;
 }
 
 }  // namespace nicmcast::nic

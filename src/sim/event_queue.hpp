@@ -2,90 +2,181 @@
 //
 // Events at equal timestamps fire in insertion order (FIFO), which makes
 // whole-cluster simulations reproducible run to run: the heap key is the
-// pair (time, sequence number).
+// pair (time, sequence number).  That tie-break is load-bearing — every
+// BENCH_*.json trajectory and golden determinism test pins the event order
+// it produces — so the storage scheme below may change, the key never.
+//
+// Storage is allocation-free in steady state:
+//   - callbacks are InlineFunction (inline capture storage, heap fallback),
+//   - they live in a pooled slot vector recycled through a free list,
+//   - the binary heap itself holds only 24-byte (when, seq, slot) items.
+// Cancellation is eager at the slot level: the callback (and everything its
+// capture owns) is destroyed immediately and the slot returns to the free
+// list; only the small heap item stays behind, skipped on pop when its
+// sequence number no longer matches the slot's.  This replaces the old
+// grow-forever `cancelled_` hash set and its O(live) memory.
 #pragma once
 
 #include <cstdint>
-#include <functional>
+#include <limits>
 #include <queue>
-#include <unordered_set>
 #include <utility>
 #include <vector>
 
+#include "sim/inline_function.hpp"
 #include "sim/time.hpp"
 
 namespace nicmcast::sim {
 
-/// Opaque handle used to cancel a scheduled event.
+/// Opaque handle used to cancel a scheduled event.  `seq` is the globally
+/// unique schedule order; `slot` is the pool index it was stored in, kept
+/// so cancel() is O(1) without any lookup structure.
 struct EventId {
   std::uint64_t seq = 0;
+  std::uint32_t slot = 0;
   constexpr auto operator<=>(const EventId&) const = default;
 };
 
 class EventQueue {
  public:
-  using Action = std::function<void()>;
+  /// 88 inline bytes covers the NIC/net hot-path captures (a packet header
+  /// plus a Buffer view plus a couple of handles); bigger captures spill to
+  /// the heap and show up in Stats::heap_actions.
+  using Action = InlineFunction<void(), 88>;
+
+  /// Allocation/throughput counters, exposed per run for the perf
+  /// trajectory (BENCH_simperf.json) and regression benches.
+  struct Stats {
+    std::uint64_t scheduled = 0;     // total schedule() calls
+    std::uint64_t executed = 0;      // actions actually fired
+    std::uint64_t cancelled = 0;     // successful cancel() calls
+    std::uint64_t heap_actions = 0;  // actions that spilled to heap storage
+    std::uint64_t pool_slots = 0;    // high-water pooled slot count
+  };
 
   /// Schedules `action` at absolute time `when`.  Returns an id usable with
   /// cancel().
   EventId schedule(TimePoint when, Action action) {
-    const EventId id{next_seq_++};
-    heap_.push(Entry{when, id.seq, std::move(action)});
+    const std::uint64_t seq = next_seq_++;
+    std::uint32_t slot;
+    if (free_head_ != kNilSlot) {
+      slot = free_head_;
+      free_head_ = slots_[slot].next_free;
+    } else {
+      slot = static_cast<std::uint32_t>(slots_.size());
+      slots_.emplace_back();
+      stats_.pool_slots = slots_.size();
+    }
+    Slot& s = slots_[slot];
+    s.seq = seq;
+    s.armed = true;
+    if (action.uses_heap()) ++stats_.heap_actions;
+    s.action = std::move(action);
+    heap_.push(HeapItem{when, seq, slot});
     ++live_;
-    return id;
+    ++stats_.scheduled;
+    return EventId{seq, slot};
   }
 
-  /// Cancels a previously scheduled event.  Cancellation is lazy: the entry
-  /// stays in the heap but its action is skipped when popped.  Returns true
-  /// if the event had not fired or been cancelled yet.
+  /// Cancels a previously scheduled event: the action is destroyed now and
+  /// its slot recycled.  A no-op returning false for ids that already
+  /// fired, were already cancelled, or whose slot has been reused — firing
+  /// disarms the slot, so a stale id can never match.
   bool cancel(EventId id) {
-    return cancelled_.insert(id.seq).second && live_-- > 0;
+    if (id.slot >= slots_.size()) return false;
+    Slot& s = slots_[id.slot];
+    if (!s.armed || s.seq != id.seq) return false;
+    release(id.slot);
+    --live_;
+    ++stats_.cancelled;
+    return true;
   }
 
   [[nodiscard]] bool empty() const { return live_ == 0; }
   [[nodiscard]] std::size_t size() const { return live_; }
 
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// FNV-1a-style fold of the executed (time, seq) order.  Two runs that
+  /// popped the same events at the same times in the same order have equal
+  /// hashes — the determinism golden tests pin this value for fixed seeds.
+  [[nodiscard]] std::uint64_t order_hash() const { return order_hash_; }
+
   /// Earliest pending (non-cancelled) event time.  Precondition: !empty().
   [[nodiscard]] TimePoint next_time() {
-    skip_cancelled();
+    skip_stale();
     return heap_.top().when;
   }
 
   /// Pops and returns the earliest pending event.  Precondition: !empty().
   std::pair<TimePoint, Action> pop() {
-    skip_cancelled();
-    Entry top = std::move(const_cast<Entry&>(heap_.top()));
+    skip_stale();
+    const HeapItem top = heap_.top();
     heap_.pop();
+    Action action = std::move(slots_[top.slot].action);
+    release(top.slot);
     --live_;
-    return {top.when, std::move(top.action)};
+    ++stats_.executed;
+    fold_order(top.when, top.seq);
+    return {top.when, std::move(action)};
   }
 
  private:
-  struct Entry {
+  static constexpr std::uint32_t kNilSlot =
+      std::numeric_limits<std::uint32_t>::max();
+
+  struct HeapItem {
     TimePoint when;
     std::uint64_t seq;
-    Action action;
+    std::uint32_t slot;
     // std::priority_queue is a max-heap; invert so earliest (time, seq) wins.
-    bool operator<(const Entry& other) const {
+    bool operator<(const HeapItem& other) const {
       if (when != other.when) return when > other.when;
       return seq > other.seq;
     }
   };
 
-  void skip_cancelled() {
+  struct Slot {
+    Action action;
+    std::uint64_t seq = 0;
+    std::uint32_t next_free = kNilSlot;
+    bool armed = false;
+  };
+
+  /// Destroys the slot's action and pushes the slot onto the free list.
+  /// Cancelled events leave their heap item behind; skip_stale() drops it
+  /// later because the slot is disarmed (or re-armed under a newer seq).
+  void release(std::uint32_t index) {
+    Slot& s = slots_[index];
+    s.action = nullptr;
+    s.armed = false;
+    s.next_free = free_head_;
+    free_head_ = index;
+  }
+
+  void skip_stale() {
     while (!heap_.empty()) {
-      auto it = cancelled_.find(heap_.top().seq);
-      if (it == cancelled_.end()) return;
-      cancelled_.erase(it);
+      const HeapItem& top = heap_.top();
+      const Slot& s = slots_[top.slot];
+      if (s.armed && s.seq == top.seq) return;
       heap_.pop();
     }
   }
 
-  std::priority_queue<Entry> heap_;
-  // Set of cancelled sequence numbers not yet popped.
-  std::unordered_set<std::uint64_t> cancelled_;
+  void fold_order(TimePoint when, std::uint64_t seq) {
+    constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+    order_hash_ =
+        (order_hash_ ^ static_cast<std::uint64_t>(when.nanoseconds())) * kPrime;
+    order_hash_ = (order_hash_ ^ seq) * kPrime;
+  }
+
+  std::priority_queue<HeapItem> heap_;
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNilSlot;
   std::uint64_t next_seq_ = 0;
   std::size_t live_ = 0;
+  Stats stats_;
+  std::uint64_t order_hash_ = 0xcbf29ce484222325ULL;  // FNV offset basis
 };
 
 }  // namespace nicmcast::sim

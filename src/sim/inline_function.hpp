@@ -1,0 +1,144 @@
+// Small-buffer-optimized move-only callable.
+//
+// The event queue fires millions of closures per simulated second; wrapping
+// each one in std::function costs a heap allocation whenever the capture
+// exceeds libstdc++'s 16-byte inline buffer — which is almost every NIC/net
+// closure (they carry `this`, a packet header, a Buffer view, a handle...).
+// InlineFunction raises the inline capacity to the capture sizes those
+// layers actually use and falls back to the heap only past that, counted by
+// uses_heap() so the benches can watch for regressions.
+//
+// Differences from std::function, both deliberate:
+//   - move-only: closures may own move-only state (an Action chained into
+//     another Action, a pooled descriptor reference) without the copyable
+//     requirement forcing shared_ptr indirection;
+//   - relocation is noexcept: storing callables in growable vectors (the
+//     event-queue slot pool) needs nothrow moves, so a callable whose move
+//     constructor may throw is heap-allocated instead of stored inline.
+#pragma once
+
+#include <cstddef>
+#include <functional>  // std::nullptr_t interop mirrors std::function
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace nicmcast::sim {
+
+template <typename Signature, std::size_t InlineBytes = 88>
+class InlineFunction;
+
+template <typename R, typename... Args, std::size_t InlineBytes>
+class InlineFunction<R(Args...), InlineBytes> {
+ public:
+  InlineFunction() = default;
+  InlineFunction(std::nullptr_t) {}  // NOLINT: implicit, like std::function
+
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, InlineFunction> &&
+             std::is_invocable_r_v<R, std::remove_cvref_t<F>&, Args...>)
+  InlineFunction(F&& callable) {  // NOLINT: implicit, like std::function
+    using D = std::remove_cvref_t<F>;
+    if constexpr (sizeof(D) <= InlineBytes &&
+                  alignof(D) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(callable));
+      ops_ = &kInlineOps<D>;
+    } else {
+      ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(callable)));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept { take(other); }
+
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      take(other);
+    }
+    return *this;
+  }
+
+  InlineFunction& operator=(std::nullptr_t) {
+    reset();
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { reset(); }
+
+  R operator()(Args... args) {
+    return ops_->invoke(storage_, std::forward<Args>(args)...);
+  }
+
+  [[nodiscard]] explicit operator bool() const { return ops_ != nullptr; }
+
+  /// True when the callable spilled past the inline buffer.  The engine
+  /// counts these: a hot path showing heap actions is a capture-size bug.
+  [[nodiscard]] bool uses_heap() const { return ops_ != nullptr && ops_->heap; }
+
+ private:
+  struct Ops {
+    R (*invoke)(void* storage, Args&&... args);
+    // Move-constructs dst's storage from src's and destroys src's; the
+    // noexcept guarantee is what lets slot pools grow by relocation.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void* storage) noexcept;
+    bool heap;
+  };
+
+  template <typename D>
+  static constexpr Ops kInlineOps{
+      [](void* storage, Args&&... args) -> R {
+        return (*std::launder(static_cast<D*>(storage)))(
+            std::forward<Args>(args)...);
+      },
+      [](void* dst, void* src) noexcept {
+        D* from = std::launder(static_cast<D*>(src));
+        ::new (dst) D(std::move(*from));
+        from->~D();
+      },
+      [](void* storage) noexcept {
+        std::launder(static_cast<D*>(storage))->~D();
+      },
+      false};
+
+  template <typename D>
+  static constexpr Ops kHeapOps{
+      [](void* storage, Args&&... args) -> R {
+        return (**std::launder(static_cast<D**>(storage)))(
+            std::forward<Args>(args)...);
+      },
+      [](void* dst, void* src) noexcept {
+        // The source object is just a pointer: trivially destructible.
+        ::new (dst) D*(*std::launder(static_cast<D**>(src)));
+      },
+      [](void* storage) noexcept {
+        delete *std::launder(static_cast<D**>(storage));
+      },
+      true};
+
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  void take(InlineFunction& other) {
+    if (other.ops_ != nullptr) {
+      ops_ = other.ops_;
+      ops_->relocate(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[InlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace nicmcast::sim

@@ -130,6 +130,16 @@ class Simulator {
 
   [[nodiscard]] std::size_t pending_events() { return queue_.size(); }
 
+  /// Event-queue throughput/allocation counters for this run.
+  [[nodiscard]] const EventQueue::Stats& queue_stats() const {
+    return queue_.stats();
+  }
+
+  /// Deterministic hash of the executed (time, seq) event order.
+  [[nodiscard]] std::uint64_t event_order_hash() const {
+    return queue_.order_hash();
+  }
+
   /// True when every spawned process has completed.
   [[nodiscard]] bool all_processes_done() const {
     for (const auto& t : processes_) {

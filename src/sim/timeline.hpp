@@ -8,9 +8,9 @@
 
 #include <algorithm>
 #include <cstddef>
-#include <map>
 #include <sstream>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/trace.hpp"
@@ -48,9 +48,10 @@ inline std::string render_timeline(const std::vector<TraceRecord>& records,
       std::max(1.0, static_cast<double>((t1 - t0).nanoseconds()));
   const std::size_t width = std::max<std::size_t>(options.width, 10);
 
-  // Lanes in first-appearance order.
+  // Lanes in first-appearance order — the `actors` vector carries the
+  // order, so the lookup map does not need to be sorted.
   std::vector<std::string> actors;
-  std::map<std::string, std::size_t> lane_of;
+  std::unordered_map<std::string, std::size_t> lane_of;
   for (const auto& r : records) {
     if (!lane_of.contains(r.actor)) {
       lane_of[r.actor] = actors.size();

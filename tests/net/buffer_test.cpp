@@ -1,0 +1,105 @@
+#include "net/buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace nicmcast::net {
+namespace {
+
+std::vector<std::byte> ramp(std::size_t n) {
+  std::vector<std::byte> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<std::byte>(i & 0xff);
+  return v;
+}
+
+TEST(Buffer, DefaultIsEmpty) {
+  Buffer b;
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_EQ(b.data(), nullptr);
+}
+
+TEST(Buffer, TakeAdoptsBytesWithoutCopy) {
+  std::vector<std::byte> bytes = ramp(64);
+  const std::byte* raw = bytes.data();
+  Buffer b = Buffer::take(std::move(bytes));
+  EXPECT_EQ(b.size(), 64u);
+  // Zero-copy: the block is the adopted vector's storage.
+  EXPECT_EQ(b.data(), raw);
+}
+
+TEST(Buffer, CopyOfMakesAnIndependentBlock) {
+  std::vector<std::byte> bytes = ramp(16);
+  Buffer a = Buffer::copy_of(bytes);
+  Buffer b = Buffer::copy_of(bytes);
+  EXPECT_EQ(a, b);                       // same content
+  EXPECT_FALSE(a.shares_block_with(b));  // distinct allocations
+}
+
+TEST(Buffer, CopiesAndSlicesAliasOneBlock) {
+  Buffer whole = Buffer::take(ramp(128));
+  Buffer copy = whole;
+  Buffer fragment = whole.slice(32, 64);
+  Buffer refragment = fragment.slice(8, 8);
+  EXPECT_TRUE(copy.shares_block_with(whole));
+  EXPECT_TRUE(fragment.shares_block_with(whole));
+  EXPECT_TRUE(refragment.shares_block_with(whole));
+  // Slices view the right window of the shared bytes.
+  EXPECT_EQ(fragment.size(), 64u);
+  EXPECT_EQ(fragment[0], whole[32]);
+  EXPECT_EQ(refragment[0], whole[40]);
+}
+
+TEST(Buffer, SliceOutsideViewThrows) {
+  Buffer whole = Buffer::take(ramp(32));
+  Buffer inner = whole.slice(16, 16);
+  EXPECT_THROW((void)whole.slice(16, 17), std::out_of_range);
+  // A slice's bounds are relative to the *view*, not the block: the block
+  // has 32 bytes but the view only 16.
+  EXPECT_THROW((void)inner.slice(0, 17), std::out_of_range);
+  EXPECT_NO_THROW((void)inner.slice(0, 16));
+}
+
+TEST(Buffer, BlockOutlivesOriginalHandle) {
+  Buffer fragment;
+  {
+    Buffer whole = Buffer::take(ramp(64));
+    fragment = whole.slice(60, 4);
+  }  // `whole` gone; the refcount keeps the block alive
+  EXPECT_EQ(fragment.size(), 4u);
+  EXPECT_EQ(fragment[0], static_cast<std::byte>(60));
+}
+
+TEST(Buffer, ToVectorCopiesTheViewedWindow) {
+  Buffer whole = Buffer::take(ramp(16));
+  const std::vector<std::byte> out = whole.slice(4, 8).to_vector();
+  ASSERT_EQ(out.size(), 8u);
+  EXPECT_EQ(out.front(), static_cast<std::byte>(4));
+  EXPECT_EQ(out.back(), static_cast<std::byte>(11));
+}
+
+// Fault injection flips Packet::corrupted and must never touch the shared
+// bytes — every other holder of the block would see the mutation.
+TEST(Buffer, CorruptionIsAFlagNotAMutation) {
+  Buffer message = Buffer::take(ramp(256));
+  Packet in_transit;
+  in_transit.payload = message.slice(0, 128);
+  Packet retransmit_copy;
+  retransmit_copy.payload = message.slice(0, 128);
+
+  in_transit.corrupted = true;  // what FaultModel does to a packet
+
+  EXPECT_FALSE(retransmit_copy.corrupted);
+  EXPECT_TRUE(in_transit.payload.shares_block_with(retransmit_copy.payload));
+  EXPECT_EQ(in_transit.payload, retransmit_copy.payload);  // bytes untouched
+  EXPECT_EQ(message[5], static_cast<std::byte>(5));
+}
+
+}  // namespace
+}  // namespace nicmcast::net

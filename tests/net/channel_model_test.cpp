@@ -32,7 +32,7 @@ struct Rig {
     p.header.src = src;
     p.header.dst = dst;
     p.header.type = type;
-    p.payload.assign(bytes, std::byte{1});
+    p.payload = Buffer::filled(bytes, std::byte{1});
     return p;
   }
   sim::Simulator sim;
@@ -78,7 +78,7 @@ TEST(ChannelModel, BypassThresholdIsConfigurable) {
   Packet big;
   big.header.src = 0;
   big.header.dst = 1;
-  big.payload.assign(4096, std::byte{1});
+  big.payload = Buffer::filled(4096, std::byte{1});
   Packet ack;
   ack.header.src = 0;
   ack.header.dst = 1;

@@ -111,9 +111,9 @@ TEST(ScriptedFaults, PredicateRule) {
       [](const Packet& p) { return p.payload.size() > 100; },
       FaultAction::kDrop, 1);
   Packet small = make_packet(0, 1, 0);
-  small.payload.resize(10);
+  small.payload = Buffer::filled(10, std::byte{0});
   Packet big = make_packet(0, 1, 1);
-  big.payload.resize(200);
+  big.payload = Buffer::filled(200, std::byte{0});
   EXPECT_EQ(f.on_packet(small), FaultAction::kNone);
   EXPECT_EQ(f.on_packet(big), FaultAction::kDrop);
   EXPECT_EQ(f.on_packet(big), FaultAction::kNone);  // exhausted

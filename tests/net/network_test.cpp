@@ -36,7 +36,7 @@ class NetworkTest : public ::testing::Test {
     p.header.src = src;
     p.header.dst = dst;
     p.header.seq = seq;
-    p.payload.assign(bytes, std::byte{0xab});
+    p.payload = Buffer::filled(bytes, std::byte{0xab});
     return p;
   }
 
@@ -62,7 +62,9 @@ TEST_F(NetworkTest, PayloadContentSurvivesTransit) {
   Network net(sim_, Topology::back_to_back());
   attach_all(net, 2);
   Packet p = make_packet(0, 1, 8);
-  for (std::size_t i = 0; i < 8; ++i) p.payload[i] = std::byte{std::uint8_t(i)};
+  std::vector<std::byte> bytes(8);
+  for (std::size_t i = 0; i < 8; ++i) bytes[i] = std::byte{std::uint8_t(i)};
+  p.payload = Buffer::take(std::move(bytes));
   net.transmit(std::move(p));
   sim_.run();
   ASSERT_EQ(sinks_[1].arrivals.size(), 1u);

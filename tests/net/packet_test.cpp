@@ -7,7 +7,7 @@ namespace {
 
 TEST(Packet, WireSizeAddsFraming) {
   Packet p;
-  p.payload.resize(100);
+  p.payload = Buffer::filled(100, std::byte{0});
   EXPECT_EQ(p.wire_size(24), 124u);
   EXPECT_EQ(p.payload_size(), 100u);
 }
@@ -24,7 +24,7 @@ TEST(Packet, DescribeIncludesKeyFields) {
   p.header.dst = 7;
   p.header.seq = 42;
   p.header.group = 9;
-  p.payload.resize(64);
+  p.payload = Buffer::filled(64, std::byte{0});
   const std::string d = p.describe();
   EXPECT_NE(d.find("MCAST"), std::string::npos);
   EXPECT_NE(d.find("3->7"), std::string::npos);

@@ -403,6 +403,8 @@ SoakResult run_soak(const SoakSpec& spec) {
     }
   }
 
+  result.events_executed = cluster.simulator().queue_stats().executed;
+  result.event_order_hash = cluster.simulator().event_order_hash();
   result.ledger = auditor.ledger();
   result.ok = shared->failures.empty() && auditor.ok();
   if (!result.ok) {

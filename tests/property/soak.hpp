@@ -67,6 +67,11 @@ struct SoakResult {
   std::uint64_t retransmissions = 0;
   std::uint64_t conn_resets = 0;
   std::uint64_t conns_reclaimed = 0;
+  /// Simulator events executed to drain the scenario (throughput metric).
+  std::uint64_t events_executed = 0;
+  /// Deterministic hash of the executed (time, seq) event order: equal
+  /// seeds must yield equal hashes, before and after engine changes.
+  std::uint64_t event_order_hash = 0;
 };
 
 /// Runs one scenario to drain and checks every invariant.

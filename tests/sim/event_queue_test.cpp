@@ -85,6 +85,63 @@ TEST(EventQueue, InterleavedScheduleAndPop) {
   EXPECT_EQ(order, (std::vector<int>{1, 2}));
 }
 
+// Regression: cancelling an id whose event already fired used to corrupt
+// the queue's bookkeeping.  It must be a no-op returning false.
+TEST(EventQueue, CancelAfterFireIsNoOp) {
+  EventQueue q;
+  int runs = 0;
+  const EventId id = q.schedule(TimePoint{5}, [&] { ++runs; });
+  q.pop().second();
+  EXPECT_FALSE(q.cancel(id));
+  EXPECT_EQ(runs, 1);
+  // The queue must still be fully usable afterwards.
+  q.schedule(TimePoint{6}, [&] { ++runs; });
+  q.pop().second();
+  EXPECT_EQ(runs, 2);
+  EXPECT_TRUE(q.empty());
+}
+
+// A stale id whose slot has since been recycled for a newer event must not
+// cancel that newer event: the sequence number disambiguates.
+TEST(EventQueue, StaleCancelDoesNotKillSlotReuser) {
+  EventQueue q;
+  const EventId stale = q.schedule(TimePoint{1}, [] {});
+  q.pop().second();  // slot returns to the free list
+  bool reused_ran = false;
+  const EventId fresh = q.schedule(TimePoint{2}, [&] { reused_ran = true; });
+  EXPECT_EQ(fresh.slot, stale.slot);  // pool really recycled the slot
+  EXPECT_FALSE(q.cancel(stale));
+  EXPECT_EQ(q.size(), 1u);
+  q.pop().second();
+  EXPECT_TRUE(reused_ran);
+}
+
+TEST(EventQueue, SlotPoolRecyclesInsteadOfGrowing) {
+  EventQueue q;
+  for (int i = 0; i < 1000; ++i) {
+    q.schedule(TimePoint{i}, [] {});
+    q.pop().second();
+  }
+  EXPECT_EQ(q.stats().scheduled, 1000u);
+  EXPECT_EQ(q.stats().executed, 1000u);
+  // One event in flight at a time => the pool never needed a second slot.
+  EXPECT_EQ(q.stats().pool_slots, 1u);
+}
+
+TEST(EventQueue, SmallCapturesStayInline) {
+  EventQueue q;
+  std::uint64_t sink = 0;
+  q.schedule(TimePoint{1}, [&sink] { ++sink; });
+  EXPECT_EQ(q.stats().heap_actions, 0u);
+  struct Huge {
+    std::uint64_t words[32] = {};
+  };
+  q.schedule(TimePoint{2}, [&sink, huge = Huge{}] { sink += huge.words[0]; });
+  EXPECT_EQ(q.stats().heap_actions, 1u);
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(sink, 1u);
+}
+
 TEST(EventQueue, ManyEventsStressOrdering) {
   EventQueue q;
   std::vector<std::int64_t> popped;

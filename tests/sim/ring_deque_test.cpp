@@ -1,0 +1,134 @@
+#include "sim/ring_deque.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <vector>
+
+namespace nicmcast::sim {
+namespace {
+
+TEST(RingDeque, StartsEmptyWithNoStorage) {
+  RingDeque<int> ring;
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.capacity(), 0u);
+  EXPECT_EQ(ring.begin(), ring.end());
+}
+
+TEST(RingDeque, FifoOrder) {
+  RingDeque<int> ring;
+  for (int i = 0; i < 10; ++i) ring.push_back(i);
+  EXPECT_EQ(ring.front(), 0);
+  EXPECT_EQ(ring.back(), 9);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(ring.front(), i);
+    ring.pop_front();
+  }
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(RingDeque, WrapsAroundWithoutGrowing) {
+  RingDeque<int> ring;
+  for (int i = 0; i < 4; ++i) ring.push_back(i);
+  const std::size_t cap = ring.capacity();
+  // Slide a 2-wide window far past the physical capacity.
+  ring.pop_front();
+  ring.pop_front();
+  for (int i = 4; i < 100; ++i) {
+    ring.push_back(i);
+    ring.pop_front();
+  }
+  EXPECT_EQ(ring.capacity(), cap);
+  EXPECT_EQ(ring.size(), 2u);
+  EXPECT_EQ(ring.front(), 98);
+  EXPECT_EQ(ring.back(), 99);
+}
+
+TEST(RingDeque, GrowPreservesOrderAcrossWrap) {
+  RingDeque<int> ring;
+  for (int i = 0; i < 4; ++i) ring.push_back(i);
+  ring.pop_front();
+  ring.pop_front();          // head is now mid-ring
+  for (int i = 4; i < 9; ++i) ring.push_back(i);  // forces a wrapped grow
+  std::vector<int> seen(ring.begin(), ring.end());
+  EXPECT_EQ(seen, (std::vector<int>{2, 3, 4, 5, 6, 7, 8}));
+}
+
+TEST(RingDeque, CapacityRetainedAcrossDrainRefill) {
+  RingDeque<std::string> ring;
+  for (int i = 0; i < 20; ++i) ring.push_back("record " + std::to_string(i));
+  const std::size_t cap = ring.capacity();
+  while (!ring.empty()) ring.pop_front();
+  EXPECT_EQ(ring.capacity(), cap);  // the pooling guarantee
+  for (int i = 0; i < 20; ++i) ring.push_back("again " + std::to_string(i));
+  EXPECT_EQ(ring.capacity(), cap);
+  EXPECT_EQ(ring.front(), "again 0");
+}
+
+TEST(RingDeque, ClearDestroysElementsKeepsSlots) {
+  RingDeque<std::shared_ptr<int>> ring;
+  auto tracked = std::make_shared<int>(7);
+  ring.push_back(tracked);
+  const std::size_t cap = ring.capacity();
+  EXPECT_EQ(tracked.use_count(), 2);
+  ring.clear();
+  EXPECT_EQ(tracked.use_count(), 1);  // element really destroyed
+  EXPECT_EQ(ring.capacity(), cap);
+}
+
+TEST(RingDeque, ForwardAndReverseIteration) {
+  RingDeque<int> ring;
+  for (int i = 0; i < 4; ++i) ring.push_back(i);
+  ring.pop_front();
+  for (int i = 4; i < 7; ++i) ring.push_back(i);  // wrapped contents
+  std::vector<int> fwd(ring.begin(), ring.end());
+  EXPECT_EQ(fwd, (std::vector<int>{1, 2, 3, 4, 5, 6}));
+  std::vector<int> rev(ring.rbegin(), ring.rend());
+  EXPECT_EQ(rev, (std::vector<int>{6, 5, 4, 3, 2, 1}));
+  // Range-for and mutation through iterators.
+  for (int& v : ring) v *= 10;
+  EXPECT_EQ(ring.front(), 10);
+  EXPECT_EQ(std::accumulate(ring.begin(), ring.end(), 0), 210);
+}
+
+TEST(RingDeque, WorksWithAlgorithms) {
+  RingDeque<int> ring;
+  for (int v : {5, 1, 9, 3}) ring.push_back(v);
+  EXPECT_EQ(std::count_if(ring.begin(), ring.end(),
+                          [](int v) { return v > 2; }),
+            3);
+  const auto it = std::find(ring.begin(), ring.end(), 9);
+  ASSERT_NE(it, ring.end());
+  EXPECT_EQ(it - ring.begin(), 2);
+}
+
+TEST(RingDeque, MoveTransfersStorage) {
+  RingDeque<std::string> a;
+  a.push_back("x");
+  a.push_back("y");
+  RingDeque<std::string> b = std::move(a);
+  EXPECT_EQ(b.size(), 2u);
+  EXPECT_EQ(b.front(), "x");
+  RingDeque<std::string> c;
+  c.push_back("gone");
+  c = std::move(b);
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.back(), "y");
+}
+
+TEST(RingDeque, MoveOnlyElements) {
+  RingDeque<std::unique_ptr<int>> ring;
+  ring.push_back(std::make_unique<int>(1));
+  ring.push_back(std::make_unique<int>(2));
+  for (int i = 3; i < 10; ++i) ring.push_back(std::make_unique<int>(i));
+  EXPECT_EQ(*ring.front(), 1);
+  ring.pop_front();
+  EXPECT_EQ(*ring.front(), 2);
+}
+
+}  // namespace
+}  // namespace nicmcast::sim
