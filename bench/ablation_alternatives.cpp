@@ -135,7 +135,7 @@ void run(const BenchOptions& options) {
   ms.destinations = 4;
   ms.nodes = 5;
   ms.warmup = 3;
-  ms.iterations = options.iterations > 0 ? options.iterations : 30;
+  ms.iterations = options.iterations_or(30);
   for (std::size_t bytes : ms_sizes) {
     ms.message_bytes = bytes;
     ms.label = "alt1_tokens";

@@ -30,7 +30,7 @@ void run(const BenchOptions& options) {
   base.experiment = Experiment::kGmMulticast;
   base.nodes = 16;
   base.algo = Algo::kNicBased;
-  base.iterations = options.iterations > 0 ? options.iterations : 25;
+  base.iterations = options.iterations_or(25);
 
   const auto specs =
       Sweep(base).message_sizes(sizes).trees(shapes).build();

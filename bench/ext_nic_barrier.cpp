@@ -31,7 +31,7 @@ void run(const BenchOptions& options) {
 
   RunSpec base;
   base.experiment = Experiment::kBarrier;
-  base.iterations = options.iterations > 0 ? options.iterations : 20;
+  base.iterations = options.iterations_or(20);
 
   // Part 1: wall latency per barrier at zero skew, across node counts.
   auto specs = Sweep(base).node_counts(node_counts).algos(algos).build();

@@ -28,7 +28,7 @@ void run(const BenchOptions& options) {
   RunSpec base;
   base.experiment = Experiment::kAllreduce;
   base.warmup = 2;
-  base.iterations = options.iterations > 0 ? options.iterations : 15;
+  base.iterations = options.iterations_or(15);
 
   const auto specs = Sweep(base)
                          .lane_counts(lane_counts)

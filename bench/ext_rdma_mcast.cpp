@@ -28,7 +28,7 @@ void run(const BenchOptions& options) {
   RunSpec base;
   base.experiment = Experiment::kMpiBcast;
   base.warmup = 2;
-  base.iterations = options.iterations > 0 ? options.iterations : 10;
+  base.iterations = options.iterations_or(10);
 
   const auto specs =
       Sweep(base)

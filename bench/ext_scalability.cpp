@@ -2,21 +2,51 @@
 // memory and processor resources at the NIC, which promises good
 // scalability"; GM "can support clusters of over 10,000 nodes").
 //
-// Sweeps the GM-level multicast from 8 to 128 nodes on radix-16 Clos
-// fabrics and reports the NIC-based improvement factor, the tree shapes
-// the postal model picks, and the NIC-level barrier against the host-level
-// dissemination barrier at the same sizes.
+// Two phases:
+//  1. the latency sweep: GM-level multicast from 8 to 128 nodes on radix-16
+//     Clos fabrics — NIC-based improvement factor, tree shapes, NIC barrier
+//     vs host dissemination barrier;
+//  2. the scale sweep: single NIC-based multicasts on 128 -> 512 -> 2048 ->
+//     4096-node Clos fabrics at radix 16 and 32, timed sequentially, with
+//     per-point events/sec, process peak RSS, and the engine's lazy-route /
+//     timing-wheel counters in the JSON ("scale-<nodes>x<radix>" labels).
+//     The 128/512 points are pinned (exact event_order_hash + events/sec
+//     floor) by scripts/check_bench_regression.py --scale in CI, which caps
+//     the sweep with --max-nodes to stay fast; the larger points document
+//     wall clock and memory.  A full all-pairs route table at 4096 nodes
+//     would hold 4096*4095 routes; the engine's routes_materialized counter
+//     in the JSON shows what the lazy RouteTable actually computed.
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <vector>
 
+#if defined(__linux__)
+#include <sys/resource.h>
+#endif
+
 #include "harness/bench_io.hpp"
+#include "harness/parallel_runner.hpp"
 #include "harness/run_spec.hpp"
+#include "harness/runners.hpp"
 
 namespace nicmcast::bench {
 namespace {
 
 using namespace nicmcast::harness;
+
+/// Process peak RSS in KiB (0 where unsupported).  Monotonic, so the scale
+/// sweep runs smallest point first and each reading is effectively that
+/// point's high water.
+std::uint64_t peak_rss_kb() {
+#if defined(__linux__)
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+    return static_cast<std::uint64_t>(usage.ru_maxrss);
+  }
+#endif
+  return 0;
+}
 
 // Seven runs per node count; a hand-built spec list (not a cartesian grid).
 constexpr std::size_t kRunsPerScale = 7;
@@ -53,13 +83,80 @@ std::vector<RunSpec> specs_for(std::size_t nodes, int iterations) {
   return specs;
 }
 
+/// One scale-sweep point: a NIC-based multicast on an `nodes`-endpoint
+/// radix-`radix` Clos, run sequentially so wall clock and RSS are its own.
+RunResult run_scale_point(const BenchOptions& options, std::size_t nodes,
+                          std::size_t radix, std::size_t index) {
+  RunSpec spec;
+  spec.experiment = Experiment::kGmMulticast;
+  spec.label = "scale-" + std::to_string(nodes) + "x" + std::to_string(radix);
+  spec.nodes = nodes;
+  spec.wiring = Wiring::kClos;
+  spec.switch_radix = radix;
+  spec.message_bytes = 512;
+  spec.algo = Algo::kNicBased;
+  spec.tree = TreeShape::kPostal;
+  spec.warmup = 1;
+  spec.iterations = 2;
+  spec.seed = derive_seed(options.base_seed, 1000 + index);
+
+  const auto start = std::chrono::steady_clock::now();
+  RunResult result = run_gm_mcast(spec);
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  const auto events = static_cast<double>(result.engine.events_executed);
+  const double full_pairs =
+      static_cast<double>(nodes) * static_cast<double>(nodes - 1);
+  result.set_metric("events", events);
+  result.set_metric("wall_ms", wall_s * 1e3);
+  result.set_metric("events_per_sec", events / wall_s);
+  result.set_metric("peak_rss_kb", static_cast<double>(peak_rss_kb()));
+  result.set_metric("full_pairs", full_pairs);
+  return result;
+}
+
+void run_scale_sweep(const BenchOptions& options,
+                     std::vector<RunResult>& results) {
+  struct Point {
+    std::size_t nodes;
+    std::size_t radix;
+  };
+  const std::vector<Point> points{{128, 16}, {128, 32}, {512, 16}, {512, 32},
+                                  {2048, 16}, {2048, 32}, {4096, 16},
+                                  {4096, 32}};
+
+  std::printf("\n%12s | %10s | %9s | %12s | %12s | %11s\n", "scale point",
+              "events", "wall ms", "events/s", "routes (lazy)", "peak RSS");
+  std::size_t skipped = 0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto [nodes, radix] = points[i];
+    if (options.max_nodes != 0 && nodes > options.max_nodes) {
+      ++skipped;
+      continue;
+    }
+    RunResult r = run_scale_point(options, nodes, radix, i);
+    std::printf("%8zux%-3zu | %10.0f | %9.1f | %12.0f | %6llu/%-6.0f | %8.0f KB\n",
+                nodes, radix, r.metric("events"), r.metric("wall_ms"),
+                r.metric("events_per_sec"),
+                static_cast<unsigned long long>(r.engine.routes_materialized),
+                r.metric("full_pairs"), r.metric("peak_rss_kb"));
+    results.push_back(std::move(r));
+  }
+  if (skipped > 0) {
+    std::printf("  (%zu points above --max-nodes %zu skipped)\n", skipped,
+                options.max_nodes);
+  }
+}
+
 void run(const BenchOptions& options) {
   print_header(
       "Extension — scalability sweep (Clos fabrics up to 128 nodes)",
       "Paper §7: minimal NIC state, no centralized manager => the benefit "
       "should grow with system size.");
   const std::vector<std::size_t> scales{8, 16, 32, 64, 128};
-  const int iterations = options.iterations > 0 ? options.iterations : 10;
+  const int iterations = options.iterations_or(10);
 
   std::vector<RunSpec> specs;
   for (std::size_t nodes : scales) {
@@ -67,7 +164,7 @@ void run(const BenchOptions& options) {
     specs.insert(specs.end(), std::make_move_iterator(batch.begin()),
                  std::make_move_iterator(batch.end()));
   }
-  const auto results = ParallelRunner(runner_options(options)).run(specs);
+  auto results = ParallelRunner(runner_options(options)).run(specs);
 
   std::printf("%6s | %26s | %36s | %21s\n", "nodes",
               "512B mcast HB/NB/factor",
@@ -96,6 +193,12 @@ void run(const BenchOptions& options) {
       "needs topology-aware trees — construction the paper explicitly\n"
       "scopes out ('our intent is not to study the effects of hardware\n"
       "topology', §5).\n");
+
+  print_header(
+      "Extension — scale sweep (128 -> 4096-node Clos, radix 16/32)",
+      "Timing-wheel scheduler + lazy interned routes: memory and events/sec "
+      "at fabric sizes the eager all-pairs table could not reach.");
+  run_scale_sweep(options, results);
 
   write_bench_json("ext_scalability", options, results);
 }

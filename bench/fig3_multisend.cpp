@@ -27,7 +27,7 @@ void run(const BenchOptions& options) {
 
   RunSpec base;
   base.experiment = Experiment::kMultisend;
-  base.iterations = options.iterations > 0 ? options.iterations : 40;
+  base.iterations = options.iterations_or(40);
 
   const auto specs = Sweep(base)
                          .message_sizes(sizes)

@@ -29,7 +29,7 @@ void run(const BenchOptions& options) {
   RunSpec base;
   base.experiment = Experiment::kMpiBcast;
   base.warmup = 3;  // covers demand-driven group creation
-  base.iterations = options.iterations > 0 ? options.iterations : 25;
+  base.iterations = options.iterations_or(25);
 
   const auto specs = Sweep(base)
                          .message_sizes(sizes)

@@ -27,7 +27,7 @@ void run(const BenchOptions& options) {
 
   RunSpec base;
   base.experiment = Experiment::kGmMulticast;
-  base.iterations = options.iterations > 0 ? options.iterations : 30;
+  base.iterations = options.iterations_or(30);
 
   // Host-based runs use the binomial tree, NIC-based the cost-modelled
   // postal tree — a coupled axis, host first so each table cell reads

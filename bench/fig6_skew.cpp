@@ -49,7 +49,7 @@ void run(const BenchOptions& options) {
 
   RunSpec base;
   base.experiment = Experiment::kSkewBcast;
-  base.iterations = options.iterations > 0 ? options.iterations : 40;
+  base.iterations = options.iterations_or(40);
 
   const auto specs = Sweep(base)
                          .skews_us(kSkews)

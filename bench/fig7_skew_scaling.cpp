@@ -26,7 +26,7 @@ void run(const BenchOptions& options) {
   RunSpec base;
   base.experiment = Experiment::kSkewBcast;
   base.avg_skew_us = 400.0;
-  base.iterations = options.iterations > 0 ? options.iterations : 40;
+  base.iterations = options.iterations_or(40);
 
   const auto specs = Sweep(base)
                          .node_counts(node_counts)

@@ -109,7 +109,7 @@ void run(const BenchOptions& options) {
   base.experiment = Experiment::kCustom;
   base.nodes = 4;
   base.warmup = 0;
-  base.iterations = options.iterations > 0 ? options.iterations : 50;
+  base.iterations = options.iterations_or(50);
 
   RunSpec bare = base;
   bare.label = "bare";

@@ -42,7 +42,7 @@ void run(const BenchOptions& options) {
   base.algo = Algo::kNicBased;
   base.tree = TreeShape::kBinomial;
   base.warmup = 0;  // fault-recovery cost is part of the measurement
-  base.iterations = options.iterations > 0 ? options.iterations : 30;
+  base.iterations = options.iterations_or(30);
   base.nic.retransmit_timeout = sim::usec(300);  // shorten recovery for bench
 
   // One clean baseline row, then the full family x rate grid.

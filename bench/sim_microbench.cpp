@@ -57,6 +57,10 @@ void fill_engine(const sim::Simulator& sim, harness::EngineCounters& engine) {
   engine.events_cancelled = q.cancelled;
   engine.heap_actions = q.heap_actions;
   engine.pool_slots = q.pool_slots;
+  engine.wheel_occupancy_peak = q.wheel_occupancy_peak;
+  engine.wheel_cascades = q.wheel_cascades;
+  engine.overflow_scheduled = q.overflow_scheduled;
+  engine.overflow_promotions = q.overflow_promotions;
   engine.event_order_hash = sim.event_order_hash();
 }
 
@@ -225,7 +229,7 @@ harness::RunResult time_scenario(const char* name, int repeats,
 int main(int argc, char** argv) {
   harness::BenchOptions options =
       harness::parse_bench_options(argc, argv, "sim_microbench");
-  const int repeats = options.iterations > 0 ? options.iterations : 3;
+  const int repeats = options.iterations_or(3);
 
   harness::print_header(
       "Simulator engine microbench: end-to-end events/sec",

@@ -1,10 +1,12 @@
 #!/usr/bin/env python3
-"""Gate sim_microbench results against the checked-in BENCH_simperf.json.
+"""Gate bench results against a checked-in BENCH_*.json trajectory.
 
-Usage: check_bench_regression.py <fresh.json> <BENCH_simperf.json>
+Usage:
+  check_bench_regression.py <fresh.json> <BENCH_simperf.json>
+  check_bench_regression.py --scale <fresh.json> <BENCH_scale.json>
 
-Two checks per scenario, against the *last* trajectory entry (the current
-engine):
+Default mode (sim_microbench vs BENCH_simperf.json), two checks per
+scenario against the *last* trajectory entry (the current engine):
 
   1. event_order_hash must match exactly.  The executed (time, seq) event
      order is the determinism contract — it is machine-independent, so any
@@ -16,19 +18,62 @@ engine):
      hardware; the generous threshold absorbs that, while a >20% drop on
      every scenario still catches "someone re-introduced a heap allocation
      per event" class regressions.
+
+--scale mode (ext_scalability vs BENCH_scale.json) applies the same two
+checks, but only to scenarios the baseline marks "pinned" (the 128- and
+512-node points; CI caps the sweep with --max-nodes so the larger points
+never run there).  Unpinned points are checked only when present, and only
+for route memory: routes_materialized must stay >= 10x below the all-pairs
+route count (full_pairs), the lazy-RouteTable guarantee the 4096-node sweep
+exists to demonstrate.  Missing unpinned points are fine; missing pinned
+points fail.
 """
 import json
 import sys
 
 THRESHOLD = 0.80  # fresh events/sec must be >= 80% of the recorded value
+ROUTE_FACTOR = 10  # lazy routes must undercut all-pairs by at least this
+
+
+def check_hash_and_eps(label, want, run, failures):
+    got_hash = run["engine"]["event_order_hash"]
+    if got_hash != want["event_order_hash"]:
+        failures.append(
+            f"{label}: event_order_hash {got_hash} != recorded "
+            f"{want['event_order_hash']} (determinism contract broken)")
+    got_eps = run["metrics"]["events_per_sec"]
+    floor = THRESHOLD * want["events_per_sec"]
+    verdict = "ok" if got_eps >= floor else "REGRESSED"
+    print(f"{label}: {got_eps:,.0f} ev/s vs recorded "
+          f"{want['events_per_sec']:,} (floor {floor:,.0f}) -> {verdict}")
+    if got_eps < floor:
+        failures.append(
+            f"{label}: {got_eps:,.0f} ev/s is more than 20% below the "
+            f"recorded {want['events_per_sec']:,}")
+
+
+def check_route_memory(label, run, failures):
+    routes = run["engine"]["routes_materialized"]
+    full_pairs = run["metrics"]["full_pairs"]
+    ok = routes * ROUTE_FACTOR <= full_pairs
+    print(f"{label}: {routes:,} routes materialized vs {full_pairs:,.0f} "
+          f"all-pairs -> {'ok' if ok else 'TOO MANY'}")
+    if not ok:
+        failures.append(
+            f"{label}: {routes:,} materialized routes is not >= "
+            f"{ROUTE_FACTOR}x below the {full_pairs:,.0f} all-pairs table")
 
 
 def main() -> int:
-    if len(sys.argv) != 3:
+    args = sys.argv[1:]
+    scale_mode = "--scale" in args
+    if scale_mode:
+        args.remove("--scale")
+    if len(args) != 2:
         print(__doc__.strip(), file=sys.stderr)
         return 2
-    fresh_doc = json.load(open(sys.argv[1]))
-    baseline_doc = json.load(open(sys.argv[2]))
+    fresh_doc = json.load(open(args[0]))
+    baseline_doc = json.load(open(args[1]))
 
     recorded = baseline_doc["trajectory"][-1]["scenarios"]
     fresh = {run["spec"]["label"]: run for run in fresh_doc["runs"]}
@@ -36,23 +81,17 @@ def main() -> int:
     failures = []
     for label, want in recorded.items():
         run = fresh.get(label)
+        pinned = want.get("pinned", True)
         if run is None:
+            if scale_mode and not pinned:
+                print(f"{label}: not run (capped sweep) -> skipped")
+                continue
             failures.append(f"{label}: scenario missing from fresh run")
             continue
-        got_hash = run["engine"]["event_order_hash"]
-        if got_hash != want["event_order_hash"]:
-            failures.append(
-                f"{label}: event_order_hash {got_hash} != recorded "
-                f"{want['event_order_hash']} (determinism contract broken)")
-        got_eps = run["metrics"]["events_per_sec"]
-        floor = THRESHOLD * want["events_per_sec"]
-        verdict = "ok" if got_eps >= floor else "REGRESSED"
-        print(f"{label}: {got_eps:,.0f} ev/s vs recorded "
-              f"{want['events_per_sec']:,} (floor {floor:,.0f}) -> {verdict}")
-        if got_eps < floor:
-            failures.append(
-                f"{label}: {got_eps:,.0f} ev/s is more than 20% below the "
-                f"recorded {want['events_per_sec']:,}")
+        if not scale_mode or pinned:
+            check_hash_and_eps(label, want, run, failures)
+        if scale_mode:
+            check_route_memory(label, run, failures)
 
     if failures:
         print("\nbench regression check FAILED:", file=sys.stderr)

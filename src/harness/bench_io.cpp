@@ -13,7 +13,7 @@ namespace {
 [[noreturn]] void usage_and_exit(std::string_view bench_name, int code) {
   std::fprintf(stderr,
                "usage: %.*s [--threads N] [--json PATH] [--iters K] "
-               "[--seed S]\n"
+               "[--seed S] [--max-nodes M]\n"
                "  --threads N   run the sweep on N worker threads "
                "(default 1; results are\n"
                "                identical for every N)\n"
@@ -22,7 +22,10 @@ namespace {
                "  --iters K     override the per-point timed-iteration "
                "count\n"
                "  --seed S      base seed for deterministic per-run seed "
-               "derivation\n",
+               "derivation\n"
+               "  --max-nodes M skip sweep points above M nodes (0 = no "
+               "cap; used by CI\n"
+               "                to keep the scale sweep fast)\n",
                static_cast<int>(bench_name.size()), bench_name.data());
   std::exit(code);
 }
@@ -59,6 +62,9 @@ BenchOptions parse_bench_options(int argc, char** argv,
           static_cast<int>(parse_u64(value(), bench_name));
     } else if (arg == "--seed") {
       options.base_seed = parse_u64(value(), bench_name);
+    } else if (arg == "--max-nodes") {
+      options.max_nodes =
+          static_cast<std::size_t>(parse_u64(value(), bench_name));
     } else {
       std::fprintf(stderr, "unknown option: %.*s\n",
                    static_cast<int>(arg.size()), arg.data());
@@ -91,6 +97,7 @@ json::Value spec_to_json(const RunSpec& spec) {
   out["label"] = spec.label;
   out["nodes"] = spec.nodes;
   out["wiring"] = to_string(spec.wiring);
+  out["radix"] = spec.switch_radix;
   out["bytes"] = spec.message_bytes;
   out["algo"] = to_string(spec.algo);
   out["tree"] = to_string(spec.tree);
@@ -156,6 +163,13 @@ json::Value result_to_json(const RunResult& result) {
   engine["descriptor_reuses"] = result.engine.descriptor_reuses;
   engine["payload_bytes_copied"] = result.engine.payload_bytes_copied;
   engine["payload_refs"] = result.engine.payload_refs;
+  engine["wheel_occupancy_peak"] = result.engine.wheel_occupancy_peak;
+  engine["wheel_cascades"] = result.engine.wheel_cascades;
+  engine["overflow_scheduled"] = result.engine.overflow_scheduled;
+  engine["overflow_promotions"] = result.engine.overflow_promotions;
+  engine["routes_materialized"] = result.engine.routes_materialized;
+  engine["route_links_stored"] = result.engine.route_links_stored;
+  engine["route_links_shared"] = result.engine.route_links_shared;
   // Decimal string, like seeds: 64-bit hashes do not fit a JSON double.
   engine["event_order_hash"] = std::to_string(result.engine.event_order_hash);
   out["engine"] = std::move(engine);

@@ -12,7 +12,8 @@
 //     "runs": [
 //       {
 //         "spec": { "experiment": "gm_mcast", "label": "", "nodes": 16,
-//                   "wiring": "auto", "bytes": 512, "algo": "nic",
+//                   "wiring": "auto", "radix": 16, "bytes": 512,
+//                   "algo": "nic",
 //                   "tree": "postal", "loss": 0, "corrupt": 0,
 //                   "faults": "uniform",
 //                   "skew_us": 0, "destinations": 0, "lanes": 1,
@@ -32,6 +33,10 @@
 //                     "pool_slots": ..., "descriptor_allocs": ...,
 //                     "descriptor_reuses": ..., "payload_bytes_copied": ...,
 //                     "payload_refs": ...,
+//                     "wheel_occupancy_peak": ..., "wheel_cascades": ...,
+//                     "overflow_scheduled": ..., "overflow_promotions": ...,
+//                     "routes_materialized": ..., "route_links_stored": ...,
+//                     "route_links_shared": ...,
 //                     "event_order_hash": "<decimal string: 64-bit exact>" },
 //         "metrics": { "<name>": <number>, ... }
 //       }, ...
@@ -54,6 +59,14 @@ struct BenchOptions {
   std::string json_path;     // empty: no JSON output
   int iterations = 0;        // 0: keep the bench's own default
   std::uint64_t base_seed = 1;
+  std::size_t max_nodes = 0;  // 0: no cap; CI trims scale sweeps with this
+
+  /// The effective iteration (or scenario/node) count: the --iters override
+  /// when given, otherwise the bench's own default.  Every bench used to
+  /// open-code this ternary.
+  [[nodiscard]] int iterations_or(int fallback) const {
+    return iterations > 0 ? iterations : fallback;
+  }
 };
 
 /// Parses the shared bench flags.  Prints usage and calls std::exit(2) on

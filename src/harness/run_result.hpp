@@ -33,6 +33,15 @@ struct EngineCounters {
   std::uint64_t descriptor_reuses = 0;
   std::uint64_t payload_bytes_copied = 0;
   std::uint64_t payload_refs = 0;
+  // Timing-wheel scheduler behaviour (sim/timing_wheel.hpp):
+  std::uint64_t wheel_occupancy_peak = 0;  // high-water live pending events
+  std::uint64_t wheel_cascades = 0;        // coarse buckets cascaded to fine
+  std::uint64_t overflow_scheduled = 0;    // schedules beyond coarse horizon
+  std::uint64_t overflow_promotions = 0;   // overflow items promoted inward
+  // Lazy route-cache behaviour (net::RouteTable):
+  std::uint64_t routes_materialized = 0;   // (src, dst) pairs computed
+  std::uint64_t route_links_stored = 0;    // LinkIds held across arenas
+  std::uint64_t route_links_shared = 0;    // LinkIds reused via interning
   /// Deterministic FNV fold of the executed (time, seq) event order.
   std::uint64_t event_order_hash = 0;
 };

@@ -84,6 +84,10 @@ void collect_engine(const sim::Simulator& sim, RunResult& result) {
   result.engine.events_cancelled = q.cancelled;
   result.engine.heap_actions = q.heap_actions;
   result.engine.pool_slots = q.pool_slots;
+  result.engine.wheel_occupancy_peak = q.wheel_occupancy_peak;
+  result.engine.wheel_cascades = q.wheel_cascades;
+  result.engine.overflow_scheduled = q.overflow_scheduled;
+  result.engine.overflow_promotions = q.overflow_promotions;
   result.engine.event_order_hash = sim.event_order_hash();
   result.engine.descriptor_allocs = result.nic_totals.descriptor_allocs;
   result.engine.descriptor_reuses = result.nic_totals.descriptor_reuses;
@@ -96,6 +100,10 @@ void collect_nic_totals(gm::Cluster& cluster, RunResult& result) {
     accumulate(result.nic_totals, cluster.nic(i).stats());
   }
   collect_engine(cluster.simulator(), result);
+  const net::RouteTableStats& r = cluster.network().route_stats();
+  result.engine.routes_materialized = r.routes_materialized;
+  result.engine.route_links_stored = r.links_stored;
+  result.engine.route_links_shared = r.links_shared;
 }
 
 }  // namespace
@@ -355,6 +363,10 @@ RunResult run_skew_bcast(const RunSpec& spec) {
   result.engine.events_cancelled = skew.queue_stats.cancelled;
   result.engine.heap_actions = skew.queue_stats.heap_actions;
   result.engine.pool_slots = skew.queue_stats.pool_slots;
+  result.engine.wheel_occupancy_peak = skew.queue_stats.wheel_occupancy_peak;
+  result.engine.wheel_cascades = skew.queue_stats.wheel_cascades;
+  result.engine.overflow_scheduled = skew.queue_stats.overflow_scheduled;
+  result.engine.overflow_promotions = skew.queue_stats.overflow_promotions;
   result.engine.event_order_hash = skew.event_order_hash;
   result.engine.descriptor_allocs = skew.nic_totals.descriptor_allocs;
   result.engine.descriptor_reuses = skew.nic_totals.descriptor_reuses;

@@ -10,7 +10,7 @@ Network::Network(sim::Simulator& sim, Topology topology, NetworkConfig config)
     : sim_(sim),
       topology_(std::move(topology)),
       config_(config),
-      routes_(topology_.all_routes()),
+      routes_(topology_),
       link_free_at_(topology_.link_count(), sim::TimePoint{0}),
       sinks_(topology_.endpoint_count(), nullptr),
       faults_(std::make_unique<NoFaults>()) {}
@@ -36,7 +36,7 @@ Network::TxTiming Network::transmit(Packet packet) {
                            "not the network");
   }
 
-  const Route& path = routes_[src][dst];
+  const RouteView path = routes_.route(src, dst);
   const std::size_t wire_size = packet.wire_size(config_.framing_bytes);
   const sim::Duration ser =
       sim::transfer_time(wire_size, config_.bandwidth_mbps);

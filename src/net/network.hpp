@@ -80,6 +80,10 @@ class Network {
   [[nodiscard]] const NetworkStats& stats() const { return stats_; }
   [[nodiscard]] const Topology& topology() const { return topology_; }
   [[nodiscard]] const NetworkConfig& config() const { return config_; }
+  /// Lazy route-cache counters (materialized pairs, arena sharing).
+  [[nodiscard]] const RouteTableStats& route_stats() const {
+    return routes_.stats();
+  }
 
   /// Serialisation time of a packet of `payload` bytes on one link.
   [[nodiscard]] sim::Duration serialization_time(std::size_t payload) const {
@@ -91,7 +95,7 @@ class Network {
   sim::Simulator& sim_;
   Topology topology_;
   NetworkConfig config_;
-  std::vector<std::vector<Route>> routes_;       // [src][dst]
+  RouteTable routes_;  // lazy interned per-source route cache
   std::vector<sim::TimePoint> link_free_at_;     // per-link occupancy
   std::vector<PacketSink*> sinks_;
   std::unique_ptr<FaultInjector> faults_;

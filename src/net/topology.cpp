@@ -105,6 +105,125 @@ std::vector<std::vector<Route>> Topology::all_routes() const {
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// RouteTable
+
+/// (Re)starts the incremental BFS for `from`: resets the predecessor tree
+/// and seeds the frontier.  Exploration happens in extend_bfs().
+void RouteTable::start_bfs(NodeId from) {
+  const std::size_t vertices = topo_->vertex_count();
+  if (adjacency_.empty()) {
+    // Built once and shared by every source.  Links appended in id order
+    // keep each vertex's out-links in increasing id order — the same order
+    // Topology::route()'s per-pair BFS discovers them in, which is what
+    // keeps extracted routes bit-identical to the eager implementation's.
+    adjacency_.resize(vertices);
+    for (LinkId id = 0; id < topo_->link_count(); ++id) {
+      adjacency_[topo_->link(id).from].push_back(id);
+    }
+  }
+  via_.assign(vertices, kNoLink);
+  prev_.assign(vertices, kNoVertex);
+  frontier_.clear();
+  frontier_head_ = 0;
+  frontier_.push_back(from);
+  prev_[from] = from;
+  bfs_source_ = from;
+  bfs_valid_ = true;
+}
+
+/// Runs the BFS just far enough to discover `to`.  The frontier persists
+/// between calls, so later destinations for the same source continue where
+/// the last call stopped — the FIFO discovery order (and thus every
+/// extracted route) is identical to a single uninterrupted BFS.
+void RouteTable::extend_bfs(NodeId to) {
+  while (prev_[to] == kNoVertex && frontier_head_ < frontier_.size()) {
+    const VertexId v = frontier_[frontier_head_++];
+    if (v != bfs_source_ && topo_->is_endpoint(v)) {
+      continue;  // endpoints terminate paths (NICs do not cut through)
+    }
+    for (const LinkId id : adjacency_[v]) {
+      const LinkDesc& l = topo_->link(id);
+      if (prev_[l.to] != kNoVertex) continue;
+      prev_[l.to] = v;
+      via_[l.to] = id;
+      frontier_.push_back(l.to);
+    }
+  }
+  if (prev_[to] == kNoVertex) {
+    throw std::runtime_error("no route between endpoints " +
+                             std::to_string(bfs_source_) + " and " +
+                             std::to_string(to));
+  }
+}
+
+RouteView RouteTable::route(NodeId from, NodeId to) {
+  if (from >= topo_->endpoint_count() || to >= topo_->endpoint_count()) {
+    throw std::out_of_range("route: endpoint id out of range");
+  }
+  if (from == to) return {};
+  if (sources_.empty()) sources_.resize(topo_->endpoint_count());
+  auto& sp = sources_[from];
+  if (!sp) {
+    sp = std::make_unique<SourceRoutes>();
+    ++stats_.sources_touched;
+  }
+  const auto it = sp->by_dst.find(to);
+  if (it != sp->by_dst.end()) return view_of(*sp, it->second);
+  return materialize(from, to, *sp);
+}
+
+RouteView RouteTable::materialize(NodeId from, NodeId to, SourceRoutes& sr) {
+  if (!bfs_valid_ || bfs_source_ != from) start_bfs(from);
+  extend_bfs(to);
+
+  // Walk the predecessor chain to -> from.
+  std::vector<VertexId> vertices;  // from ... to
+  std::vector<LinkId> links;       // links[i] enters vertices[i+1]
+  for (VertexId v = to; v != from; v = prev_[v]) {
+    vertices.push_back(v);
+    links.push_back(via_[v]);
+  }
+  vertices.push_back(from);
+  std::reverse(vertices.begin(), vertices.end());
+  std::reverse(links.begin(), links.end());
+  const std::size_t hops = links.size();
+
+  // Longest interned prefix: the deepest on-path switch whose route from
+  // this source is already in the arena.  Every destination behind the same
+  // last switch shares that span.
+  Entry entry;
+  std::size_t shared = 0;  // links covered by the interned head
+  for (std::size_t j = hops; j-- > 1;) {
+    const auto hit = sr.prefix_of.find(vertices[j]);
+    if (hit != sr.prefix_of.end()) {
+      entry.head = hit->second;
+      shared = j;
+      break;
+    }
+  }
+
+  entry.tail.off = static_cast<std::uint32_t>(sr.arena.size());
+  entry.tail.len = static_cast<std::uint32_t>(hops - shared);
+  for (std::size_t i = shared; i < hops; ++i) sr.arena.push_back(links[i]);
+  stats_.links_stored += hops - shared;
+  stats_.links_shared += shared;
+
+  if (shared == 0) {
+    // The whole route is contiguous: intern every proper prefix ending at a
+    // switch so later destinations behind those switches can share it.
+    for (std::size_t j = 1; j < hops; ++j) {
+      sr.prefix_of.emplace(vertices[j],
+                           Span{entry.tail.off, static_cast<std::uint32_t>(j)});
+    }
+  }
+
+  ++stats_.routes_materialized;
+  const auto [pos, inserted] = sr.by_dst.emplace(to, entry);
+  (void)inserted;
+  return view_of(sr, pos->second);
+}
+
 Topology Topology::single_switch(std::size_t n) {
   Topology t(n);
   const VertexId sw = t.add_switch();

@@ -7,8 +7,10 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <stdexcept>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "net/packet.hpp"
@@ -68,7 +70,9 @@ class Topology {
   /// two-node setups).  Throws if no path exists.
   [[nodiscard]] Route route(NodeId from, NodeId to) const;
 
-  /// All-pairs routes between endpoints; routes[i][j].
+  /// All-pairs routes between endpoints; routes[i][j].  O(n^2 * hops)
+  /// memory — reference implementation for tests and small topologies; the
+  /// simulation data path uses the lazy interned RouteTable below.
   [[nodiscard]] std::vector<std::vector<Route>> all_routes() const;
 
   // ---- Canned topologies ----
@@ -93,6 +97,117 @@ class Topology {
   std::size_t endpoint_count_;
   VertexId vertex_count_ = 0;
   std::vector<LinkDesc> links_;
+};
+
+/// Observability counters for RouteTable (surfaced per run through
+/// harness::EngineCounters so the scale benches can record route memory).
+struct RouteTableStats {
+  std::uint64_t routes_materialized = 0;  // distinct (src, dst) pairs computed
+  std::uint64_t sources_touched = 0;      // sources with >= 1 route
+  std::uint64_t links_stored = 0;         // LinkIds held across all arenas
+  std::uint64_t links_shared = 0;         // LinkIds reused via interned spans
+};
+
+/// A materialized source route: a view over (up to) two contiguous spans of
+/// a RouteTable arena — an interned shared prefix (the path to the last
+/// switch, shared by every destination behind it) plus this destination's
+/// tail links.  Offsets into the owning arena stay valid as the arena grows,
+/// so views remain usable across later route() calls on the same table.
+class RouteView {
+ public:
+  RouteView() = default;
+  [[nodiscard]] std::size_t size() const { return head_len_ + tail_len_; }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+  [[nodiscard]] LinkId operator[](std::size_t i) const {
+    return i < head_len_ ? (*arena_)[head_off_ + i]
+                         : (*arena_)[tail_off_ + (i - head_len_)];
+  }
+  /// Materializes a plain Route (tests/debugging; the data path never does).
+  [[nodiscard]] Route to_route() const {
+    Route r;
+    r.reserve(size());
+    for (std::size_t i = 0; i < size(); ++i) r.push_back((*this)[i]);
+    return r;
+  }
+
+ private:
+  friend class RouteTable;
+  RouteView(const std::vector<LinkId>* arena, std::uint32_t head_off,
+            std::uint32_t head_len, std::uint32_t tail_off,
+            std::uint32_t tail_len)
+      : arena_(arena),
+        head_off_(head_off),
+        head_len_(head_len),
+        tail_off_(tail_off),
+        tail_len_(tail_len) {}
+  const std::vector<LinkId>* arena_ = nullptr;
+  std::uint32_t head_off_ = 0;
+  std::uint32_t head_len_ = 0;
+  std::uint32_t tail_off_ = 0;
+  std::uint32_t tail_len_ = 0;
+};
+
+/// Lazy, interned source-route cache replacing the old eagerly-built
+/// all-pairs `vector<vector<Route>>` (O(n^2 * hops) memory and setup time —
+/// the scaling blocker for 4096-node fabrics).
+///
+/// Routes are computed on first use of a (src, dst) pair by an incremental
+/// per-source BFS whose exploration order is bit-identical to
+/// Topology::route()'s, so extracted routes — and therefore injection
+/// timings and the event order — never change.  Per source, routes live in
+/// a compressed arena: the path to a destination's last switch is interned
+/// once (keyed by switch vertex) and shared by every destination behind it;
+/// each additional destination stores only its tail links.  The BFS
+/// predecessor tree of the most recently used source is kept warm and
+/// extended on demand, so bursts of lookups from one source (a multicast
+/// fan-out, an ack storm converging on the root) pay one traversal.
+class RouteTable {
+ public:
+  explicit RouteTable(const Topology& topology) : topo_(&topology) {}
+
+  /// The (possibly cached) route from `from` to `to`.  Lazy: first use
+  /// materializes, later uses are a hash lookup.  Throws like
+  /// Topology::route on bad ids or unreachable destinations.
+  [[nodiscard]] RouteView route(NodeId from, NodeId to);
+
+  [[nodiscard]] const RouteTableStats& stats() const { return stats_; }
+
+ private:
+  struct Span {
+    std::uint32_t off = 0;
+    std::uint32_t len = 0;
+  };
+  struct Entry {
+    Span head;  // interned shared prefix (may be empty)
+    Span tail;  // this destination's own links
+  };
+  struct SourceRoutes {
+    std::vector<LinkId> arena;
+    std::unordered_map<NodeId, Entry> by_dst;
+    std::unordered_map<VertexId, Span> prefix_of;  // switch -> interned span
+  };
+
+  RouteView view_of(const SourceRoutes& sr, const Entry& e) const {
+    return RouteView(&sr.arena, e.head.off, e.head.len, e.tail.off,
+                     e.tail.len);
+  }
+
+  void start_bfs(NodeId from);
+  void extend_bfs(NodeId to);
+  RouteView materialize(NodeId from, NodeId to, SourceRoutes& sr);
+
+  const Topology* topo_;
+  std::vector<std::unique_ptr<SourceRoutes>> sources_;  // lazily allocated
+  std::vector<std::vector<LinkId>> adjacency_;  // built once, on first use
+  // Incremental BFS state for the most recently used source: prev_/via_
+  // hold its (partial) predecessor tree; frontier_head_ indexes the FIFO.
+  std::uint32_t bfs_source_ = 0;
+  bool bfs_valid_ = false;
+  std::vector<LinkId> via_;
+  std::vector<VertexId> prev_;
+  std::vector<VertexId> frontier_;
+  std::size_t frontier_head_ = 0;
+  RouteTableStats stats_;
 };
 
 }  // namespace nicmcast::net

@@ -80,10 +80,10 @@ void Nic::post_send(SendRequest request) {
       request.handle, PendingOp{HostEvent::Type::kSendComplete, request.port,
                                 fragments.size(), false});
   if (!inserted) throw std::logic_error("post_send: duplicate handle");
-  if (sim_.tracer().enabled("nic")) {
-    trace("nic", "send token posted, " + std::to_string(message.size()) +
-                     "B to node " + std::to_string(request.dest));
-  }
+  trace("nic", [&] {
+    return "send token posted, " + std::to_string(message.size()) +
+           "B to node " + std::to_string(request.dest);
+  });
   cpu_.run(config_.send_token_processing,
            [this, request = std::move(request), message] {
              start_unicast_packets(request.port, request.dest,
@@ -198,10 +198,10 @@ void Nic::post_mcast_send(McastSendRequest request) {
       request.handle, PendingOp{HostEvent::Type::kMcastSendComplete,
                                 request.port, fragments.size(), false});
   if (!inserted) throw std::logic_error("post_mcast_send: duplicate handle");
-  if (sim_.tracer().enabled("mcast")) {
-    trace("mcast", "mcast send posted grp=" + std::to_string(request.group) +
-                       " " + std::to_string(message.size()) + "B");
-  }
+  trace("mcast", [&] {
+    return "mcast send posted grp=" + std::to_string(request.group) + " " +
+           std::to_string(message.size()) + "B";
+  });
 
   cpu_.run(config_.send_token_processing,
            [this, group_id = request.group, message, fragments,
@@ -549,7 +549,7 @@ void Nic::packet_arrived(net::Packet packet) {
   if (packet.corrupted) {
     // CRC failure: silently dropped; the sender's timeout recovers it.
     ++stats_.crc_drops;
-    trace("nic", "CRC drop " + packet.describe());
+    trace("nic", [&] { return "CRC drop " + packet.describe(); });
     return;
   }
   ++stats_.packets_received;
@@ -599,7 +599,8 @@ void Nic::handle_data(const net::Packet& packet) {
       // Receiver overrun: no receive token.  Do not ack; Go-back-N at the
       // sender retries until the host posts a buffer.
       ++stats_.no_token_drops;
-      trace("nic", "no recv token, dropping " + packet.describe());
+      trace("nic",
+            [&] { return "no recv token, dropping " + packet.describe(); });
       return;
     }
     if (!acquire_rx_buffer()) {
@@ -650,14 +651,16 @@ void Nic::handle_mcast_data(const net::Packet& packet) {
     // Demand-driven group creation hasn't reached this node yet; drop
     // without acking, the parent keeps retrying.
     ++stats_.no_token_drops;
-    trace("mcast", "unknown group, dropping " + packet.describe());
+    trace("mcast",
+          [&] { return "unknown group, dropping " + packet.describe(); });
     return;
   }
   GroupState& group = it->second;
   if (packet.header.seq == group.recv_seq) {
     if (!ensure_assembly(group.entry.port, group.assembly, packet)) {
       ++stats_.no_token_drops;
-      trace("mcast", "no recv token, dropping " + packet.describe());
+      trace("mcast",
+            [&] { return "no recv token, dropping " + packet.describe(); });
       return;
     }
     if (!acquire_rx_buffer()) {
@@ -795,9 +798,10 @@ void Nic::handle_ctrl(const net::Packet& packet) {
                                   packet.header.src, packet.header.src_port,
                                   packet.header.seq);
         }
-        trace("nic",
-              "conn reset from node" + std::to_string(packet.header.src) +
-                  ", expecting seq " + std::to_string(packet.header.seq));
+        trace("nic", [&] {
+          return "conn reset from node" + std::to_string(packet.header.src) +
+                 ", expecting seq " + std::to_string(packet.header.seq);
+        });
       }
       send_ctrl(key, kCtrlResetAck, packet.header.seq);
       break;
@@ -849,13 +853,17 @@ void Nic::handle_ctrl(const net::Packet& packet) {
       if (conn.ctrl_timer) sim_.cancel(*conn.ctrl_timer);
       if (conn.idle_timer) sim_.cancel(*conn.idle_timer);
       ++stats_.conns_reclaimed;
-      trace("nic", "idle conn to node" +
-                       std::to_string(conn_peer(key)) + " reclaimed");
+      trace("nic", [&] {
+        return "idle conn to node" + std::to_string(conn_peer(key)) +
+               " reclaimed";
+      });
       sender_conns_.erase(it);
       break;
     }
     default:
-      trace("nic", "ignoring unknown CTRL subtype " + packet.describe());
+      trace("nic", [&] {
+        return "ignoring unknown CTRL subtype " + packet.describe();
+      });
       break;
   }
 }
@@ -882,8 +890,10 @@ void Nic::begin_conn_reset(std::uint64_t key) {
   conn.ctrl_seq =
       conn.records.empty() ? conn.next_seq : conn.records.front().seq;
   ++stats_.conn_resets;
-  trace("nic", "conn to node" + std::to_string(conn_peer(key)) +
-                   " resetting at seq " + std::to_string(conn.ctrl_seq));
+  trace("nic", [&] {
+    return "conn to node" + std::to_string(conn_peer(key)) +
+           " resetting at seq " + std::to_string(conn.ctrl_seq);
+  });
   send_ctrl(key, kCtrlResetReq, conn.ctrl_seq);
   arm_ctrl_timer(key);
 }
@@ -1386,7 +1396,8 @@ void Nic::start_forward(net::GroupId group_id, const net::Packet& packet,
     if (port.send_tokens_in_use >= config_.send_tokens_per_port) {
       deferred_forwards_.push_back(
           DeferredForward{group_id, packet, std::move(on_forwarded)});
-      trace("mcast", "forward STALLED waiting for send token");
+      trace("mcast",
+            [] { return std::string("forward STALLED waiting for send token"); });
       return;
     }
     ++port.send_tokens_in_use;
@@ -1498,8 +1509,10 @@ void Nic::conn_timeout(std::uint64_t key) {
   }
   // Go-back-N: retransmit the full outstanding window, refetching each
   // packet's bytes from (registered) host memory over the SDMA engine.
-  trace("nic", "timeout, retransmitting " +
-                   std::to_string(conn.records.size()) + " packet(s)");
+  trace("nic", [&] {
+    return "timeout, retransmitting " + std::to_string(conn.records.size()) +
+           " packet(s)";
+  });
   for (SendRecord& record : conn.records) {
     ++record.retries;
     record.sent_at = sim_.now();
@@ -1665,7 +1678,7 @@ void Nic::release_send_token(net::PortId port) {
   }
 }
 
-void Nic::trace(const char* category, const std::string& message) {
+void Nic::emit_trace(const char* category, const std::string& message) {
   if (sim_.tracer().enabled(category)) {
     sim_.tracer().emit(sim_.now(), category,
                        "node" + std::to_string(id_) + ".nic", message);

@@ -431,7 +431,16 @@ class Nic final : public net::PacketSink {
 
   [[nodiscard]] bool has_deferred_forward(net::GroupId group) const;
 
-  void trace(const char* category, const std::string& message);
+  /// Emits a trace record.  `build` (a callable returning the message)
+  /// runs only when the category is enabled, so hot packet paths pay one
+  /// branch for disabled tracing, never string formatting.
+  template <typename Build>
+  void trace(const char* category, Build&& build) {
+    if (sim_.tracer().enabled(category)) {
+      emit_trace(category, build());
+    }
+  }
+  void emit_trace(const char* category, const std::string& message);
 
   sim::Simulator& sim_;
   net::Network& network_;

@@ -1,7 +1,7 @@
 // Deterministic pending-event set for the discrete-event engine.
 //
 // Events at equal timestamps fire in insertion order (FIFO), which makes
-// whole-cluster simulations reproducible run to run: the heap key is the
+// whole-cluster simulations reproducible run to run: the ordering key is the
 // pair (time, sequence number).  That tie-break is load-bearing — every
 // BENCH_*.json trajectory and golden determinism test pins the event order
 // it produces — so the storage scheme below may change, the key never.
@@ -9,22 +9,25 @@
 // Storage is allocation-free in steady state:
 //   - callbacks are InlineFunction (inline capture storage, heap fallback),
 //   - they live in a pooled slot vector recycled through a free list,
-//   - the binary heap itself holds only 24-byte (when, seq, slot) items.
+//   - pending (when, seq, slot) items sit in a two-level hierarchical
+//     timing wheel (sim/timing_wheel.hpp): O(1) schedule, amortized-O(1)
+//     pop on the hot tick path, with far-future timers parked in a coarse
+//     wheel / overflow heap until the cursor approaches.
 // Cancellation is eager at the slot level: the callback (and everything its
 // capture owns) is destroyed immediately and the slot returns to the free
-// list; only the small heap item stays behind, skipped on pop when its
+// list; only the small wheel item stays behind, skipped on pop when its
 // sequence number no longer matches the slot's.  This replaces the old
 // grow-forever `cancelled_` hash set and its O(live) memory.
 #pragma once
 
 #include <cstdint>
 #include <limits>
-#include <queue>
 #include <utility>
 #include <vector>
 
 #include "sim/inline_function.hpp"
 #include "sim/time.hpp"
+#include "sim/timing_wheel.hpp"
 
 namespace nicmcast::sim {
 
@@ -52,6 +55,11 @@ class EventQueue {
     std::uint64_t cancelled = 0;     // successful cancel() calls
     std::uint64_t heap_actions = 0;  // actions that spilled to heap storage
     std::uint64_t pool_slots = 0;    // high-water pooled slot count
+    // Timing-wheel behaviour (see sim/timing_wheel.hpp):
+    std::uint64_t wheel_occupancy_peak = 0;  // high-water live pending events
+    std::uint64_t wheel_cascades = 0;        // coarse buckets cascaded to fine
+    std::uint64_t overflow_scheduled = 0;    // schedules beyond coarse horizon
+    std::uint64_t overflow_promotions = 0;   // overflow items promoted inward
   };
 
   /// Schedules `action` at absolute time `when`.  Returns an id usable with
@@ -72,8 +80,9 @@ class EventQueue {
     s.armed = true;
     if (action.uses_heap()) ++stats_.heap_actions;
     s.action = std::move(action);
-    heap_.push(HeapItem{when, seq, slot});
+    wheel_.push(WheelItem{when, seq, slot});
     ++live_;
+    if (live_ > stats_.wheel_occupancy_peak) stats_.wheel_occupancy_peak = live_;
     ++stats_.scheduled;
     return EventId{seq, slot};
   }
@@ -95,7 +104,12 @@ class EventQueue {
   [[nodiscard]] bool empty() const { return live_ == 0; }
   [[nodiscard]] std::size_t size() const { return live_; }
 
-  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const Stats& stats() const {
+    stats_.wheel_cascades = wheel_.cascades();
+    stats_.overflow_scheduled = wheel_.overflow_scheduled();
+    stats_.overflow_promotions = wheel_.overflow_promotions();
+    return stats_;
+  }
 
   /// FNV-1a-style fold of the executed (time, seq) order.  Two runs that
   /// popped the same events at the same times in the same order have equal
@@ -105,14 +119,14 @@ class EventQueue {
   /// Earliest pending (non-cancelled) event time.  Precondition: !empty().
   [[nodiscard]] TimePoint next_time() {
     skip_stale();
-    return heap_.top().when;
+    return wheel_.top().when;
   }
 
   /// Pops and returns the earliest pending event.  Precondition: !empty().
   std::pair<TimePoint, Action> pop() {
     skip_stale();
-    const HeapItem top = heap_.top();
-    heap_.pop();
+    const WheelItem top = wheel_.top();
+    wheel_.pop_top();
     Action action = std::move(slots_[top.slot].action);
     release(top.slot);
     --live_;
@@ -125,17 +139,6 @@ class EventQueue {
   static constexpr std::uint32_t kNilSlot =
       std::numeric_limits<std::uint32_t>::max();
 
-  struct HeapItem {
-    TimePoint when;
-    std::uint64_t seq;
-    std::uint32_t slot;
-    // std::priority_queue is a max-heap; invert so earliest (time, seq) wins.
-    bool operator<(const HeapItem& other) const {
-      if (when != other.when) return when > other.when;
-      return seq > other.seq;
-    }
-  };
-
   struct Slot {
     Action action;
     std::uint64_t seq = 0;
@@ -144,7 +147,7 @@ class EventQueue {
   };
 
   /// Destroys the slot's action and pushes the slot onto the free list.
-  /// Cancelled events leave their heap item behind; skip_stale() drops it
+  /// Cancelled events leave their wheel item behind; skip_stale() drops it
   /// later because the slot is disarmed (or re-armed under a newer seq).
   void release(std::uint32_t index) {
     Slot& s = slots_[index];
@@ -154,12 +157,15 @@ class EventQueue {
     free_head_ = index;
   }
 
+  /// Discards lazily-cancelled items from the front of the wheel.  Only
+  /// called with at least one live event pending, so it terminates with the
+  /// wheel's top being live.
   void skip_stale() {
-    while (!heap_.empty()) {
-      const HeapItem& top = heap_.top();
+    for (;;) {
+      const WheelItem& top = wheel_.top();
       const Slot& s = slots_[top.slot];
       if (s.armed && s.seq == top.seq) return;
-      heap_.pop();
+      wheel_.pop_top();
     }
   }
 
@@ -170,12 +176,12 @@ class EventQueue {
     order_hash_ = (order_hash_ ^ seq) * kPrime;
   }
 
-  std::priority_queue<HeapItem> heap_;
+  TimingWheel wheel_;
   std::vector<Slot> slots_;
   std::uint32_t free_head_ = kNilSlot;
   std::uint64_t next_seq_ = 0;
   std::size_t live_ = 0;
-  Stats stats_;
+  mutable Stats stats_;  // wheel counters refreshed on read in stats()
   std::uint64_t order_hash_ = 0xcbf29ce484222325ULL;  // FNV offset basis
 };
 

@@ -207,5 +207,21 @@ TEST_F(NetworkTest, NullFaultInjectorRejected) {
   EXPECT_THROW(net.set_fault_injector(nullptr), std::invalid_argument);
 }
 
+TEST_F(NetworkTest, BringUpMaterializesNoRoutes) {
+  // Construction must not walk the all-pairs table; routes appear only as
+  // traffic needs them (the 4096-node scale bench depends on this).
+  Network net(sim_, Topology::clos(32, 8));
+  attach_all(net, 32);
+  EXPECT_EQ(net.route_stats().routes_materialized, 0u);
+
+  net.transmit(make_packet(0, 31, 64));
+  EXPECT_EQ(net.route_stats().routes_materialized, 1u);
+  net.transmit(make_packet(0, 31, 64));  // cached: still one pair
+  EXPECT_EQ(net.route_stats().routes_materialized, 1u);
+  net.transmit(make_packet(31, 0, 64));  // reverse is its own pair
+  EXPECT_EQ(net.route_stats().routes_materialized, 2u);
+  sim_.run();
+}
+
 }  // namespace
 }  // namespace nicmcast::net

@@ -127,5 +127,92 @@ TEST(Topology, ForwardAndReverseRoutesUseDistinctLinks) {
   }
 }
 
+// ---- RouteTable -----------------------------------------------------------
+
+TEST(RouteTable, MatchesEagerRoutesOnEveryTopology) {
+  const Topology topos[] = {Topology::back_to_back(),
+                            Topology::single_switch(16),
+                            Topology::clos(32, 8), Topology::clos(40, 16)};
+  for (const Topology& t : topos) {
+    RouteTable table(t);
+    const auto eager = t.all_routes();
+    const std::size_t n = t.endpoint_count();
+    for (NodeId i = 0; i < n; ++i) {
+      for (NodeId j = 0; j < n; ++j) {
+        const RouteView v = table.route(i, j);
+        ASSERT_EQ(v.to_route(), eager[i][j])
+            << i << "->" << j << " (n=" << n << ")";
+        ASSERT_EQ(v.size(), eager[i][j].size());
+      }
+    }
+  }
+}
+
+TEST(RouteTable, LazyPerSourceFill) {
+  const Topology t = Topology::clos(32, 8);
+  RouteTable table(t);
+  EXPECT_EQ(table.stats().routes_materialized, 0u);
+  EXPECT_EQ(table.stats().sources_touched, 0u);
+
+  (void)table.route(0, 31);
+  EXPECT_EQ(table.stats().routes_materialized, 1u);
+  EXPECT_EQ(table.stats().sources_touched, 1u);
+
+  // Repeat lookups are cache hits, not recomputations.
+  (void)table.route(0, 31);
+  EXPECT_EQ(table.stats().routes_materialized, 1u);
+
+  (void)table.route(5, 2);
+  EXPECT_EQ(table.stats().routes_materialized, 2u);
+  EXPECT_EQ(table.stats().sources_touched, 2u);
+
+  // Self routes are free.
+  EXPECT_TRUE(table.route(7, 7).empty());
+  EXPECT_EQ(table.stats().routes_materialized, 2u);
+}
+
+TEST(RouteTable, InternsSharedPrefixSpans) {
+  // Destinations behind the same leaf switch share the source's path to
+  // that leaf; the second route must reuse the interned span instead of
+  // storing its full hop sequence again.
+  const Topology t = Topology::clos(32, 8);  // 4 endpoints per leaf
+  RouteTable table(t);
+  const RouteView a = table.route(0, 28);  // cross-leaf: 4 links
+  ASSERT_EQ(a.size(), 4u);
+  const std::uint64_t stored_after_first = table.stats().links_stored;
+  EXPECT_EQ(table.stats().links_shared, 0u);
+
+  const RouteView b = table.route(0, 29);  // same destination leaf
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_GT(table.stats().links_shared, 0u);
+  // The second route stored strictly fewer new links than its length.
+  EXPECT_LT(table.stats().links_stored - stored_after_first, b.size());
+  // Shared prefix: identical links up to the destination leaf.
+  EXPECT_EQ(a[0], b[0]);
+  EXPECT_EQ(a[1], b[1]);
+  EXPECT_NE(a[3], b[3]);  // different final hop
+}
+
+TEST(RouteTable, ViewsStayValidAsArenaGrows) {
+  const Topology t = Topology::single_switch(32);
+  RouteTable table(t);
+  const RouteView first = table.route(0, 1);
+  const Route snapshot = first.to_route();
+  for (NodeId j = 2; j < 32; ++j) {
+    (void)table.route(0, j);  // grows the source arena
+  }
+  EXPECT_EQ(first.to_route(), snapshot);  // offsets, not pointers
+}
+
+TEST(RouteTable, ThrowsLikeTopologyRoute) {
+  Topology t(3);
+  t.add_cable(0, 1);
+  RouteTable table(t);
+  EXPECT_THROW((void)table.route(0, 5), std::out_of_range);
+  EXPECT_THROW((void)table.route(0, 2), std::runtime_error);
+  // A failed destination must not poison later lookups.
+  EXPECT_EQ(table.route(0, 1).size(), 1u);
+}
+
 }  // namespace
 }  // namespace nicmcast::net

@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
   harness::BenchOptions options =
       harness::parse_bench_options(argc, argv, "soak");
   const int scenarios =
-      options.iterations > 0 ? options.iterations : kDefaultScenarios;
+      options.iterations_or(kDefaultScenarios);
 
   harness::print_header(
       "Chaos soak: randomized workloads under stateful fault injection",
