@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Run a nicmcast-* engine over the check fixtures and diff against EXPECT.
+
+Every fixture under tools/nicmcast-tidy/fixtures/ annotates the lines it
+expects flagged with `// EXPECT: <check-name>`.  This script runs one of
+the two engines over each fixture and fails if the produced (line, check)
+set differs from the annotated one in either direction.
+
+The portable engine is exercised the same way in-process by the gtest
+fixture tests; this script exists so CI can assert the *clang-tidy plugin*
+produces the same findings:
+
+    scripts/check_fixtures.py --engine clang \
+        --clang-tidy clang-tidy-18 \
+        --plugin build/tools/nicmcast-tidy/NicMcastTidyModule.so
+
+    scripts/check_fixtures.py --engine portable \
+        --lint-bin build/tools/nicmcast-tidy/nicmcast_lint
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+FIXTURE_DIR = REPO_ROOT / "tools" / "nicmcast-tidy" / "fixtures"
+
+FINDING_RE = re.compile(
+    r"^(?P<path>[^:]+):(?P<line>\d+):(?P<col>\d+): warning: .*"
+    r"\[(?P<check>nicmcast-[a-z-]+)[,\]]"
+)
+EXPECT_RE = re.compile(r"// EXPECT: (?P<check>[a-z][a-z0-9-]*)")
+
+
+def expected_findings(fixture: pathlib.Path) -> set[tuple[int, str]]:
+    out = set()
+    for lineno, line in enumerate(
+        fixture.read_text().splitlines(), start=1
+    ):
+        m = EXPECT_RE.search(line)
+        if m:
+            out.add((lineno, m.group("check")))
+    return out
+
+
+def parse_findings(output: str, fixture: pathlib.Path) -> set[tuple[int, str]]:
+    out = set()
+    for line in output.splitlines():
+        m = FINDING_RE.match(line)
+        if not m:
+            continue
+        if pathlib.Path(m.group("path")).name != fixture.name:
+            continue  # ignore findings reported against headers
+        out.add((int(m.group("line")), m.group("check")))
+    return out
+
+
+def run_clang_engine(args, fixture: pathlib.Path) -> str:
+    cmd = [
+        args.clang_tidy,
+        "-load",
+        args.plugin,
+        "-checks=-*,nicmcast-*",
+        str(fixture),
+        "--",
+        "-std=c++20",
+        f"-I{FIXTURE_DIR}",
+    ]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    # clang-tidy exits non-zero on hard errors only; compile errors in the
+    # stub header would surface here.
+    if "error:" in proc.stderr or "error:" in proc.stdout:
+        sys.stderr.write(proc.stdout + proc.stderr)
+        raise SystemExit(f"clang-tidy failed to parse {fixture.name}")
+    return proc.stdout
+
+
+def run_portable_engine(args, fixture: pathlib.Path) -> str:
+    cmd = [args.lint_bin, "--root", str(REPO_ROOT), str(fixture)]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode not in (0, 1):
+        sys.stderr.write(proc.stdout + proc.stderr)
+        raise SystemExit(f"nicmcast_lint failed on {fixture.name}")
+    return proc.stdout
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--engine", choices=["clang", "portable"],
+                        required=True)
+    parser.add_argument("--clang-tidy", default="clang-tidy")
+    parser.add_argument("--plugin", help="path to NicMcastTidyModule.so")
+    parser.add_argument("--lint-bin", help="path to nicmcast_lint")
+    args = parser.parse_args()
+
+    if args.engine == "clang" and not args.plugin:
+        parser.error("--engine clang requires --plugin")
+    if args.engine == "portable" and not args.lint_bin:
+        parser.error("--engine portable requires --lint-bin")
+
+    fixtures = sorted(FIXTURE_DIR.glob("*.cpp"))
+    if not fixtures:
+        raise SystemExit(f"no fixtures under {FIXTURE_DIR}")
+
+    failures = 0
+    for fixture in fixtures:
+        expected = expected_findings(fixture)
+        if args.engine == "clang":
+            output = run_clang_engine(args, fixture)
+        else:
+            output = run_portable_engine(args, fixture)
+        actual = parse_findings(output, fixture)
+
+        missing = expected - actual
+        surplus = actual - expected
+        status = "ok" if not missing and not surplus else "FAIL"
+        print(f"[{status}] {fixture.name}: expected {len(expected)}, "
+              f"got {len(actual)}")
+        for line, check in sorted(missing):
+            failures += 1
+            print(f"  missing  {fixture.name}:{line} [{check}]")
+        for line, check in sorted(surplus):
+            failures += 1
+            print(f"  surplus  {fixture.name}:{line} [{check}]")
+
+    if failures:
+        print(f"{failures} fixture expectation(s) violated", file=sys.stderr)
+        return 1
+    print(f"all {len(fixtures)} fixtures match under the {args.engine} "
+          "engine")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

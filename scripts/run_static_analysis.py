@@ -1,0 +1,227 @@
+#!/usr/bin/env python3
+"""Repo-wide nicmcast-* static analysis driver.
+
+Runs the determinism-contract checks over the tree and fails on any
+finding not recorded in the baseline file.  Two engines, picked
+automatically:
+
+  - clang-tidy plugin: used when a clang-tidy binary and the built
+    NicMcastTidyModule.so are both available (the CI static-analysis job).
+    Also enables the curated upstream checks from .clang-tidy.
+  - portable engine (nicmcast_lint): plain-C++ reimplementation of the
+    nicmcast-* checks; runs anywhere the repo builds.
+
+Modes:
+
+  scripts/run_static_analysis.py                 # full tree
+  scripts/run_static_analysis.py --diff origin/main   # changed files only
+                                                 # (the pre-push check)
+
+The baseline (scripts/static_analysis_baseline.txt) lists findings that
+are acknowledged and suppressed, one `path:check` per line.  The gate is
+therefore "zero NEW findings", so the sweep never has to be all-or-
+nothing.  Refresh it with --update-baseline after an intentional change.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import shutil
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BASELINE = REPO_ROOT / "scripts" / "static_analysis_baseline.txt"
+
+SOURCE_DIRS = ["src", "tests", "bench", "examples", "tools"]
+EXCLUDE_PARTS = ("tools/nicmcast-tidy/fixtures",)
+SOURCE_SUFFIXES = {".cpp", ".hpp"}
+
+FINDING_RE = re.compile(
+    r"^(?P<path>[^:]+):(?P<line>\d+):(?P<col>\d+): warning: .*"
+    r"\[(?P<check>[a-z][a-z0-9.-]*)[,\]]"
+)
+
+
+def repo_sources() -> list[pathlib.Path]:
+    files: list[pathlib.Path] = []
+    for top in SOURCE_DIRS:
+        for path in sorted((REPO_ROOT / top).rglob("*")):
+            if path.suffix not in SOURCE_SUFFIXES:
+                continue
+            rel = path.relative_to(REPO_ROOT).as_posix()
+            if any(part in rel for part in EXCLUDE_PARTS):
+                continue
+            files.append(path)
+    return files
+
+
+def diff_sources(base: str) -> list[pathlib.Path]:
+    proc = subprocess.run(
+        ["git", "diff", "--name-only", "--diff-filter=d", base, "--"],
+        cwd=REPO_ROOT, capture_output=True, text=True, check=True)
+    files = []
+    for name in proc.stdout.splitlines():
+        path = REPO_ROOT / name
+        if path.suffix not in SOURCE_SUFFIXES or not path.exists():
+            continue
+        if any(part in name for part in EXCLUDE_PARTS):
+            continue
+        files.append(path)
+    return files
+
+
+def find_lint_bin(args) -> pathlib.Path | None:
+    if args.lint_bin:
+        return pathlib.Path(args.lint_bin)
+    for build in (args.build_dir, REPO_ROOT / "build"):
+        if not build:
+            continue
+        cand = pathlib.Path(build) / "tools" / "nicmcast-tidy" / \
+            "nicmcast_lint"
+        if cand.exists():
+            return cand
+    return None
+
+
+def find_plugin(args) -> pathlib.Path | None:
+    if args.plugin:
+        return pathlib.Path(args.plugin)
+    for build in (args.build_dir, REPO_ROOT / "build"):
+        if not build:
+            continue
+        cand = pathlib.Path(build) / "tools" / "nicmcast-tidy" / \
+            "NicMcastTidyModule.so"
+        if cand.exists():
+            return cand
+    return None
+
+
+def run_clang_engine(args, files: list[pathlib.Path],
+                     plugin: pathlib.Path) -> list[str]:
+    build_dir = args.build_dir or (REPO_ROOT / "build")
+    cmd = [args.clang_tidy, "-load", str(plugin), "-p", str(build_dir),
+           "--quiet"]
+    cmd += [str(f) for f in files if f.suffix == ".cpp"]
+    proc = subprocess.run(cmd, capture_output=True, text=True,
+                          cwd=REPO_ROOT)
+    return proc.stdout.splitlines()
+
+
+def run_portable_engine(args, files: list[pathlib.Path],
+                        lint_bin: pathlib.Path) -> list[str]:
+    cmd = [str(lint_bin), "--root", str(REPO_ROOT)]
+    cmd += [str(f) for f in files]
+    proc = subprocess.run(cmd, capture_output=True, text=True,
+                          cwd=REPO_ROOT)
+    if proc.returncode not in (0, 1):
+        sys.stderr.write(proc.stdout + proc.stderr)
+        raise SystemExit("nicmcast_lint crashed")
+    return proc.stdout.splitlines()
+
+
+def parse_findings(lines: list[str]) -> list[tuple[str, int, str, str]]:
+    out = []
+    for line in lines:
+        m = FINDING_RE.match(line)
+        if not m:
+            continue
+        path = pathlib.Path(m.group("path"))
+        if path.is_absolute():
+            try:
+                path = path.relative_to(REPO_ROOT)
+            except ValueError:
+                continue  # system header noise from upstream checks
+        out.append((path.as_posix(), int(m.group("line")),
+                    m.group("check"), line.strip()))
+    return out
+
+
+def load_baseline() -> set[str]:
+    if not BASELINE.exists():
+        return set()
+    out = set()
+    for line in BASELINE.read_text().splitlines():
+        line = line.strip()
+        if line and not line.startswith("#"):
+            out.add(line)
+    return out
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--diff", metavar="BASE",
+                        help="only analyse files changed since BASE")
+    parser.add_argument("--engine", choices=["auto", "clang", "portable"],
+                        default="auto")
+    parser.add_argument("--clang-tidy", default="clang-tidy")
+    parser.add_argument("--plugin",
+                        help="path to NicMcastTidyModule.so")
+    parser.add_argument("--lint-bin", help="path to nicmcast_lint")
+    parser.add_argument("--build-dir",
+                        help="build tree (compile_commands.json, built "
+                             "engine binaries)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="record current findings as accepted")
+    args = parser.parse_args()
+
+    files = diff_sources(args.diff) if args.diff else repo_sources()
+    if not files:
+        print("static-analysis: no files to analyse")
+        return 0
+
+    engine = args.engine
+    plugin = find_plugin(args)
+    lint_bin = find_lint_bin(args)
+    if engine == "auto":
+        has_clang = plugin is not None and \
+            shutil.which(args.clang_tidy) is not None
+        engine = "clang" if has_clang else "portable"
+
+    if engine == "clang":
+        if plugin is None:
+            raise SystemExit("clang engine requested but "
+                             "NicMcastTidyModule.so not found")
+        lines = run_clang_engine(args, files, plugin)
+    else:
+        if lint_bin is None:
+            raise SystemExit(
+                "nicmcast_lint not found; build it first "
+                "(cmake --build build --target nicmcast_lint) or pass "
+                "--lint-bin")
+        lines = run_portable_engine(args, files, lint_bin)
+
+    findings = parse_findings(lines)
+
+    if args.update_baseline:
+        keys = sorted({f"{path}:{check}" for path, _, check, _ in findings})
+        BASELINE.write_text(
+            "# Acknowledged static-analysis findings (path:check), one per"
+            " line.\n# Regenerate with scripts/run_static_analysis.py"
+            " --update-baseline.\n" + "".join(k + "\n" for k in keys))
+        print(f"baseline updated: {len(keys)} entrie(s)")
+        return 0
+
+    baseline = load_baseline()
+    fresh = [f for f in findings
+             if f"{f[0]}:{f[2]}" not in baseline]
+
+    scope = f"{len(files)} file(s)" + (f" changed since {args.diff}"
+                                       if args.diff else "")
+    if not fresh:
+        suppressed = len(findings) - len(fresh)
+        note = f" ({suppressed} baselined)" if suppressed else ""
+        print(f"static-analysis [{engine}]: clean over {scope}{note}")
+        return 0
+
+    for _, _, _, raw in fresh:
+        print(raw)
+    print(f"static-analysis [{engine}]: {len(fresh)} new finding(s) over "
+          f"{scope}", file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

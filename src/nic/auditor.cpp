@@ -1,12 +1,27 @@
 #include "nic/auditor.hpp"
 
+#include <algorithm>
+#include <cstdint>
 #include <utility>
+#include <vector>
 
 #include "nic/nic.hpp"
 
 namespace nicmcast::nic {
 
 namespace {
+
+// Drain violations are appended to a report that replay tests diff, so
+// they must come out in a stable order; the connection/group tables are
+// unordered_maps whose iteration order follows the hash seed.
+template <typename Map>
+std::vector<typename Map::key_type> sorted_keys(const Map& map) {
+  std::vector<typename Map::key_type> keys;
+  keys.reserve(map.size());
+  for (const auto& [key, value] : map) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
 
 bool is_data(net::PacketType t) {
   return t == net::PacketType::kData || t == net::PacketType::kMcastData;
@@ -134,7 +149,8 @@ void ProtocolAuditor::check_drained(const Nic& nic) {
     violation(nic, std::to_string(nic.deferred_forwards_.size()) +
                        " forward(s) still stalled at drain");
   }
-  for (const auto& [key, conn] : nic.sender_conns_) {
+  for (const std::uint64_t key : sorted_keys(nic.sender_conns_)) {
+    const auto& conn = nic.sender_conns_.at(key);
     const std::string peer = "conn to node" +
                              std::to_string(Nic::conn_peer(key));
     if (!conn.records.empty()) {
@@ -152,13 +168,15 @@ void ProtocolAuditor::check_drained(const Nic& nic) {
       violation(nic, peer + ": ctrl handshake still open at drain");
     }
   }
-  for (const auto& [key, conn] : nic.receiver_conns_) {
+  for (const std::uint64_t key : sorted_keys(nic.receiver_conns_)) {
+    const auto& conn = nic.receiver_conns_.at(key);
     if (conn.assembly && !conn.assembly->fully_accepted()) {
       violation(nic, "conn from node" + std::to_string(Nic::conn_peer(key)) +
                          ": partially assembled message stalled at drain");
     }
   }
-  for (const auto& [group_id, group] : nic.groups_) {
+  for (const net::GroupId group_id : sorted_keys(nic.groups_)) {
+    const auto& group = nic.groups_.at(group_id);
     const std::string label = "group " + std::to_string(group_id);
     if (!group.records.empty()) {
       violation(nic, label + ": " + std::to_string(group.records.size()) +

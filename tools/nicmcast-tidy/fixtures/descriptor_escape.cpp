@@ -1,0 +1,65 @@
+// Fixture: nicmcast-descriptor-escape
+//
+// Positive cases: a DescriptorRef borrowed by a completion callback
+// escaping as a raw pointer or by-reference capture, and a net::Buffer
+// captured by reference into deferred work.  Negative cases: the
+// sanctioned patterns — use the ref inside the callback, capture by
+// value (refcount bump) when state must outlive the scope.
+#include "stubs.hpp"
+
+namespace fixture {
+
+using nicmcast::net::Buffer;
+using nicmcast::nic::DescriptorRef;
+using nicmcast::nic::PacketDescriptor;
+
+struct Engine {
+  PacketDescriptor* parked = nullptr;
+  template <typename F>
+  void schedule_at(long when, F&& fn);
+};
+
+void positive_raw_pointer_escape(Engine& eng, PacketDescriptor& d0) {
+  d0.on_tx_complete = [&eng](DescriptorRef d) {
+    eng.parked = &*d;  // EXPECT: nicmcast-descriptor-escape
+  };
+}
+
+void positive_raw_pointer_binding(PacketDescriptor& d0) {
+  d0.on_tx_complete = [](DescriptorRef d) {
+    PacketDescriptor* raw = &*d;  // EXPECT: nicmcast-descriptor-escape
+    raw->header = 1;
+  };
+}
+
+void positive_ref_capture_into_nested_closure(Engine& eng,
+                                              PacketDescriptor& d0) {
+  d0.on_tx_complete = [&eng](DescriptorRef d) {
+    eng.schedule_at(5, [&d] { (void)d->header; });  // EXPECT: nicmcast-descriptor-escape
+  };
+}
+
+void positive_buffer_by_ref_into_deferred_work(Engine& eng) {
+  Buffer payload;
+  eng.schedule_at(9, [&payload] { (void)payload.data(); });  // EXPECT: nicmcast-descriptor-escape
+}
+
+void negative_use_inside_callback(PacketDescriptor& d0) {
+  d0.on_tx_complete = [](DescriptorRef d) {
+    d->header = 2;  // borrowing through the ref inside the callback is fine
+  };
+}
+
+void negative_value_capture_takes_a_reference(Engine& eng,
+                                              PacketDescriptor& d0) {
+  d0.on_tx_complete = [&eng](DescriptorRef d) {
+    eng.schedule_at(7, [d] { (void)d->header; });  // copy bumps the refcount
+  };
+}
+
+void negative_buffer_by_value(Engine& eng) {
+  Buffer payload;
+  eng.schedule_at(9, [payload] { (void)payload.size(); });
+}
+
+}  // namespace fixture

@@ -1,0 +1,73 @@
+// Fixture: nicmcast-inline-function-capture
+//
+// Positive cases: a scheduled lambda whose captures already exceed the
+// 88-byte inline budget on a lower-bound estimate, an on_tx_complete
+// callback exceeding its tighter 48-byte budget, and a raw pooled
+// pointer captured by value.  Negative cases: small captures, by-ref
+// captures, and holding the pool reference by value (the sanctioned
+// pattern).
+#include "stubs.hpp"
+
+namespace fixture {
+
+using nicmcast::nic::DescriptorRef;
+using nicmcast::nic::PacketDescriptor;
+using nicmcast::sim::InlineFunction;
+
+struct Wheel {
+  template <typename F>
+  void schedule_at(long when, F&& fn);
+};
+
+struct Replica {
+  InlineFunction<void(), 48> on_tx_complete;
+};
+
+void positive_budget_overflow(Wheel& wheel) {
+  std::uint64_t f0 = 0, f1 = 1, f2 = 2, f3 = 3, f4 = 4, f5 = 5;
+  std::uint64_t f6 = 6, f7 = 7, f8 = 8, f9 = 9, f10 = 10, f11 = 11;
+  wheel.schedule_at(1, [f0, f1, f2, f3, f4, f5, f6, f7, f8, f9, f10, f11] {  // EXPECT: nicmcast-inline-function-capture
+    (void)f0, (void)f1, (void)f2, (void)f3, (void)f4, (void)f5;
+    (void)f6, (void)f7, (void)f8, (void)f9, (void)f10, (void)f11;
+  });
+}
+
+void positive_member_budget_overflow(Replica& replica) {
+  std::uint64_t s0 = 0, s1 = 1, s2 = 2, s3 = 3, s4 = 4, s5 = 5, s6 = 6;
+  replica.on_tx_complete = [s0, s1, s2, s3, s4, s5, s6] {  // EXPECT: nicmcast-inline-function-capture
+    (void)s0, (void)s1, (void)s2, (void)s3, (void)s4, (void)s5, (void)s6;
+  };
+}
+
+void positive_raw_pooled_pointer_capture(Wheel& wheel, DescriptorRef held) {
+  PacketDescriptor* raw = &*held;
+  wheel.schedule_at(2, [raw] { raw->header = 3; });  // EXPECT: nicmcast-inline-function-capture
+}
+
+void negative_small_capture(Wheel& wheel) {
+  std::uint64_t seq = 7;
+  void* self = nullptr;
+  wheel.schedule_at(3, [seq, self] { (void)seq, (void)self; });
+}
+
+void negative_ref_captures_fit(Wheel& wheel) {
+  std::uint64_t a0 = 0, a1 = 1, a2 = 2, a3 = 3, a4 = 4, a5 = 5;
+  std::uint64_t a6 = 6, a7 = 7, a8 = 8, a9 = 9, a10 = 10, a11 = 11;
+  wheel.schedule_at(4, [&a0, &a1, &a2, &a3] {
+    (void)a0, (void)a1, (void)a2, (void)a3;
+  });
+  (void)a4, (void)a5, (void)a6, (void)a7, (void)a8, (void)a9;
+  (void)a10, (void)a11;
+}
+
+void negative_descriptor_ref_by_value(Wheel& wheel, DescriptorRef held) {
+  wheel.schedule_at(5, [held] { held->header = 4; });
+}
+
+void negative_explicit_inline_function_within_budget() {
+  std::uint64_t seq = 9;
+  InlineFunction<void(), 88> slot = [seq] { (void)seq; };
+  slot();
+}
+
+}  // namespace fixture

@@ -1,0 +1,69 @@
+// Fixture: nicmcast-nondeterministic-iteration
+//
+// Positive cases: range-for over an unordered container whose body feeds
+// an ordering-sensitive sink (scheduling, trace emission, log appends).
+// Negative cases: order-free folds over the same containers, and ordered
+// containers feeding the same sinks.
+//
+// Lines expected to be flagged carry an EXPECT annotation naming the
+// check; every other line must stay clean under both engines.
+#include "stubs.hpp"
+
+namespace fixture {
+
+struct Sim {
+  void schedule(int when);
+  void emit_trace(const char* message);
+};
+
+struct State {
+  std::unordered_map<int, int> deadline_by_node;
+  std::unordered_set<int> members;
+  std::vector<int> replay_order;
+  std::vector<int> audit_log;
+  Sim sim;
+
+  void positive_schedules_in_hash_order() {
+    for (const auto& entry : deadline_by_node) {  // EXPECT: nicmcast-nondeterministic-iteration
+      sim.schedule(entry.second);
+    }
+  }
+
+  void positive_traces_in_hash_order() {
+    for (const int member : members) {  // EXPECT: nicmcast-nondeterministic-iteration
+      sim.emit_trace("visiting member");
+      (void)member;
+    }
+  }
+
+  void positive_appends_to_log_in_hash_order() {
+    for (const auto& entry : deadline_by_node) {  // EXPECT: nicmcast-nondeterministic-iteration
+      audit_log.push_back(entry.first);
+    }
+  }
+
+  int negative_order_free_fold() {
+    int widest = 0;
+    for (const auto& entry : deadline_by_node) {
+      widest = entry.second > widest ? entry.second : widest;
+    }
+    return widest;
+  }
+
+  void negative_ordered_container_feeds_sink() {
+    for (const int when : replay_order) {
+      sim.schedule(when);
+    }
+  }
+
+  void negative_suppressed() {
+    // Deliberate and order-independent in aggregate; suppression mirrors
+    // the annotation style the repo uses for audited sites.
+    // NOLINTNEXTLINE(nicmcast-nondeterministic-iteration)
+    for (const auto& entry : deadline_by_node) {
+      sim.schedule(entry.second);
+    }
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,44 @@
+// Fixture: nicmcast-pointer-order
+//
+// Positive cases: ordered containers keyed on pointer values, std::hash
+// over a pointer type, relational comparison of raw pointers, and a
+// pointer-value fold into an integer.  Negative cases: pointer equality,
+// ordering by a stable id, and pointers as mapped (non-key) values.
+#include "stubs.hpp"
+
+namespace fixture {
+
+struct Node {
+  int id;
+};
+
+std::map<Node*, int> positive_weight_by_node;  // EXPECT: nicmcast-pointer-order
+std::set<Node*> positive_active_nodes;         // EXPECT: nicmcast-pointer-order
+
+std::map<int, Node*> negative_node_by_id;  // pointer as value, key is stable
+
+bool positive_pointer_compare(Node* a, Node* b) {
+  return a < b;  // EXPECT: nicmcast-pointer-order
+}
+
+std::uintptr_t positive_pointer_fold(Node* n) {
+  return reinterpret_cast<std::uintptr_t>(n);  // EXPECT: nicmcast-pointer-order
+}
+
+std::size_t positive_pointer_hash(Node* n) {
+  return std::hash<Node*>{}(n);  // EXPECT: nicmcast-pointer-order
+}
+
+bool negative_pointer_equality(Node* a, Node* b) {
+  return a == b;  // identity tests are address-stable within one run
+}
+
+bool negative_stable_id_compare(Node* a, Node* b) {
+  return a->id < b->id;
+}
+
+std::size_t negative_id_hash(Node* n) {
+  return std::hash<int>{}(n->id);
+}
+
+}  // namespace fixture

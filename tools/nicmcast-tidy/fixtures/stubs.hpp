@@ -1,0 +1,161 @@
+// Minimal stand-in declarations so the check fixtures parse standalone —
+// under clang-tidy (plugin engine, full AST) with no real system headers,
+// and under nicmcast_lint (portable engine, which skips #include lines and
+// reads the declarations the fixtures make themselves).
+//
+// Only what the fixtures touch is declared, with the same names and shapes
+// as the real types: the plugin's matchers are keyed on qualified names
+// (::std::unordered_map, ::nicmcast::nic::DescriptorRef, ...), so the
+// namespaces here must match the real ones.
+#pragma once
+
+namespace std {
+
+using size_t = decltype(sizeof(0));
+using uint64_t = unsigned long long;
+using uintptr_t = unsigned long;
+
+template <typename T>
+struct hash {
+  size_t operator()(const T&) const;
+};
+
+template <typename T1, typename T2>
+struct pair {
+  T1 first;
+  T2 second;
+};
+
+template <typename T>
+class vector {
+ public:
+  void push_back(const T&);
+  T* begin();
+  T* end();
+  const T* begin() const;
+  const T* end() const;
+  size_t size() const;
+};
+
+template <typename K, typename V, typename H = hash<K>>
+class unordered_map {
+ public:
+  using value_type = pair<const K, V>;
+  struct iterator {
+    value_type& operator*() const;
+    iterator& operator++();
+    bool operator!=(const iterator&) const;
+  };
+  iterator begin() const;
+  iterator end() const;
+  V& operator[](const K&);
+  size_t size() const;
+};
+
+template <typename K, typename H = hash<K>>
+class unordered_set {
+ public:
+  struct iterator {
+    const K& operator*() const;
+    iterator& operator++();
+    bool operator!=(const iterator&) const;
+  };
+  iterator begin() const;
+  iterator end() const;
+};
+
+template <typename K, typename V>
+class map {
+ public:
+  V& operator[](const K&);
+};
+
+template <typename K>
+class set {
+ public:
+  void insert(const K&);
+};
+
+namespace chrono {
+struct steady_clock {
+  struct time_point {
+    long ticks;
+  };
+  static time_point now();
+};
+struct system_clock {
+  struct time_point {
+    long ticks;
+  };
+  static time_point now();
+};
+struct high_resolution_clock {
+  struct time_point {
+    long ticks;
+  };
+  static time_point now();
+};
+}  // namespace chrono
+
+struct random_device {
+  unsigned operator()();
+};
+
+}  // namespace std
+
+struct fixture_timeval;
+struct fixture_timezone;
+extern "C" {
+long time(long*);
+int rand(void);
+void srand(unsigned);
+long clock(void);
+int gettimeofday(fixture_timeval*, fixture_timezone*);
+}
+
+namespace nicmcast {
+
+namespace sim {
+template <typename Signature, std::size_t InlineBytes = 88>
+class InlineFunction;
+
+template <typename R, typename... Args, std::size_t InlineBytes>
+class InlineFunction<R(Args...), InlineBytes> {
+ public:
+  InlineFunction();
+  InlineFunction(InlineFunction&&);
+  InlineFunction& operator=(InlineFunction&&);
+  // Implicit converting constructor, like the real one: assigning a lambda
+  // constructs a temporary here first, which is what the plugin matches.
+  template <typename F>
+  InlineFunction(F&& f);  // NOLINT
+  R operator()(Args...);
+};
+}  // namespace sim
+
+namespace net {
+class Buffer {
+ public:
+  Buffer();
+  const unsigned char* data() const;
+  std::size_t size() const;
+};
+}  // namespace net
+
+namespace nic {
+struct PacketDescriptor;
+
+class DescriptorRef {
+ public:
+  PacketDescriptor* operator->() const;
+  PacketDescriptor& operator*() const;
+  explicit operator bool() const;
+};
+
+struct PacketDescriptor {
+  sim::InlineFunction<void(DescriptorRef), 48> on_tx_complete;
+  int header;
+};
+}  // namespace nic
+
+}  // namespace nicmcast

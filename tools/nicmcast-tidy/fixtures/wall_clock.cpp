@@ -1,0 +1,69 @@
+// Fixture: nicmcast-wall-clock
+//
+// Positive cases: every wall-clock/global-entropy source the contract
+// bans outside src/harness/ — chrono clock reads, rand/srand,
+// std::random_device, argless time(), clock(), gettimeofday.  Negative
+// cases: member functions that merely share those names, and time()
+// with a real destination argument (still host state, but that spelling
+// only appears in the harness, which is path-allowed anyway).
+#include "stubs.hpp"
+
+namespace fixture {
+
+long positive_steady_clock() {
+  auto t = std::chrono::steady_clock::now();  // EXPECT: nicmcast-wall-clock
+  return t.ticks;
+}
+
+long positive_system_clock() {
+  auto t = std::chrono::system_clock::now();  // EXPECT: nicmcast-wall-clock
+  return t.ticks;
+}
+
+long positive_high_resolution_clock() {
+  auto t = std::chrono::high_resolution_clock::now();  // EXPECT: nicmcast-wall-clock
+  return t.ticks;
+}
+
+int positive_rand() {
+  return rand();  // EXPECT: nicmcast-wall-clock
+}
+
+void positive_srand(unsigned seed) {
+  srand(seed);  // EXPECT: nicmcast-wall-clock
+}
+
+unsigned positive_random_device() {
+  std::random_device entropy;  // EXPECT: nicmcast-wall-clock
+  return entropy();
+}
+
+long positive_argless_time() {
+  return time(nullptr);  // EXPECT: nicmcast-wall-clock
+}
+
+long positive_clock() {
+  return clock();  // EXPECT: nicmcast-wall-clock
+}
+
+int positive_gettimeofday(fixture_timeval* tv) {
+  return gettimeofday(tv, nullptr);  // EXPECT: nicmcast-wall-clock
+}
+
+struct SkewModel {
+  // Same spellings, but members of the simulation model: these are
+  // simulated quantities, not host clock reads.
+  int rand();
+  long time(long base);
+  long clock_offset;
+};
+
+long negative_member_lookalikes(SkewModel& model) {
+  return model.rand() + model.time(4) + model.clock_offset;
+}
+
+long negative_suppressed() {
+  return time(nullptr);  // NOLINT(nicmcast-wall-clock) calibration probe
+}
+
+}  // namespace fixture

@@ -1,0 +1,77 @@
+//===--- DescriptorEscapeCheck.cpp - nicmcast-tidy ------------------------===//
+
+#include "DescriptorEscapeCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::nicmcast {
+
+namespace {
+
+bool isBorrowedRecord(QualType QT) {
+  const auto *Record = QT.getCanonicalType()->getAsCXXRecordDecl();
+  if (!Record)
+    return false;
+  const StringRef Name = Record->getName();
+  return Name == "DescriptorRef" || Name == "Buffer";
+}
+
+} // namespace
+
+void DescriptorEscapeCheck::registerMatchers(MatchFinder *Finder) {
+  // &*ref — strips the refcount and yields a raw pooled pointer.  The
+  // operand is DescriptorRef::operator*.
+  Finder->addMatcher(
+      unaryOperator(
+          hasOperatorName("&"),
+          hasUnaryOperand(cxxOperatorCallExpr(
+              hasOverloadedOperatorName("*"),
+              hasArgument(0, expr(hasType(cxxRecordDecl(
+                                 hasName("DescriptorRef"))))))))
+          .bind("strip"),
+      this);
+
+  // A lambda with at least one by-reference capture, handed to a
+  // scheduling entry point.  Which captures are the problem is decided in
+  // check(), where the capture list is walked.
+  Finder->addMatcher(
+      callExpr(callee(functionDecl(hasAnyName(
+                   "schedule", "schedule_at", "schedule_after", "at",
+                   "after", "defer", "post"))),
+               forEachArgumentWithParam(
+                   hasDescendant(lambdaExpr().bind("lambda")),
+                   parmVarDecl()))
+          .bind("sched"),
+      this);
+}
+
+void DescriptorEscapeCheck::check(const MatchFinder::MatchResult &Result) {
+  if (const auto *Strip = Result.Nodes.getNodeAs<UnaryOperator>("strip")) {
+    diag(Strip->getOperatorLoc(),
+         "taking the address through a DescriptorRef yields a raw pooled "
+         "pointer that outlives the borrow; pass the DescriptorRef (it "
+         "holds the reference)");
+    return;
+  }
+
+  const auto *Lambda = Result.Nodes.getNodeAs<LambdaExpr>("lambda");
+  if (!Lambda)
+    return;
+  for (const LambdaCapture &Cap : Lambda->captures()) {
+    if (Cap.getCaptureKind() != LCK_ByRef || !Cap.capturesVariable())
+      continue;
+    const auto *Var = dyn_cast<VarDecl>(Cap.getCapturedVar());
+    if (!Var || !isBorrowedRecord(Var->getType()))
+      continue;
+    diag(Cap.getLocation(),
+         "'%0' is captured by reference into a deferred callback; the "
+         "borrow ends when the enclosing callback returns — capture by "
+         "value to take a reference")
+        << Var->getName();
+  }
+}
+
+} // namespace clang::tidy::nicmcast

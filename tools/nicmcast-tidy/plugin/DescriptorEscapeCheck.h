@@ -1,0 +1,29 @@
+//===--- DescriptorEscapeCheck.h - nicmcast-tidy ----------------*- C++ -*-===//
+#ifndef NICMCAST_TIDY_DESCRIPTOR_ESCAPE_CHECK_H
+#define NICMCAST_TIDY_DESCRIPTOR_ESCAPE_CHECK_H
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::nicmcast {
+
+/// Flags pooled descriptor / buffer borrows that escape their completion
+/// callback without taking a reference:
+///   - `&*ref` — stripping the DescriptorRef to a raw PacketDescriptor*
+///   - capturing a DescriptorRef or net::Buffer by reference in a lambda
+///     handed to the scheduler (schedule / schedule_at / post / defer) or
+///     stored in an on_* completion slot
+/// The pool recycles the descriptor as soon as the refcount drops; an
+/// escaped raw pointer or by-ref capture then reads recycled memory.
+class DescriptorEscapeCheck : public ClangTidyCheck {
+public:
+  using ClangTidyCheck::ClangTidyCheck;
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+};
+
+} // namespace clang::tidy::nicmcast
+
+#endif // NICMCAST_TIDY_DESCRIPTOR_ESCAPE_CHECK_H

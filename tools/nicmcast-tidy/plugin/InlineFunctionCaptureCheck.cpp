@@ -1,0 +1,86 @@
+//===--- InlineFunctionCaptureCheck.cpp - nicmcast-tidy -------------------===//
+
+#include "InlineFunctionCaptureCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/DeclTemplate.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::nicmcast {
+
+void InlineFunctionCaptureCheck::registerMatchers(MatchFinder *Finder) {
+  // A lambda converted into an InlineFunction<Sig, InlineBytes>.  The
+  // converting constructor makes every conversion a CXXConstructExpr,
+  // whether it appears in a schedule(...) argument, an on_* member
+  // assignment, or an initializer.
+  Finder->addMatcher(
+      cxxConstructExpr(
+          hasDeclaration(cxxConstructorDecl(ofClass(
+              classTemplateSpecializationDecl(hasName("InlineFunction"))
+                  .bind("spec")))),
+          hasDescendant(lambdaExpr().bind("lambda")))
+          .bind("ctor"),
+      this);
+}
+
+void InlineFunctionCaptureCheck::check(
+    const MatchFinder::MatchResult &Result) {
+  const auto *Spec =
+      Result.Nodes.getNodeAs<ClassTemplateSpecializationDecl>("spec");
+  const auto *Lambda = Result.Nodes.getNodeAs<LambdaExpr>("lambda");
+  if (!Spec || !Lambda)
+    return;
+  ASTContext &Ctx = *Result.Context;
+
+  // InlineFunction<Signature, InlineBytes>: budget is the first integral
+  // template argument (position-independent so a reordered parameter list
+  // keeps working).
+  uint64_t Budget = 0;
+  for (const TemplateArgument &Arg : Spec->getTemplateArgs().asArray()) {
+    if (Arg.getKind() == TemplateArgument::Integral) {
+      Budget = Arg.getAsIntegral().getZExtValue();
+      break;
+    }
+  }
+  if (Budget == 0)
+    return;
+
+  const CXXRecordDecl *Closure = Lambda->getLambdaClass();
+  if (Closure && Closure->isCompleteDefinition() &&
+      !Closure->isDependentType()) {
+    const uint64_t ClosureBytes =
+        Ctx.getTypeSizeInChars(Ctx.getRecordType(Closure)).getQuantity();
+    if (ClosureBytes > Budget) {
+      diag(Lambda->getBeginLoc(),
+           "lambda closure is %0 bytes but this InlineFunction inlines at "
+           "most %1; trim the capture list or box shared state")
+          << static_cast<unsigned>(ClosureBytes)
+          << static_cast<unsigned>(Budget);
+    }
+  }
+
+  // Raw pooled pointers captured by value dangle once the pool recycles
+  // the descriptor; the DescriptorRef wrapper is the sanctioned capture.
+  for (const LambdaCapture &Cap : Lambda->captures()) {
+    if (Cap.getCaptureKind() != LCK_ByCopy || !Cap.capturesVariable())
+      continue;
+    const auto *Var = dyn_cast<VarDecl>(Cap.getCapturedVar());
+    if (!Var)
+      continue;
+    const QualType QT = Var->getType().getCanonicalType();
+    if (!QT->isPointerType())
+      continue;
+    const auto *Pointee = QT->getPointeeType()->getAsCXXRecordDecl();
+    if (!Pointee || Pointee->getName() != "PacketDescriptor")
+      continue;
+    diag(Cap.getLocation(),
+         "capturing raw pooled pointer '%0' by value; the pool may recycle "
+         "the descriptor before the callback runs — capture a "
+         "DescriptorRef instead")
+        << Var->getName();
+  }
+}
+
+} // namespace clang::tidy::nicmcast

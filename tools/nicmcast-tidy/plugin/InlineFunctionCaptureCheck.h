@@ -1,0 +1,29 @@
+//===--- InlineFunctionCaptureCheck.h - nicmcast-tidy -----------*- C++ -*-===//
+#ifndef NICMCAST_TIDY_INLINE_FUNCTION_CAPTURE_CHECK_H
+#define NICMCAST_TIDY_INLINE_FUNCTION_CAPTURE_CHECK_H
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::nicmcast {
+
+/// Flags lambdas converted to sim::InlineFunction whose closure exceeds
+/// the InlineFunction's inline byte budget (the conversion would fail to
+/// compile or, for the unchecked path, heap-allocate and break the
+/// allocation-free event loop), and lambdas capturing raw pooled pointers
+/// (PacketDescriptor*) by value, which dangle once the pool recycles.
+///
+/// Unlike the portable engine's lower-bound estimate, this check reads the
+/// closure type's actual layout from the AST, so its byte counts are exact.
+class InlineFunctionCaptureCheck : public ClangTidyCheck {
+public:
+  using ClangTidyCheck::ClangTidyCheck;
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+};
+
+} // namespace clang::tidy::nicmcast
+
+#endif // NICMCAST_TIDY_INLINE_FUNCTION_CAPTURE_CHECK_H

@@ -1,0 +1,48 @@
+//===--- NicMcastTidyModule.cpp - nicmcast-* check registration -----------===//
+//
+// Registers the determinism-contract checks as a clang-tidy module, loaded
+// with `clang-tidy -load NicMcastTidyModule.so -checks=nicmcast-*`.
+//
+// The portable engine in ../portable implements the same five checks for
+// build environments without a clang toolchain; the two engines share
+// check names, fixtures and NOLINT semantics.
+//
+//===----------------------------------------------------------------------===//
+
+#include "clang-tidy/ClangTidyModule.h"
+#include "clang-tidy/ClangTidyModuleRegistry.h"
+
+#include "DescriptorEscapeCheck.h"
+#include "InlineFunctionCaptureCheck.h"
+#include "NondeterministicIterationCheck.h"
+#include "PointerOrderCheck.h"
+#include "WallClockCheck.h"
+
+namespace clang::tidy::nicmcast {
+
+class NicMcastTidyModule : public ClangTidyModule {
+public:
+  void addCheckFactories(ClangTidyCheckFactories &Factories) override {
+    Factories.registerCheck<NondeterministicIterationCheck>(
+        "nicmcast-nondeterministic-iteration");
+    Factories.registerCheck<PointerOrderCheck>("nicmcast-pointer-order");
+    Factories.registerCheck<WallClockCheck>("nicmcast-wall-clock");
+    Factories.registerCheck<DescriptorEscapeCheck>(
+        "nicmcast-descriptor-escape");
+    Factories.registerCheck<InlineFunctionCaptureCheck>(
+        "nicmcast-inline-function-capture");
+  }
+};
+
+} // namespace clang::tidy::nicmcast
+
+namespace clang::tidy {
+
+static ClangTidyModuleRegistry::Add<nicmcast::NicMcastTidyModule>
+    X("nicmcast-module", "Determinism-contract checks for the nicmcast "
+                         "simulator.");
+
+// Anchor so -load keeps the module object file.
+volatile int NicMcastTidyModuleAnchorSource = 0;
+
+} // namespace clang::tidy

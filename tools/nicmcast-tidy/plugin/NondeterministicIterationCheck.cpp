@@ -1,0 +1,78 @@
+//===--- NondeterministicIterationCheck.cpp - nicmcast-tidy ---------------===//
+
+#include "NondeterministicIterationCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::nicmcast {
+
+namespace {
+
+constexpr char kDefaultSinks[] =
+    "schedule;schedule_at;schedule_after;emit;emit_trace;trace;send;"
+    "send_packet;post;enqueue;push_back;violation";
+
+std::vector<std::string> splitList(StringRef Raw) {
+  std::vector<std::string> Out;
+  SmallVector<StringRef, 16> Parts;
+  Raw.split(Parts, ';', /*MaxSplit=*/-1, /*KeepEmpty=*/false);
+  for (StringRef P : Parts)
+    Out.push_back(P.trim().str());
+  return Out;
+}
+
+} // namespace
+
+NondeterministicIterationCheck::NondeterministicIterationCheck(
+    StringRef Name, ClangTidyContext *Context)
+    : ClangTidyCheck(Name, Context),
+      RawSinks(Options.get("Sinks", kDefaultSinks)),
+      Sinks(splitList(RawSinks)) {}
+
+void NondeterministicIterationCheck::storeOptions(
+    ClangTidyOptions::OptionMap &Opts) {
+  Options.store(Opts, "Sinks", RawSinks);
+}
+
+void NondeterministicIterationCheck::registerMatchers(MatchFinder *Finder) {
+  // The range init must BE the unordered container (possibly via member
+  // access), not merely mention one: wrapping the container in a call that
+  // materialises a sorted copy — `sorted_keys(conns_)` — is the sanctioned
+  // fix and must stay clean.
+  const auto UnorderedContainer = qualType(hasUnqualifiedDesugaredType(
+      recordType(hasDeclaration(classTemplateSpecializationDecl(hasAnyName(
+          "::std::unordered_map", "::std::unordered_set",
+          "::std::unordered_multimap", "::std::unordered_multiset"))))));
+
+  std::vector<StringRef> SinkRefs(Sinks.begin(), Sinks.end());
+  const auto Sink =
+      callExpr(callee(functionDecl(hasAnyName(SinkRefs)))).bind("sink");
+
+  Finder->addMatcher(
+      cxxForRangeStmt(
+          hasRangeInit(expr(ignoringImplicit(
+              anyOf(declRefExpr(hasType(UnorderedContainer)),
+                    memberExpr(hasType(UnorderedContainer)))))),
+          hasDescendant(Sink))
+          .bind("loop"),
+      this);
+}
+
+void NondeterministicIterationCheck::check(
+    const MatchFinder::MatchResult &Result) {
+  const auto *Loop = Result.Nodes.getNodeAs<CXXForRangeStmt>("loop");
+  const auto *Sink = Result.Nodes.getNodeAs<CallExpr>("sink");
+  if (!Loop || !Sink)
+    return;
+  const auto *Callee = Sink->getDirectCallee();
+  diag(Loop->getForLoc(),
+       "range-for over unordered container calls ordering-sensitive '%0' "
+       "in its body; hash-map order leaks into event_order_hash — iterate "
+       "a sorted copy of the keys")
+      << (Callee ? Callee->getNameAsString() : std::string("<sink>"));
+}
+
+} // namespace clang::tidy::nicmcast

@@ -1,0 +1,37 @@
+//===--- NondeterministicIterationCheck.h - nicmcast-tidy -------*- C++ -*-===//
+#ifndef NICMCAST_TIDY_NONDETERMINISTIC_ITERATION_CHECK_H
+#define NICMCAST_TIDY_NONDETERMINISTIC_ITERATION_CHECK_H
+
+#include <string>
+#include <vector>
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::nicmcast {
+
+/// Flags range-for loops over unordered associative containers whose body
+/// feeds an ordering-sensitive sink (event scheduling, trace emission,
+/// violation/log appends).  Hash-map iteration order depends on the hash
+/// seed and allocation history, so anything appended per-element in that
+/// order leaks host nondeterminism into event_order_hash and replay logs.
+///
+/// Options:
+///   Sinks: semicolon-separated callee names treated as ordering-sensitive.
+class NondeterministicIterationCheck : public ClangTidyCheck {
+public:
+  NondeterministicIterationCheck(StringRef Name, ClangTidyContext *Context);
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+  void storeOptions(ClangTidyOptions::OptionMap &Opts) override;
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+
+private:
+  const std::string RawSinks;
+  std::vector<std::string> Sinks;
+};
+
+} // namespace clang::tidy::nicmcast
+
+#endif // NICMCAST_TIDY_NONDETERMINISTIC_ITERATION_CHECK_H

@@ -1,0 +1,85 @@
+//===--- PointerOrderCheck.cpp - nicmcast-tidy ----------------------------===//
+
+#include "PointerOrderCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::nicmcast {
+
+void PointerOrderCheck::registerMatchers(MatchFinder *Finder) {
+  // a < b on raw pointers.  std::less<T*> and friends are intentionally
+  // not modelled: the contract bans ordering on addresses, and the
+  // idiomatic violations in this codebase are the bare operators.
+  Finder->addMatcher(
+      binaryOperator(
+          hasAnyOperatorName("<", ">", "<=", ">="),
+          hasLHS(expr(hasType(qualType(isAnyPointer())))),
+          hasRHS(expr(hasType(qualType(isAnyPointer())))))
+          .bind("cmp"),
+      this);
+
+  // std::map / std::set keyed on a pointer type: iteration order is
+  // allocation order.
+  Finder->addMatcher(
+      varDecl(hasType(qualType(hasUnqualifiedDesugaredType(recordType(
+                  hasDeclaration(classTemplateSpecializationDecl(
+                      hasAnyName("::std::map", "::std::set",
+                                 "::std::multimap", "::std::multiset"),
+                      hasTemplateArgument(
+                          0, refersToType(qualType(isAnyPointer()))))))))))
+          .bind("ptrkeyed"),
+      this);
+
+  // std::hash<T*> folds an address into deterministic state.
+  Finder->addMatcher(
+      loc(templateSpecializationType(hasDeclaration(
+              classTemplateSpecializationDecl(
+                  hasName("::std::hash"),
+                  hasTemplateArgument(
+                      0, refersToType(qualType(isAnyPointer())))))))
+          .bind("hashptr"),
+      this);
+
+  // reinterpret_cast<uintptr_t>(p) (and C-style equivalents resolved to
+  // a reinterpret cast) — a pointer-value fold.
+  Finder->addMatcher(
+      cxxReinterpretCastExpr(
+          hasSourceExpression(hasType(qualType(isAnyPointer()))),
+          hasDestinationType(isInteger()))
+          .bind("ptrcast"),
+      this);
+}
+
+void PointerOrderCheck::check(const MatchFinder::MatchResult &Result) {
+  if (const auto *Cmp = Result.Nodes.getNodeAs<BinaryOperator>("cmp")) {
+    diag(Cmp->getOperatorLoc(),
+         "relational comparison of raw pointers orders by allocation "
+         "address; compare stable ids instead");
+    return;
+  }
+  if (const auto *Var = Result.Nodes.getNodeAs<VarDecl>("ptrkeyed")) {
+    diag(Var->getLocation(),
+         "ordered container keyed on pointer values; iteration order "
+         "follows allocation addresses, which differ across runs — key on "
+         "a stable id instead");
+    return;
+  }
+  if (const auto *Loc =
+          Result.Nodes.getNodeAs<TypeLoc>("hashptr")) {
+    diag(Loc->getBeginLoc(),
+         "std::hash over a pointer type feeds addresses into deterministic "
+         "state; hash a stable id instead");
+    return;
+  }
+  if (const auto *Cast =
+          Result.Nodes.getNodeAs<CXXReinterpretCastExpr>("ptrcast")) {
+    diag(Cast->getBeginLoc(),
+         "casting a pointer to an integer folds the allocation address "
+         "into a value; use a stable id instead");
+  }
+}
+
+} // namespace clang::tidy::nicmcast

@@ -1,0 +1,28 @@
+//===--- PointerOrderCheck.h - nicmcast-tidy --------------------*- C++ -*-===//
+#ifndef NICMCAST_TIDY_POINTER_ORDER_CHECK_H
+#define NICMCAST_TIDY_POINTER_ORDER_CHECK_H
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::nicmcast {
+
+/// Flags constructs whose behaviour depends on pointer values, which vary
+/// across runs with ASLR and allocation history:
+///   - relational comparison of raw pointers (`a < b`)
+///   - std::map / std::set keyed on pointer types
+///   - std::hash<T*>
+///   - reinterpret_cast / bit_cast of a pointer to an integer
+/// Deterministic replay requires stable ids instead.
+class PointerOrderCheck : public ClangTidyCheck {
+public:
+  using ClangTidyCheck::ClangTidyCheck;
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+};
+
+} // namespace clang::tidy::nicmcast
+
+#endif // NICMCAST_TIDY_POINTER_ORDER_CHECK_H

@@ -1,0 +1,125 @@
+//===--- WallClockCheck.cpp - nicmcast-tidy -------------------------------===//
+
+#include "WallClockCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "clang/Basic/SourceManager.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::nicmcast {
+
+WallClockCheck::WallClockCheck(StringRef Name, ClangTidyContext *Context)
+    : ClangTidyCheck(Name, Context),
+      RawAllowed(Options.get("AllowedPathPrefixes", "src/harness/")) {
+  SmallVector<StringRef, 8> Parts;
+  StringRef(RawAllowed).split(Parts, ';', /*MaxSplit=*/-1,
+                              /*KeepEmpty=*/false);
+  for (StringRef P : Parts)
+    AllowedPrefixes.push_back(P.trim().str());
+}
+
+void WallClockCheck::storeOptions(ClangTidyOptions::OptionMap &Opts) {
+  Options.store(Opts, "AllowedPathPrefixes", RawAllowed);
+}
+
+void WallClockCheck::registerMatchers(MatchFinder *Finder) {
+  // steady_clock::now() and friends.
+  Finder->addMatcher(
+      callExpr(callee(cxxMethodDecl(
+                   hasName("now"),
+                   ofClass(hasAnyName("::std::chrono::steady_clock",
+                                      "::std::chrono::system_clock",
+                                      "::std::chrono::high_resolution_clock")))))
+          .bind("now"),
+      this);
+
+  // Global entropy / wall-clock C calls.  Only free functions match: a
+  // simulation model's own member named rand() or time() is fine.
+  Finder->addMatcher(
+      callExpr(callee(functionDecl(
+                   hasAnyName("::rand", "::srand", "::clock",
+                              "::gettimeofday", "::clock_gettime",
+                              "::timespec_get", "::localtime", "::gmtime"),
+                   unless(cxxMethodDecl()))))
+          .bind("entropy"),
+      this);
+
+  // time(nullptr) / time(0) / time() — the wall-clock read spelling.
+  Finder->addMatcher(
+      callExpr(callee(functionDecl(hasName("::time"),
+                                   unless(cxxMethodDecl()))))
+          .bind("time"),
+      this);
+
+  // std::random_device pulls from host entropy at construction.
+  Finder->addMatcher(
+      varDecl(hasType(qualType(hasUnqualifiedDesugaredType(recordType(
+                  hasDeclaration(cxxRecordDecl(
+                      hasName("::std::random_device"))))))))
+          .bind("rd"),
+      this);
+}
+
+bool WallClockCheck::isAllowedPath(SourceLocation Loc,
+                                   const SourceManager &SM) const {
+  const StringRef File = SM.getFilename(SM.getExpansionLoc(Loc));
+  for (const std::string &Prefix : AllowedPrefixes) {
+    if (File.contains(Prefix))
+      return true;
+  }
+  return false;
+}
+
+void WallClockCheck::check(const MatchFinder::MatchResult &Result) {
+  const SourceManager &SM = *Result.SourceManager;
+
+  if (const auto *Now = Result.Nodes.getNodeAs<CallExpr>("now")) {
+    if (isAllowedPath(Now->getBeginLoc(), SM))
+      return;
+    diag(Now->getBeginLoc(),
+         "wall-clock read in deterministic code; simulated time comes from "
+         "the scheduler, host timing belongs in src/harness/");
+    return;
+  }
+
+  if (const auto *Call = Result.Nodes.getNodeAs<CallExpr>("entropy")) {
+    if (isAllowedPath(Call->getBeginLoc(), SM))
+      return;
+    const auto *Callee = Call->getDirectCallee();
+    diag(Call->getBeginLoc(),
+         "'%0' reads host clock or entropy in deterministic code; derive "
+         "time from the scheduler and randomness from the run seed")
+        << (Callee ? Callee->getNameAsString() : std::string("<callee>"));
+    return;
+  }
+
+  if (const auto *Time = Result.Nodes.getNodeAs<CallExpr>("time")) {
+    if (isAllowedPath(Time->getBeginLoc(), SM))
+      return;
+    // Only the argless / null-destination spelling is the wall-clock read.
+    bool Argless = Time->getNumArgs() == 0;
+    if (Time->getNumArgs() == 1) {
+      const Expr *Arg = Time->getArg(0)->IgnoreParenImpCasts();
+      Argless = Arg->isNullPointerConstant(*Result.Context,
+                                           Expr::NPC_ValueDependentIsNull) !=
+                Expr::NPCK_NotNull;
+    }
+    if (Argless)
+      diag(Time->getBeginLoc(),
+           "time() reads the wall clock; seed-derived values keep replays "
+           "bit-identical");
+    return;
+  }
+
+  if (const auto *RD = Result.Nodes.getNodeAs<VarDecl>("rd")) {
+    if (isAllowedPath(RD->getLocation(), SM))
+      return;
+    diag(RD->getLocation(),
+         "std::random_device injects nondeterminism; derive randomness "
+         "from the run seed (sim::Rng)");
+  }
+}
+
+} // namespace clang::tidy::nicmcast

@@ -1,0 +1,37 @@
+//===--- WallClockCheck.h - nicmcast-tidy -----------------------*- C++ -*-===//
+#ifndef NICMCAST_TIDY_WALL_CLOCK_CHECK_H
+#define NICMCAST_TIDY_WALL_CLOCK_CHECK_H
+
+#include <string>
+#include <vector>
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::nicmcast {
+
+/// Forbids wall-clock and global-entropy reads outside the harness:
+/// chrono clock ::now(), rand()/srand(), std::random_device, argless
+/// time(), clock(), gettimeofday() and friends.  Simulated time comes from
+/// the scheduler and randomness from the run seed; host clocks make replays
+/// diverge.
+///
+/// Options:
+///   AllowedPathPrefixes: semicolon-separated path prefixes (relative to
+///   the repo root) where host timing is legitimate.  Default: src/harness/.
+class WallClockCheck : public ClangTidyCheck {
+public:
+  WallClockCheck(StringRef Name, ClangTidyContext *Context);
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+  void storeOptions(ClangTidyOptions::OptionMap &Opts) override;
+
+private:
+  bool isAllowedPath(SourceLocation Loc, const SourceManager &SM) const;
+
+  const std::string RawAllowed;
+  std::vector<std::string> AllowedPrefixes;
+};
+
+} // namespace clang::tidy::nicmcast
+
+#endif // NICMCAST_TIDY_WALL_CLOCK_CHECK_H

@@ -1,0 +1,884 @@
+#include "checks.hpp"
+
+#include <algorithm>
+#include <array>
+#include <string>
+
+namespace nicmcast::tidy {
+
+namespace {
+
+using Toks = std::vector<Token>;
+
+bool is_id(const Token& t, std::string_view s) {
+  return t.kind == Token::Kind::kIdentifier && t.text == s;
+}
+bool is_p(const Token& t, std::string_view s) {
+  return t.kind == Token::Kind::kPunct && t.text == s;
+}
+
+bool any_of_ids(const Token& t, std::initializer_list<std::string_view> set) {
+  if (t.kind != Token::Kind::kIdentifier) return false;
+  return std::find(set.begin(), set.end(), t.text) != set.end();
+}
+
+template <std::size_t N>
+bool any_of_ids(const Token& t, const std::string_view (&set)[N]) {
+  if (t.kind != Token::Kind::kIdentifier) return false;
+  return std::find(set, set + N, t.text) != set + N;
+}
+
+constexpr std::string_view kUnorderedNames[] = {
+    "unordered_map", "unordered_set", "unordered_multimap",
+    "unordered_multiset"};
+
+constexpr std::string_view kScheduleNames[] = {
+    "schedule", "schedule_at", "schedule_after", "at", "after", "defer",
+    "post"};
+
+/// Index of the token matching the opener at `open` ('(', '[' or '{'), or
+/// toks.size() when unbalanced.
+std::size_t match_paren(const Toks& toks, std::size_t open) {
+  const std::string_view o = toks[open].text;
+  const std::string_view c = o == "(" ? ")" : o == "[" ? "]" : "}";
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (is_p(toks[i], o)) ++depth;
+    if (is_p(toks[i], c) && --depth == 0) return i;
+  }
+  return toks.size();
+}
+
+/// Index just past the '>' matching the '<' at `lt` (handles ">>"), or
+/// `lt + 1` when this is not a balanced template argument list.
+std::size_t skip_angles(const Toks& toks, std::size_t lt) {
+  int depth = 0;
+  for (std::size_t i = lt; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (is_p(t, "<")) ++depth;
+    if (is_p(t, ">")) --depth;
+    if (is_p(t, ">>")) depth -= 2;
+    if (depth <= 0) return i + 1;
+    if (is_p(t, ";") || is_p(t, "{") || t.kind == Token::Kind::kEndOfFile) {
+      break;  // statement ended: '<' was a comparison, not a template
+    }
+  }
+  return lt + 1;
+}
+
+/// Lower-bound byte size of a captured value, from its declaration text.
+std::size_t size_estimate(std::string_view type) {
+  auto has = [&](std::string_view s) {
+    return type.find(s) != std::string_view::npos;
+  };
+  if (has("*")) return 8;
+  if (has("Buffer")) return 32;    // shared_ptr + offset + size
+  if (has("Packet")) return 64;    // header + payload view, lower bound
+  if (has("DescriptorRef")) return 8;
+  if (has("string")) return 32;
+  if (has("vector")) return 24;
+  if (has("shared_ptr")) return 16;
+  if (has("function")) return 32;
+  if (has("uint64") || has("int64") || has("size_t") || has("double") ||
+      has("long") || has("TimePoint") || has("Duration") ||
+      has("ptrdiff")) {
+    return 8;
+  }
+  if (has("uint16") || has("int16") || has("short")) return 2;
+  if (has("uint8") || has("int8") || has("char") || has("bool") ||
+      has("byte")) {
+    return 1;
+  }
+  if (has("uint32") || has("int32") || has("int") || has("unsigned") ||
+      has("float")) {
+    return 4;
+  }
+  return 8;  // unknown: pointer-sized lower bound
+}
+
+bool looks_like_type_name(std::string_view s) {
+  static constexpr std::string_view kBuiltins[] = {
+      "int",   "char",   "short", "long",  "unsigned", "signed",
+      "float", "double", "void",  "auto",  "bool",     "wchar_t",
+  };
+  for (std::string_view b : kBuiltins) {
+    if (s == b) return true;
+  }
+  if (s.size() > 2 && s.substr(s.size() - 2) == "_t") return true;
+  return !s.empty() && s.front() >= 'A' && s.front() <= 'Z';
+}
+
+struct Lambda {
+  std::size_t intro = 0;      // '['
+  std::size_t intro_end = 0;  // matching ']'
+  std::size_t params_open = 0, params_close = 0;  // 0,0 when absent
+  std::size_t body_open = 0, body_close = 0;      // '{' ... '}'
+};
+
+std::vector<Lambda> find_lambdas(const Toks& toks) {
+  std::vector<Lambda> out;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (!is_p(toks[i], "[")) continue;
+    if (is_p(toks[i + 1], "[")) continue;  // attribute [[...]]
+    if (i > 0) {
+      const Token& prev = toks[i - 1];
+      const bool keyword_before =
+          any_of_ids(prev, {"return", "co_return", "co_yield", "case",
+                            "else", "do", "in"});
+      if (!keyword_before &&
+          (prev.kind == Token::Kind::kNumber ||
+           prev.kind == Token::Kind::kString ||
+           (prev.kind == Token::Kind::kIdentifier) ||
+           is_p(prev, ")") || is_p(prev, "]") || is_p(prev, "["))) {
+        continue;  // subscript, not a lambda introducer
+      }
+    }
+    Lambda l;
+    l.intro = i;
+    l.intro_end = match_paren(toks, i);
+    if (l.intro_end >= toks.size()) continue;
+    std::size_t j = l.intro_end + 1;
+    if (j < toks.size() && is_p(toks[j], "(")) {
+      l.params_open = j;
+      l.params_close = match_paren(toks, j);
+      if (l.params_close >= toks.size()) continue;
+      j = l.params_close + 1;
+    }
+    // Skip specifiers (mutable, noexcept(...), -> Type) up to the body.
+    bool gave_up = false;
+    while (j < toks.size() && !is_p(toks[j], "{")) {
+      const Token& t = toks[j];
+      if (is_p(t, ";") || is_p(t, ",") || is_p(t, ")") || is_p(t, "}") ||
+          is_p(t, "]") || t.kind == Token::Kind::kEndOfFile) {
+        gave_up = true;  // no body: not a lambda after all
+        break;
+      }
+      if (is_p(t, "(")) {
+        j = match_paren(toks, j) + 1;  // noexcept(...)
+        continue;
+      }
+      if (is_p(t, "<")) {
+        j = skip_angles(toks, j);  // -> Container<T>
+        continue;
+      }
+      ++j;
+    }
+    if (gave_up || j >= toks.size()) continue;
+    l.body_open = j;
+    l.body_close = match_paren(toks, j);
+    if (l.body_close >= toks.size()) continue;
+    out.push_back(l);
+  }
+  return out;
+}
+
+struct Ctx {
+  const std::string& path;
+  const Toks& toks;
+  const std::vector<Nolint>& nolints;
+  const SymbolTable& sym;
+  const CheckOptions& opt;
+  std::vector<Diagnostic>& out;
+};
+
+bool check_enabled(const CheckOptions& opt, std::string_view name) {
+  if (opt.enabled.empty()) return true;
+  return std::find(opt.enabled.begin(), opt.enabled.end(), name) !=
+         opt.enabled.end();
+}
+
+void report(Ctx& ctx, const Token& at, std::string_view check,
+            std::string message) {
+  if (!check_enabled(ctx.opt, check)) return;
+  if (is_suppressed(ctx.nolints, at.line, check)) return;
+  ctx.out.push_back(Diagnostic{ctx.path, at.line, at.col, std::string(check),
+                               std::move(message)});
+}
+
+VarKind kind_of(const Ctx& ctx, std::string_view name) {
+  auto it = ctx.sym.find(std::string(name));
+  return it == ctx.sym.end() ? VarKind::kOther : it->second.kind;
+}
+
+bool is_pointer_var(const Ctx& ctx, const Token& t) {
+  if (t.kind != Token::Kind::kIdentifier) return false;
+  const VarKind k = kind_of(ctx, t.text);
+  return k == VarKind::kPointer || k == VarKind::kPooledRawPtr;
+}
+
+// ---------------------------------------------------------------------------
+// nicmcast-nondeterministic-iteration
+// ---------------------------------------------------------------------------
+
+void check_nondeterministic_iteration(Ctx& ctx) {
+  constexpr std::string_view kName = "nicmcast-nondeterministic-iteration";
+  const Toks& toks = ctx.toks;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (!is_id(toks[i], "for") || !is_p(toks[i + 1], "(")) continue;
+    const std::size_t close = match_paren(toks, i + 1);
+    if (close >= toks.size()) continue;
+    // The range-for colon sits at depth 1 inside the for-parens.
+    std::size_t colon = 0;
+    int depth = 0;
+    for (std::size_t j = i + 1; j < close; ++j) {
+      if (is_p(toks[j], "(") || is_p(toks[j], "[") || is_p(toks[j], "{")) {
+        ++depth;
+      } else if (is_p(toks[j], ")") || is_p(toks[j], "]") ||
+                 is_p(toks[j], "}")) {
+        --depth;
+      } else if (depth == 1 && is_p(toks[j], ":")) {
+        colon = j;
+        break;
+      }
+    }
+    if (colon == 0) continue;  // classic for loop
+
+    // Only identifiers at the top level of the range expression count:
+    // `sorted_keys(nic.sender_conns_)` is the sanctioned fix, and there the
+    // container name sits inside the call's parens, one level down.
+    std::string container;
+    int range_depth = 1;  // depth of the for-parens themselves
+    for (std::size_t j = colon + 1; j < close; ++j) {
+      if (is_p(toks[j], "(") || is_p(toks[j], "[") || is_p(toks[j], "{")) {
+        ++range_depth;
+      } else if (is_p(toks[j], ")") || is_p(toks[j], "]") ||
+                 is_p(toks[j], "}")) {
+        --range_depth;
+      }
+      if (range_depth != 1) continue;
+      if (toks[j].kind != Token::Kind::kIdentifier) continue;
+      if (any_of_ids(toks[j], kUnorderedNames) ||
+          kind_of(ctx, toks[j].text) == VarKind::kUnorderedContainer) {
+        container = std::string(toks[j].text);  // keep the last match:
+        // `nic.sender_conns_` resolves to the member, not the object
+      }
+    }
+    if (container.empty()) continue;
+
+    std::size_t body_begin = close + 1;
+    std::size_t body_end;
+    if (body_begin < toks.size() && is_p(toks[body_begin], "{")) {
+      body_end = match_paren(toks, body_begin);
+    } else {
+      body_end = body_begin;
+      while (body_end < toks.size() && !is_p(toks[body_end], ";")) {
+        if (is_p(toks[body_end], "(") || is_p(toks[body_end], "{")) {
+          body_end = match_paren(toks, body_end);
+        }
+        ++body_end;
+      }
+    }
+
+    for (std::size_t j = body_begin; j < body_end && j + 1 < toks.size();
+         ++j) {
+      if (toks[j].kind != Token::Kind::kIdentifier ||
+          !is_p(toks[j + 1], "(")) {
+        continue;
+      }
+      const auto& sinks = ctx.opt.iteration_sinks;
+      if (std::find(sinks.begin(), sinks.end(), toks[j].text) ==
+          sinks.end()) {
+        continue;
+      }
+      report(ctx, toks[i], kName,
+             "range-for over unordered container '" + container +
+                 "' calls ordering-sensitive '" +
+                 std::string(toks[j].text) +
+                 "' in its body; hash-map order leaks into "
+                 "event_order_hash — iterate a sorted copy of the keys");
+      break;  // one diagnostic per loop
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// nicmcast-pointer-order
+// ---------------------------------------------------------------------------
+
+void check_pointer_order(Ctx& ctx) {
+  constexpr std::string_view kName = "nicmcast-pointer-order";
+  const Toks& toks = ctx.toks;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    const Token& t = toks[i];
+
+    // std::map<T*, ...> / std::set<T*> — address-ordered containers.
+    if (any_of_ids(t, {"map", "set", "multimap", "multiset"}) &&
+        is_p(toks[i + 1], "<") &&
+        !(i > 0 && (is_p(toks[i - 1], ".") || is_p(toks[i - 1], "->")))) {
+      int depth = 0;
+      bool key_is_pointer = false;
+      for (std::size_t j = i + 1; j < toks.size(); ++j) {
+        if (is_p(toks[j], "<")) ++depth;
+        if (is_p(toks[j], ">") || is_p(toks[j], ">>")) break;
+        if (depth == 1 && is_p(toks[j], ",")) break;  // end of key type
+        if (depth == 1 && is_p(toks[j], "*")) key_is_pointer = true;
+      }
+      if (key_is_pointer) {
+        report(ctx, t, kName,
+               "ordered container keyed on pointer values; iteration order "
+               "follows allocation addresses, which differ across runs — "
+               "key on a stable id instead");
+      }
+    }
+
+    // std::hash<T*>
+    if (is_id(t, "hash") && is_p(toks[i + 1], "<") && i >= 2 &&
+        is_p(toks[i - 1], "::") && is_id(toks[i - 2], "std")) {
+      const std::size_t end = skip_angles(toks, i + 1);
+      for (std::size_t j = i + 1; j + 1 < end; ++j) {
+        if (is_p(toks[j], "*")) {
+          report(ctx, t, kName,
+                 "std::hash over a pointer type feeds addresses into "
+                 "deterministic state; hash a stable id instead");
+          break;
+        }
+      }
+    }
+
+    // p1 < p2 on raw pointers.  Each operand must END at the neighbouring
+    // token: `from >= topo_->endpoint_count()` compares a member call, not
+    // the pointer, and `p < q[0]` compares an element.
+    const bool right_operand_extends =
+        i + 2 < toks.size() &&
+        (is_p(toks[i + 2], "->") || is_p(toks[i + 2], ".") ||
+         is_p(toks[i + 2], "(") || is_p(toks[i + 2], "[") ||
+         is_p(toks[i + 2], "::"));
+    if ((is_p(t, "<") || is_p(t, ">") || is_p(t, "<=") || is_p(t, ">=")) &&
+        i > 0 && is_pointer_var(ctx, toks[i - 1]) &&
+        is_pointer_var(ctx, toks[i + 1]) && !right_operand_extends) {
+      report(ctx, t, kName,
+             "relational comparison of raw pointers '" +
+                 std::string(toks[i - 1].text) + "' and '" +
+                 std::string(toks[i + 1].text) +
+                 "' orders by allocation address");
+    }
+
+    // reinterpret_cast<std::uintptr_t>(...) — pointer-value fold.
+    if (any_of_ids(t, {"reinterpret_cast", "bit_cast"}) &&
+        is_p(toks[i + 1], "<")) {
+      const std::size_t end = skip_angles(toks, i + 1);
+      for (std::size_t j = i + 1; j + 1 < end; ++j) {
+        if (toks[j].kind == Token::Kind::kIdentifier &&
+            toks[j].text.find("intptr") != std::string_view::npos) {
+          report(ctx, t, kName,
+                 "pointer value folded into an integer; the result is "
+                 "address-dependent and must not reach deterministic "
+                 "state");
+          break;
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// nicmcast-wall-clock
+// ---------------------------------------------------------------------------
+
+void check_wall_clock(Ctx& ctx) {
+  constexpr std::string_view kName = "nicmcast-wall-clock";
+  for (const std::string& prefix : ctx.opt.wall_clock_allowed) {
+    if (ctx.path.rfind(prefix, 0) == 0) return;
+  }
+  const Toks& toks = ctx.toks;
+
+  // True when toks[i] is a plain (or std::-qualified) call, not a member
+  // or foreign-namespace one.
+  auto free_call = [&](std::size_t i) {
+    if (i == 0) return true;
+    const Token& prev = toks[i - 1];
+    if (is_p(prev, ".") || is_p(prev, "->")) return false;
+    if (is_p(prev, "::")) {
+      return i >= 2 && is_id(toks[i - 2], "std");
+    }
+    // An identifier right before the name means a declaration
+    // (`int rand();`, `long time(long base)`), not a call — unless it is
+    // a statement keyword that can legally precede an expression.
+    if (prev.kind == Token::Kind::kIdentifier &&
+        !any_of_ids(prev, {"return", "co_return", "co_yield", "co_await",
+                           "throw", "else", "do"})) {
+      return false;
+    }
+    return true;
+  };
+
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    const Token& t = toks[i];
+
+    if (any_of_ids(t, {"steady_clock", "system_clock",
+                       "high_resolution_clock"}) &&
+        is_p(toks[i + 1], "::") && i + 2 < toks.size() &&
+        is_id(toks[i + 2], "now")) {
+      report(ctx, t, kName,
+             "wall-clock read (" + std::string(t.text) +
+                 "::now) in deterministic code; simulated time comes from "
+                 "the scheduler, host timing belongs in src/harness/");
+    }
+
+    if (is_id(t, "random_device")) {
+      report(ctx, t, kName,
+             "std::random_device injects nondeterminism; derive randomness "
+             "from the run seed (sim::Rng)");
+    }
+
+    if (any_of_ids(t, {"rand", "srand"}) && is_p(toks[i + 1], "(") &&
+        free_call(i)) {
+      report(ctx, t, kName,
+             std::string(t.text) +
+                 "() uses hidden global state; derive randomness from the "
+                 "run seed (sim::Rng)");
+    }
+
+    if (is_id(t, "time") && is_p(toks[i + 1], "(") && free_call(i)) {
+      const std::size_t a = i + 2;
+      const bool argless =
+          a < toks.size() &&
+          (is_p(toks[a], ")") ||
+           ((is_id(toks[a], "nullptr") || is_id(toks[a], "NULL") ||
+             toks[a].text == "0") &&
+            a + 1 < toks.size() && is_p(toks[a + 1], ")")));
+      if (argless) {
+        report(ctx, t, kName,
+               "time() reads the wall clock; seed-derived values keep "
+               "replays bit-identical");
+      }
+    }
+
+    if (is_id(t, "clock") && is_p(toks[i + 1], "(") && i + 2 < toks.size() &&
+        is_p(toks[i + 2], ")") && free_call(i)) {
+      report(ctx, t, kName, "clock() reads host CPU time in deterministic "
+                            "code; use simulated time");
+    }
+
+    if (any_of_ids(t, {"gettimeofday", "clock_gettime", "timespec_get",
+                       "localtime", "gmtime"}) &&
+        is_p(toks[i + 1], "(") && free_call(i)) {
+      report(ctx, t, kName,
+             std::string(t.text) + "() reads the wall clock in "
+                                   "deterministic code");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Lambda capture parsing (shared by the last two checks)
+// ---------------------------------------------------------------------------
+
+struct Capture {
+  bool by_ref = false;
+  bool is_default = false;           // [&] or [=]
+  std::string name;                  // empty for defaults / this
+  std::string init_root;             // for init-captures: first identifier
+  bool init_has_deref_escape = false;  // init expr contains "&*"
+  const Token* at = nullptr;
+};
+
+std::vector<Capture> parse_captures(const Toks& toks, const Lambda& l) {
+  std::vector<Capture> out;
+  std::size_t entry_begin = l.intro + 1;
+  int depth = 0;
+  for (std::size_t i = l.intro + 1; i <= l.intro_end; ++i) {
+    const bool at_end = i == l.intro_end;
+    if (!at_end) {
+      if (is_p(toks[i], "(") || is_p(toks[i], "[") || is_p(toks[i], "{")) {
+        ++depth;
+      }
+      if (is_p(toks[i], ")") || is_p(toks[i], "]") || is_p(toks[i], "}")) {
+        --depth;
+      }
+    }
+    if (!at_end && !(depth == 0 && is_p(toks[i], ","))) continue;
+
+    const std::size_t b = entry_begin;
+    const std::size_t e = i;  // [b, e)
+    entry_begin = i + 1;
+    if (b >= e) continue;
+
+    Capture c;
+    c.at = &toks[b];
+    std::size_t j = b;
+    if (is_p(toks[j], "&")) {
+      c.by_ref = true;
+      ++j;
+    } else if (is_p(toks[j], "=")) {
+      c.is_default = true;
+      out.push_back(c);
+      continue;
+    } else if (is_p(toks[j], "*")) {
+      ++j;  // *this
+    }
+    if (j >= e) {
+      c.is_default = c.by_ref;  // bare '&'
+      out.push_back(c);
+      continue;
+    }
+    if (toks[j].kind == Token::Kind::kIdentifier) {
+      c.name = std::string(toks[j].text);
+      ++j;
+    }
+    if (j < e && is_p(toks[j], "=")) {  // init-capture
+      for (std::size_t k = j + 1; k < e; ++k) {
+        if (toks[k].kind == Token::Kind::kIdentifier &&
+            c.init_root.empty()) {
+          c.init_root = std::string(toks[k].text);
+        }
+        if (is_p(toks[k], "&") && k + 1 < e && is_p(toks[k + 1], "*")) {
+          c.init_has_deref_escape = true;
+        }
+      }
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// nicmcast-descriptor-escape
+// ---------------------------------------------------------------------------
+
+void check_descriptor_escape(Ctx& ctx, const std::vector<Lambda>& lambdas) {
+  constexpr std::string_view kName = "nicmcast-descriptor-escape";
+  const Toks& toks = ctx.toks;
+
+  for (const Lambda& l : lambdas) {
+    // Completion-callback shape: a DescriptorRef parameter.
+    std::vector<std::string> ref_params;
+    if (l.params_open != 0) {
+      for (std::size_t j = l.params_open + 1; j < l.params_close; ++j) {
+        if (!is_id(toks[j], "DescriptorRef")) continue;
+        std::size_t k = j + 1;
+        while (k < l.params_close &&
+               (is_p(toks[k], "&") || is_p(toks[k], "*") ||
+                is_id(toks[k], "const"))) {
+          ++k;
+        }
+        if (k < l.params_close &&
+            toks[k].kind == Token::Kind::kIdentifier) {
+          ref_params.emplace_back(toks[k].text);
+        }
+      }
+    }
+
+    for (const std::string& param : ref_params) {
+      for (std::size_t j = l.body_open; j < l.body_close; ++j) {
+        // &*d — raw pointer to the pooled descriptor escapes.
+        if (is_p(toks[j], "&") && j + 2 < l.body_close &&
+            is_p(toks[j + 1], "*") && is_id(toks[j + 2], param)) {
+          report(ctx, toks[j], kName,
+                 "raw pointer into pooled descriptor '" + param +
+                     "' taken inside its completion callback; the "
+                     "descriptor recycles when the last DescriptorRef "
+                     "drops — keep the ref instead");
+        }
+        // PacketDescriptor* raw = ... inside the callback.
+        if (is_id(toks[j], "PacketDescriptor") && j + 3 < l.body_close &&
+            is_p(toks[j + 1], "*") &&
+            toks[j + 2].kind == Token::Kind::kIdentifier &&
+            is_p(toks[j + 3], "=")) {
+          report(ctx, toks[j], kName,
+                 "raw PacketDescriptor* bound inside a completion "
+                 "callback; store a DescriptorRef so the pool cannot "
+                 "recycle it underneath you");
+        }
+      }
+      // The ref captured by reference into a nested closure.
+      for (const Lambda& inner : lambdas) {
+        if (inner.intro <= l.body_open || inner.intro_end >= l.body_close) {
+          continue;
+        }
+        for (const Capture& c : parse_captures(toks, inner)) {
+          if (c.by_ref && c.name == param) {
+            report(ctx, *c.at, kName,
+                   "DescriptorRef '" + param +
+                       "' captured by reference into a closure that can "
+                       "outlive the completion callback; capture by value "
+                       "to take a reference");
+          }
+        }
+      }
+    }
+
+    // Any lambda handed to deferred work that borrows a Buffer or
+    // DescriptorRef by reference.
+    bool escaping_context = false;
+    for (std::size_t j = l.intro; j-- > 0;) {
+      if (is_p(toks[j], ";") || is_p(toks[j], "{") || is_p(toks[j], "}")) {
+        break;
+      }
+      if (toks[j].kind == Token::Kind::kIdentifier && j + 1 < toks.size()) {
+        if (any_of_ids(toks[j], kScheduleNames) && is_p(toks[j + 1], "(")) {
+          escaping_context = true;
+          break;
+        }
+        if (toks[j].text.rfind("on_", 0) == 0 && is_p(toks[j + 1], "=")) {
+          escaping_context = true;
+          break;
+        }
+      }
+    }
+    if (!escaping_context) continue;
+    for (const Capture& c : parse_captures(toks, l)) {
+      if (!c.by_ref || c.name.empty()) continue;
+      const VarKind k = kind_of(ctx, c.name);
+      if (k == VarKind::kBuffer) {
+        report(ctx, *c.at, kName,
+               "net::Buffer '" + c.name +
+                   "' captured by reference into deferred work; capture "
+                   "by value — a Buffer copy is a refcount bump, and the "
+                   "reference dangles once the enclosing scope unwinds");
+      } else if (k == VarKind::kDescriptorRef) {
+        report(ctx, *c.at, kName,
+               "DescriptorRef '" + c.name +
+                   "' captured by reference into deferred work; capture "
+                   "by value to hold a pool reference for the callback's "
+                   "lifetime");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// nicmcast-inline-function-capture
+// ---------------------------------------------------------------------------
+
+void check_inline_function_capture(Ctx& ctx,
+                                   const std::vector<Lambda>& lambdas) {
+  constexpr std::string_view kName = "nicmcast-inline-function-capture";
+  const Toks& toks = ctx.toks;
+
+  // Budget named directly in an InlineFunction<Sig, N> spelling near `at`.
+  auto budget_from_angles = [&](std::size_t lt) -> std::size_t {
+    const std::size_t end = skip_angles(toks, lt);
+    int depth = 0;
+    std::size_t last_comma = 0;
+    for (std::size_t j = lt; j + 1 < end; ++j) {
+      if (is_p(toks[j], "<") || is_p(toks[j], "(")) ++depth;
+      if (is_p(toks[j], ">") || is_p(toks[j], ")")) --depth;
+      if (depth == 1 && is_p(toks[j], ",")) last_comma = j;
+    }
+    if (last_comma != 0 && last_comma + 1 < end &&
+        toks[last_comma + 1].kind == Token::Kind::kNumber) {
+      return static_cast<std::size_t>(
+          std::stoul(std::string(toks[last_comma + 1].text)));
+    }
+    return ctx.opt.inline_budget;
+  };
+
+  for (const Lambda& l : lambdas) {
+    // Is this lambda becoming an InlineFunction?  Look back through the
+    // enclosing statement for (a) an InlineFunction spelling, (b) a
+    // scheduler call, or (c) assignment to a declared InlineFunction.
+    bool context = false;
+    std::size_t budget = ctx.opt.inline_budget;
+    for (std::size_t j = l.intro; j-- > 0;) {
+      if (is_p(toks[j], ";") || is_p(toks[j], "{") || is_p(toks[j], "}")) {
+        break;
+      }
+      if (toks[j].kind != Token::Kind::kIdentifier) continue;
+      if (toks[j].text == "InlineFunction") {
+        context = true;
+        if (j + 1 < toks.size() && is_p(toks[j + 1], "<")) {
+          budget = budget_from_angles(j + 1);
+        }
+        break;
+      }
+      if (any_of_ids(toks[j], kScheduleNames) && j + 1 < toks.size() &&
+          is_p(toks[j + 1], "(")) {
+        context = true;
+        break;
+      }
+      auto it = ctx.sym.find(std::string(toks[j].text));
+      if (it != ctx.sym.end() &&
+          it->second.kind == VarKind::kInlineFunction &&
+          j + 1 < toks.size() && is_p(toks[j + 1], "=")) {
+        context = true;
+        budget = it->second.inline_budget != 0 ? it->second.inline_budget
+                                               : ctx.opt.inline_budget;
+        break;
+      }
+    }
+    if (!context) continue;
+
+    std::size_t total = 0;
+    for (const Capture& c : parse_captures(toks, l)) {
+      if (c.is_default) continue;  // unknown set; keep the lower bound
+      if (c.name.empty()) {
+        total += 8;  // this / *this
+        continue;
+      }
+      if (c.by_ref) {
+        total += 8;
+        continue;
+      }
+      const std::string& lookup = c.init_root.empty() ? c.name : c.init_root;
+      auto it = ctx.sym.find(lookup);
+      const VarKind k = it == ctx.sym.end() ? VarKind::kOther
+                                            : it->second.kind;
+      if (k == VarKind::kPooledRawPtr || c.init_has_deref_escape) {
+        report(ctx, *c.at, kName,
+               "capture '" + c.name +
+                   "' stores a raw pooled pointer by value; pooled "
+                   "storage recycles — capture the owning "
+                   "DescriptorRef instead");
+      }
+      total += it == ctx.sym.end() ? 8 : size_estimate(it->second.type_text);
+    }
+    if (total > budget) {
+      report(ctx, toks[l.intro], kName,
+             "lambda captures at least " + std::to_string(total) +
+                 " bytes but the InlineFunction inline budget is " +
+                 std::to_string(budget) +
+                 "; this callable heap-allocates on every construction — "
+                 "shrink the capture or batch state behind one pointer");
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Pass 1: declaration harvesting
+// ---------------------------------------------------------------------------
+
+void collect_declarations(std::string_view source, SymbolTable& symbols) {
+  const LexResult lexed = lex(source);
+  const Toks& toks = lexed.tokens;
+
+  auto flat_type = [&](std::size_t b, std::size_t e) {
+    std::string out;
+    for (std::size_t j = b; j < e && j < toks.size(); ++j) {
+      out += toks[j].text;
+    }
+    return out;
+  };
+
+  // Records `name` unless a stronger kind is already known (unordered
+  // container beats generic pointer, etc. — first writer wins per kind
+  // precedence, keeping pass order irrelevant).
+  auto record = [&](std::string_view name, VarKind kind,
+                    std::string type_text, std::size_t budget = 0) {
+    VarInfo& info = symbols[std::string(name)];
+    if (info.kind == VarKind::kOther || info.kind == VarKind::kPointer) {
+      info.kind = kind;
+      info.type_text = std::move(type_text);
+      info.inline_budget = budget;
+    }
+  };
+
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != Token::Kind::kIdentifier) continue;
+    const bool after_tag =
+        i > 0 && (is_id(toks[i - 1], "class") || is_id(toks[i - 1], "struct"));
+    if (after_tag) continue;
+
+    // std::unordered_map<...> name / fn(...)
+    if (any_of_ids(t, kUnorderedNames) && is_p(toks[i + 1], "<")) {
+      std::size_t j = skip_angles(toks, i + 1);
+      const std::size_t type_end = j;
+      while (j < toks.size() &&
+             (is_p(toks[j], "&") || is_p(toks[j], "*") ||
+              is_id(toks[j], "const"))) {
+        ++j;
+      }
+      if (j + 1 < toks.size() && toks[j].kind == Token::Kind::kIdentifier &&
+          (is_p(toks[j + 1], ";") || is_p(toks[j + 1], "=") ||
+           is_p(toks[j + 1], ",") || is_p(toks[j + 1], ")") ||
+           is_p(toks[j + 1], "{") || is_p(toks[j + 1], "("))) {
+        record(toks[j].text, VarKind::kUnorderedContainer,
+               flat_type(i, type_end));
+      }
+      continue;
+    }
+
+    // DescriptorRef name / net::Buffer name.
+    if ((is_id(t, "DescriptorRef") || is_id(t, "Buffer")) &&
+        !(i + 1 < toks.size() && is_p(toks[i + 1], "::"))) {
+      std::size_t j = i + 1;
+      while (j < toks.size() &&
+             (is_p(toks[j], "&") || is_id(toks[j], "const"))) {
+        ++j;
+      }
+      if (j + 1 < toks.size() && toks[j].kind == Token::Kind::kIdentifier &&
+          (is_p(toks[j + 1], ";") || is_p(toks[j + 1], "=") ||
+           is_p(toks[j + 1], ",") || is_p(toks[j + 1], ")") ||
+           is_p(toks[j + 1], "{") || is_p(toks[j + 1], "("))) {
+        record(toks[j].text,
+               is_id(t, "Buffer") ? VarKind::kBuffer
+                                  : VarKind::kDescriptorRef,
+               std::string(t.text));
+      }
+      continue;
+    }
+
+    // InlineFunction<Sig, N> name — remember the member's budget.
+    if (is_id(t, "InlineFunction") && is_p(toks[i + 1], "<")) {
+      const std::size_t end = skip_angles(toks, i + 1);
+      int depth = 0;
+      std::size_t last_comma = 0;
+      for (std::size_t j = i + 1; j + 1 < end; ++j) {
+        if (is_p(toks[j], "<") || is_p(toks[j], "(")) ++depth;
+        if (is_p(toks[j], ">") || is_p(toks[j], ")")) --depth;
+        if (depth == 1 && is_p(toks[j], ",")) last_comma = j;
+      }
+      std::size_t budget = 0;
+      if (last_comma != 0 && last_comma + 1 < end &&
+          toks[last_comma + 1].kind == Token::Kind::kNumber) {
+        budget = static_cast<std::size_t>(
+            std::stoul(std::string(toks[last_comma + 1].text)));
+      }
+      std::size_t j = end;
+      while (j < toks.size() &&
+             (is_p(toks[j], "&") || is_id(toks[j], "const"))) {
+        ++j;
+      }
+      if (j + 1 < toks.size() && toks[j].kind == Token::Kind::kIdentifier &&
+          (is_p(toks[j + 1], ";") || is_p(toks[j + 1], "=") ||
+           is_p(toks[j + 1], ",") || is_p(toks[j + 1], ")") ||
+           is_p(toks[j + 1], "{"))) {
+        record(toks[j].text, VarKind::kInlineFunction, "InlineFunction",
+               budget);
+      }
+      continue;
+    }
+
+    // T* name — generic pointer declaration (type-looking T only, so a
+    // multiplication `a * b` does not register b as a pointer).
+    if (looks_like_type_name(t.text) && is_p(toks[i + 1], "*") &&
+        i + 3 < toks.size() &&
+        toks[i + 2].kind == Token::Kind::kIdentifier &&
+        (is_p(toks[i + 3], "=") || is_p(toks[i + 3], ";") ||
+         is_p(toks[i + 3], ",") || is_p(toks[i + 3], ")"))) {
+      record(toks[i + 2].text,
+             is_id(t, "PacketDescriptor") ? VarKind::kPooledRawPtr
+                                          : VarKind::kPointer,
+             std::string(t.text) + "*");
+    }
+  }
+}
+
+std::vector<Diagnostic> run_checks(const std::string& path,
+                                   std::string_view source,
+                                   const SymbolTable& symbols,
+                                   const CheckOptions& options) {
+  const LexResult lexed = lex(source);
+  std::vector<Diagnostic> out;
+  Ctx ctx{path, lexed.tokens, lexed.nolints, symbols, options, out};
+
+  check_nondeterministic_iteration(ctx);
+  check_pointer_order(ctx);
+  check_wall_clock(ctx);
+  const std::vector<Lambda> lambdas = find_lambdas(lexed.tokens);
+  check_descriptor_escape(ctx, lambdas);
+  check_inline_function_capture(ctx, lambdas);
+
+  std::sort(out.begin(), out.end(), [](const Diagnostic& a,
+                                       const Diagnostic& b) {
+    if (a.line != b.line) return a.line < b.line;
+    if (a.col != b.col) return a.col < b.col;
+    return a.check < b.check;
+  });
+  return out;
+}
+
+}  // namespace nicmcast::tidy

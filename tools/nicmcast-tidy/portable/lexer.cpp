@@ -1,0 +1,241 @@
+#include "lexer.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace nicmcast::tidy {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Multi-char punctuators, longest first so maximal munch works with a
+// simple prefix scan.
+constexpr std::string_view kPuncts[] = {
+    "<<=", ">>=", "...", "->*", "::", "->", "<<", ">>", "<=", ">=", "==",
+    "!=", "&&",   "||",  "++",  "--", "+=", "-=", "*=", "/=", "%=", "&=",
+    "|=", "^=",   ".*",
+};
+
+// Parses the body of a NOLINT comment starting right after the keyword:
+// either nothing (suppress all) or "(check-a, check-b)".
+std::vector<std::string> parse_nolint_checks(std::string_view rest) {
+  std::vector<std::string> checks;
+  if (rest.empty() || rest.front() != '(') return checks;  // all checks
+  const std::size_t close = rest.find(')');
+  std::string_view body =
+      rest.substr(1, close == std::string_view::npos ? rest.size() - 1
+                                                     : close - 1);
+  std::size_t pos = 0;
+  while (pos < body.size()) {
+    std::size_t comma = body.find(',', pos);
+    if (comma == std::string_view::npos) comma = body.size();
+    std::string_view item = body.substr(pos, comma - pos);
+    while (!item.empty() && std::isspace(static_cast<unsigned char>(
+                                item.front()))) {
+      item.remove_prefix(1);
+    }
+    while (!item.empty() &&
+           std::isspace(static_cast<unsigned char>(item.back()))) {
+      item.remove_suffix(1);
+    }
+    if (!item.empty()) checks.emplace_back(item);
+    pos = comma + 1;
+  }
+  // "NOLINT()" suppresses nothing per clang-tidy; represent that as a
+  // sentinel no one matches.
+  if (checks.empty()) checks.emplace_back("\x01none");
+  return checks;
+}
+
+void scan_comment_for_nolint(std::string_view comment, int line,
+                             std::vector<Nolint>& nolints) {
+  const std::size_t next = comment.find("NOLINTNEXTLINE");
+  if (next != std::string_view::npos) {
+    nolints.push_back(Nolint{
+        line + 1,
+        parse_nolint_checks(comment.substr(next + 14))});
+    return;
+  }
+  const std::size_t plain = comment.find("NOLINT");
+  if (plain != std::string_view::npos) {
+    nolints.push_back(
+        Nolint{line, parse_nolint_checks(comment.substr(plain + 6))});
+  }
+}
+
+}  // namespace
+
+LexResult lex(std::string_view src) {
+  LexResult out;
+  std::size_t i = 0;
+  int line = 1;
+  int col = 1;
+  bool at_line_start = true;  // only whitespace seen so far on this line
+
+  auto advance = [&](std::size_t n) {
+    for (std::size_t k = 0; k < n && i < src.size(); ++k, ++i) {
+      if (src[i] == '\n') {
+        ++line;
+        col = 1;
+        at_line_start = true;
+      } else {
+        ++col;
+      }
+    }
+  };
+
+  auto push = [&](Token::Kind kind, std::size_t begin, std::size_t length,
+                  int tline, int tcol) {
+    out.tokens.push_back(
+        Token{kind, src.substr(begin, length), tline, tcol});
+  };
+
+  while (i < src.size()) {
+    const char c = src[i];
+
+    if (c == '\n' || std::isspace(static_cast<unsigned char>(c))) {
+      advance(1);
+      continue;
+    }
+
+    // Preprocessor directive: skip to end of line, honouring backslash
+    // continuations.  (Directives never carry determinism contracts.)
+    if (c == '#' && at_line_start) {
+      while (i < src.size()) {
+        const std::size_t eol = src.find('\n', i);
+        if (eol == std::string_view::npos) {
+          advance(src.size() - i);
+          break;
+        }
+        const bool continued = eol > i && src[eol - 1] == '\\';
+        advance(eol - i + 1);
+        if (!continued) break;
+      }
+      continue;
+    }
+    at_line_start = false;
+
+    // Line comment.
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '/') {
+      std::size_t eol = src.find('\n', i);
+      if (eol == std::string_view::npos) eol = src.size();
+      scan_comment_for_nolint(src.substr(i, eol - i), line, out.nolints);
+      advance(eol - i);
+      continue;
+    }
+
+    // Block comment.  A NOLINT inside applies to the line the comment
+    // starts on (matches clang-tidy's behaviour closely enough).
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '*') {
+      std::size_t end = src.find("*/", i + 2);
+      if (end == std::string_view::npos) end = src.size();
+      scan_comment_for_nolint(src.substr(i, end - i), line, out.nolints);
+      advance(std::min(end + 2, src.size()) - i);
+      continue;
+    }
+
+    // Raw string literal: R"delim( ... )delim", with optional encoding
+    // prefix already consumed as part of an identifier-looking token below,
+    // so check for the R"-form here first.
+    if ((c == 'R' || c == 'L' || c == 'u' || c == 'U') &&
+        src.substr(i).size() > 2) {
+      std::string_view rest = src.substr(i);
+      std::size_t p = 0;
+      if (rest[p] == 'u' && p + 1 < rest.size() && rest[p + 1] == '8') ++p;
+      if ((rest[p] == 'L' || rest[p] == 'u' || rest[p] == 'U') &&
+          p + 1 < rest.size() && rest[p + 1] == 'R') {
+        ++p;
+      }
+      if (rest[p] == 'R' && p + 1 < rest.size() && rest[p + 1] == '"') {
+        const std::size_t open = rest.find('(', p + 2);
+        if (open != std::string_view::npos) {
+          std::string closer = ")";
+          closer += std::string(rest.substr(p + 2, open - (p + 2)));
+          closer += '"';
+          std::size_t close = rest.find(closer, open + 1);
+          if (close == std::string_view::npos) close = rest.size();
+          const std::size_t total =
+              std::min(close + closer.size(), rest.size());
+          push(Token::Kind::kString, i, total, line, col);
+          advance(total);
+          continue;
+        }
+      }
+    }
+
+    // Ordinary string / char literal (with escape handling).
+    if (c == '"' || c == '\'') {
+      const int tline = line;
+      const int tcol = col;
+      std::size_t j = i + 1;
+      while (j < src.size() && src[j] != c) {
+        if (src[j] == '\\' && j + 1 < src.size()) ++j;
+        if (src[j] == '\n') break;  // unterminated; resync at newline
+        ++j;
+      }
+      const std::size_t total = std::min(j + 1, src.size()) - i;
+      push(c == '"' ? Token::Kind::kString : Token::Kind::kCharLit, i, total,
+           tline, tcol);
+      advance(total);
+      continue;
+    }
+
+    if (ident_start(c)) {
+      std::size_t j = i + 1;
+      while (j < src.size() && ident_char(src[j])) ++j;
+      push(Token::Kind::kIdentifier, i, j - i, line, col);
+      advance(j - i);
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < src.size() &&
+         std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
+      std::size_t j = i + 1;
+      while (j < src.size() &&
+             (ident_char(src[j]) || src[j] == '.' || src[j] == '\'' ||
+              ((src[j] == '+' || src[j] == '-') &&
+               (src[j - 1] == 'e' || src[j - 1] == 'E' || src[j - 1] == 'p' ||
+                src[j - 1] == 'P')))) {
+        ++j;
+      }
+      push(Token::Kind::kNumber, i, j - i, line, col);
+      advance(j - i);
+      continue;
+    }
+
+    // Punctuator: longest match from the table, else a single char.
+    std::size_t len = 1;
+    for (std::string_view p : kPuncts) {
+      if (src.substr(i, p.size()) == p) {
+        len = p.size();
+        break;
+      }
+    }
+    push(Token::Kind::kPunct, i, len, line, col);
+    advance(len);
+  }
+
+  out.tokens.push_back(Token{Token::Kind::kEndOfFile, {}, line, col});
+  return out;
+}
+
+bool is_suppressed(const std::vector<Nolint>& nolints, int line,
+                   std::string_view check) {
+  for (const Nolint& n : nolints) {
+    if (n.line != line) continue;
+    if (n.checks.empty()) return true;  // bare NOLINT
+    for (const std::string& c : n.checks) {
+      if (c == check || c == "*") return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace nicmcast::tidy

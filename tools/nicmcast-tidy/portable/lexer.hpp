@@ -1,0 +1,57 @@
+// Minimal C++ tokenizer for the portable nicmcast-* analyzer.
+//
+// The real enforcement engine is the clang-tidy plugin next door in
+// plugin/ — full semantic analysis over the AST.  This lexer exists so the
+// same check family can run where no clang development environment is
+// available (the default build container has only g++): it produces a
+// token stream with source positions, strips comments and literals, and
+// records NOLINT / NOLINTNEXTLINE suppressions so both engines honour the
+// same annotations.  It is deliberately not a preprocessor: directives are
+// skipped line-wise, macros are not expanded.  The checks built on top are
+// conservative textual approximations of the AST checks and share their
+// names, fixtures, and diagnostics format.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nicmcast::tidy {
+
+struct Token {
+  enum class Kind {
+    kIdentifier,  // identifiers and keywords alike
+    kNumber,
+    kString,    // string literal (any encoding prefix, raw or not)
+    kCharLit,   // character literal
+    kPunct,     // one operator/punctuator per token ("::", "->", "<=", ...)
+    kEndOfFile,
+  };
+  Kind kind = Kind::kEndOfFile;
+  std::string_view text;  // view into the lexed source
+  int line = 0;           // 1-based
+  int col = 0;            // 1-based
+};
+
+/// One `// NOLINT...` annotation.  `checks` empty means "all checks".
+struct Nolint {
+  int line = 0;  // the line the suppression applies to
+  std::vector<std::string> checks;
+};
+
+struct LexResult {
+  std::vector<Token> tokens;  // terminated by a kEndOfFile token
+  std::vector<Nolint> nolints;
+};
+
+/// Tokenizes `source`.  The returned tokens view into `source`, which must
+/// outlive the result.  Comments, whitespace and preprocessor directives
+/// are consumed; NOLINT / NOLINT(check,...) / NOLINTNEXTLINE(...) comments
+/// are recorded with the line they suppress.
+[[nodiscard]] LexResult lex(std::string_view source);
+
+/// True when `nolints` suppresses `check` on `line`.
+[[nodiscard]] bool is_suppressed(const std::vector<Nolint>& nolints, int line,
+                                 std::string_view check);
+
+}  // namespace nicmcast::tidy

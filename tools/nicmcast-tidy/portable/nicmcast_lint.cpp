@@ -1,0 +1,123 @@
+// nicmcast_lint — portable driver for the nicmcast-* determinism checks.
+//
+// Usage:
+//   nicmcast_lint [options] file.cpp [file.hpp ...]
+//
+// Options:
+//   --check NAME                 run only NAME (repeatable; default: all)
+//   --allow-wall-clock-under P   extra path prefix where wall-clock reads
+//                                are allowed (repeatable; src/harness/ is
+//                                always allowed)
+//   --inline-budget N            default InlineFunction inline bytes (88)
+//   --root DIR                   strip DIR/ from reported paths
+//   --list-checks                print the check names and exit
+//
+// Output is one clang-tidy-style line per finding:
+//   path:line:col: warning: message [check-name]
+// Exit status: 0 clean, 1 findings, 2 usage/IO error.
+//
+// All input files are scanned for declarations before any is checked, so
+// iteration over a member declared in a header is recognized in the .cpp
+// that loops over it.  Pass the whole source set for best results (the
+// scripts/run_static_analysis.py driver does).
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "checks.hpp"
+
+namespace {
+
+constexpr const char* kCheckNames[] = {
+    "nicmcast-nondeterministic-iteration", "nicmcast-pointer-order",
+    "nicmcast-wall-clock", "nicmcast-descriptor-escape",
+    "nicmcast-inline-function-capture"};
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+std::string relative_to(const std::string& path, const std::string& root) {
+  if (root.empty()) return path;
+  std::string prefix = root;
+  if (prefix.back() != '/') prefix += '/';
+  if (path.rfind(prefix, 0) == 0) return path.substr(prefix.size());
+  return path;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  nicmcast::tidy::CheckOptions options;
+  std::string root;
+  std::vector<std::string> files;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "nicmcast_lint: " << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--check") {
+      options.enabled.emplace_back(next());
+    } else if (arg == "--allow-wall-clock-under") {
+      options.wall_clock_allowed.emplace_back(next());
+    } else if (arg == "--inline-budget") {
+      options.inline_budget = std::stoul(next());
+    } else if (arg == "--root") {
+      root = next();
+    } else if (arg == "--list-checks") {
+      for (const char* name : kCheckNames) std::cout << name << "\n";
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: nicmcast_lint [--check NAME]... "
+                   "[--allow-wall-clock-under PREFIX]... "
+                   "[--inline-budget N] [--root DIR] files...\n";
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "nicmcast_lint: unknown option " << arg << "\n";
+      return 2;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) {
+    std::cerr << "nicmcast_lint: no input files\n";
+    return 2;
+  }
+
+  // Pass 1: declarations from every file, so cross-file members resolve.
+  nicmcast::tidy::SymbolTable symbols;
+  std::vector<std::string> sources(files.size());
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    if (!read_file(files[i], sources[i])) {
+      std::cerr << "nicmcast_lint: cannot read " << files[i] << "\n";
+      return 2;
+    }
+    nicmcast::tidy::collect_declarations(sources[i], symbols);
+  }
+
+  // Pass 2: checks.
+  std::size_t findings = 0;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    const std::string rel = relative_to(files[i], root);
+    for (const auto& d : nicmcast::tidy::run_checks(rel, sources[i], symbols,
+                                                    options)) {
+      std::cout << d.file << ":" << d.line << ":" << d.col
+                << ": warning: " << d.message << " [" << d.check << "]\n";
+      ++findings;
+    }
+  }
+  return findings == 0 ? 0 : 1;
+}
