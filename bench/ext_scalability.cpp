@@ -119,6 +119,91 @@ RunResult run_scale_point(const BenchOptions& options, std::size_t nodes,
   return result;
 }
 
+/// One sharded-sweep point.  shards == 1 goes through run_one and thus the
+/// classic sequential engine — the bit-identical baseline the determinism
+/// contract pins — while shards > 1 runs the conservative-PDES fabric.
+RunResult run_sharded_point(const BenchOptions& options, std::size_t nodes,
+                            std::size_t radix, std::size_t shards) {
+  RunSpec spec;
+  spec.experiment = Experiment::kGmMulticast;
+  spec.label = "pshard-" + std::to_string(nodes) + "x" + std::to_string(radix) +
+               "-s" + std::to_string(shards);
+  spec.nodes = nodes;
+  spec.wiring = Wiring::kClos;
+  spec.switch_radix = radix;
+  spec.message_bytes = 512;
+  spec.algo = Algo::kNicBased;
+  // Binomial, not postal: flat-array construction stays trivial at 65536
+  // endpoints and both engines build the identical tree.
+  spec.tree = TreeShape::kBinomial;
+  spec.warmup = 1;
+  spec.iterations = 2;
+  spec.shards = shards;
+  // Seeded per node count (not per point): every shard count of one fabric
+  // answers for the same seeded scenario, which is what makes the
+  // cross-shard-count invariance rows in BENCH_scale.json comparable.
+  spec.seed = derive_seed(options.base_seed, 3000 + nodes);
+
+  // NOLINTNEXTLINE(nicmcast-wall-clock): host wall time measures bench throughput, not simulated time
+  const auto start = std::chrono::steady_clock::now();
+  RunResult result = run_one(spec);
+  const double wall_s =
+      // NOLINTNEXTLINE(nicmcast-wall-clock): host wall time measures bench throughput, not simulated time
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  const auto events = static_cast<double>(result.engine.events_executed);
+  result.set_metric("events", events);
+  result.set_metric("wall_ms", wall_s * 1e3);
+  result.set_metric("events_per_sec", events / wall_s);
+  result.set_metric("peak_rss_kb", static_cast<double>(peak_rss_kb()));
+  result.set_metric("full_pairs",
+                    static_cast<double>(nodes) *
+                        static_cast<double>(nodes - 1));
+  return result;
+}
+
+void run_sharded_sweep(const BenchOptions& options,
+                       std::vector<RunResult>& results) {
+  struct Point {
+    std::size_t nodes;
+    std::size_t shards;
+  };
+  // shards == 1 points are the classic-engine baselines.  65536 has no
+  // classic baseline on purpose: net::NodeId is 16-bit, and the coroutine
+  // cluster stack tops out one node short of it — reaching 65536 endpoints
+  // is exactly what the sharded fabric exists for.
+  const std::vector<Point> points{
+      {512, 1},   {512, 4},                              // CI-pinned pair
+      {4096, 1},  {4096, 4},
+      {16384, 1}, {16384, 2}, {16384, 4}, {16384, 8},    // the ISSUE fabric
+      {32768, 1}, {32768, 4},
+      {65536, 2}, {65536, 4}, {65536, 8},
+  };
+
+  std::printf("\n%16s | %10s | %9s | %12s | %11s | %9s\n", "sharded point",
+              "events", "wall ms", "events/s", "x-shard msg", "lbts rnds");
+  std::size_t skipped = 0;
+  for (const auto& [nodes, shards] : points) {
+    if (options.max_nodes != 0 && nodes > options.max_nodes) {
+      ++skipped;
+      continue;
+    }
+    const std::size_t effective = options.shards_or(shards);
+    RunResult r = run_sharded_point(options, nodes, 16, effective);
+    std::printf("%11zux16-s%-2zu | %10.0f | %9.1f | %12.0f | %11llu | %9llu\n",
+                nodes, effective, r.metric("events"), r.metric("wall_ms"),
+                r.metric("events_per_sec"),
+                static_cast<unsigned long long>(r.engine.cross_shard_msgs),
+                static_cast<unsigned long long>(r.engine.lbts_rounds));
+    results.push_back(std::move(r));
+  }
+  if (skipped > 0) {
+    std::printf("  (%zu points above --max-nodes %zu skipped)\n", skipped,
+                options.max_nodes);
+  }
+}
+
 void run_scale_sweep(const BenchOptions& options,
                      std::vector<RunResult>& results) {
   struct Point {
@@ -201,6 +286,13 @@ void run(const BenchOptions& options) {
       "Timing-wheel scheduler + lazy interned routes: memory and events/sec "
       "at fabric sizes the eager all-pairs table could not reach.");
   run_scale_sweep(options, results);
+
+  print_header(
+      "Extension — sharded PDES sweep (512 -> 65536-node Clos, radix 16)",
+      "Conservative synchronization at switch-cut granularity: s1 = the "
+      "classic sequential engine, s>1 = the sharded fabric "
+      "(DESIGN.md 4.5).");
+  run_sharded_sweep(options, results);
 
   write_bench_json("ext_scalability", options, results);
 }

@@ -21,12 +21,18 @@ scenario against the *last* trajectory entry (the current engine):
 
 --scale mode (ext_scalability vs BENCH_scale.json) applies the same two
 checks, but only to scenarios the baseline marks "pinned" (the 128- and
-512-node points; CI caps the sweep with --max-nodes so the larger points
-never run there).  Unpinned points are checked only when present, and only
-for route memory: routes_materialized must stay >= 10x below the all-pairs
-route count (full_pairs), the lazy-RouteTable guarantee the 4096-node sweep
-exists to demonstrate.  Missing unpinned points are fine; missing pinned
-points fail.
+512-node points plus the pshard-512 shards-axis pair; CI caps the sweep
+with --max-nodes so the larger points never run there).  Unpinned points
+are checked only when present, and only for route memory:
+routes_materialized must stay >= 10x below the all-pairs route count
+(full_pairs), the lazy-RouteTable guarantee the 4096-node sweep exists to
+demonstrate.  Missing unpinned points are fine; missing pinned points fail.
+
+Sharded scenarios (the "pshard-<nodes>x<radix>-s<shards>" labels from the
+--shards axis): a baseline entry that records "shard_order_hashes" also
+pins the full per-shard hash vector exactly — the sharded half of the
+determinism contract.  The merged event_order_hash check covers the fold;
+the vector check localises a divergence to the shard that re-timed.
 """
 import json
 import sys
@@ -41,6 +47,19 @@ def check_hash_and_eps(label, want, run, failures):
         failures.append(
             f"{label}: event_order_hash {got_hash} != recorded "
             f"{want['event_order_hash']} (determinism contract broken)")
+    want_vector = want.get("shard_order_hashes")
+    if want_vector is not None:
+        got_vector = run["engine"].get("shard_order_hashes")
+        if got_vector != want_vector:
+            diverged = [
+                i for i, (a, b) in enumerate(
+                    zip(got_vector or [], want_vector))
+                if a != b
+            ] or "all"
+            failures.append(
+                f"{label}: per-shard hash vector diverged from the recorded "
+                f"golden (shards {diverged}); the sharded determinism "
+                f"contract is broken")
     got_eps = run["metrics"]["events_per_sec"]
     floor = THRESHOLD * want["events_per_sec"]
     verdict = "ok" if got_eps >= floor else "REGRESSED"

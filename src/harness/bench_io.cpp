@@ -13,7 +13,7 @@ namespace {
 [[noreturn]] void usage_and_exit(std::string_view bench_name, int code) {
   std::fprintf(stderr,
                "usage: %.*s [--threads N] [--json PATH] [--iters K] "
-               "[--seed S] [--max-nodes M]\n"
+               "[--seed S] [--max-nodes M] [--shards P]\n"
                "  --threads N   run the sweep on N worker threads "
                "(default 1; results are\n"
                "                identical for every N)\n"
@@ -25,7 +25,12 @@ namespace {
                "derivation\n"
                "  --max-nodes M skip sweep points above M nodes (0 = no "
                "cap; used by CI\n"
-               "                to keep the scale sweep fast)\n",
+               "                to keep the scale sweep fast)\n"
+               "  --shards P    run gm_mcast points on the sharded PDES "
+               "engine with P\n"
+               "                shards (0 = each point's default; 1 = the "
+               "classic\n"
+               "                sequential engine, bit-identical output)\n",
                static_cast<int>(bench_name.size()), bench_name.data());
   std::exit(code);
 }
@@ -64,6 +69,9 @@ BenchOptions parse_bench_options(int argc, char** argv,
       options.base_seed = parse_u64(value(), bench_name);
     } else if (arg == "--max-nodes") {
       options.max_nodes =
+          static_cast<std::size_t>(parse_u64(value(), bench_name));
+    } else if (arg == "--shards") {
+      options.shards =
           static_cast<std::size_t>(parse_u64(value(), bench_name));
     } else {
       std::fprintf(stderr, "unknown option: %.*s\n",
@@ -113,6 +121,9 @@ json::Value spec_to_json(const RunSpec& spec) {
   // Seeds are full 64-bit values; a JSON number would lose precision past
   // 2^53, so the exact value is recorded as a decimal string.
   out["seed"] = std::to_string(spec.seed);
+  // Emitted only for sharded runs: every pre-existing document (and the
+  // CI thread-count determinism diff over them) stays byte-identical.
+  if (spec.shards > 1) out["shards"] = spec.shards;
   out["aux"] = spec.aux;
   return out;
 }
@@ -172,6 +183,26 @@ json::Value result_to_json(const RunResult& result) {
   engine["route_links_shared"] = result.engine.route_links_shared;
   // Decimal string, like seeds: 64-bit hashes do not fit a JSON double.
   engine["event_order_hash"] = std::to_string(result.engine.event_order_hash);
+  // Sharded-PDES counters, present only when the sharded engine ran —
+  // sequential documents keep their historical key set.
+  if (result.engine.shard_count > 0) {
+    engine["shard_count"] = result.engine.shard_count;
+    engine["cross_shard_msgs"] = result.engine.cross_shard_msgs;
+    engine["lbts_rounds"] = result.engine.lbts_rounds;
+    engine["horizon_stalls"] = result.engine.horizon_stalls;
+    engine["channel_spills"] = result.engine.channel_spills;
+    engine["cross_links"] = result.engine.cross_links;
+    json::Value hashes = json::Value::array();
+    for (const std::uint64_t h : result.engine.shard_order_hashes) {
+      hashes.push_back(std::to_string(h));  // decimal strings, like seeds
+    }
+    engine["shard_order_hashes"] = std::move(hashes);
+    json::Value peaks = json::Value::array();
+    for (const std::uint64_t p : result.engine.shard_wheel_occupancy_peak) {
+      peaks.push_back(p);
+    }
+    engine["shard_wheel_occupancy_peak"] = std::move(peaks);
+  }
   out["engine"] = std::move(engine);
 
   json::Value metrics = json::Value::object();

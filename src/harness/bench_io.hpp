@@ -37,7 +37,14 @@
 //                     "overflow_scheduled": ..., "overflow_promotions": ...,
 //                     "routes_materialized": ..., "route_links_stored": ...,
 //                     "route_links_shared": ...,
-//                     "event_order_hash": "<decimal string: 64-bit exact>" },
+//                     "event_order_hash": "<decimal string: 64-bit exact>",
+//                     /* sharded runs only (spec carries "shards" > 1 and
+//                        the spec object gains a "shards" key): */
+//                     "shard_count": ..., "cross_shard_msgs": ...,
+//                     "lbts_rounds": ..., "horizon_stalls": ...,
+//                     "channel_spills": ..., "cross_links": ...,
+//                     "shard_order_hashes": ["<decimal string>", ...],
+//                     "shard_wheel_occupancy_peak": [...] },
 //         "metrics": { "<name>": <number>, ... }
 //       }, ...
 //     ]
@@ -60,6 +67,16 @@ struct BenchOptions {
   int iterations = 0;        // 0: keep the bench's own default
   std::uint64_t base_seed = 1;
   std::size_t max_nodes = 0;  // 0: no cap; CI trims scale sweeps with this
+  /// Simulation shards for benches that honour the --shards axis (the
+  /// gm_mcast scale sweeps).  0 = keep each bench point's own default, so
+  /// existing BENCH_*.json documents are reproduced byte-identically.
+  std::size_t shards = 0;
+
+  /// The effective shard count for one sweep point (the --shards override
+  /// when given, otherwise the point's default).
+  [[nodiscard]] std::size_t shards_or(std::size_t fallback) const {
+    return shards > 0 ? shards : fallback;
+  }
 
   /// The effective iteration (or scenario/node) count: the --iters override
   /// when given, otherwise the bench's own default.  Every bench used to

@@ -42,8 +42,20 @@ struct EngineCounters {
   std::uint64_t routes_materialized = 0;   // (src, dst) pairs computed
   std::uint64_t route_links_stored = 0;    // LinkIds held across arenas
   std::uint64_t route_links_shared = 0;    // LinkIds reused via interning
-  /// Deterministic FNV fold of the executed (time, seq) event order.
+  /// Deterministic FNV fold of the executed (time, seq) event order.  For
+  /// sharded runs this is the merged per-shard fold (ShardedEngine::
+  /// merged_order_hash); shard_order_hashes below carries the full vector.
   std::uint64_t event_order_hash = 0;
+  // Sharded-PDES counters (sim::ShardedEngine); all zero/empty when the
+  // run used the sequential engine, so pre-existing JSON stays stable.
+  std::uint64_t shard_count = 0;       // 0 = sequential engine
+  std::uint64_t cross_shard_msgs = 0;  // timestamped inter-shard messages
+  std::uint64_t lbts_rounds = 0;       // barrier/LBTS synchronization rounds
+  std::uint64_t horizon_stalls = 0;    // shard-rounds that ran zero events
+  std::uint64_t channel_spills = 0;    // SPSC ring overflows to spill vector
+  std::uint64_t cross_links = 0;       // topology links cut by the partition
+  std::vector<std::uint64_t> shard_order_hashes;         // per-shard, in order
+  std::vector<std::uint64_t> shard_wheel_occupancy_peak; // per-shard wheels
 };
 
 struct RunResult {

@@ -18,6 +18,13 @@ namespace nicmcast::harness {
 /// Metrics: "delivered" (1 when every payload arrived bit-exact).
 [[nodiscard]] RunResult run_gm_mcast(const RunSpec& spec);
 
+/// The same broadcast on the sharded conservative-PDES fabric
+/// (net::ShardedFabric); this is what spec.shards > 1 dispatches to.
+/// Requires kGmMulticast, nic-based algo and uniform loss; metrics:
+/// "delivered", "deliveries".  engine.shard_order_hashes carries the
+/// per-shard determinism hash vector (DESIGN.md §4.5).
+[[nodiscard]] RunResult run_sharded_mcast(const RunSpec& spec);
+
 /// NIC multisend vs host-based multiple unicasts (Fig. 3).  Uses
 /// spec.destinations targets; spec.nodes must be destinations + 1.
 [[nodiscard]] RunResult run_multisend(const RunSpec& spec);

@@ -1,0 +1,145 @@
+// The --shards axis: run_sharded_mcast executes a kGmMulticast spec on the
+// conservative-PDES fabric (net::ShardedFabric over sim::ShardedEngine)
+// instead of the coroutine gm::Cluster stack.  Specs are translated, not
+// reinterpreted: same wiring resolution, same tree builder, same NIC and
+// network knobs — so shard counts change only how the simulation is
+// partitioned, never what it simulates.
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "harness/experiment_util.hpp"
+#include "harness/run_result.hpp"
+#include "harness/run_spec.hpp"
+#include "harness/runners.hpp"
+#include "mcast/tree.hpp"
+#include "net/sharded_fabric.hpp"
+#include "net/topology.hpp"
+
+namespace nicmcast::harness {
+namespace {
+
+net::Topology make_topology(const RunSpec& spec) {
+  switch (resolve_wiring(spec)) {
+    case gm::ClusterConfig::Wiring::kSingleSwitch:
+      return net::Topology::single_switch(spec.nodes);
+    case gm::ClusterConfig::Wiring::kClos:
+      return net::Topology::clos(spec.nodes, spec.switch_radix);
+    case gm::ClusterConfig::Wiring::kBackToBack:
+      return net::Topology::back_to_back();
+  }
+  throw std::logic_error("run_sharded_mcast: unmapped wiring");
+}
+
+// mcast::Tree is hash-map-based protocol plumbing; the fabric wants flat
+// arrays.  Child order is preserved — it is the GM send-record chain order
+// and part of the determinism contract.
+net::FabricTree flatten_tree(const mcast::Tree& tree, std::size_t nodes) {
+  net::FabricTree flat;
+  flat.root = tree.root();
+  flat.parent.assign(nodes, net::FabricTree::kNoParent);
+  flat.child_off.assign(nodes + 1, 0);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    const auto node = static_cast<net::NodeId>(i);
+    flat.child_off[i + 1] =
+        flat.child_off[i] + static_cast<std::uint32_t>(
+                                tree.children(node).size());
+    if (const auto p = tree.parent(node)) flat.parent[i] = *p;
+  }
+  flat.children.reserve(flat.child_off[nodes]);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    for (const net::NodeId c : tree.children(static_cast<net::NodeId>(i))) {
+      flat.children.push_back(c);
+    }
+  }
+  return flat;
+}
+
+}  // namespace
+
+RunResult run_sharded_mcast(const RunSpec& spec) {
+  if (spec.experiment != Experiment::kGmMulticast) {
+    throw std::invalid_argument(
+        "run_sharded_mcast: only the gm_mcast family runs on the sharded "
+        "fabric; drop --shards for other experiments");
+  }
+  if (spec.shards == 0) {
+    throw std::invalid_argument("run_sharded_mcast: shards must be >= 1");
+  }
+  if (spec.algo != Algo::kNicBased) {
+    throw std::invalid_argument(
+        "run_sharded_mcast: the sharded fabric models the NIC-based data "
+        "path only (host-based staging is gm::Cluster-only)");
+  }
+  if (spec.faults != FaultFamily::kUniform || spec.corrupt_rate != 0.0) {
+    throw std::invalid_argument(
+        "run_sharded_mcast: sharded runs support uniform loss only (the "
+        "counter-hash loss model keeps drops shard-count invariant)");
+  }
+
+  // All endpoints, root 0.  Built with size_t indices on purpose: a NodeId
+  // loop wraps forever at nodes == 65536 (NodeId is 16-bit).
+  std::vector<net::NodeId> dests;
+  dests.reserve(spec.nodes - 1);
+  for (std::size_t i = 1; i < spec.nodes; ++i) {
+    dests.push_back(static_cast<net::NodeId>(i));
+  }
+  const mcast::Tree tree = build_tree(spec, dests);
+
+  net::FabricOptions options;
+  options.message_bytes = spec.message_bytes;
+  options.warmup = spec.warmup;
+  options.iterations = spec.iterations;
+  options.loss_rate = spec.loss_rate;
+  options.seed = spec.seed;
+  options.nic = spec.nic;
+
+  net::ShardedFabric fabric(make_topology(spec), flatten_tree(tree, spec.nodes),
+                            options, spec.shards);
+  const net::FabricResult fr = fabric.run();
+
+  RunResult result;
+  result.spec = spec;
+  for (const double us : fr.latency_us) result.latency_us.add(us);
+  result.nic_totals = fr.nic_totals;
+
+  EngineCounters& e = result.engine;
+  e.events_scheduled = fr.events_scheduled;
+  e.events_executed = fr.events_executed;
+  e.events_cancelled = fr.events_cancelled;
+  e.heap_actions = fr.heap_actions;
+  e.pool_slots = fr.pool_slots;
+  e.descriptor_allocs = fr.nic_totals.descriptor_allocs;
+  e.descriptor_reuses = fr.nic_totals.descriptor_reuses;
+  e.payload_bytes_copied = fr.nic_totals.payload_bytes_copied;
+  e.payload_refs = fr.nic_totals.payload_refs;
+  e.wheel_cascades = fr.wheel_cascades;
+  e.overflow_scheduled = fr.overflow_scheduled;
+  e.overflow_promotions = fr.overflow_promotions;
+  e.routes_materialized = fr.routes_materialized;
+  e.route_links_stored = fr.route_links_stored;
+  e.route_links_shared = fr.route_links_shared;
+  e.event_order_hash = fr.merged_order_hash;
+  e.shard_count = spec.shards;
+  e.cross_shard_msgs = fr.cross_shard_msgs;
+  e.lbts_rounds = fr.lbts_rounds;
+  e.horizon_stalls = fr.horizon_stalls;
+  e.channel_spills = fr.channel_spills;
+  e.cross_links = fr.cross_links;
+  e.shard_order_hashes = fr.shard_order_hashes;
+  e.shard_wheel_occupancy_peak = fr.shard_wheel_occupancy_peak;
+  // The scalar peak keeps its sequential meaning (busiest single wheel).
+  for (const std::uint64_t peak : fr.shard_wheel_occupancy_peak) {
+    if (peak > e.wheel_occupancy_peak) e.wheel_occupancy_peak = peak;
+  }
+
+  const auto iters =
+      static_cast<std::uint64_t>(spec.warmup) +
+      static_cast<std::uint64_t>(spec.iterations);
+  const std::uint64_t expected = (spec.nodes - 1) * iters;
+  result.set_metric("delivered", fr.deliveries == expected ? 1.0 : 0.0);
+  result.set_metric("deliveries", static_cast<double>(fr.deliveries));
+  return result;
+}
+
+}  // namespace nicmcast::harness

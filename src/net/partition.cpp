@@ -1,0 +1,76 @@
+#include "net/partition.hpp"
+
+#include <stdexcept>
+
+namespace nicmcast::net {
+
+FabricPartition switch_cut(const Topology& topology, std::size_t shards,
+                           const NetworkConfig& config) {
+  if (shards == 0) {
+    throw std::invalid_argument("switch_cut: shards must be >= 1");
+  }
+  const std::size_t vertices = topology.vertex_count();
+  const std::size_t endpoints = topology.endpoint_count();
+
+  FabricPartition part;
+  part.shards = shards;
+  part.lookahead = config.hop_latency;
+  part.vertex_shard.assign(vertices, 0);
+  part.link_owner.assign(topology.link_count(), 0);
+  if (shards == 1) return part;  // everything on shard 0, no cross links
+
+  // One pass over the links classifies switches (leaf = endpoint-adjacent)
+  // and records each endpoint's lowest-id neighbouring switch.
+  std::vector<bool> is_leaf(vertices, false);
+  constexpr VertexId kNoSwitch = static_cast<VertexId>(-1);
+  std::vector<VertexId> endpoint_switch(endpoints, kNoSwitch);
+  for (LinkId l = 0; l < topology.link_count(); ++l) {
+    const LinkDesc& link = topology.link(l);
+    if (topology.is_endpoint(link.from) && !topology.is_endpoint(link.to)) {
+      is_leaf[link.to] = true;
+      VertexId& sw = endpoint_switch[link.from];
+      if (sw == kNoSwitch || link.to < sw) sw = link.to;
+    }
+  }
+
+  // Contiguous block assignment in switch-id order: leaf i of L leaves goes
+  // to shard i*S/L (spines likewise).  Canned topologies create leaves in
+  // endpoint order, so neighbouring leaves — and the tree subtrees rooted
+  // under them — land on the same shard.
+  std::size_t leaf_count = 0;
+  std::size_t spine_count = 0;
+  for (VertexId v = static_cast<VertexId>(endpoints); v < vertices; ++v) {
+    (is_leaf[v] ? leaf_count : spine_count) += 1;
+  }
+  std::size_t leaf_index = 0;
+  std::size_t spine_index = 0;
+  for (VertexId v = static_cast<VertexId>(endpoints); v < vertices; ++v) {
+    if (is_leaf[v]) {
+      part.vertex_shard[v] =
+          static_cast<std::uint32_t>(leaf_index * shards / leaf_count);
+      ++leaf_index;
+    } else {
+      part.vertex_shard[v] =
+          static_cast<std::uint32_t>(spine_index * shards / spine_count);
+      ++spine_index;
+    }
+  }
+  for (std::size_t e = 0; e < endpoints; ++e) {
+    part.vertex_shard[e] =
+        endpoint_switch[e] == kNoSwitch
+            // Switchless wiring (back-to-back): split endpoints directly.
+            ? static_cast<std::uint32_t>(e % shards)
+            : part.vertex_shard[endpoint_switch[e]];
+  }
+
+  for (LinkId l = 0; l < topology.link_count(); ++l) {
+    const LinkDesc& link = topology.link(l);
+    part.link_owner[l] = part.vertex_shard[link.from];
+    if (part.vertex_shard[link.from] != part.vertex_shard[link.to]) {
+      ++part.cross_links;
+    }
+  }
+  return part;
+}
+
+}  // namespace nicmcast::net

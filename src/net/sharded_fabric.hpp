@@ -1,0 +1,185 @@
+// NIC-timing-faithful multicast fabric on the sharded PDES engine.
+//
+// The coroutine-based gm::Cluster stack is deeply single-threaded (shared
+// closures, non-atomic payload refcounts, one global Network); migrating it
+// wholesale is ROADMAP follow-up work.  What the 16k–65k-endpoint sweeps
+// need today is the packet-level behaviour of the NIC-based multicast —
+// injection/forward/ack/retransmit timing from nic::NicConfig, wormhole
+// link contention from net::NetworkConfig, per-edge Go-back-N — expressed
+// as shard-local state so the fabric parallelises:
+//
+//   - every tree node, link, and per-edge ARQ record is owned by exactly
+//     one shard (net::switch_cut), and only that shard's worker touches it;
+//   - packets crossing a shard boundary become ShardedEngine::post calls,
+//     legal because every hand-off lies at least one hop_latency ahead;
+//   - wormhole cut-through is computed per owner-maximal route segment: at
+//     shards=1 the single segment reproduces Network::transmit's formula
+//     bit-for-bit, at shards>1 a stalled boundary simply does not
+//     retro-extend upstream reservations (a slightly optimistic upstream
+//     release; DESIGN.md §4.5);
+//   - loss is decided by a counter hash of (seed, edge, iter, attempt) and
+//     applied at the receiver like a CRC drop, so drop/retransmit counts —
+//     and therefore total deliveries — are invariant across shard counts.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "net/network.hpp"
+#include "net/packet.hpp"
+#include "net/partition.hpp"
+#include "net/topology.hpp"
+#include "nic/config.hpp"
+#include "nic/packet_descriptor.hpp"
+#include "nic/types.hpp"
+#include "sim/sharded_engine.hpp"
+#include "sim/time.hpp"
+
+namespace nicmcast::net {
+
+/// A multicast spanning tree in flat arrays (65536 endpoints = 128k ids;
+/// the unordered_map-based mcast::Tree is for protocol code, this is for
+/// the data path).  Child order is meaningful: replicas to children are
+/// serialised in this order, exactly like the GM send-record chain.
+struct FabricTree {
+  static constexpr NodeId kNoParent = std::numeric_limits<NodeId>::max();
+
+  NodeId root = 0;
+  std::vector<NodeId> parent;           // kNoParent at the root
+  std::vector<std::uint32_t> child_off; // node -> first child; size n+1
+  std::vector<NodeId> children;         // flattened child lists
+
+  [[nodiscard]] std::size_t size() const { return parent.size(); }
+  [[nodiscard]] std::size_t child_count(NodeId n) const {
+    return child_off[n + 1u] - child_off[n];
+  }
+  [[nodiscard]] NodeId child(NodeId n, std::size_t slot) const {
+    return children[child_off[n] + slot];
+  }
+};
+
+struct FabricOptions {
+  std::size_t message_bytes = 512;
+  int warmup = 1;
+  int iterations = 2;
+  double loss_rate = 0.0;
+  std::uint64_t seed = 1;
+  nic::NicConfig nic;
+  NetworkConfig net;
+};
+
+/// Everything the harness folds into a RunResult.
+struct FabricResult {
+  std::vector<double> latency_us;          // timed iterations only
+  nic::NicStats nic_totals;
+  std::uint64_t deliveries = 0;            // first deliveries, all iters
+
+  // Engine counters, aggregated over shards.
+  std::uint64_t events_scheduled = 0;
+  std::uint64_t events_executed = 0;
+  std::uint64_t events_cancelled = 0;
+  std::uint64_t heap_actions = 0;
+  std::uint64_t pool_slots = 0;
+  std::uint64_t wheel_cascades = 0;
+  std::uint64_t overflow_scheduled = 0;
+  std::uint64_t overflow_promotions = 0;
+  std::uint64_t routes_materialized = 0;
+  std::uint64_t route_links_stored = 0;
+  std::uint64_t route_links_shared = 0;
+
+  // Shard-boundary counters (the new observability surface).
+  std::uint64_t cross_shard_msgs = 0;
+  std::uint64_t lbts_rounds = 0;
+  std::uint64_t horizon_stalls = 0;
+  std::uint64_t channel_spills = 0;
+  std::uint64_t cross_links = 0;
+  std::vector<std::uint64_t> shard_order_hashes;
+  std::vector<std::uint64_t> shard_wheel_occupancy_peak;
+  std::uint64_t merged_order_hash = 0;
+};
+
+class ShardedFabric {
+ public:
+  ShardedFabric(Topology topology, FabricTree tree, FabricOptions options,
+                std::size_t shards);
+
+  /// Runs warmup + timed iterations to completion and collects the result.
+  /// Deterministic for a fixed (options, shards); throws when any edge
+  /// exhausts nic.max_retries.
+  FabricResult run();
+
+ private:
+  struct ShardState {
+    explicit ShardState(const Topology& topology) : routes(topology) {}
+    RouteTable routes;            // per-shard lazy cache over the topology
+    nic::DescriptorPool pool;     // shard-local descriptor recycling
+    nic::NicStats nic;
+    std::uint64_t deliveries = 0;
+  };
+
+  /// Go-back-N record for the tree edge parent->child, stored at the
+  /// child's index and owned by the parent's shard.
+  struct EdgeState {
+    sim::EventId timer{};
+    std::uint32_t attempt = 0;
+    std::int32_t iter = -1;
+    bool timer_armed = false;
+  };
+
+  [[nodiscard]] std::uint32_t shard_of(NodeId n) const {
+    return partition_.vertex_shard[n];
+  }
+  [[nodiscard]] sim::Simulator& sim_of(std::uint32_t shard) {
+    return engine_->shard(shard);
+  }
+  [[nodiscard]] bool dropped(NodeId child, std::int32_t iter,
+                             std::uint32_t attempt) const;
+
+  void start_iteration(std::int32_t iter);
+  /// Injects the data train for edge parent->child at `inject` (an absolute
+  /// time on the parent's shard clock) and arms the retransmit timer.
+  void send_data(NodeId from, NodeId to, std::int32_t iter,
+                 std::uint32_t attempt, sim::TimePoint inject);
+  /// Wormhole traversal of the owner-maximal route segment starting at
+  /// link index `seg`, with virtual injection instant `inject`.  `owner`
+  /// is the executing shard (= link_owner of route link `seg`); it is
+  /// passed in because deriving it would need a route lookup in some other
+  /// shard's table.
+  void continue_segment(std::uint32_t owner, NodeId from, NodeId to,
+                        std::size_t seg, sim::TimePoint inject,
+                        std::int32_t iter, std::uint32_t attempt);
+  void deliver(NodeId from, NodeId to, std::int32_t iter,
+               std::uint32_t attempt);
+  void send_ack(NodeId from, NodeId to, std::int32_t iter);
+  void ack_arrived(NodeId parent, NodeId child, std::int32_t iter);
+  void retransmit(NodeId from, NodeId to, std::int32_t iter);
+  void notify_controller(sim::TimePoint host_time);
+
+  [[nodiscard]] std::size_t packets_per_message() const;
+  [[nodiscard]] std::size_t train_wire_bytes() const;
+
+  Topology topology_;
+  FabricTree tree_;
+  FabricOptions options_;
+  FabricPartition partition_;
+  std::unique_ptr<sim::ShardedEngine> engine_;
+  std::vector<std::unique_ptr<ShardState>> shards_;
+
+  // Node/link state: every element is touched by exactly one shard's
+  // worker (the owner), which is what makes the fabric race-free.
+  std::vector<sim::TimePoint> link_free_;     // owner(link) only
+  std::vector<std::int32_t> received_iter_;   // owner(node) only
+  std::vector<EdgeState> edges_;              // owner(parent(node)) only
+
+  // Controller state: root's shard only.
+  std::int32_t ctrl_iter_ = 0;
+  std::size_t ctrl_remaining_ = 0;
+  sim::TimePoint ctrl_iter_start_{0};
+  sim::TimePoint ctrl_last_delivery_{0};
+  std::vector<double> latency_us_;
+  std::uint64_t total_deliveries_ = 0;
+};
+
+}  // namespace nicmcast::net

@@ -1,0 +1,291 @@
+// Sharded conservative-synchronization PDES engine.
+//
+// N independent Simulators (one timing wheel, RNG stream, and clock each)
+// advance in lockstep LBTS rounds on worker threads:
+//
+//   1. drain   — each shard empties its inbound SPSC channels, sorts the
+//                messages by (when, src_shard, send_seq), and schedules
+//                them locally.  The sort makes local seq assignment — and
+//                therefore each shard's event_order_hash — independent of
+//                thread timing.
+//   2. reduce  — each shard publishes its earliest pending event time;
+//                after a barrier, worker 0 folds them into
+//                LBTS = min over shards, and the safe horizon is
+//                LBTS + lookahead.
+//   3. execute — each shard runs every event strictly BEFORE the horizon
+//                (Simulator::run_before).  Cross-shard sends made while
+//                executing must carry `when >= sender_now + lookahead`,
+//                which post() enforces; combined with events never running
+//                before LBTS, every send lands at or past the horizon, so
+//                no shard can receive an event in its own past.
+//
+// The engine terminates when LBTS is +inf (every queue empty and no
+// message in flight — channels are always fully drained at a round start,
+// so emptiness of the queues implies emptiness of the system).
+//
+// Determinism: with shard count fixed, the executed (when, seq) order of
+// every shard is a pure function of the initial events and seeds — the
+// drain sort removes the only interleaving-dependent input.  Across
+// different shard counts the per-shard hash vector changes (seq values are
+// assigned per queue); goldens therefore pin one vector per shard count.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <barrier>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
+#include "sim/spsc_channel.hpp"
+#include "sim/time.hpp"
+
+namespace nicmcast::sim {
+
+class ShardedEngine {
+ public:
+  /// Sentinel "no pending work" LBTS contribution.
+  static constexpr TimePoint kNever{std::numeric_limits<std::int64_t>::max()};
+
+  /// Per-shard synchronization counters, reported through RunResult.
+  struct ShardStats {
+    std::uint64_t cross_shard_msgs_sent = 0;
+    std::uint64_t cross_shard_msgs_received = 0;
+    std::uint64_t horizon_stalls = 0;  // rounds this shard ran zero events
+    std::uint64_t channel_spills = 0;  // sends that overflowed the ring
+  };
+
+  ShardedEngine(std::size_t shard_count, Duration lookahead,
+                std::uint64_t base_seed = 0x9e3779b97f4a7c15ULL)
+      : lookahead_(lookahead) {
+    if (shard_count == 0) {
+      throw std::invalid_argument("ShardedEngine: shard_count must be >= 1");
+    }
+    if (lookahead <= Duration{0}) {
+      // Zero lookahead collapses the safe horizon onto LBTS itself and the
+      // engine cannot guarantee progress; conservative PDES requires a
+      // strictly positive cross-shard latency floor.
+      throw std::invalid_argument("ShardedEngine: lookahead must be > 0");
+    }
+    shards_.reserve(shard_count);
+    for (std::size_t i = 0; i < shard_count; ++i) {
+      // Distinct odd seeds per shard: each wheel owns an independent
+      // deterministic RNG stream, as the determinism contract requires.
+      shards_.push_back(std::make_unique<Shard>(
+          base_seed + 0x2545f4914f6cdd1dULL * (i + 1)));
+    }
+    channels_.resize(shard_count * shard_count);
+    for (std::size_t from = 0; from < shard_count; ++from) {
+      for (std::size_t to = 0; to < shard_count; ++to) {
+        if (from != to) {
+          channels_[from * shard_count + to] =
+              std::make_unique<Channel>();
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  [[nodiscard]] Duration lookahead() const { return lookahead_; }
+  [[nodiscard]] Simulator& shard(std::size_t i) { return shards_.at(i)->sim; }
+
+  /// Schedules `action` on shard `to` at absolute time `when`.  Same-shard
+  /// posts schedule directly; cross-shard posts must respect the lookahead
+  /// (when >= sender's now + lookahead) and travel through the channel
+  /// matrix.  May only be called from shard `from`'s worker thread while
+  /// run() is executing that shard (or from any thread before run()).
+  void post(std::size_t from, std::size_t to, TimePoint when,
+            EventQueue::Action action) {
+    if (from >= shards_.size() || to >= shards_.size()) {
+      throw std::out_of_range("ShardedEngine::post: bad shard index");
+    }
+    if (from == to) {
+      shards_[to]->sim.schedule_at(when, std::move(action));
+      return;
+    }
+    if (when < shards_[from]->sim.now() + lookahead_) {
+      throw std::logic_error(
+          "ShardedEngine::post: cross-shard send inside the lookahead "
+          "window — the conservative horizon would be violated");
+    }
+    Channel& ch = *channels_[from * shards_.size() + to];
+    CrossMsg msg;
+    msg.when = when;
+    msg.seq = ch.send_seq++;
+    msg.src = static_cast<std::uint32_t>(from);
+    msg.action = std::move(action);
+    ++shards_[from]->stats.cross_shard_msgs_sent;
+    if (!ch.ring.try_push(std::move(msg))) {
+      // Producer-owned spill: the round barrier orders this hand-off, so
+      // the vector needs no synchronization of its own.
+      ch.spill.push_back(std::move(msg));
+      ++shards_[from]->stats.channel_spills;
+    }
+  }
+
+  /// Runs every shard to completion.  Worker 0 executes on the calling
+  /// thread; shards 1..N-1 get their own threads.  Rethrows the first
+  /// shard failure (by shard order) after all workers have stopped.
+  void run() {
+    const std::size_t n = shards_.size();
+    errors_.assign(n, nullptr);
+    std::barrier sync(static_cast<std::ptrdiff_t>(n));
+    {
+      std::vector<std::jthread> workers;
+      workers.reserve(n - 1);
+      for (std::size_t i = 1; i < n; ++i) {
+        workers.emplace_back([this, &sync, i] { worker_loop(sync, i); });
+      }
+      worker_loop(sync, 0);
+    }  // jthreads join here
+    for (std::size_t i = 0; i < n; ++i) {
+      if (errors_[i]) std::rethrow_exception(errors_[i]);
+    }
+  }
+
+  [[nodiscard]] std::uint64_t lbts_rounds() const { return lbts_rounds_; }
+
+  [[nodiscard]] const ShardStats& shard_stats(std::size_t i) const {
+    return shards_.at(i)->stats;
+  }
+
+  /// The per-shard determinism contract: each shard's executed-order hash,
+  /// in shard order.  Goldens pin this vector per (scenario, shard count).
+  [[nodiscard]] std::vector<std::uint64_t> shard_order_hashes() const {
+    std::vector<std::uint64_t> hashes;
+    hashes.reserve(shards_.size());
+    for (const auto& s : shards_) {
+      hashes.push_back(s->sim.event_order_hash());
+    }
+    return hashes;
+  }
+
+  /// FNV-1a fold of the per-shard hashes in shard order — one pinnable
+  /// value for bench JSON, same construction as EventQueue::order_hash.
+  [[nodiscard]] std::uint64_t merged_order_hash() const {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const auto& s : shards_) {
+      std::uint64_t v = s->sim.event_order_hash();
+      for (int byte = 0; byte < 8; ++byte) {
+        h ^= (v >> (byte * 8)) & 0xffU;
+        h *= 0x100000001b3ULL;
+      }
+    }
+    return h;
+  }
+
+ private:
+  struct CrossMsg {
+    TimePoint when{0};
+    std::uint64_t seq = 0;   // per-channel send counter: the merge tiebreak
+    std::uint32_t src = 0;
+    EventQueue::Action action;
+  };
+
+  struct Channel {
+    SpscChannel<CrossMsg> ring{1024};
+    std::vector<CrossMsg> spill;     // producer-owned overflow
+    std::uint64_t send_seq = 0;      // producer-owned
+  };
+
+  struct Shard {
+    explicit Shard(std::uint64_t seed) : sim(seed) {}
+    Simulator sim;
+    ShardStats stats;
+    // Written by the owning worker in the reduce phase, read by worker 0
+    // after the barrier — the barrier provides the happens-before edge.
+    TimePoint local_min{0};
+    alignas(64) char pad_[1]{};  // keep shard hot state off shared lines
+  };
+
+  void worker_loop(std::barrier<>& sync, std::size_t me) {
+    Shard& my = *shards_[me];
+    std::vector<CrossMsg> pending;
+    while (true) {
+      // ---- Phase 1: drain inbound channels, deterministic merge ----
+      pending.clear();
+      try {
+        for (std::size_t src = 0; src < shards_.size(); ++src) {
+          if (src == me) continue;
+          Channel& ch = *channels_[src * shards_.size() + me];
+          CrossMsg msg;
+          while (ch.ring.try_pop(msg)) pending.push_back(std::move(msg));
+          for (CrossMsg& spilled : ch.spill) {
+            pending.push_back(std::move(spilled));
+          }
+          ch.spill.clear();
+        }
+        std::sort(pending.begin(), pending.end(),
+                  [](const CrossMsg& a, const CrossMsg& b) {
+                    if (a.when != b.when) return a.when < b.when;
+                    if (a.src != b.src) return a.src < b.src;
+                    return a.seq < b.seq;
+                  });
+        my.stats.cross_shard_msgs_received += pending.size();
+        for (CrossMsg& msg : pending) {
+          my.sim.schedule_at(msg.when, std::move(msg.action));
+        }
+      } catch (...) {
+        fail(me);
+      }
+      // ---- Phase 2: publish LBTS contribution ----
+      my.local_min =
+          my.sim.pending_events() > 0 ? my.sim.next_event_time() : kNever;
+      sync.arrive_and_wait();
+      if (me == 0) {
+        TimePoint lbts = kNever;
+        for (const auto& s : shards_) {
+          if (s->local_min < lbts) lbts = s->local_min;
+        }
+        if (lbts == kNever || abort_.load(std::memory_order_relaxed)) {
+          done_ = true;
+        } else {
+          horizon_ = lbts + lookahead_;
+          ++lbts_rounds_;
+        }
+      }
+      sync.arrive_and_wait();
+      if (done_) break;
+      // ---- Phase 3: execute strictly below the safe horizon ----
+      try {
+        const std::size_t executed = my.sim.run_before(horizon_);
+        if (executed == 0 && my.sim.pending_events() > 0) {
+          // This shard's earliest event sits exactly at or beyond the
+          // horizon (the lookahead-edge case); it waits for the next round.
+          ++my.stats.horizon_stalls;
+        }
+      } catch (...) {
+        fail(me);
+      }
+      sync.arrive_and_wait();
+    }
+  }
+
+  /// Records the shard's failure and trips the abort flag.  The worker
+  /// keeps participating in barriers so no peer deadlocks; worker 0 folds
+  /// the flag into `done` at the next reduce.
+  void fail(std::size_t me) {
+    if (!errors_[me]) errors_[me] = std::current_exception();
+    abort_.store(true, std::memory_order_relaxed);
+  }
+
+  Duration lookahead_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::unique_ptr<Channel>> channels_;  // [from * N + to]
+  std::vector<std::exception_ptr> errors_;
+  std::atomic<bool> abort_{false};
+  // Written by worker 0 between barriers; read by all after — race-free.
+  TimePoint horizon_{0};
+  bool done_ = false;
+  std::uint64_t lbts_rounds_ = 0;
+};
+
+}  // namespace nicmcast::sim

@@ -128,7 +128,25 @@ class Simulator {
 
   bool run_for(Duration d) { return run_until(now_ + d); }
 
+  /// Runs every event strictly before `horizon` and returns how many ran.
+  /// Unlike run_until, the clock is NOT advanced to the horizon: the next
+  /// safe horizon of a conservative PDES round is a bound on other shards'
+  /// sends, not a statement that this shard reached that instant.
+  std::size_t run_before(TimePoint horizon) {
+    std::size_t executed = 0;
+    while (!queue_.empty() && queue_.next_time() < horizon) {
+      step();
+      ++executed;
+    }
+    rethrow_failure();
+    return executed;
+  }
+
   [[nodiscard]] std::size_t pending_events() { return queue_.size(); }
+
+  /// Earliest pending event time.  Precondition: pending_events() > 0.
+  /// The sharded engine publishes this as the shard's LBTS contribution.
+  [[nodiscard]] TimePoint next_event_time() { return queue_.next_time(); }
 
   /// Event-queue throughput/allocation counters for this run.
   [[nodiscard]] const EventQueue::Stats& queue_stats() const {

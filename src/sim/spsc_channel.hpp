@@ -1,0 +1,79 @@
+// Bounded single-producer / single-consumer channel.
+//
+// The inter-shard message fabric of the sharded PDES engine
+// (sim/sharded_engine.hpp): each ordered shard pair owns one channel, the
+// source shard's worker is the only producer and the destination shard's
+// worker the only consumer.  The ring is a fixed-capacity power-of-two
+// array with acquire/release head/tail counters — no locks, no allocation
+// on the push/pop path.  A full ring spills to a producer-owned overflow
+// vector; the engine's round barrier orders every spill hand-off (messages
+// are produced strictly inside an execution phase and consumed strictly
+// after the following barrier), so the spill path needs no atomics at all.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace nicmcast::sim {
+
+/// Bounded lock-free SPSC ring.  T must be default-constructible and
+/// movable.  Exactly one thread may push and exactly one may pop; the
+/// sharded engine's channel matrix guarantees that by construction.
+template <typename T>
+class SpscChannel {
+ public:
+  explicit SpscChannel(std::size_t capacity = 1024)
+      : ring_(round_up_pow2(capacity)), mask_(ring_.size() - 1) {}
+
+  SpscChannel(const SpscChannel&) = delete;
+  SpscChannel& operator=(const SpscChannel&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const { return ring_.size(); }
+
+  /// Producer side.  Returns false when the ring is full (the caller spills
+  /// or retries); never blocks.
+  [[nodiscard]] bool try_push(T&& value) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    if (tail - head == ring_.size()) return false;
+    ring_[tail & mask_] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side.  Moves the oldest element into `out`; false when empty.
+  [[nodiscard]] bool try_pop(T& out) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    if (head == tail) return false;
+    out = std::move(ring_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer-side view; exact for the consumer (the producer can only make
+  /// it grow).
+  [[nodiscard]] bool empty() const {
+    return head_.load(std::memory_order_relaxed) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+ private:
+  static std::size_t round_up_pow2(std::size_t n) {
+    std::size_t p = 1;
+    while (p < n) p <<= 1;
+    return p < 2 ? 2 : p;
+  }
+
+  std::vector<T> ring_;
+  std::size_t mask_;
+  // Monotonic counters; wrap-around of uint64 is out of reach.  Separate
+  // cache lines keep producer stores from bouncing the consumer's line.
+  alignas(64) std::atomic<std::uint64_t> head_{0};
+  alignas(64) std::atomic<std::uint64_t> tail_{0};
+};
+
+}  // namespace nicmcast::sim

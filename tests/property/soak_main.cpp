@@ -17,12 +17,85 @@
 
 #include "harness/bench_io.hpp"
 #include "harness/parallel_runner.hpp"
+#include "harness/run_spec.hpp"
+#include "harness/runners.hpp"
 #include "sim/stats.hpp"
 #include "soak.hpp"
 
 namespace {
 
 constexpr int kDefaultScenarios = 1000;
+
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// With --shards N (N > 1), every scenario additionally runs a sharded-
+/// fabric cross-check: the same seeded multicast on the PDES fabric at 1
+/// shard and at a per-scenario random shard count in [2, N], asserting the
+/// shard-count-invariance half of the determinism contract (identical
+/// deliveries and protocol totals).  The derivation uses its own mix of the
+/// scenario seed, so soak::make_spec's RNG stream — and with it every
+/// pinned soak golden — is untouched.
+struct ShardCheck {
+  bool ok = true;
+  std::size_t shards = 0;
+  std::string failure;
+};
+
+ShardCheck run_sharded_crosscheck(std::uint64_t seed,
+                                  std::size_t max_shards) {
+  using namespace nicmcast;
+  ShardCheck check;
+  check.shards = 2 + mix64(seed ^ 0x5aad) % (max_shards - 1);
+
+  harness::RunSpec spec;
+  spec.experiment = harness::Experiment::kGmMulticast;
+  spec.nodes = 24 + mix64(seed ^ 0xfab) % 233;  // 24..256 endpoints
+  spec.wiring = harness::Wiring::kClos;
+  spec.switch_radix = 16;
+  spec.message_bytes = std::size_t{1} << (6 + mix64(seed ^ 0xb17e5) % 6);
+  spec.tree = (mix64(seed ^ 0x7ee) & 1) != 0
+                  ? harness::TreeShape::kBinomial
+                  : harness::TreeShape::kChain;
+  spec.loss_rate = static_cast<double>(mix64(seed ^ 0x1055) % 4) * 0.01;
+  spec.warmup = 0;
+  spec.iterations = 1;
+  spec.seed = seed;
+
+  spec.shards = 1;
+  const harness::RunResult base = harness::run_sharded_mcast(spec);
+  spec.shards = check.shards;
+  const harness::RunResult sharded = harness::run_sharded_mcast(spec);
+
+  const auto mismatch = [&](const char* what, std::uint64_t a,
+                            std::uint64_t b) {
+    if (a == b) return;
+    check.ok = false;
+    check.failure += std::string(what) + " " + std::to_string(a) +
+                     " != " + std::to_string(b) + " at " +
+                     std::to_string(check.shards) + " shards; ";
+  };
+  mismatch("deliveries",
+           static_cast<std::uint64_t>(base.metric("deliveries")),
+           static_cast<std::uint64_t>(sharded.metric("deliveries")));
+  mismatch("packets_sent", base.nic_totals.packets_sent,
+           sharded.nic_totals.packets_sent);
+  mismatch("retransmissions", base.nic_totals.retransmissions,
+           sharded.nic_totals.retransmissions);
+  mismatch("crc_drops", base.nic_totals.crc_drops,
+           sharded.nic_totals.crc_drops);
+  mismatch("acks_sent", base.nic_totals.acks_sent,
+           sharded.nic_totals.acks_sent);
+  if (base.metric("delivered") != 1.0 || sharded.metric("delivered") != 1.0) {
+    check.ok = false;
+    check.failure += "incomplete delivery; ";
+  }
+  return check;
+}
 
 }  // namespace
 
@@ -56,13 +129,21 @@ int main(int argc, char** argv) {
 
   // The runner re-derives the same seeds; keep derive_seeds on so --threads
   // never changes which scenario an index maps to.
+  const std::size_t max_shards = options.shards;
   const harness::ParallelRunner runner(harness::runner_options(options));
   const std::vector<harness::RunResult> results =
-      runner.run(specs, [](const harness::RunSpec& spec) {
+      runner.run(specs, [max_shards](const harness::RunSpec& spec) {
         const soak::SoakResult r = soak::run_soak_seed(spec.seed);
         harness::RunResult out;
         out.spec = spec;
         out.set_metric("ok", r.ok ? 1.0 : 0.0);
+        if (max_shards > 1) {
+          const ShardCheck check =
+              run_sharded_crosscheck(spec.seed, max_shards);
+          out.set_metric("sharded_ok", check.ok ? 1.0 : 0.0);
+          out.set_metric("sharded_shards",
+                         static_cast<double>(check.shards));
+        }
         out.set_metric("retransmissions",
                        static_cast<double>(r.retransmissions));
         out.set_metric("conn_resets", static_cast<double>(r.conn_resets));
@@ -77,11 +158,15 @@ int main(int argc, char** argv) {
 
   std::map<std::string, sim::OnlineStats> retx_per_family;
   std::vector<std::uint64_t> failed_seeds;
+  std::vector<std::uint64_t> sharded_failed_seeds;
   for (const harness::RunResult& result : results) {
     sim::OnlineStats one;
     one.add(result.metric("retransmissions"));
     retx_per_family[result.spec.label].merge(one);
     if (result.metric("ok") != 1.0) failed_seeds.push_back(result.spec.seed);
+    if (result.metric("sharded_ok", 1.0) != 1.0) {
+      sharded_failed_seeds.push_back(result.spec.seed);
+    }
   }
 
   sim::OnlineStats total;
@@ -93,13 +178,25 @@ int main(int argc, char** argv) {
   std::printf("  %-18s %5zu scenarios, %zu failed | retx mean %7.1f\n",
               "total", total.count(), failed_seeds.size(), total.mean());
 
+  if (max_shards > 1) {
+    std::printf("  %-18s %5zu scenarios, %zu failed (shards 2..%zu)\n",
+                "sharded x-check", results.size(),
+                sharded_failed_seeds.size(), max_shards);
+  }
+
   for (const std::uint64_t seed : failed_seeds) {
     // Deterministic: replaying the seed reproduces and shrinks the failure.
     const soak::SoakResult r = soak::run_soak_seed(seed);
     std::printf("FAIL seed %llu: %s\n",
                 static_cast<unsigned long long>(seed), r.failure.c_str());
   }
+  for (const std::uint64_t seed : sharded_failed_seeds) {
+    const ShardCheck check = run_sharded_crosscheck(seed, max_shards);
+    std::printf("SHARDED FAIL seed %llu: %s\n",
+                static_cast<unsigned long long>(seed),
+                check.failure.c_str());
+  }
 
   harness::write_bench_json("soak", options, results);
-  return failed_seeds.empty() ? 0 : 1;
+  return failed_seeds.empty() && sharded_failed_seeds.empty() ? 0 : 1;
 }

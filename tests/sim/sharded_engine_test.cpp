@@ -1,0 +1,196 @@
+#include "sim/sharded_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace nicmcast::sim {
+namespace {
+
+constexpr Duration kLookahead = usec(1);
+
+void hop(ShardedEngine& engine, std::size_t at, int remaining);
+
+constexpr TimePoint t_us(double us) { return TimePoint{0} + usec(us); }
+
+TEST(ShardedEngine, RejectsDegenerateConfigs) {
+  EXPECT_THROW(ShardedEngine(0, kLookahead), std::invalid_argument);
+  EXPECT_THROW(ShardedEngine(2, Duration{0}), std::invalid_argument);
+  EXPECT_THROW(ShardedEngine(2, Duration{-1}), std::invalid_argument);
+}
+
+TEST(ShardedEngine, SingleShardRunsLikeAPlainSimulator) {
+  ShardedEngine engine(1, kLookahead);
+  std::vector<int> order;
+  engine.shard(0).schedule_at(t_us(5), [&] { order.push_back(2); });
+  engine.shard(0).schedule_at(t_us(1), [&] { order.push_back(1); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+
+  // Identical schedule on a plain Simulator: same executed-order hash.
+  Simulator seq;
+  seq.schedule_at(t_us(5), [] {});
+  seq.schedule_at(t_us(1), [] {});
+  seq.run();
+  EXPECT_EQ(engine.shard(0).event_order_hash(), seq.event_order_hash());
+}
+
+TEST(ShardedEngine, CrossShardDeliveryLandsAtRequestedTime) {
+  ShardedEngine engine(2, kLookahead);
+  TimePoint delivered{-1};
+  engine.shard(0).schedule_at(t_us(2), [&] {
+    engine.post(0, 1, engine.shard(0).now() + kLookahead, [&] {
+      delivered = engine.shard(1).now();
+    });
+  });
+  engine.run();
+  EXPECT_EQ(delivered, TimePoint{0} + usec(3));
+  EXPECT_EQ(engine.shard_stats(0).cross_shard_msgs_sent, 1u);
+  EXPECT_EQ(engine.shard_stats(1).cross_shard_msgs_received, 1u);
+  EXPECT_GE(engine.lbts_rounds(), 2u);
+}
+
+TEST(ShardedEngine, PostInsideLookaheadWindowThrows) {
+  ShardedEngine engine(2, kLookahead);
+  engine.shard(0).schedule_at(t_us(2), [&] {
+    // 0.5us ahead < 1us lookahead: the conservative contract is violated.
+    engine.post(0, 1, engine.shard(0).now() + usec(0.5), [] {});
+  });
+  EXPECT_THROW(engine.run(), std::logic_error);
+}
+
+TEST(ShardedEngine, SameShardPostIgnoresLookahead) {
+  ShardedEngine engine(2, kLookahead);
+  bool ran = false;
+  engine.shard(0).schedule_at(t_us(2), [&] {
+    engine.post(0, 0, engine.shard(0).now(), [&] { ran = true; });
+  });
+  engine.run();
+  EXPECT_TRUE(ran);
+}
+
+// The lookahead edge: an event scheduled EXACTLY at the safe horizon of a
+// round must not run in that round — it waits for the next LBTS advance.
+TEST(ShardedEngine, EventExactlyAtHorizonWaitsForNextRound) {
+  ShardedEngine engine(2, kLookahead);
+  // Shard 0's only event is at t=10us, so round 1 has LBTS=10us and
+  // horizon=11us.  Shard 1 holds events at exactly 11us (the horizon — must
+  // stall) and at 12us.
+  std::vector<int> order;
+  engine.shard(0).schedule_at(t_us(10), [&] { order.push_back(0); });
+  engine.shard(1).schedule_at(t_us(11), [&] { order.push_back(1); });
+  engine.shard(1).schedule_at(t_us(12), [&] { order.push_back(2); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  // Round 1: shard 1 ran nothing (11us >= horizon 11us) — a horizon stall.
+  EXPECT_GE(engine.shard_stats(1).horizon_stalls, 1u);
+  EXPECT_GE(engine.lbts_rounds(), 2u);
+}
+
+// Cross-shard in-flight cancel: shard 0 arms a local retransmit timer and
+// sends a packet to shard 1; shard 1 acks back; the ack cancels the timer
+// before it fires.  This is the ARQ shape the sharded fabric relies on.
+TEST(ShardedEngine, CrossShardAckCancelsInFlightTimer) {
+  ShardedEngine engine(2, kLookahead);
+  bool timer_fired = false;
+  bool acked = false;
+  EventId timer{};
+  engine.shard(0).schedule_at(t_us(1), [&] {
+    Simulator& s0 = engine.shard(0);
+    timer = s0.schedule_at(s0.now() + usec(100), [&] { timer_fired = true; });
+    engine.post(0, 1, s0.now() + kLookahead, [&] {
+      Simulator& s1 = engine.shard(1);
+      engine.post(1, 0, s1.now() + kLookahead, [&] {
+        acked = true;
+        EXPECT_TRUE(engine.shard(0).cancel(timer));
+      });
+    });
+  });
+  engine.run();
+  EXPECT_TRUE(acked);
+  EXPECT_FALSE(timer_fired);
+  EXPECT_EQ(engine.shard_stats(0).cross_shard_msgs_sent, 1u);
+  EXPECT_EQ(engine.shard_stats(1).cross_shard_msgs_sent, 1u);
+}
+
+// A ping-pong storm across 4 shards, run twice: per-shard hash vectors and
+// counters must be bit-identical — thread scheduling may not leak into the
+// executed order.
+TEST(ShardedEngine, RepeatableAcrossRunsWithFourShards) {
+  auto run_once = [](std::vector<std::uint64_t>& hashes,
+                     std::uint64_t& merged, std::uint64_t& rounds) {
+    ShardedEngine engine(4, kLookahead);
+    // Every shard seeds a chain that hops to the next shard 50 times.
+    for (std::size_t s = 0; s < 4; ++s) {
+      engine.shard(s).schedule_at(t_us(static_cast<double>(s + 1)),
+                                  [&engine, s] { hop(engine, s, 50); });
+    }
+    engine.run();
+    hashes = engine.shard_order_hashes();
+    merged = engine.merged_order_hash();
+    rounds = engine.lbts_rounds();
+  };
+
+  std::vector<std::uint64_t> h1, h2;
+  std::uint64_t m1 = 0, m2 = 0, r1 = 0, r2 = 0;
+  run_once(h1, m1, r1);
+  run_once(h2, m2, r2);
+  EXPECT_EQ(h1, h2);
+  EXPECT_EQ(m1, m2);
+  EXPECT_EQ(r1, r2);
+  ASSERT_EQ(h1.size(), 4u);
+}
+
+TEST(ShardedEngine, ShardFailurePropagatesWithoutDeadlock) {
+  ShardedEngine engine(4, kLookahead);
+  engine.shard(2).schedule_at(t_us(5), [] {
+    throw std::runtime_error("shard 2 exploded");
+  });
+  // Keep the other shards busy so they are inside execute when it throws.
+  for (std::size_t s = 0; s < 4; ++s) {
+    if (s == 2) continue;
+    engine.shard(s).schedule_at(t_us(1), [] {});
+    engine.shard(s).schedule_at(t_us(1000), [] {});
+  }
+  EXPECT_THROW(engine.run(), std::runtime_error);
+}
+
+// Channel-spill path: more in-flight messages in one round than the ring
+// holds.  The spill vector must preserve the deterministic merge.
+TEST(ShardedEngine, RingOverflowSpillsDeterministically) {
+  constexpr int kBurst = 3000;  // ring capacity is 1024
+  auto run_once = [](std::uint64_t& spills) {
+    ShardedEngine engine(2, kLookahead);
+    engine.shard(0).schedule_at(t_us(1), [&engine] {
+      Simulator& s0 = engine.shard(0);
+      for (int i = 0; i < kBurst; ++i) {
+        engine.post(0, 1, s0.now() + kLookahead + nsec(i), [] {});
+      }
+    });
+    engine.run();
+    spills = engine.shard_stats(0).channel_spills;
+    EXPECT_EQ(engine.shard_stats(1).cross_shard_msgs_received,
+              static_cast<std::uint64_t>(kBurst));
+    return engine.shard_order_hashes();
+  };
+  std::uint64_t spills1 = 0, spills2 = 0;
+  const auto h1 = run_once(spills1);
+  const auto h2 = run_once(spills2);
+  EXPECT_EQ(h1, h2);
+  EXPECT_EQ(spills1, spills2);
+  EXPECT_GE(spills1, static_cast<std::uint64_t>(kBurst) - 1024);
+}
+
+void hop(ShardedEngine& engine, std::size_t at, int remaining) {
+  if (remaining == 0) return;
+  const std::size_t next = (at + 1) % engine.shard_count();
+  engine.post(at, next, engine.shard(at).now() + kLookahead,
+              [&engine, next, remaining] { hop(engine, next, remaining - 1); });
+}
+
+}  // namespace
+}  // namespace nicmcast::sim
