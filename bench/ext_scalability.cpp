@@ -169,10 +169,11 @@ void run_sharded_sweep(const BenchOptions& options,
     std::size_t nodes;
     std::size_t shards;
   };
-  // shards == 1 points are the classic-engine baselines.  65536 has no
-  // classic baseline on purpose: net::NodeId is 16-bit, and the coroutine
-  // cluster stack tops out one node short of it — reaching 65536 endpoints
-  // is exactly what the sharded fabric exists for.
+  // shards == 1 points are the classic-engine baselines.  65536 keeps no
+  // classic baseline: it dates from the 16-bit NodeId days (the coroutine
+  // stack topped out one node short), and re-baselining now would redate
+  // every recorded comparison — the widened id is covered by the multisend
+  // family sweep below instead.
   const std::vector<Point> points{
       {512, 1},   {512, 4},                              // CI-pinned pair
       {4096, 1},  {4096, 4},
@@ -194,6 +195,93 @@ void run_sharded_sweep(const BenchOptions& options,
     std::printf("%11zux16-s%-2zu | %10.0f | %9.1f | %12.0f | %11llu | %9llu\n",
                 nodes, effective, r.metric("events"), r.metric("wall_ms"),
                 r.metric("events_per_sec"),
+                static_cast<unsigned long long>(r.engine.cross_shard_msgs),
+                static_cast<unsigned long long>(r.engine.lbts_rounds));
+    results.push_back(std::move(r));
+  }
+  if (skipped > 0) {
+    std::printf("  (%zu points above --max-nodes %zu skipped)\n", skipped,
+                options.max_nodes);
+  }
+}
+
+/// One migrated-coroutine-family point: the paper's flat NIC-based
+/// multisend (Fig. 3's star, no forwarding) on the sharded fabric.
+/// shards == 1 dispatches to the classic gm::Cluster coroutine stack, the
+/// bit-identical baseline; `batch` additionally turns on the batched
+/// per-shard LBTS horizons, whose only observable is fewer barrier rounds
+/// ("-bh" label suffix; lbts_rounds in the JSON carries the before/after).
+RunResult run_multisend_point(const BenchOptions& options, std::size_t nodes,
+                              std::size_t radix, std::size_t shards,
+                              bool batch) {
+  RunSpec spec;
+  spec.experiment = Experiment::kMultisend;
+  spec.label = "msend-" + std::to_string(nodes) + "x" + std::to_string(radix) +
+               "-s" + std::to_string(shards) + (batch ? "-bh" : "");
+  spec.nodes = nodes;
+  spec.destinations = nodes - 1;
+  spec.wiring = Wiring::kClos;
+  spec.switch_radix = radix;
+  spec.message_bytes = 512;
+  spec.algo = Algo::kNicBased;
+  spec.warmup = 1;
+  spec.iterations = 2;
+  spec.shards = shards;
+  spec.batch_horizons = batch;
+  // Seeded per node count, like the pshard points: every shard count (and
+  // both horizon modes) of one fabric answers for the same seeded scenario.
+  spec.seed = derive_seed(options.base_seed, 5000 + nodes);
+
+  // NOLINTNEXTLINE(nicmcast-wall-clock): host wall time measures bench throughput, not simulated time
+  const auto start = std::chrono::steady_clock::now();
+  RunResult result = run_one(spec);
+  const double wall_s =
+      // NOLINTNEXTLINE(nicmcast-wall-clock): host wall time measures bench throughput, not simulated time
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  const auto events = static_cast<double>(result.engine.events_executed);
+  result.set_metric("events", events);
+  result.set_metric("wall_ms", wall_s * 1e3);
+  result.set_metric("events_per_sec", events / wall_s);
+  result.set_metric("peak_rss_kb", static_cast<double>(peak_rss_kb()));
+  result.set_metric("full_pairs",
+                    static_cast<double>(nodes) *
+                        static_cast<double>(nodes - 1));
+  return result;
+}
+
+void run_family_sweep(const BenchOptions& options,
+                      std::vector<RunResult>& results) {
+  struct Point {
+    std::size_t nodes;
+    std::size_t shards;
+    bool batch;
+  };
+  // The msend-512 s1/s4 pair is CI-pinned like the pshard pair.  16384 and
+  // 65536 document the migrated family at fabric sizes the coroutine stack
+  // reaches slowly (16384) or only since the 32-bit NodeId (65536); the
+  // "-bh" twins rerun the same seeded scenario with batched horizons, so
+  // the lbts_rounds delta in the JSON is the LBTS-batching report.
+  const std::vector<Point> points{
+      {512, 1, false},   {512, 4, false},                 // CI-pinned pair
+      {16384, 1, false}, {16384, 4, false}, {16384, 4, true},
+      {65536, 4, false}, {65536, 4, true},
+  };
+
+  std::printf("\n%19s | %10s | %9s | %12s | %11s | %9s\n", "multisend point",
+              "events", "wall ms", "events/s", "x-shard msg", "lbts rnds");
+  std::size_t skipped = 0;
+  for (const auto& [nodes, shards, batch] : points) {
+    if (options.max_nodes != 0 && nodes > options.max_nodes) {
+      ++skipped;
+      continue;
+    }
+    const std::size_t effective = options.shards_or(shards);
+    RunResult r = run_multisend_point(options, nodes, 16, effective, batch);
+    std::printf("%11zux16-s%zu%-3s | %10.0f | %9.1f | %12.0f | %11llu | %9llu\n",
+                nodes, effective, batch ? "-bh" : "", r.metric("events"),
+                r.metric("wall_ms"), r.metric("events_per_sec"),
                 static_cast<unsigned long long>(r.engine.cross_shard_msgs),
                 static_cast<unsigned long long>(r.engine.lbts_rounds));
     results.push_back(std::move(r));
@@ -293,6 +381,14 @@ void run(const BenchOptions& options) {
       "classic sequential engine, s>1 = the sharded fabric "
       "(DESIGN.md 4.5).");
   run_sharded_sweep(options, results);
+
+  print_header(
+      "Extension — migrated-family sharded sweep (flat multisend, 512 -> "
+      "65536-node Clos)",
+      "The coroutine experiment families on the conservative-PDES fabric "
+      "(DESIGN.md 4.6): s1 = the gm::Cluster stack, s>1 = the sharded "
+      "fabric; -bh = batched LBTS horizons.");
+  run_family_sweep(options, results);
 
   write_bench_json("ext_scalability", options, results);
 }

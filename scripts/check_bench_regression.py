@@ -28,11 +28,18 @@ routes_materialized must stay >= 10x below the all-pairs route count
 (full_pairs), the lazy-RouteTable guarantee the 4096-node sweep exists to
 demonstrate.  Missing unpinned points are fine; missing pinned points fail.
 
-Sharded scenarios (the "pshard-<nodes>x<radix>-s<shards>" labels from the
---shards axis): a baseline entry that records "shard_order_hashes" also
-pins the full per-shard hash vector exactly — the sharded half of the
-determinism contract.  The merged event_order_hash check covers the fold;
-the vector check localises a divergence to the shard that re-timed.
+Sharded scenarios (the "pshard-<nodes>x<radix>-s<shards>" and
+"msend-<nodes>x<radix>-s<shards>" labels from the --shards axis): a
+baseline entry that records "shard_order_hashes" also pins the full
+per-shard hash vector exactly — the sharded half of the determinism
+contract.  The merged event_order_hash check covers the fold; the vector
+check localises a divergence to the shard that re-timed.
+
+--scale mode also sanity-checks the whole baseline trajectory, not just
+the entry it gates against: every recorded sharded scenario must pin a
+hash vector consistent with its shard count.  Entries recorded before the
+shards axis existed carry no sharded counters at all — that is legal
+history and is skipped, never failed.
 """
 import json
 import sys
@@ -83,6 +90,30 @@ def check_route_memory(label, run, failures):
             f"{ROUTE_FACTOR}x below the {full_pairs:,.0f} all-pairs table")
 
 
+def check_trajectory_history(trajectory, failures):
+    """Validate the sharded pins across the whole recorded trajectory.
+
+    Pre-shards-axis entries record no sharded counters (no "shards" field,
+    or a sharded label without "shard_order_hashes" — shards == 1 runs on
+    the sequential engine and never has a vector).  Those entries are
+    history, not breakage: skip them.  An entry that does pin a vector must
+    pin one hash per shard, or the golden can never be matched.
+    """
+    for i, entry in enumerate(trajectory):
+        for label, want in entry["scenarios"].items():
+            shards = want.get("shards", 0)
+            vector = want.get("shard_order_hashes")
+            if shards <= 1 or vector is None:
+                if shards > 1:
+                    print(f"trajectory[{i}] {label}: recorded before "
+                          f"sharded counters existed -> skipped")
+                continue
+            if len(vector) != shards:
+                failures.append(
+                    f"trajectory[{i}] {label}: pins {len(vector)} shard "
+                    f"hashes for {shards} shards; the golden is unmatchable")
+
+
 def main() -> int:
     args = sys.argv[1:]
     scale_mode = "--scale" in args
@@ -98,6 +129,8 @@ def main() -> int:
     fresh = {run["spec"]["label"]: run for run in fresh_doc["runs"]}
 
     failures = []
+    if scale_mode:
+        check_trajectory_history(baseline_doc["trajectory"], failures)
     for label, want in recorded.items():
         run = fresh.get(label)
         pinned = want.get("pinned", True)

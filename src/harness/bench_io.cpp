@@ -26,11 +26,16 @@ namespace {
                "  --max-nodes M skip sweep points above M nodes (0 = no "
                "cap; used by CI\n"
                "                to keep the scale sweep fast)\n"
-               "  --shards P    run gm_mcast points on the sharded PDES "
-               "engine with P\n"
-               "                shards (0 = each point's default; 1 = the "
-               "classic\n"
-               "                sequential engine, bit-identical output)\n",
+               "  --shards P    run migrated experiment points on the "
+               "sharded PDES\n"
+               "                engine with P shards (0 = each point's "
+               "default; 1 = the\n"
+               "                classic sequential engine, bit-identical "
+               "output)\n"
+               "  --batch-horizons  let each shard run to its per-shard "
+               "batched LBTS\n"
+               "                horizon (fewer barrier rounds; its own "
+               "golden lineage)\n",
                static_cast<int>(bench_name.size()), bench_name.data());
   std::exit(code);
 }
@@ -73,6 +78,8 @@ BenchOptions parse_bench_options(int argc, char** argv,
     } else if (arg == "--shards") {
       options.shards =
           static_cast<std::size_t>(parse_u64(value(), bench_name));
+    } else if (arg == "--batch-horizons") {
+      options.batch_horizons = true;
     } else {
       std::fprintf(stderr, "unknown option: %.*s\n",
                    static_cast<int>(arg.size()), arg.data());
@@ -124,6 +131,7 @@ json::Value spec_to_json(const RunSpec& spec) {
   // Emitted only for sharded runs: every pre-existing document (and the
   // CI thread-count determinism diff over them) stays byte-identical.
   if (spec.shards > 1) out["shards"] = spec.shards;
+  if (spec.batch_horizons) out["batch_horizons"] = true;
   out["aux"] = spec.aux;
   return out;
 }

@@ -71,6 +71,10 @@ struct BenchOptions {
   /// gm_mcast scale sweeps).  0 = keep each bench point's own default, so
   /// existing BENCH_*.json documents are reproduced byte-identically.
   std::size_t shards = 0;
+  /// Opt sharded points into batched per-shard LBTS horizons (fewer
+  /// barrier rounds, same outcome; a different — but pinned — event-seq
+  /// lineage, so goldens record which mode produced them).
+  bool batch_horizons = false;
 
   /// The effective shard count for one sweep point (the --shards override
   /// when given, otherwise the point's default).

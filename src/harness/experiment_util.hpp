@@ -27,8 +27,10 @@ inline gm::Payload make_payload(std::size_t n, std::uint8_t salt = 0) {
 
 inline std::vector<net::NodeId> everyone_but(net::NodeId root, std::size_t n) {
   std::vector<net::NodeId> v;
-  for (net::NodeId i = 0; i < n; ++i) {
-    if (i != root) v.push_back(i);
+  // size_t index: a NodeId loop counter wraps (historically: infinite loop
+  // at n == 65536 when NodeId was 16-bit) instead of terminating.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i != root) v.push_back(static_cast<net::NodeId>(i));
   }
   return v;
 }

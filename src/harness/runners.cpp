@@ -464,9 +464,9 @@ RunResult run_allreduce(const RunSpec& spec) {
 
 RunResult run_one(const RunSpec& spec) {
   if (spec.shards > 1) {
-    // run_sharded_mcast validates the family itself, so a mis-sharded
-    // skew/barrier spec gets a sharding-specific diagnostic.
-    return run_sharded_mcast(spec);
+    // run_sharded validates the family itself, so a mis-sharded
+    // allreduce/host-based spec gets a sharding-specific diagnostic.
+    return run_sharded(spec);
   }
   switch (spec.experiment) {
     case Experiment::kGmMulticast:

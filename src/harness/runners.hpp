@@ -18,11 +18,19 @@ namespace nicmcast::harness {
 /// Metrics: "delivered" (1 when every payload arrived bit-exact).
 [[nodiscard]] RunResult run_gm_mcast(const RunSpec& spec);
 
-/// The same broadcast on the sharded conservative-PDES fabric
+/// Any migrated experiment family on the sharded conservative-PDES fabric
 /// (net::ShardedFabric); this is what spec.shards > 1 dispatches to.
-/// Requires kGmMulticast, nic-based algo and uniform loss; metrics:
-/// "delivered", "deliveries".  engine.shard_order_hashes carries the
-/// per-shard determinism hash vector (DESIGN.md §4.5).
+/// Supports kGmMulticast, kMultisend, kMpiBcast, kSkewBcast and kBarrier
+/// with the nic-based algo and uniform loss (the barrier needs zero loss);
+/// allreduce, host-based staging and the RDMA bcast variant stay
+/// coroutine-only and throw.  Metrics: "delivered", "deliveries", plus the
+/// family's own ("avg_bcast_cpu_us" etc. for skew, "wall_us_per_round" for
+/// the barrier).  engine.shard_order_hashes carries the per-shard
+/// determinism hash vector (DESIGN.md §4.5-4.6).
+[[nodiscard]] RunResult run_sharded(const RunSpec& spec);
+
+/// Historical alias: the gm_mcast family via run_sharded; throws for
+/// anything else.
 [[nodiscard]] RunResult run_sharded_mcast(const RunSpec& spec);
 
 /// NIC multisend vs host-based multiple unicasts (Fig. 3).  Uses

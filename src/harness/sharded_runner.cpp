@@ -1,11 +1,14 @@
-// The --shards axis: run_sharded_mcast executes a kGmMulticast spec on the
-// conservative-PDES fabric (net::ShardedFabric over sim::ShardedEngine)
-// instead of the coroutine gm::Cluster stack.  Specs are translated, not
-// reinterpreted: same wiring resolution, same tree builder, same NIC and
-// network knobs — so shard counts change only how the simulation is
-// partitioned, never what it simulates.
+// The --shards axis: run_sharded executes a spec on the conservative-PDES
+// fabric (net::ShardedFabric over sim::ShardedEngine) instead of the
+// coroutine gm::Cluster stack.  Specs are translated, not reinterpreted:
+// same wiring resolution, same tree builder, same NIC and network knobs —
+// so shard counts change only how the simulation is partitioned, never
+// what it simulates.  Five families run sharded (gm_mcast, multisend,
+// mpi_bcast, skew_bcast, barrier); allreduce and host-based algorithms
+// stay coroutine-only and throw with a sharding-specific diagnostic.
 #include <cstdint>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "harness/experiment_util.hpp"
@@ -28,7 +31,7 @@ net::Topology make_topology(const RunSpec& spec) {
     case gm::ClusterConfig::Wiring::kBackToBack:
       return net::Topology::back_to_back();
   }
-  throw std::logic_error("run_sharded_mcast: unmapped wiring");
+  throw std::logic_error("run_sharded: unmapped wiring");
 }
 
 // mcast::Tree is hash-map-based protocol plumbing; the fabric wants flat
@@ -55,47 +58,92 @@ net::FabricTree flatten_tree(const mcast::Tree& tree, std::size_t nodes) {
   return flat;
 }
 
-}  // namespace
-
-RunResult run_sharded_mcast(const RunSpec& spec) {
-  if (spec.experiment != Experiment::kGmMulticast) {
-    throw std::invalid_argument(
-        "run_sharded_mcast: only the gm_mcast family runs on the sharded "
-        "fabric; drop --shards for other experiments");
+// The spanning tree a spec's family runs over.  size_t indices on purpose:
+// a NodeId loop historically wrapped forever at the id-width boundary.
+net::FabricTree make_tree(const RunSpec& spec) {
+  if (spec.experiment == Experiment::kMultisend) {
+    // Flat NIC multisend: a star, every destination a direct child of the
+    // root — no forwarding, which is the point of Fig. 3.
+    net::FabricTree star;
+    star.root = 0;
+    star.parent.assign(spec.nodes, net::FabricTree::kNoParent);
+    star.child_off.assign(spec.nodes + 1,
+                          static_cast<std::uint32_t>(spec.nodes - 1));
+    star.child_off[0] = 0;
+    star.children.reserve(spec.nodes - 1);
+    for (std::size_t i = 1; i < spec.nodes; ++i) {
+      star.parent[i] = 0;
+      star.children.push_back(static_cast<net::NodeId>(i));
+    }
+    return star;
   }
-  if (spec.shards == 0) {
-    throw std::invalid_argument("run_sharded_mcast: shards must be >= 1");
-  }
-  if (spec.algo != Algo::kNicBased) {
-    throw std::invalid_argument(
-        "run_sharded_mcast: the sharded fabric models the NIC-based data "
-        "path only (host-based staging is gm::Cluster-only)");
-  }
-  if (spec.faults != FaultFamily::kUniform || spec.corrupt_rate != 0.0) {
-    throw std::invalid_argument(
-        "run_sharded_mcast: sharded runs support uniform loss only (the "
-        "counter-hash loss model keeps drops shard-count invariant)");
-  }
-
-  // All endpoints, root 0.  Built with size_t indices on purpose: a NodeId
-  // loop wraps forever at nodes == 65536 (NodeId is 16-bit).
   std::vector<net::NodeId> dests;
   dests.reserve(spec.nodes - 1);
   for (std::size_t i = 1; i < spec.nodes; ++i) {
     dests.push_back(static_cast<net::NodeId>(i));
   }
-  const mcast::Tree tree = build_tree(spec, dests);
+  return flatten_tree(build_tree(spec, dests), spec.nodes);
+}
+
+net::FabricWorkload workload_of(const RunSpec& spec) {
+  switch (spec.experiment) {
+    case Experiment::kGmMulticast: return net::FabricWorkload::kMcast;
+    case Experiment::kMultisend: return net::FabricWorkload::kMultisend;
+    case Experiment::kMpiBcast: return net::FabricWorkload::kBcast;
+    case Experiment::kSkewBcast: return net::FabricWorkload::kSkewBcast;
+    case Experiment::kBarrier: return net::FabricWorkload::kBarrier;
+    case Experiment::kAllreduce:
+    case Experiment::kCustom:
+      break;
+  }
+  throw std::invalid_argument(
+      "run_sharded: no sharded runner for experiment '" +
+      std::string(to_string(spec.experiment)) +
+      "' (NIC-level reduction and custom bodies are gm::Cluster-only); "
+      "drop --shards");
+}
+
+}  // namespace
+
+RunResult run_sharded(const RunSpec& spec) {
+  const net::FabricWorkload workload = workload_of(spec);
+  if (spec.shards == 0) {
+    throw std::invalid_argument("run_sharded: shards must be >= 1");
+  }
+  if (spec.algo != Algo::kNicBased) {
+    throw std::invalid_argument(
+        "run_sharded: the sharded fabric models the NIC-based data path "
+        "only (host-based staging is gm::Cluster-only)");
+  }
+  if (spec.faults != FaultFamily::kUniform || spec.corrupt_rate != 0.0) {
+    throw std::invalid_argument(
+        "run_sharded: sharded runs support uniform loss only (the "
+        "counter-hash loss model keeps drops shard-count invariant)");
+  }
+  if (spec.experiment == Experiment::kMultisend &&
+      (spec.destinations == 0 || spec.nodes != spec.destinations + 1)) {
+    // Mirrors run_multisend so the two paths reject the same specs.
+    throw std::invalid_argument(
+        "run_sharded: need destinations >= 1 and nodes == destinations + 1");
+  }
+  if (spec.experiment == Experiment::kMpiBcast && spec.rdma) {
+    throw std::invalid_argument(
+        "run_sharded: the RDMA-multicast bcast variant is gm::Cluster-only");
+  }
 
   net::FabricOptions options;
+  options.workload = workload;
   options.message_bytes = spec.message_bytes;
   options.warmup = spec.warmup;
   options.iterations = spec.iterations;
   options.loss_rate = spec.loss_rate;
+  options.avg_skew_us = spec.avg_skew_us;
+  options.batch_horizons = spec.batch_horizons;
   options.seed = spec.seed;
   options.nic = spec.nic;
 
-  net::ShardedFabric fabric(make_topology(spec), flatten_tree(tree, spec.nodes),
-                            options, spec.shards);
+  net::ShardedFabric fabric(make_topology(spec), make_tree(spec), options,
+                            spec.shards);
   const net::FabricResult fr = fabric.run();
 
   RunResult result;
@@ -120,7 +168,9 @@ RunResult run_sharded_mcast(const RunSpec& spec) {
   e.route_links_stored = fr.route_links_stored;
   e.route_links_shared = fr.route_links_shared;
   e.event_order_hash = fr.merged_order_hash;
-  e.shard_count = spec.shards;
+  // Effective count: switch_cut clamps the request to its leaf-block count,
+  // so small topologies may run on fewer shards than the spec asked for.
+  e.shard_count = fr.shard_order_hashes.size();
   e.cross_shard_msgs = fr.cross_shard_msgs;
   e.lbts_rounds = fr.lbts_rounds;
   e.horizon_stalls = fr.horizon_stalls;
@@ -136,10 +186,35 @@ RunResult run_sharded_mcast(const RunSpec& spec) {
   const auto iters =
       static_cast<std::uint64_t>(spec.warmup) +
       static_cast<std::uint64_t>(spec.iterations);
-  const std::uint64_t expected = (spec.nodes - 1) * iters;
+  // One first delivery per receiver per iteration — except the barrier,
+  // where every node (root included) completes every round.
+  const std::uint64_t per_iter = spec.experiment == Experiment::kBarrier
+                                     ? spec.nodes
+                                     : spec.nodes - 1;
+  const std::uint64_t expected = per_iter * iters;
   result.set_metric("delivered", fr.deliveries == expected ? 1.0 : 0.0);
   result.set_metric("deliveries", static_cast<double>(fr.deliveries));
+  if (spec.experiment == Experiment::kSkewBcast) {
+    result.set_metric("avg_bcast_cpu_us", fr.avg_bcast_cpu_us);
+    result.set_metric("max_bcast_cpu_us", fr.max_bcast_cpu_us);
+    result.set_metric("avg_applied_skew_us", fr.avg_applied_skew_us);
+  }
+  if (spec.experiment == Experiment::kBarrier && !fr.latency_us.empty()) {
+    double sum = 0.0;
+    for (const double us : fr.latency_us) sum += us;
+    result.set_metric("wall_us_per_round",
+                      sum / static_cast<double>(fr.latency_us.size()));
+  }
   return result;
+}
+
+RunResult run_sharded_mcast(const RunSpec& spec) {
+  if (spec.experiment != Experiment::kGmMulticast) {
+    throw std::invalid_argument(
+        "run_sharded_mcast: only the gm_mcast family; use run_sharded for "
+        "the other migrated families");
+  }
+  return run_sharded(spec);
 }
 
 }  // namespace nicmcast::harness

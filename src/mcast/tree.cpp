@@ -86,11 +86,16 @@ bool Tree::satisfies_id_ordering() const {
 }
 
 std::string Tree::describe() const {
-  std::string out = "root=" + std::to_string(root_);
+  // Plain appends: GCC 12 -Wrestrict false-fires on `const char* +
+  // std::string&&` with the 32-bit NodeId to_string overload.
+  std::string out = "root=";
+  out += std::to_string(root_);
   for (net::NodeId node : order_) {
     const auto& kids = children(node);
     if (kids.empty()) continue;
-    out += " " + std::to_string(node) + "->[";
+    out += ' ';
+    out += std::to_string(node);
+    out += "->[";
     for (std::size_t i = 0; i < kids.size(); ++i) {
       if (i != 0) out += ",";
       out += std::to_string(kids[i]);

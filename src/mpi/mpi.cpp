@@ -29,6 +29,27 @@ std::uint64_t decode_u64(const Payload& p, std::size_t offset = 0) {
   return v;
 }
 
+/// The group-setup payload serialises node ids in 16 bits (the historical
+/// NodeId width); kNoNode maps onto the all-ones 16-bit pattern so the wire
+/// bytes are unchanged by the NodeId widening.  The classic gm::Cluster
+/// stack this path serves cannot build >65535-endpoint clusters (Topology
+/// already guards), but the truncation check keeps the invariant loud.
+constexpr std::uint16_t kWireNoNode = 0xFFFF;
+
+std::uint16_t encode_node_id(net::NodeId id) {
+  if (id == nic::kNoNode) return kWireNoNode;
+  if (id >= kWireNoNode) {
+    throw std::length_error(
+        "mpi group setup: node id " + std::to_string(id) +
+        " does not fit the 16-bit group-entry wire format");
+  }
+  return static_cast<std::uint16_t>(id);
+}
+
+net::NodeId decode_node_id(std::uint16_t wire) {
+  return wire == kWireNoNode ? nic::kNoNode : static_cast<net::NodeId>(wire);
+}
+
 /// Serialised NIC group-table entry carried by a kBcastSetup message:
 /// [0..7] group id, [8..9] parent, [10..11] child count, then children.
 Payload encode_entry(net::GroupId group, const nic::GroupEntry& entry) {
@@ -37,16 +58,16 @@ Payload encode_entry(net::GroupId group, const nic::GroupEntry& entry) {
     p[i] = std::byte{static_cast<std::uint8_t>(
         static_cast<std::uint64_t>(group) >> (8 * i))};
   }
-  p[8] = std::byte{static_cast<std::uint8_t>(entry.parent & 0xFF)};
-  p[9] = std::byte{static_cast<std::uint8_t>(entry.parent >> 8)};
+  const std::uint16_t parent = encode_node_id(entry.parent);
+  p[8] = std::byte{static_cast<std::uint8_t>(parent & 0xFF)};
+  p[9] = std::byte{static_cast<std::uint8_t>(parent >> 8)};
   const auto count = static_cast<std::uint16_t>(entry.children.size());
   p[10] = std::byte{static_cast<std::uint8_t>(count & 0xFF)};
   p[11] = std::byte{static_cast<std::uint8_t>(count >> 8)};
   for (std::size_t i = 0; i < entry.children.size(); ++i) {
-    p[12 + 2 * i] =
-        std::byte{static_cast<std::uint8_t>(entry.children[i] & 0xFF)};
-    p[13 + 2 * i] =
-        std::byte{static_cast<std::uint8_t>(entry.children[i] >> 8)};
+    const std::uint16_t child = encode_node_id(entry.children[i]);
+    p[12 + 2 * i] = std::byte{static_cast<std::uint8_t>(child & 0xFF)};
+    p[13 + 2 * i] = std::byte{static_cast<std::uint8_t>(child >> 8)};
   }
   return p;
 }
@@ -54,17 +75,17 @@ Payload encode_entry(net::GroupId group, const nic::GroupEntry& entry) {
 std::pair<net::GroupId, nic::GroupEntry> decode_entry(const Payload& p) {
   const auto group = static_cast<net::GroupId>(decode_u64(p));
   nic::GroupEntry entry;
-  entry.parent = static_cast<net::NodeId>(
+  entry.parent = decode_node_id(static_cast<std::uint16_t>(
       std::to_integer<std::uint16_t>(p.at(8)) |
-      (std::to_integer<std::uint16_t>(p.at(9)) << 8));
+      (std::to_integer<std::uint16_t>(p.at(9)) << 8)));
   const auto count = static_cast<std::uint16_t>(
       std::to_integer<std::uint16_t>(p.at(10)) |
       (std::to_integer<std::uint16_t>(p.at(11)) << 8));
   entry.children.reserve(count);
   for (std::uint16_t i = 0; i < count; ++i) {
-    entry.children.push_back(static_cast<net::NodeId>(
+    entry.children.push_back(decode_node_id(static_cast<std::uint16_t>(
         std::to_integer<std::uint16_t>(p.at(12 + 2 * i)) |
-        (std::to_integer<std::uint16_t>(p.at(13 + 2 * i)) << 8)));
+        (std::to_integer<std::uint16_t>(p.at(13 + 2 * i)) << 8))));
   }
   return {group, entry};
 }

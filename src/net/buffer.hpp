@@ -12,10 +12,20 @@
 //
 // Copies happen in exactly two places, both explicit: copy_of() (host
 // posts, reduction accumulators) and to_vector() (landing a payload in
-// host memory).  Everything else is slice() and shared_ptr copies.
+// host memory).  Everything else is slice() and Buffer copies.
+//
+// Shard safety: the refcount is a std::atomic so a slice posted to another
+// shard of the PDES engine can be released there while siblings are still
+// referenced on the owning shard.  Increments are relaxed (a new reference
+// is always created from an existing one, which keeps the block alive);
+// the decrement is acq_rel so the deleting thread observes every write
+// made before each release.  The *bytes* need no synchronization — they
+// are const from construction on.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <cstring>
 #include <memory>
 #include <stdexcept>
@@ -29,18 +39,49 @@ class Buffer {
   /// Empty view; data() is nullptr, size() is 0.
   Buffer() = default;
 
+  Buffer(const Buffer& other)
+      : block_(other.block_), offset_(other.offset_), size_(other.size_) {
+    acquire(block_);
+  }
+
+  Buffer(Buffer&& other) noexcept
+      : block_(std::exchange(other.block_, nullptr)),
+        offset_(std::exchange(other.offset_, 0)),
+        size_(std::exchange(other.size_, 0)) {}
+
+  Buffer& operator=(const Buffer& other) {
+    if (this != &other) {
+      acquire(other.block_);  // before release: self-assign-safe ordering
+      release(block_);
+      block_ = other.block_;
+      offset_ = other.offset_;
+      size_ = other.size_;
+    }
+    return *this;
+  }
+
+  Buffer& operator=(Buffer&& other) noexcept {
+    if (this != &other) {
+      release(block_);
+      block_ = std::exchange(other.block_, nullptr);
+      offset_ = std::exchange(other.offset_, 0);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
+
+  ~Buffer() { release(block_); }
+
   /// Takes ownership of `bytes` without copying: the vector becomes the
   /// shared block.  This is the host-post boundary — the single allocation
-  /// every downstream packet/record slice refers back to.
-  [[nodiscard]] static Buffer take(std::vector<std::byte>&& bytes) {
+  /// every downstream packet/record slice refers back to.  Kept out of
+  /// line: GCC 12's -Wfree-nonheap-object misfires on the moved-from
+  /// vector when the allocation is inlined into callers at -O2.
+  [[nodiscard]] [[gnu::noinline]] static Buffer take(
+      std::vector<std::byte>&& bytes) {
     if (bytes.empty()) return Buffer{};
-    // Plain `new` rather than make_shared: GCC 12's -Wfree-nonheap-object
-    // misfires on the moved-from vector when the combined control-block
-    // allocation is inlined into callers at -O2.
-    std::shared_ptr<const std::vector<std::byte>> block(
-        new std::vector<std::byte>(std::move(bytes)));
-    const std::size_t length = block->size();
-    return Buffer{std::move(block), 0, length};
+    Block* block = new Block(std::move(bytes));  // refs == 1
+    return Buffer{block, 0, block->bytes.size()};
   }
 
   /// Copies `count` bytes into a fresh block (explicit copy point).
@@ -53,9 +94,7 @@ class Buffer {
     return take(std::vector<std::byte>(bytes));
   }
 
-  /// A fresh block of `count` copies of `value` (tests, padding).  Kept out
-  /// of line: GCC 12's -Wfree-nonheap-object misfires on the moved-from
-  /// temporary when this is inlined into callers at -O2.
+  /// A fresh block of `count` copies of `value` (tests, padding).
   [[nodiscard]] [[gnu::noinline]] static Buffer filled(std::size_t count,
                                                        std::byte value) {
     return take(std::vector<std::byte>(count, value));
@@ -67,15 +106,12 @@ class Buffer {
     if (offset + count > size_) {
       throw std::out_of_range("Buffer::slice: range outside view");
     }
-    Buffer out;
-    out.block_ = block_;
-    out.offset_ = offset_ + offset;
-    out.size_ = count;
-    return out;
+    acquire(block_);
+    return Buffer{block_, offset_ + offset, count};
   }
 
   [[nodiscard]] const std::byte* data() const {
-    return block_ ? block_->data() + offset_ : nullptr;
+    return block_ ? block_->bytes.data() + offset_ : nullptr;
   }
   [[nodiscard]] std::size_t size() const { return size_; }
   [[nodiscard]] bool empty() const { return size_ == 0; }
@@ -92,10 +128,17 @@ class Buffer {
     return std::vector<std::byte>(begin(), end());
   }
 
-  /// True when both views share one block with equal offsets — the
-  /// zero-copy assertion used by tests (content equality is operator==).
+  /// True when both views share one block — the zero-copy assertion used
+  /// by tests (content equality is operator==).
   [[nodiscard]] bool shares_block_with(const Buffer& other) const {
     return block_ != nullptr && block_ == other.block_;
+  }
+
+  /// Live references to this view's block (0 for the empty view).  Test
+  /// observability only — by the time a caller acts on the value another
+  /// shard may have changed it.
+  [[nodiscard]] std::uint64_t block_ref_count() const {
+    return block_ ? block_->refs.load(std::memory_order_relaxed) : 0;
   }
 
   /// Content equality (byte-wise over the viewed ranges).
@@ -106,11 +149,31 @@ class Buffer {
   }
 
  private:
-  Buffer(std::shared_ptr<const std::vector<std::byte>> block,
-         std::size_t offset, std::size_t size)
-      : block_(std::move(block)), offset_(offset), size_(size) {}
+  struct Block {
+    explicit Block(std::vector<std::byte>&& b) : bytes(std::move(b)) {}
+    const std::vector<std::byte> bytes;
+    std::atomic<std::uint64_t> refs{1};
+  };
 
-  std::shared_ptr<const std::vector<std::byte>> block_;
+  Buffer(Block* block, std::size_t offset, std::size_t size)
+      : block_(block), offset_(offset), size_(size) {}
+
+  static void acquire(Block* block) {
+    if (block != nullptr) {
+      // Relaxed: the caller already holds a reference, so the count can't
+      // hit zero concurrently with this increment.
+      block->refs.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  static void release(Block* block) {
+    if (block != nullptr &&
+        block->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      delete block;
+    }
+  }
+
+  Block* block_ = nullptr;
   std::size_t offset_ = 0;
   std::size_t size_ = 0;
 };

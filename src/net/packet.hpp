@@ -17,7 +17,12 @@ namespace nicmcast::net {
 /// Network id of a NIC endpoint.  The deadlock-avoidance rule in the
 /// multicast tree construction ("child id > parent id unless parent is the
 /// root") is expressed in terms of this id.
-using NodeId = std::uint16_t;
+///
+/// 32-bit so fabrics beyond 65536 endpoints are expressible (the sharded
+/// PDES sweep runs them); `Topology` rejects endpoint counts that the id
+/// width cannot address.  Wire formats that still serialise 16-bit ids
+/// (the MPI group-setup payload) guard against truncation at encode time.
+using NodeId = std::uint32_t;
 
 /// A communication endpoint within a node (GM port).
 using PortId = std::uint8_t;
@@ -91,14 +96,24 @@ struct Packet {
   }
 
   [[nodiscard]] std::string describe() const {
+    // Plain appends, not operator+ chains: GCC 12's -Wrestrict false-fires
+    // on `const char* + std::string&&` once std::to_string takes the
+    // 32-bit NodeId overload.
     std::string s(to_string(header.type));
-    s += " " + std::to_string(header.src) + "->" + std::to_string(header.dst);
-    s += " seq=" + std::to_string(header.seq);
+    s += ' ';
+    s += std::to_string(header.src);
+    s += "->";
+    s += std::to_string(header.dst);
+    s += " seq=";
+    s += std::to_string(header.seq);
     if (header.group != kNoGroup) {
-      s += " grp=" + std::to_string(header.group);
+      s += " grp=";
+      s += std::to_string(header.group);
     }
-    s += " off=" + std::to_string(header.msg_offset);
-    s += " len=" + std::to_string(payload.size());
+    s += " off=";
+    s += std::to_string(header.msg_offset);
+    s += " len=";
+    s += std::to_string(payload.size());
     return s;
   }
 };

@@ -1,6 +1,8 @@
 #include "net/partition.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <string>
 
 namespace nicmcast::net {
 
@@ -13,7 +15,7 @@ FabricPartition switch_cut(const Topology& topology, std::size_t shards,
   const std::size_t endpoints = topology.endpoint_count();
 
   FabricPartition part;
-  part.shards = shards;
+  part.shards = 1;
   part.lookahead = config.hop_latency;
   part.vertex_shard.assign(vertices, 0);
   part.link_owner.assign(topology.link_count(), 0);
@@ -42,6 +44,19 @@ FabricPartition switch_cut(const Topology& topology, std::size_t shards,
   for (VertexId v = static_cast<VertexId>(endpoints); v < vertices; ++v) {
     (is_leaf[v] ? leaf_count : spine_count) += 1;
   }
+
+  // A shard with no leaf block would own no endpoints — its worker would
+  // spin through every LBTS round contributing nothing, and with S > L the
+  // leaf/spine deals stop aligning, splitting leaf-local subtrees across
+  // shards.  Clamp instead of erroring: callers (the soak randomizes shard
+  // counts; benches sweep them) get the largest partition that still puts
+  // endpoints on every shard.  Switchless wirings deal endpoints directly,
+  // so the endpoint count is the block count there.
+  const std::size_t blocks = leaf_count > 0 ? leaf_count : endpoints;
+  shards = std::min(shards, blocks);
+  part.shards = shards;
+  if (shards == 1) return part;
+
   std::size_t leaf_index = 0;
   std::size_t spine_index = 0;
   for (VertexId v = static_cast<VertexId>(endpoints); v < vertices; ++v) {
@@ -68,6 +83,20 @@ FabricPartition switch_cut(const Topology& topology, std::size_t shards,
     part.link_owner[l] = part.vertex_shard[link.from];
     if (part.vertex_shard[link.from] != part.vertex_shard[link.to]) {
       ++part.cross_links;
+    }
+  }
+
+  // Post-condition of the clamp: every shard owns at least one endpoint.
+  // i*S/L with S <= L maps the block index onto all of 0..S-1, so a gap
+  // here means the dealing logic regressed, not that the caller over-asked.
+  std::vector<bool> populated(shards, false);
+  for (std::size_t e = 0; e < endpoints; ++e) {
+    populated[part.vertex_shard[e]] = true;
+  }
+  for (std::size_t s = 0; s < shards; ++s) {
+    if (!populated[s]) {
+      throw std::logic_error("switch_cut: shard " + std::to_string(s) +
+                             " owns no endpoints");
     }
   }
   return part;

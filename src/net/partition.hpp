@@ -45,6 +45,11 @@ struct FabricPartition {
 /// same way.  Endpoints inherit the shard of their lowest-id neighbouring
 /// switch; in switchless (back-to-back) topologies they fall back to
 /// node_id % shards.
+///
+/// `shards` is clamped to the number of leaf blocks (endpoint count for
+/// switchless wirings): requesting more would leave shards that own no
+/// endpoints, spinning through LBTS rounds for nothing.  Check the
+/// returned partition's `shards` for the effective count.
 [[nodiscard]] FabricPartition switch_cut(const Topology& topology,
                                          std::size_t shards,
                                          const NetworkConfig& config = {});

@@ -1,8 +1,10 @@
 #include "net/sharded_fabric.hpp"
 
 #include <algorithm>
+#include <cstddef>
 #include <stdexcept>
 #include <utility>
+#include <vector>
 
 namespace nicmcast::net {
 
@@ -34,15 +36,45 @@ ShardedFabric::ShardedFabric(Topology topology, FabricTree tree,
   if (tree_.child_off.size() != tree_.size() + 1) {
     throw std::invalid_argument("ShardedFabric: malformed child_off");
   }
+  if (options_.workload == FabricWorkload::kBarrier &&
+      options_.loss_rate > 0.0) {
+    // The barrier's arrive/release packets ride the ack path (which the
+    // loss model deliberately never touches); silently running it lossy
+    // would report a reliability we don't simulate.
+    throw std::invalid_argument(
+        "ShardedFabric: kBarrier requires loss_rate == 0");
+  }
+  if (options_.workload == FabricWorkload::kMultisend &&
+      tree_.child_count(tree_.root) + 1 != tree_.size()) {
+    throw std::invalid_argument(
+        "ShardedFabric: kMultisend needs a star tree (every endpoint a "
+        "direct child of the root)");
+  }
+  // partition_.shards, not the requested count: switch_cut clamps to the
+  // leaf-block count so no worker ends up owning zero endpoints.
   engine_ = std::make_unique<sim::ShardedEngine>(
-      shards, partition_.lookahead, options_.seed);
-  shards_.reserve(shards);
-  for (std::size_t s = 0; s < shards; ++s) {
+      partition_.shards, partition_.lookahead, options_.seed);
+  engine_->enable_batched_horizons(options_.batch_horizons);
+  shards_.reserve(partition_.shards);
+  for (std::size_t s = 0; s < partition_.shards; ++s) {
     shards_.push_back(std::make_unique<ShardState>(topology_));
   }
   link_free_.assign(topology_.link_count(), sim::TimePoint{0});
   received_iter_.assign(tree_.size(), -1);
   edges_.assign(tree_.size(), EdgeState{});
+  if (options_.workload == FabricWorkload::kBarrier) {
+    barrier_arrivals_.assign(tree_.size(), 0);
+    barrier_self_ready_.assign(tree_.size(), 0);
+    barrier_round_.assign(tree_.size(), 0);
+  }
+  // The single message allocation every delivery slices out of (the GM
+  // zero-copy posture): slices travel inside cross-shard posted closures
+  // and are released on whichever shard executes them.
+  std::vector<std::byte> bytes(options_.message_bytes);
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    bytes[i] = static_cast<std::byte>(i & 0xff);
+  }
+  payload_ = Buffer::take(std::move(bytes));
 }
 
 std::size_t ShardedFabric::packets_per_message() const {
@@ -70,6 +102,19 @@ bool ShardedFabric::dropped(NodeId child, std::int32_t iter,
   return coin < options_.loss_rate;
 }
 
+sim::Duration ShardedFabric::skew_of(std::int32_t iter, NodeId node) const {
+  if (options_.avg_skew_us <= 0.0) return sim::usec(0.0);
+  // Counter hash, not an RNG stream: the draw for (iter, node) is the same
+  // no matter which shard computes it or in what order, which is what
+  // makes skewed runs shard-count invariant.
+  const std::uint64_t h =
+      mix64(options_.seed ^ 0x736b6577ULL ^
+            (static_cast<std::uint64_t>(node) << 24) ^
+            static_cast<std::uint64_t>(static_cast<std::uint32_t>(iter)));
+  const double coin = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return sim::usec(coin * 2.0 * options_.avg_skew_us);  // mean avg_skew_us
+}
+
 void ShardedFabric::start_iteration(std::int32_t iter) {
   const std::uint32_t me = shard_of(tree_.root);
   sim::Simulator& sim = sim_of(me);
@@ -84,6 +129,12 @@ void ShardedFabric::start_iteration(std::int32_t iter) {
   const std::size_t npkts = packets_per_message();
   const sim::Duration ser = sim::transfer_time(train_wire_bytes(),
                                                options_.net.bandwidth_mbps);
+  // Process skew applies to receivers only, mirroring the coroutine-stack
+  // experiment (mpi::run_skew_experiment): skew is measured relative to the
+  // root's entry, so the root injects on time and late receivers are
+  // accounted at the controller.  Skewing the root here would delay every
+  // delivery and charge the wait to the receivers' CPU — inverting the
+  // paper's flat NIC-multicast curve.
   // Host posts the multicast send; the NIC DMAs the payload once and chains
   // one replica per child off a single send token (the paper's alternative
   // 2: re-queue the packet descriptor with a rewritten header).
@@ -143,9 +194,11 @@ void ShardedFabric::send_data(NodeId from, NodeId to, std::int32_t iter,
         inject +
         options_.net.hop_latency * static_cast<std::int64_t>(path.size()) +
         sim::transfer_time(wire, options_.net.bandwidth_mbps);
-    engine_->post(me, shard_of(to), arrival, [this, from, to, iter, attempt] {
-      deliver(from, to, iter, attempt);
-    });
+    engine_->post(me, shard_of(to), arrival,
+                  [this, from, to, iter, attempt,
+                   payload = payload_.slice(0, options_.message_bytes)] {
+                    deliver(from, to, iter, attempt, payload);
+                  });
     return;
   }
   // The first route link leaves `from` itself, so its owner is this shard.
@@ -199,13 +252,18 @@ void ShardedFabric::continue_segment(std::uint32_t owner, NodeId from,
   }
   const sim::TimePoint arrival =
       v + hop * static_cast<std::int64_t>(path.size()) + ser;
-  engine_->post(owner, shard_of(to), arrival, [this, from, to, iter, attempt] {
-    deliver(from, to, iter, attempt);
-  });
+  // The payload slice rides the closure to the destination shard, where it
+  // is released after delivery — the cross-shard refcount traffic the
+  // atomic Buffer exists for.
+  engine_->post(owner, shard_of(to), arrival,
+                [this, from, to, iter, attempt,
+                 payload = payload_.slice(0, options_.message_bytes)] {
+                  deliver(from, to, iter, attempt, payload);
+                });
 }
 
 void ShardedFabric::deliver(NodeId from, NodeId to, std::int32_t iter,
-                            std::uint32_t attempt) {
+                            std::uint32_t attempt, Buffer payload) {
   const std::uint32_t me = shard_of(to);
   ShardState& st = *shards_[me];
   sim::Simulator& sim = sim_of(me);
@@ -253,15 +311,24 @@ void ShardedFabric::deliver(NodeId from, NodeId to, std::int32_t iter,
     }
   }
 
+  // kMultisend completion is sender-side (the last ack landing back at the
+  // root), so receivers stay silent towards the controller.
+  if (options_.workload == FabricWorkload::kMultisend) return;
+
   // Land the payload in host memory and report completion to the
   // controller.  The notification travels at exactly +lookahead no matter
   // where the root shard is, so controller pacing — and with it the whole
-  // iteration schedule — is identical across shard counts.
-  const sim::TimePoint host_time =
+  // iteration schedule — is identical across shard counts.  (payload.size()
+  // == message_bytes: the DMA charges for the bytes that actually landed.)
+  sim::TimePoint host_time =
       base + nic.event_delivery + nic.dma_startup +
-      sim::transfer_time(options_.message_bytes, nic.host_dma_mbps);
+      sim::transfer_time(payload.size(), nic.host_dma_mbps);
+  if (options_.workload == FabricWorkload::kBcast ||
+      options_.workload == FabricWorkload::kSkewBcast) {
+    host_time = host_time + options_.host_entry_overhead;
+  }
   engine_->post(me, shard_of(tree_.root), sim.now() + partition_.lookahead,
-                [this, host_time] { notify_controller(host_time); });
+                [this, to, host_time] { notify_controller(to, host_time); });
 }
 
 void ShardedFabric::send_ack(NodeId from, NodeId to, std::int32_t iter) {
@@ -290,7 +357,36 @@ void ShardedFabric::ack_arrived(NodeId parent, NodeId child,
     // living on another shard's wheel.
     sim_of(shard_of(parent)).cancel(edge.timer);
     edge.timer_armed = false;
+    // Exactly one ack per (child, iter) reaches this branch: re-acks from
+    // duplicate deliveries find the timer already disarmed above.
+    if (options_.workload == FabricWorkload::kMultisend &&
+        parent == tree_.root) {
+      multisend_ack_completed(iter);
+    }
   }
+}
+
+void ShardedFabric::multisend_ack_completed(std::int32_t iter) {
+  // Runs on the root's shard: the star tree makes the root every ack's
+  // destination, and controller state is root-shard-owned.
+  if (iter != ctrl_iter_) return;
+  const nic::NicConfig& nic = options_.nic;
+  sim::Simulator& sim = sim_of(shard_of(tree_.root));
+  // Sender-side completion: the NIC raises the send-complete event to the
+  // host once this child's ack lands (paper Figure 3's measured quantity).
+  ctrl_last_delivery_ =
+      std::max(ctrl_last_delivery_, sim.now() + nic.event_delivery);
+  if (--ctrl_remaining_ > 0) return;
+
+  if (ctrl_iter_ >= options_.warmup) {
+    latency_us_.push_back(
+        (ctrl_last_delivery_ - ctrl_iter_start_).microseconds());
+  }
+  const std::int32_t next = ctrl_iter_ + 1;
+  if (next >= options_.warmup + options_.iterations) return;
+  const sim::TimePoint start =
+      std::max(sim.now(), ctrl_last_delivery_) + nic.host_post_overhead;
+  sim.schedule_at(start, [this, next] { start_iteration(next); });
 }
 
 void ShardedFabric::retransmit(NodeId from, NodeId to, std::int32_t iter) {
@@ -308,7 +404,25 @@ void ShardedFabric::retransmit(NodeId from, NodeId to, std::int32_t iter) {
   send_data(from, to, iter, next_attempt, sim_of(me).now());
 }
 
-void ShardedFabric::notify_controller(sim::TimePoint host_time) {
+void ShardedFabric::notify_controller(NodeId node, sim::TimePoint host_time) {
+  if (options_.workload == FabricWorkload::kSkewBcast) {
+    // Receiver-side skew is applied here rather than threaded through the
+    // data path: the rank is not at its MPI_Bcast call until `ready`, so
+    // the bcast charges it CPU only from then on — the paper's flat
+    // NIC-multicast curve is precisely this quantity staying put as
+    // avg_skew_us grows.
+    const sim::Duration skew = skew_of(ctrl_iter_, node);
+    const sim::TimePoint ready = ctrl_iter_start_ + skew;
+    const sim::TimePoint completion = std::max(host_time, ready);
+    if (ctrl_iter_ >= options_.warmup) {
+      const double cpu = (completion - ready).microseconds();
+      ctrl_cpu_sum_us_ += cpu;
+      ctrl_cpu_max_us_ = std::max(ctrl_cpu_max_us_, cpu);
+      ctrl_skew_sum_us_ += skew.microseconds();
+      ++ctrl_cpu_count_;
+    }
+    host_time = completion;
+  }
   ctrl_last_delivery_ = std::max(ctrl_last_delivery_, host_time);
   if (--ctrl_remaining_ > 0) return;
 
@@ -318,6 +432,14 @@ void ShardedFabric::notify_controller(sim::TimePoint host_time) {
   }
   const std::int32_t next = ctrl_iter_ + 1;
   if (next >= options_.warmup + options_.iterations) return;
+  if (options_.workload == FabricWorkload::kBarrier) {
+    // Rounds chain through the tree itself (each node re-arms after its
+    // release); the controller only rolls its bookkeeping forward.
+    ctrl_iter_ = next;
+    ctrl_remaining_ = tree_.size();
+    ctrl_iter_start_ = ctrl_last_delivery_;
+    return;
+  }
   sim::Simulator& sim = sim_of(shard_of(tree_.root));
   // The next iteration starts once the slowest host delivery has landed —
   // max() because completion notifications outrun the host DMA by design.
@@ -326,13 +448,139 @@ void ShardedFabric::notify_controller(sim::TimePoint host_time) {
   sim.schedule_at(start, [this, next] { start_iteration(next); });
 }
 
+sim::TimePoint ShardedFabric::ctrl_packet_arrival(std::uint32_t me,
+                                                  NodeId from, NodeId to) {
+  // Framing-only control packet on the wormhole bypass path: always at
+  // least one hop out, so posting at this instant respects the lookahead.
+  ShardState& st = *shards_[me];
+  const RouteView path = st.routes.route(from, to);
+  return sim_of(me).now() +
+         options_.net.hop_latency * static_cast<std::int64_t>(path.size()) +
+         sim::transfer_time(options_.net.framing_bytes,
+                            options_.net.bandwidth_mbps);
+}
+
+void ShardedFabric::barrier_ready(NodeId node, std::int32_t round) {
+  if (round != barrier_round_[node]) {
+    throw std::logic_error("ShardedFabric: barrier ready for wrong round");
+  }
+  barrier_self_ready_[node] = 1;
+  barrier_try_send_up(node);
+}
+
+void ShardedFabric::barrier_child_arrived(NodeId node, std::int32_t round) {
+  // Causality makes early arrivals impossible: a child only sends round r
+  // after its own r-1 release, which the parent forwarded — so the parent
+  // has already rolled to r.  Anything else is a protocol bug.
+  if (round != barrier_round_[node]) {
+    throw std::logic_error("ShardedFabric: barrier arrive for wrong round");
+  }
+  ++shards_[shard_of(node)]->nic.packets_received;
+  ++barrier_arrivals_[node];
+  barrier_try_send_up(node);
+}
+
+void ShardedFabric::barrier_try_send_up(NodeId node) {
+  if (barrier_self_ready_[node] == 0) return;
+  if (barrier_arrivals_[node] != tree_.child_count(node)) return;
+  const std::int32_t round = barrier_round_[node];
+  const std::uint32_t me = shard_of(node);
+  sim::Simulator& sim = sim_of(me);
+  const nic::NicConfig& nic = options_.nic;
+  if (node == tree_.root) {
+    // The whole fabric has arrived: the release wave starts here after the
+    // NIC turns the last combined arrive into a send token.
+    sim.schedule_at(sim.now() + nic.forward_processing,
+                    [this, node, round] { barrier_release(node, round); });
+    return;
+  }
+  // Combine the subtree into one arrive packet up the tree.
+  ++shards_[me]->nic.packets_sent;
+  const NodeId parent = tree_.parent[node];
+  const sim::TimePoint arrival =
+      ctrl_packet_arrival(me, node, parent) + nic.ack_processing;
+  engine_->post(me, shard_of(parent), arrival, [this, parent, round] {
+    barrier_child_arrived(parent, round);
+  });
+}
+
+void ShardedFabric::barrier_release(NodeId node, std::int32_t round) {
+  const std::uint32_t me = shard_of(node);
+  ShardState& st = *shards_[me];
+  sim::Simulator& sim = sim_of(me);
+  const nic::NicConfig& nic = options_.nic;
+  if (node != tree_.root) ++st.nic.packets_received;
+
+  // Fan the release out, one control packet per child, paced by the cost
+  // of re-queuing the descriptor with a rewritten header.
+  const std::size_t nch = tree_.child_count(node);
+  sim::TimePoint send = sim.now();
+  for (std::size_t q = 0; q < nch; ++q) {
+    const NodeId child = tree_.child(node, q);
+    ++st.nic.packets_sent;
+    if (q > 0) ++st.nic.header_rewrites;
+    const RouteView path = st.routes.route(node, child);
+    const sim::TimePoint arrival =
+        send +
+        options_.net.hop_latency * static_cast<std::int64_t>(path.size()) +
+        sim::transfer_time(options_.net.framing_bytes,
+                           options_.net.bandwidth_mbps);
+    engine_->post(me, shard_of(child), arrival, [this, child, round] {
+      barrier_release(child, round);
+    });
+    send = send + nic.header_rewrite;
+  }
+
+  // The host learns the barrier completed via a GM event; the controller
+  // hears about it at exactly +lookahead (shard-count-invariant pacing).
+  const sim::TimePoint host_time = sim.now() + nic.event_delivery;
+  ++st.deliveries;
+  engine_->post(me, shard_of(tree_.root), sim.now() + partition_.lookahead,
+                [this, node, host_time] { notify_controller(node, host_time); });
+
+  // Reset and arm the next round locally — rounds self-chain through the
+  // tree, with the node's per-round process skew applied at re-entry.
+  barrier_arrivals_[node] = 0;
+  barrier_self_ready_[node] = 0;
+  barrier_round_[node] = round + 1;
+  if (round + 1 >= options_.warmup + options_.iterations) return;
+  const sim::TimePoint ready =
+      sim.now() + nic.host_post_overhead + skew_of(round + 1, node);
+  sim.schedule_at(ready, [this, node, next = round + 1] {
+    barrier_ready(node, next);
+  });
+}
+
 FabricResult ShardedFabric::run() {
-  sim_of(shard_of(tree_.root))
-      .schedule_at(sim::TimePoint{0}, [this] { start_iteration(0); });
+  if (options_.workload == FabricWorkload::kBarrier) {
+    // Round 0: every node becomes ready after its own skew delay.  All
+    // rounds after that chain through barrier_release; the controller only
+    // counts tree_.size() completions per round.
+    ctrl_iter_ = 0;
+    ctrl_remaining_ = tree_.size();
+    ctrl_iter_start_ = sim::TimePoint{0};
+    ctrl_last_delivery_ = sim::TimePoint{0};
+    for (std::size_t i = 0; i < tree_.size(); ++i) {
+      const NodeId node = static_cast<NodeId>(i);
+      const sim::TimePoint ready = sim::TimePoint{0} + skew_of(0, node);
+      sim_of(shard_of(node)).schedule_at(ready, [this, node] {
+        barrier_ready(node, 0);
+      });
+    }
+  } else {
+    sim_of(shard_of(tree_.root))
+        .schedule_at(sim::TimePoint{0}, [this] { start_iteration(0); });
+  }
   engine_->run();
 
   FabricResult out;
   out.latency_us = std::move(latency_us_);
+  if (ctrl_cpu_count_ > 0) {
+    const double n = static_cast<double>(ctrl_cpu_count_);
+    out.avg_bcast_cpu_us = ctrl_cpu_sum_us_ / n;
+    out.max_bcast_cpu_us = ctrl_cpu_max_us_;
+    out.avg_applied_skew_us = ctrl_skew_sum_us_ / n;
+  }
   out.cross_links = partition_.cross_links;
   out.lbts_rounds = engine_->lbts_rounds();
   out.shard_order_hashes = engine_->shard_order_hashes();

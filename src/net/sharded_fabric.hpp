@@ -1,12 +1,13 @@
-// NIC-timing-faithful multicast fabric on the sharded PDES engine.
+// NIC-timing-faithful experiment fabric on the sharded PDES engine.
 //
-// The coroutine-based gm::Cluster stack is deeply single-threaded (shared
-// closures, non-atomic payload refcounts, one global Network); migrating it
-// wholesale is ROADMAP follow-up work.  What the 16k–65k-endpoint sweeps
-// need today is the packet-level behaviour of the NIC-based multicast —
-// injection/forward/ack/retransmit timing from nic::NicConfig, wormhole
-// link contention from net::NetworkConfig, per-edge Go-back-N — expressed
-// as shard-local state so the fabric parallelises:
+// The coroutine-based gm::Cluster stack is single-threaded by construction
+// (shared closures, one global Network); what runs sharded is the
+// packet-level behaviour of the paper's experiment families — NIC-based
+// multicast, flat multisend, MPI-style bcast, the NIC tree barrier and the
+// process-skew bcast — with injection/forward/ack/retransmit timing from
+// nic::NicConfig, wormhole link contention from net::NetworkConfig and
+// per-edge Go-back-N, expressed as shard-local state so the fabric
+// parallelises:
 //
 //   - every tree node, link, and per-edge ARQ record is owned by exactly
 //     one shard (net::switch_cut), and only that shard's worker touches it;
@@ -60,11 +61,60 @@ struct FabricTree {
   }
 };
 
+/// Which experiment family the fabric runs.  All families share the
+/// shard-local link/route/descriptor machinery; they differ in who sends,
+/// what completion means, and which metrics the controller collects.
+enum class FabricWorkload : std::uint8_t {
+  /// Root multicasts down the tree each iteration; NICs forward; latency
+  /// is the last host delivery (the original PR 6 fabric — its event
+  /// schedule is pinned by goldens and must not change).
+  kMcast,
+  /// Flat NIC-based multisend: the tree must be a star (every endpoint a
+  /// direct child of the root).  Completion is sender-side — the last
+  /// Go-back-N ack landing back at the root, plus host event delivery —
+  /// exactly what the paper's Figure 3 measures.
+  kMultisend,
+  /// MPI_Bcast over the NIC multicast: kMcast plus a host-entry overhead
+  /// per delivery (the MPI decode/matching cost on top of the GM event).
+  kBcast,
+  /// NIC tree barrier: arrive packets combine up the tree, a release
+  /// wave fans back down; rounds chain through the tree itself.  Control
+  /// packets only — requires loss_rate == 0.  avg_skew_us staggers each
+  /// node's per-round arrival.
+  kBarrier,
+  /// kBcast under process skew: each rank enters the bcast avg_skew_us
+  /// late on average (deterministic per (iter, rank)); the NIC data path
+  /// is oblivious — only host-side completion shifts, which is the
+  /// paper's headline flat-curve result.
+  kSkewBcast,
+};
+
+[[nodiscard]] constexpr const char* to_string(FabricWorkload w) {
+  switch (w) {
+    case FabricWorkload::kMcast: return "mcast";
+    case FabricWorkload::kMultisend: return "multisend";
+    case FabricWorkload::kBcast: return "bcast";
+    case FabricWorkload::kBarrier: return "barrier";
+    case FabricWorkload::kSkewBcast: return "skew_bcast";
+  }
+  return "?";
+}
+
 struct FabricOptions {
+  FabricWorkload workload = FabricWorkload::kMcast;
   std::size_t message_bytes = 512;
   int warmup = 1;
   int iterations = 2;
   double loss_rate = 0.0;
+  /// Mean process skew (kBarrier, kSkewBcast): each node's per-iteration
+  /// entry is delayed uniformly in [0, 2 * avg_skew_us), derived from a
+  /// counter hash of (seed, iter, node) so it is shard-count invariant.
+  double avg_skew_us = 0.0;
+  /// Host-side MPI entry cost added to every kBcast/kSkewBcast delivery.
+  sim::Duration host_entry_overhead = sim::usec(1.0);
+  /// Opt into the engine's batched per-shard horizons (fewer LBTS rounds;
+  /// different event seq assignment, so goldens pin per mode).
+  bool batch_horizons = false;
   std::uint64_t seed = 1;
   nic::NicConfig nic;
   NetworkConfig net;
@@ -75,6 +125,11 @@ struct FabricResult {
   std::vector<double> latency_us;          // timed iterations only
   nic::NicStats nic_totals;
   std::uint64_t deliveries = 0;            // first deliveries, all iters
+
+  // kSkewBcast host-side metrics (timed iterations, receivers only).
+  double avg_bcast_cpu_us = 0.0;   // mean (completion - ready) per rank
+  double max_bcast_cpu_us = 0.0;   // worst rank
+  double avg_applied_skew_us = 0.0;
 
   // Engine counters, aggregated over shards.
   std::uint64_t events_scheduled = 0;
@@ -136,6 +191,9 @@ class ShardedFabric {
   }
   [[nodiscard]] bool dropped(NodeId child, std::int32_t iter,
                              std::uint32_t attempt) const;
+  /// Deterministic per-(iter, node) process skew, uniform in
+  /// [0, 2 * avg_skew_us) — shard-count invariant by construction.
+  [[nodiscard]] sim::Duration skew_of(std::int32_t iter, NodeId node) const;
 
   void start_iteration(std::int32_t iter);
   /// Injects the data train for edge parent->child at `inject` (an absolute
@@ -151,11 +209,28 @@ class ShardedFabric {
                         std::size_t seg, sim::TimePoint inject,
                         std::int32_t iter, std::uint32_t attempt);
   void deliver(NodeId from, NodeId to, std::int32_t iter,
-               std::uint32_t attempt);
+               std::uint32_t attempt, Buffer payload);
   void send_ack(NodeId from, NodeId to, std::int32_t iter);
   void ack_arrived(NodeId parent, NodeId child, std::int32_t iter);
   void retransmit(NodeId from, NodeId to, std::int32_t iter);
-  void notify_controller(sim::TimePoint host_time);
+  void notify_controller(NodeId node, sim::TimePoint host_time);
+  /// kMultisend: one more root->child ack landed; executes on the root's
+  /// shard (the star tree makes every ack's parent the root).
+  void multisend_ack_completed(std::int32_t iter);
+
+  // -- kBarrier (control packets up/down the tree; rounds self-chain) --
+  /// The node's own entry into round `round` (after its skew delay).
+  void barrier_ready(NodeId node, std::int32_t round);
+  /// An arrive packet from `child` landed at `node` for `round`.
+  void barrier_child_arrived(NodeId node, std::int32_t round);
+  /// Sends the combined arrive up (or releases, at the root) once the
+  /// node itself is ready and every child has arrived.
+  void barrier_try_send_up(NodeId node);
+  /// Release wave: host completion, fan out to children, arm next round.
+  void barrier_release(NodeId node, std::int32_t round);
+  /// Bypass-path control-packet arrival time from `from` to `to`.
+  [[nodiscard]] sim::TimePoint ctrl_packet_arrival(std::uint32_t me,
+                                                   NodeId from, NodeId to);
 
   [[nodiscard]] std::size_t packets_per_message() const;
   [[nodiscard]] std::size_t train_wire_bytes() const;
@@ -167,11 +242,22 @@ class ShardedFabric {
   std::unique_ptr<sim::ShardedEngine> engine_;
   std::vector<std::unique_ptr<ShardState>> shards_;
 
+  // The one message block every delivery slices (GM zero-copy): slices of
+  // it cross shard boundaries inside posted closures, which is exactly the
+  // traffic the atomic Buffer refcount exists for.
+  Buffer payload_;
+
   // Node/link state: every element is touched by exactly one shard's
   // worker (the owner), which is what makes the fabric race-free.
   std::vector<sim::TimePoint> link_free_;     // owner(link) only
   std::vector<std::int32_t> received_iter_;   // owner(node) only
   std::vector<EdgeState> edges_;              // owner(parent(node)) only
+
+  // kBarrier per-node state, owner(node) only.  `round` is the round the
+  // node is currently collecting; arrivals/self_ready reset on release.
+  std::vector<std::uint32_t> barrier_arrivals_;
+  std::vector<std::uint8_t> barrier_self_ready_;
+  std::vector<std::int32_t> barrier_round_;
 
   // Controller state: root's shard only.
   std::int32_t ctrl_iter_ = 0;
@@ -180,6 +266,12 @@ class ShardedFabric {
   sim::TimePoint ctrl_last_delivery_{0};
   std::vector<double> latency_us_;
   std::uint64_t total_deliveries_ = 0;
+
+  // kSkewBcast host-side accumulators (root's shard only; timed iters).
+  double ctrl_cpu_sum_us_ = 0.0;
+  double ctrl_cpu_max_us_ = 0.0;
+  double ctrl_skew_sum_us_ = 0.0;
+  std::uint64_t ctrl_cpu_count_ = 0;
 };
 
 }  // namespace nicmcast::net

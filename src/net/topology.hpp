@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -37,9 +38,25 @@ using Route = std::vector<LinkId>;
 class Topology {
  public:
   /// Builds an empty topology with `endpoints` NIC endpoints and no links.
+  /// Rejects counts the NodeId width cannot address: before NodeId was
+  /// widened to 32 bits, a 65536-endpoint fabric silently wrapped endpoint
+  /// ids to 0 and aliased distinct endpoints — the guard turns any future
+  /// recurrence into a loud construction error instead.
   explicit Topology(std::size_t endpoints) : endpoint_count_(endpoints) {
     if (endpoints == 0) throw std::invalid_argument("topology needs >=1 node");
+    if (endpoints > max_addressable_endpoints()) {
+      throw std::invalid_argument(
+          "topology: " + std::to_string(endpoints) +
+          " endpoints exceeds the NodeId width (max " +
+          std::to_string(max_addressable_endpoints()) + ")");
+    }
     vertex_count_ = static_cast<VertexId>(endpoints);
+  }
+
+  /// Largest endpoint count whose ids fit NodeId, with the top id reserved
+  /// for the nic::kNoNode / FabricTree::kNoParent sentinel.
+  [[nodiscard]] static constexpr std::size_t max_addressable_endpoints() {
+    return static_cast<std::size_t>(std::numeric_limits<NodeId>::max());
   }
 
   /// Adds a crossbar switch vertex and returns its id.

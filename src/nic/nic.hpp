@@ -304,17 +304,20 @@ class Nic final : public net::PacketSink {
   };
 
   // -- Key packing for connection maps --
+  // Field-lexicographic (my_port, peer, peer_port): the peer field is 32
+  // bits wide to match the widened NodeId, and the sorted-key drain audit
+  // order is unchanged for all ids that fit the old 16-bit field.
   static std::uint64_t conn_key(net::PortId my_port, net::NodeId peer,
                                 net::PortId peer_port) {
-    return (static_cast<std::uint64_t>(my_port) << 32) |
+    return (static_cast<std::uint64_t>(my_port) << 40) |
            (static_cast<std::uint64_t>(peer) << 8) |
            static_cast<std::uint64_t>(peer_port);
   }
   static net::PortId conn_my_port(std::uint64_t key) {
-    return static_cast<net::PortId>(key >> 32);
+    return static_cast<net::PortId>(key >> 40);
   }
   static net::NodeId conn_peer(std::uint64_t key) {
-    return static_cast<net::NodeId>((key >> 8) & 0xFFFF);
+    return static_cast<net::NodeId>((key >> 8) & 0xFFFFFFFFu);
   }
   static net::PortId conn_peer_port(std::uint64_t key) {
     return static_cast<net::PortId>(key & 0xFF);

@@ -23,6 +23,24 @@
 // message in flight — channels are always fully drained at a round start,
 // so emptiness of the queues implies emptiness of the system).
 //
+// Batched horizons (opt-in, enable_batched_horizons): instead of the one
+// global horizon LBTS + lookahead, worker 0 derives a per-shard horizon
+//
+//   H_i = min( min_{j != i} m_j + la,  min_all m_j + 2*la )
+//
+// where m_j is shard j's earliest pending event at the reduce.  Safety:
+// channels are empty at the reduce, so any event shard i could still
+// receive is produced by some shard executing a pending event.  A direct
+// send from j != i departs an event at t >= m_j and arrives >= m_j + la
+// >= min_{j != i} m_j + la.  Any relayed chain (including one that starts
+// at i itself) crosses >= 2 shard hops of >= la each from an event at
+// >= min_all, arriving >= min_all + 2*la.  Every H_i >= the classic
+// horizon, so each round executes at least as much work and wide fabrics
+// spend measurably fewer barrier rounds (`lbts_rounds`).  Event seq
+// assignment differs from the unbatched schedule, so per-shard hash
+// goldens are pinned per (scenario, batching mode); the pre-existing
+// mcast goldens all use the unbatched default.
+//
 // Determinism: with shard count fixed, the executed (when, seq) order of
 // every shard is a pure function of the initial events and seeds — the
 // drain sort removes the only interleaving-dependent input.  Across
@@ -96,6 +114,12 @@ class ShardedEngine {
   [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
   [[nodiscard]] Duration lookahead() const { return lookahead_; }
   [[nodiscard]] Simulator& shard(std::size_t i) { return shards_.at(i)->sim; }
+
+  /// Switches the reduce phase to per-shard batched horizons (see the
+  /// header comment).  Changes each shard's event seq assignment — callers
+  /// that pin hash goldens pin them per batching mode.  Call before run().
+  void enable_batched_horizons(bool on) { batched_horizons_ = on; }
+  [[nodiscard]] bool batched_horizons() const { return batched_horizons_; }
 
   /// Schedules `action` on shard `to` at absolute time `when`.  Same-shard
   /// posts schedule directly; cross-shard posts must respect the lookahead
@@ -203,6 +227,9 @@ class ShardedEngine {
     // Written by the owning worker in the reduce phase, read by worker 0
     // after the barrier — the barrier provides the happens-before edge.
     TimePoint local_min{0};
+    // Written by worker 0 between barriers, read by the owning worker in
+    // the execute phase — the same barrier edge makes this race-free.
+    TimePoint horizon{0};
     alignas(64) char pad_[1]{};  // keep shard hot state off shared lines
   };
 
@@ -248,7 +275,7 @@ class ShardedEngine {
         if (lbts == kNever || abort_.load(std::memory_order_relaxed)) {
           done_ = true;
         } else {
-          horizon_ = lbts + lookahead_;
+          assign_horizons(lbts);
           ++lbts_rounds_;
         }
       }
@@ -256,7 +283,7 @@ class ShardedEngine {
       if (done_) break;
       // ---- Phase 3: execute strictly below the safe horizon ----
       try {
-        const std::size_t executed = my.sim.run_before(horizon_);
+        const std::size_t executed = my.sim.run_before(my.horizon);
         if (executed == 0 && my.sim.pending_events() > 0) {
           // This shard's earliest event sits exactly at or beyond the
           // horizon (the lookahead-edge case); it waits for the next round.
@@ -266,6 +293,40 @@ class ShardedEngine {
         fail(me);
       }
       sync.arrive_and_wait();
+    }
+  }
+
+  /// Worker 0, between the reduce and release barriers: hand every shard
+  /// its horizon for this round's execute phase.
+  void assign_horizons(TimePoint lbts) {
+    if (!batched_horizons_) {
+      const TimePoint horizon = lbts + lookahead_;
+      for (const auto& s : shards_) s->horizon = horizon;
+      return;
+    }
+    // Smallest and second-smallest contribution, so min over j != i is
+    // O(1) per shard: m2 when i holds the minimum, m1 otherwise.
+    TimePoint m1 = kNever, m2 = kNever;
+    std::size_t argmin = 0;
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      const TimePoint m = shards_[i]->local_min;
+      if (m < m1) {
+        m2 = m1;
+        m1 = m;
+        argmin = i;
+      } else if (m < m2) {
+        m2 = m;
+      }
+    }
+    const TimePoint chain_bound = lbts + lookahead_ + lookahead_;
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      const TimePoint min_others = i == argmin ? m2 : m1;
+      // kNever marks "every other shard idle": only the relayed-chain
+      // bound applies, and kNever + lookahead must not be formed (the
+      // sentinel is int64 max; the sum would overflow).
+      const TimePoint direct_bound =
+          min_others == kNever ? kNever : min_others + lookahead_;
+      shards_[i]->horizon = std::min(direct_bound, chain_bound);
     }
   }
 
@@ -282,8 +343,8 @@ class ShardedEngine {
   std::vector<std::unique_ptr<Channel>> channels_;  // [from * N + to]
   std::vector<std::exception_ptr> errors_;
   std::atomic<bool> abort_{false};
+  bool batched_horizons_ = false;
   // Written by worker 0 between barriers; read by all after — race-free.
-  TimePoint horizon_{0};
   bool done_ = false;
   std::uint64_t lbts_rounds_ = 0;
 };

@@ -3,10 +3,13 @@
 // matter how many worker threads execute the specs.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <stdexcept>
+#include <vector>
 
 #include "harness/bench_io.hpp"
+#include "harness/experiment_util.hpp"
 #include "harness/parallel_runner.hpp"
 #include "harness/runners.hpp"
 #include "harness/sweep.hpp"
@@ -225,6 +228,20 @@ TEST(BenchIo, EmptySeriesSerialisesAsNull) {
   const auto v = result_to_json(r);
   EXPECT_TRUE(v.at("latency_us").is_null());
   EXPECT_EQ(v.at("metrics").at("avg_bcast_cpu_us").as_number(), 12.5);
+}
+
+// Regression: with a 16-bit NodeId this loop never terminated at
+// n == 65536 (the counter wrapped to 0 before reaching the bound) and any
+// id past the wrap aliased a lower endpoint.
+TEST(ExperimentUtil, EveryoneButTerminatesAndStaysDistinctPastSixtyFourK) {
+  const std::size_t n = 65536 + 3;
+  const std::vector<net::NodeId> dests = everyone_but(0, n);
+  ASSERT_EQ(dests.size(), n - 1);
+  EXPECT_EQ(dests.front(), 1u);
+  EXPECT_EQ(dests.back(), 65538u);
+  // Strictly increasing == no wrap-around aliasing anywhere in the range.
+  EXPECT_TRUE(std::is_sorted(dests.begin(), dests.end()));
+  EXPECT_EQ(std::adjacent_find(dests.begin(), dests.end()), dests.end());
 }
 
 }  // namespace

@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -99,6 +102,59 @@ TEST(Buffer, CorruptionIsAFlagNotAMutation) {
   EXPECT_TRUE(in_transit.payload.shares_block_with(retransmit_copy.payload));
   EXPECT_EQ(in_transit.payload, retransmit_copy.payload);  // bytes untouched
   EXPECT_EQ(message[5], static_cast<std::byte>(5));
+}
+
+TEST(Buffer, RefCountTracksViewsOfOneBlock) {
+  Buffer whole = Buffer::take(ramp(64));
+  EXPECT_EQ(whole.block_ref_count(), 1u);
+  {
+    const Buffer a = whole.slice(0, 16);
+    const Buffer b = a;  // copy shares too
+    EXPECT_EQ(whole.block_ref_count(), 3u);
+    EXPECT_TRUE(b.shares_block_with(whole));
+  }
+  EXPECT_EQ(whole.block_ref_count(), 1u);
+  Buffer moved = std::move(whole);  // move transfers, no bump
+  EXPECT_EQ(moved.block_ref_count(), 1u);
+}
+
+// The sharded engine posts payload slices to other shards, where they are
+// released while siblings are still referenced on the owning shard.  With
+// the pre-atomic refcount this was a TSan-visible data race (and a
+// potential double-free); the test hammers exactly that pattern and is
+// built in the TSan CI job.
+TEST(Buffer, CrossThreadSliceReleaseIsRaceFree) {
+  constexpr int kRounds = 64;
+  constexpr int kThreads = 4;
+  constexpr int kSlicesPerThread = 128;
+  for (int round = 0; round < kRounds; ++round) {
+    Buffer message = Buffer::take(ramp(4096));
+    std::vector<std::vector<Buffer>> per_thread(kThreads);
+    for (auto& slices : per_thread) {
+      for (int i = 0; i < kSlicesPerThread; ++i) {
+        slices.push_back(
+            message.slice(static_cast<std::size_t>(i % 32) * 128, 128));
+      }
+    }
+    std::atomic<std::uint64_t> bytes_seen{0};
+    {
+      std::vector<std::jthread> workers;
+      for (int t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&bytes_seen, mine = std::move(per_thread[
+                                  static_cast<std::size_t>(t)])]() mutable {
+          std::uint64_t sum = 0;
+          for (Buffer& slice : mine) {
+            sum += static_cast<std::uint64_t>(slice[0]);
+            slice = Buffer{};  // release on this thread
+          }
+          bytes_seen.fetch_add(sum, std::memory_order_relaxed);
+        });
+      }
+      // The original drops its reference while workers still hold slices.
+      message = Buffer{};
+    }
+    EXPECT_GT(bytes_seen.load(), 0u);
+  }
 }
 
 }  // namespace

@@ -81,16 +81,38 @@ TEST(SwitchCut, BackToBackSplitsEndpointsDirectly) {
   EXPECT_EQ(part.cross_links, 2u);  // both directions of the one cable
 }
 
-TEST(SwitchCut, MoreShardsThanLeavesStillCoversAllVertices) {
-  // single_switch(8): one leaf switch, 8 endpoints, 13 shards requested.
-  // Everything collapses onto the leaf's shard — valid, just imbalanced.
+TEST(SwitchCut, MoreShardsThanLeavesClampsToTheLeafBlockCount) {
+  // single_switch(8): one leaf switch, 13 shards requested.  Everything
+  // must collapse onto one shard — the old behaviour kept shards = 13 and
+  // left 12 workers spinning through LBTS rounds with nothing to do.
   const Topology topo = Topology::single_switch(8);
   const FabricPartition part = switch_cut(topo, 13, {});
-  EXPECT_EQ(part.shards, 13u);
+  EXPECT_EQ(part.shards, 1u);
   for (std::size_t e = 0; e < topo.endpoint_count(); ++e) {
     EXPECT_EQ(part.vertex_shard[e], part.vertex_shard[topo.endpoint_count()]);
   }
   EXPECT_EQ(part.cross_links, 0u);
+}
+
+TEST(SwitchCut, ClampedPartitionPopulatesEveryShard) {
+  // clos(64, 32): 4 leaf blocks of 16.  Requesting 8 shards used to leave
+  // shards 1/3/5/7 without a single endpoint; now the cut clamps to 4 and
+  // every shard owns at least one endpoint.
+  const Topology topo = Topology::clos(64, 32);
+  const FabricPartition part = switch_cut(topo, 8, {});
+  EXPECT_EQ(part.shards, 4u);
+  std::set<std::uint32_t> used;
+  for (std::size_t e = 0; e < topo.endpoint_count(); ++e) {
+    used.insert(part.vertex_shard[e]);
+  }
+  EXPECT_EQ(used.size(), part.shards);
+}
+
+TEST(SwitchCut, BackToBackClampsToTheEndpointCount) {
+  const Topology topo = Topology::back_to_back();
+  const FabricPartition part = switch_cut(topo, 5, {});
+  EXPECT_EQ(part.shards, 2u);  // one endpoint per shard is the ceiling
+  EXPECT_NE(part.vertex_shard[0], part.vertex_shard[1]);
 }
 
 }  // namespace

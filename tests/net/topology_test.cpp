@@ -204,6 +204,29 @@ TEST(RouteTable, ViewsStayValidAsArenaGrows) {
   EXPECT_EQ(first.to_route(), snapshot);  // offsets, not pointers
 }
 
+// Regression for the pre-widening NodeId wrap: with a 16-bit id,
+// endpoint 65536 aliased endpoint 0 and id loops never terminated at
+// n == 65536.  The 32-bit id keeps every id below the guard distinct,
+// and construction rejects counts the id width cannot address.
+TEST(Topology, EndpointCountsBeyondTheIdWidthAreRejected) {
+  static_assert(sizeof(NodeId) >= 4,
+                ">65536-endpoint fabrics require a 32-bit NodeId");
+  // The ctor allocates nothing per endpoint, so the boundary is testable.
+  EXPECT_NO_THROW(Topology{Topology::max_addressable_endpoints()});
+  EXPECT_THROW(Topology{Topology::max_addressable_endpoints() + 1},
+               std::invalid_argument);
+}
+
+TEST(Topology, IdsPastTheOldSixteenBitWrapStayDistinct) {
+  const std::size_t n = 65536 + 64;
+  std::set<NodeId> seen;
+  for (std::size_t i = 0; i < n; ++i) {  // wrapped forever with 16-bit ids
+    seen.insert(static_cast<NodeId>(i));
+  }
+  EXPECT_EQ(seen.size(), n);  // 16-bit ids aliased 65536 -> 0 here
+  EXPECT_NE(static_cast<NodeId>(65536), static_cast<NodeId>(0));
+}
+
 TEST(RouteTable, ThrowsLikeTopologyRoute) {
   Topology t(3);
   t.add_cable(0, 1);

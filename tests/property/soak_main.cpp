@@ -11,6 +11,7 @@
 // scenario fails.
 #include <cstdint>
 #include <cstdio>
+#include <iterator>
 #include <map>
 #include <string>
 #include <vector>
@@ -34,12 +35,15 @@ std::uint64_t mix64(std::uint64_t x) {
 }
 
 /// With --shards N (N > 1), every scenario additionally runs a sharded-
-/// fabric cross-check: the same seeded multicast on the PDES fabric at 1
-/// shard and at a per-scenario random shard count in [2, N], asserting the
-/// shard-count-invariance half of the determinism contract (identical
-/// deliveries and protocol totals).  The derivation uses its own mix of the
-/// scenario seed, so soak::make_spec's RNG stream — and with it every
-/// pinned soak golden — is untouched.
+/// fabric cross-check: one seeded run of a randomly drawn migrated family
+/// (gm_mcast, multisend, mpi_bcast, skew_bcast, barrier) on the PDES
+/// fabric at 1 shard and at a per-scenario random shard count in [2, N],
+/// asserting the shard-count-invariance half of the determinism contract
+/// (identical deliveries and protocol totals).  The requested count may
+/// exceed the scenario's leaf-block count — switch_cut clamps it, and the
+/// check reports the effective count it actually ran at.  The derivation
+/// uses its own mix of the scenario seed, so soak::make_spec's RNG stream
+/// — and with it every pinned soak golden — is untouched.
 struct ShardCheck {
   bool ok = true;
   std::size_t shards = 0;
@@ -53,7 +57,11 @@ ShardCheck run_sharded_crosscheck(std::uint64_t seed,
   check.shards = 2 + mix64(seed ^ 0x5aad) % (max_shards - 1);
 
   harness::RunSpec spec;
-  spec.experiment = harness::Experiment::kGmMulticast;
+  constexpr harness::Experiment kFamilies[] = {
+      harness::Experiment::kGmMulticast, harness::Experiment::kMultisend,
+      harness::Experiment::kMpiBcast, harness::Experiment::kSkewBcast,
+      harness::Experiment::kBarrier};
+  spec.experiment = kFamilies[mix64(seed ^ 0xfa417) % std::size(kFamilies)];
   spec.nodes = 24 + mix64(seed ^ 0xfab) % 233;  // 24..256 endpoints
   spec.wiring = harness::Wiring::kClos;
   spec.switch_radix = 16;
@@ -61,23 +69,38 @@ ShardCheck run_sharded_crosscheck(std::uint64_t seed,
   spec.tree = (mix64(seed ^ 0x7ee) & 1) != 0
                   ? harness::TreeShape::kBinomial
                   : harness::TreeShape::kChain;
-  spec.loss_rate = static_cast<double>(mix64(seed ^ 0x1055) % 4) * 0.01;
+  // The barrier rides the lossless control path; everything else soaks
+  // under 0-3% uniform loss like the gm_mcast check always has.
+  spec.loss_rate =
+      spec.experiment == harness::Experiment::kBarrier
+          ? 0.0
+          : static_cast<double>(mix64(seed ^ 0x1055) % 4) * 0.01;
+  if (spec.experiment == harness::Experiment::kMultisend) {
+    spec.destinations = spec.nodes - 1;  // flat send: a star tree
+  }
+  if (spec.experiment == harness::Experiment::kSkewBcast ||
+      spec.experiment == harness::Experiment::kBarrier) {
+    spec.avg_skew_us = static_cast<double>(mix64(seed ^ 0x54e3) % 32);
+  }
   spec.warmup = 0;
   spec.iterations = 1;
   spec.seed = seed;
 
   spec.shards = 1;
-  const harness::RunResult base = harness::run_sharded_mcast(spec);
+  const harness::RunResult base = harness::run_sharded(spec);
   spec.shards = check.shards;
-  const harness::RunResult sharded = harness::run_sharded_mcast(spec);
+  const harness::RunResult sharded = harness::run_sharded(spec);
+  // switch_cut may have clamped the request on a small Clos; report what
+  // actually ran.
+  check.shards = sharded.engine.shard_count;
 
   const auto mismatch = [&](const char* what, std::uint64_t a,
                             std::uint64_t b) {
     if (a == b) return;
     check.ok = false;
-    check.failure += std::string(what) + " " + std::to_string(a) +
-                     " != " + std::to_string(b) + " at " +
-                     std::to_string(check.shards) + " shards; ";
+    check.failure += std::string(to_string(spec.experiment)) + " " + what +
+                     " " + std::to_string(a) + " != " + std::to_string(b) +
+                     " at " + std::to_string(check.shards) + " shards; ";
   };
   mismatch("deliveries",
            static_cast<std::uint64_t>(base.metric("deliveries")),

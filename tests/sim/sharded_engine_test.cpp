@@ -192,5 +192,95 @@ void hop(ShardedEngine& engine, std::size_t at, int remaining) {
               [&engine, next, remaining] { hop(engine, next, remaining - 1); });
 }
 
+// ---- Batched per-shard horizons (opt-in) ----
+
+// Safety under batching: every cross-shard message must still land in the
+// receiver's future (Simulator::schedule_at throws on a time in the past),
+// and the protocol outcome must match the unbatched schedule exactly.
+// The staggered start times + reply traffic exercise the case that makes
+// the naive "min over others + lookahead" horizon unsound: an almost-idle
+// shard reacting to a post and sending back within the round.
+TEST(ShardedEngine, BatchedHorizonsPreserveOutcomeWithFewerRounds) {
+  auto run_once = [](bool batched, std::uint64_t& rounds,
+                     std::uint64_t& replies) {
+    ShardedEngine engine(4, kLookahead);
+    engine.enable_batched_horizons(batched);
+    std::uint64_t* count = &replies;
+    // Shard 0 drives: a dense local event train (so its own horizon
+    // matters) plus pings to every other shard; each target replies, and
+    // the reply bumps the shared count on shard 0.
+    for (int i = 0; i < 200; ++i) {
+      engine.shard(0).schedule_at(t_us(1.0 + 0.25 * i), [] {});
+    }
+    for (std::size_t target = 1; target < 4; ++target) {
+      const double at = 2.0 + 17.0 * static_cast<double>(target);
+      engine.shard(0).schedule_at(t_us(at), [&engine, target, count] {
+        Simulator& s0 = engine.shard(0);
+        engine.post(0, target, s0.now() + kLookahead,
+                    [&engine, target, count] {
+                      Simulator& st = engine.shard(target);
+                      engine.post(target, 0, st.now() + kLookahead,
+                                  [count] { ++*count; });
+                    });
+      });
+    }
+    engine.run();
+    rounds = engine.lbts_rounds();
+  };
+
+  std::uint64_t unbatched_rounds = 0, unbatched_replies = 0;
+  std::uint64_t batched_rounds = 0, batched_replies = 0;
+  run_once(false, unbatched_rounds, unbatched_replies);
+  run_once(true, batched_rounds, batched_replies);
+  EXPECT_EQ(batched_replies, unbatched_replies);
+  EXPECT_EQ(batched_replies, 3u);
+  // Batched horizons dominate the classic one, so rounds can only drop.
+  EXPECT_LE(batched_rounds, unbatched_rounds);
+  EXPECT_LT(batched_rounds, unbatched_rounds);  // and here they must
+}
+
+TEST(ShardedEngine, BatchedHorizonsAreRepeatable) {
+  auto run_once = [](std::vector<std::uint64_t>& hashes,
+                     std::uint64_t& rounds) {
+    ShardedEngine engine(4, kLookahead);
+    engine.enable_batched_horizons(true);
+    for (std::size_t s = 0; s < 4; ++s) {
+      engine.shard(s).schedule_at(t_us(static_cast<double>(s + 1)),
+                                  [&engine, s] { hop(engine, s, 50); });
+    }
+    engine.run();
+    hashes = engine.shard_order_hashes();
+    rounds = engine.lbts_rounds();
+  };
+  std::vector<std::uint64_t> h1, h2;
+  std::uint64_t r1 = 0, r2 = 0;
+  run_once(h1, r1);
+  run_once(h2, r2);
+  EXPECT_EQ(h1, h2);
+  EXPECT_EQ(r1, r2);
+}
+
+// The shape where batching pays most: one shard holds a long local event
+// train while every other shard is idle.  Unbatched, the horizon advances
+// one lookahead per round (one event when the train is spaced exactly at
+// the lookahead); batched, only the min_all + 2*lookahead chain bound
+// applies and each round covers two events — half the barrier rounds.
+TEST(ShardedEngine, BatchedHorizonsHalveRoundsOnALocalEventTrain) {
+  constexpr int kTrain = 40;
+  auto rounds_for = [](bool batched) {
+    ShardedEngine engine(2, kLookahead);
+    engine.enable_batched_horizons(batched);
+    for (int i = 0; i < kTrain; ++i) {
+      engine.shard(0).schedule_at(t_us(1.0 + static_cast<double>(i)), [] {});
+    }
+    engine.run();
+    return engine.lbts_rounds();
+  };
+  const std::uint64_t unbatched = rounds_for(false);
+  const std::uint64_t batched = rounds_for(true);
+  EXPECT_EQ(unbatched, static_cast<std::uint64_t>(kTrain));
+  EXPECT_LE(batched, unbatched / 2 + 1);
+}
+
 }  // namespace
 }  // namespace nicmcast::sim
