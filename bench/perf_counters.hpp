@@ -1,0 +1,107 @@
+// Hardware cache-miss / branch-miss sampling for the engine benches.
+//
+// The microarchitecture pass (DESIGN.md §4.7) is about cache behaviour,
+// so the microbench records PERF_COUNT_HW_CACHE_MISSES and
+// PERF_COUNT_HW_BRANCH_MISSES alongside events/sec.  Counting uses the
+// Linux perf_event_open syscall on the calling process itself, which
+// kernel.perf_event_paranoid <= 2 permits without privileges.
+//
+// Degradation is graceful by design: off-Linux, on kernels that refuse
+// the syscall, or on VMs without a PMU, every reading is zero and ok()
+// is false — the bench still runs and the JSON columns just read 0.
+// check_bench_regression.py treats the columns as optional for the same
+// reason.
+#pragma once
+
+#include <cstdint>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cstring>
+#endif
+
+namespace nicmcast::bench {
+
+class PerfCounters {
+ public:
+  struct Reading {
+    std::uint64_t cache_misses = 0;
+    std::uint64_t branch_misses = 0;
+  };
+
+#if defined(__linux__)
+  PerfCounters()
+      : cache_fd_(open_counter(PERF_COUNT_HW_CACHE_MISSES)),
+        branch_fd_(open_counter(PERF_COUNT_HW_BRANCH_MISSES)) {}
+
+  ~PerfCounters() {
+    if (cache_fd_ >= 0) ::close(cache_fd_);
+    if (branch_fd_ >= 0) ::close(branch_fd_);
+  }
+
+  PerfCounters(const PerfCounters&) = delete;
+  PerfCounters& operator=(const PerfCounters&) = delete;
+
+  /// True when at least one hardware counter opened.
+  [[nodiscard]] bool ok() const { return cache_fd_ >= 0 || branch_fd_ >= 0; }
+
+  /// Zeroes and enables the counters.  Call immediately before the timed
+  /// region.
+  void start() {
+    reset_and_enable(cache_fd_);
+    reset_and_enable(branch_fd_);
+  }
+
+  /// Disables the counters and returns what the timed region cost.
+  Reading stop() {
+    Reading reading;
+    reading.cache_misses = disable_and_read(cache_fd_);
+    reading.branch_misses = disable_and_read(branch_fd_);
+    return reading;
+  }
+
+ private:
+  static int open_counter(std::uint64_t config) {
+    perf_event_attr attr;
+    std::memset(&attr, 0, sizeof(attr));
+    attr.type = PERF_TYPE_HARDWARE;
+    attr.size = sizeof(attr);
+    attr.config = config;
+    attr.disabled = 1;
+    attr.exclude_kernel = 1;  // paranoid<=2 allows user-space-only counting
+    attr.exclude_hv = 1;
+    attr.inherit = 1;  // runner worker threads count too
+    return static_cast<int>(
+        ::syscall(SYS_perf_event_open, &attr, /*pid=*/0, /*cpu=*/-1,
+                  /*group_fd=*/-1, /*flags=*/0UL));
+  }
+
+  static void reset_and_enable(int fd) {
+    if (fd < 0) return;
+    ::ioctl(fd, PERF_EVENT_IOC_RESET, 0);
+    ::ioctl(fd, PERF_EVENT_IOC_ENABLE, 0);
+  }
+
+  static std::uint64_t disable_and_read(int fd) {
+    if (fd < 0) return 0;
+    ::ioctl(fd, PERF_EVENT_IOC_DISABLE, 0);
+    std::uint64_t value = 0;
+    if (::read(fd, &value, sizeof(value)) != sizeof(value)) return 0;
+    return value;
+  }
+
+  int cache_fd_ = -1;
+  int branch_fd_ = -1;
+#else
+  // Non-Linux stub: benches compile and run, every reading is zero.
+  [[nodiscard]] bool ok() const { return false; }
+  void start() {}
+  Reading stop() { return {}; }
+#endif
+};
+
+}  // namespace nicmcast::bench

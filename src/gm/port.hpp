@@ -16,11 +16,11 @@
 #include <deque>
 #include <memory>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "gm/registered_memory.hpp"
 #include "nic/nic.hpp"
+#include "sim/flat_map.hpp"
 #include "sim/simulator.hpp"
 
 namespace nicmcast::gm {
@@ -153,7 +153,8 @@ class Port {
   MemoryRegistry memory_;
 
   sim::Channel<RecvMessage> inbox_;
-  std::unordered_map<nic::OpHandle, std::unique_ptr<OpState>> pending_;
+  // Flat table (sim/flat_map.hpp): the pump hits this once per NIC event.
+  sim::FlatMap<nic::OpHandle, std::unique_ptr<OpState>> pending_;
   sim::Gate token_freed_;
   std::size_t tokens_reserved_ = 0;  // nowait posts still crossing the bus
   nic::OpHandle next_handle_ = 1;  // 0 is the NIC's "no handle" sentinel

@@ -1,6 +1,8 @@
 #include "harness/bench_io.hpp"
 
 #include <cstdio>
+
+#include "sim/simulator.hpp"
 #include <cstdlib>
 #include <fstream>
 #include <stdexcept>
@@ -35,7 +37,22 @@ namespace {
                "  --batch-horizons  let each shard run to its per-shard "
                "batched LBTS\n"
                "                horizon (fewer barrier rounds; its own "
-               "golden lineage)\n",
+               "golden lineage)\n"
+               "  --no-batch    pop events one at a time instead of the "
+               "same-tick batched\n"
+               "                dispatch (identical order and hash; used "
+               "by CI to prove it)\n"
+               "  --perf-counters  sample hardware cache/branch-miss "
+               "counters per scenario\n"
+               "                (perf_event_open; zeros when unavailable)\n"
+               "  --fast-path   force the NIC's uncontended-link replica "
+               "fast path on\n"
+               "                (opt-in modelling approximation; its own "
+               "event lineage)\n"
+               "  --only LABEL  run just the scenario/point with this label "
+               "(profiling\n"
+               "                aid; the output is not a regression "
+               "baseline)\n",
                static_cast<int>(bench_name.size()), bench_name.data());
   std::exit(code);
 }
@@ -80,12 +97,24 @@ BenchOptions parse_bench_options(int argc, char** argv,
           static_cast<std::size_t>(parse_u64(value(), bench_name));
     } else if (arg == "--batch-horizons") {
       options.batch_horizons = true;
+    } else if (arg == "--no-batch") {
+      options.batch_dispatch = false;
+    } else if (arg == "--perf-counters") {
+      options.perf_counters = true;
+    } else if (arg == "--fast-path") {
+      options.fast_path = true;
+    } else if (arg == "--only") {
+      options.only = value();
     } else {
       std::fprintf(stderr, "unknown option: %.*s\n",
                    static_cast<int>(arg.size()), arg.data());
       usage_and_exit(bench_name, 2);
     }
   }
+  // Applied here, before any Simulator exists or any worker thread starts,
+  // so every run in the process sees one consistent dispatch mode.
+  sim::default_batch_dispatch() = options.batch_dispatch;
+  nic::default_uncontended_fast_path() = options.fast_path;
   return options;
 }
 
@@ -132,6 +161,8 @@ json::Value spec_to_json(const RunSpec& spec) {
   // CI thread-count determinism diff over them) stays byte-identical.
   if (spec.shards > 1) out["shards"] = spec.shards;
   if (spec.batch_horizons) out["batch_horizons"] = true;
+  // Same rule for the fast-path knob: emitted only when forced on.
+  if (spec.nic.uncontended_fast_path) out["fast_path"] = true;
   out["aux"] = spec.aux;
   return out;
 }
@@ -168,6 +199,7 @@ json::Value result_to_json(const RunResult& result) {
   counters["duplicate_drops"] = nic.duplicate_drops;
   counters["no_token_drops"] = nic.no_token_drops;
   counters["nic_buffer_drops"] = nic.nic_buffer_drops;
+  counters["map_growths"] = nic.map_growths;
   out["nic"] = std::move(counters);
 
   // Engine memory-model counters live under their own key so the protocol

@@ -75,6 +75,29 @@ struct BenchOptions {
   /// barrier rounds, same outcome; a different — but pinned — event-seq
   /// lineage, so goldens record which mode produced them).
   bool batch_horizons = false;
+  /// --no-batch: disable the simulator's same-tick batched dispatch and
+  /// pop events one at a time.  Executed order and event_order_hash are
+  /// bit-identical either way; CI runs the microbench both ways to prove
+  /// it.  Applied process-wide via sim::default_batch_dispatch().
+  bool batch_dispatch = true;
+  /// --perf-counters: sample hardware cache-miss/branch-miss counters
+  /// around each timed scenario (Linux perf_event_open; reads as zero
+  /// off-Linux or when the kernel denies access).
+  bool perf_counters = false;
+  /// --fast-path: force the NIC's uncontended-link replica fast path on
+  /// for every run (NicConfig::uncontended_fast_path).  A modelling
+  /// approximation with its own event lineage — never used for the
+  /// hash-pinned baselines, but soaked under ASan in CI.
+  bool fast_path = false;
+  /// --only LABEL: run just the scenario/sweep point with this label.
+  /// A profiling/debugging aid — a filtered JSON document is not a valid
+  /// regression baseline (the checker fails on the missing labels).
+  std::string only;
+
+  /// True when `label` passes the --only filter.
+  [[nodiscard]] bool selected(std::string_view label) const {
+    return only.empty() || only == label;
+  }
 
   /// The effective shard count for one sweep point (the --shards override
   /// when given, otherwise the point's default).

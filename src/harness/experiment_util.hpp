@@ -4,8 +4,10 @@
 // the CLI.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 #include "gm/cluster.hpp"
@@ -19,8 +21,18 @@ namespace nicmcast::harness {
 
 inline gm::Payload make_payload(std::size_t n, std::uint8_t salt = 0) {
   gm::Payload p(n);
-  for (std::size_t i = 0; i < n; ++i) {
+  // i*131 mod 256 has period 256, so the pattern is one 256-byte block
+  // repeated: compute the first period, then double it with memcpy —
+  // soak workloads build and compare multi-KiB payloads in their inner
+  // loop, where the per-byte multiply showed up in profiles.
+  const std::size_t head = std::min<std::size_t>(n, 256);
+  for (std::size_t i = 0; i < head; ++i) {
     p[i] = std::byte{static_cast<std::uint8_t>(i * 131u + salt)};
+  }
+  for (std::size_t filled = head; filled < n;) {
+    const std::size_t copy = std::min(filled, n - filled);
+    std::memcpy(p.data() + filled, p.data(), copy);
+    filled += copy;
   }
   return p;
 }

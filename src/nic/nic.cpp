@@ -56,6 +56,17 @@ Nic::Nic(sim::Simulator& sim, net::Network& network, net::NodeId id,
   for (std::size_t i = 0; i < options_.num_ports; ++i) {
     ports_.push_back(std::make_unique<Port>());
   }
+  // Pre-size the Go-back-N tables to the expected peer population so the
+  // packet path never pays a rehash; anything that does grow past the hint
+  // is churn worth seeing, so every table reports into one counter.
+  if (config_.expected_peers > 0) {
+    sender_conns_.reserve(config_.expected_peers);
+    receiver_conns_.reserve(config_.expected_peers);
+  }
+  sender_conns_.bind_growth_counter(&stats_.map_growths);
+  receiver_conns_.bind_growth_counter(&stats_.map_growths);
+  groups_.bind_growth_counter(&stats_.map_growths);
+  pending_ops_.bind_growth_counter(&stats_.map_growths);
   network_.attach(id_, *this);
 }
 
@@ -150,9 +161,9 @@ void Nic::post_multisend(MultisendRequest request) {
               SenderConn& conn = sender_conns_[key];
               conn_activity(key, conn);
               p.header.seq = conn.next_seq++;
-              conn.records.push_back(SendRecord{p.header.seq, message, frag,
-                                                p.header, sim_.now(), 0,
-                                                handle});
+              conn.records.push_back(
+                  p.header.seq, sim_.now(),
+                  SendRecord{message, frag, p.header, 0, handle});
             },
             [this](const net::Packet& p,
                    const net::Network::TxTiming& timing) {
@@ -160,13 +171,7 @@ void Nic::post_multisend(MultisendRequest request) {
                                                  p.header.dst,
                                                  p.header.dst_port);
               SenderConn& conn = sender_conns_[key];
-              for (auto rit = conn.records.rbegin();
-                   rit != conn.records.rend(); ++rit) {
-                if (rit->seq == p.header.seq) {
-                  rit->sent_at = std::max(rit->sent_at, timing.tx_done);
-                  break;
-                }
-              }
+              conn.records.touch(p.header.seq, timing.tx_done);
               arm_conn_timer(key);
             });
       });
@@ -423,13 +428,12 @@ void Nic::send_data_packet(net::PortId port, net::NodeId dest,
   header.msg_length = static_cast<std::uint32_t>(message.size());
   header.tag = tag;
 
-  conn.records.push_back(
-      SendRecord{header.seq, message, fragment, header, sim_.now(), 0,
-                 handle});
+  conn.records.push_back(header.seq, sim_.now(),
+                         SendRecord{message, fragment, header, 0, handle});
   const auto timing =
       transmit(make_descriptor(build_packet(header, message, fragment)));
   // Timers measure from the wire: long streams queue far behind the CPU.
-  conn.records.back().sent_at = timing.tx_done;
+  conn.records.stamp_back(timing.tx_done);
   arm_conn_timer(key);
 }
 
@@ -445,10 +449,11 @@ net::Packet Nic::build_packet(const net::PacketHeader& header,
   return packet;
 }
 
-net::Network::TxTiming Nic::transmit(DescriptorRef descriptor) {
+net::Network::TxTiming Nic::transmit(DescriptorRef descriptor,
+                                     sim::TimePoint not_before) {
   ++stats_.packets_sent;
   if (auditor_) auditor_->on_packet_sent(*this, descriptor->packet);
-  const auto timing = network_.transmit(descriptor->packet);
+  const auto timing = network_.transmit(descriptor->packet, not_before);
   if (descriptor->on_tx_complete) {
     sim_.schedule_at(timing.tx_done, [descriptor] {
       descriptor->on_tx_complete(descriptor);
@@ -460,6 +465,34 @@ net::Network::TxTiming Nic::transmit(DescriptorRef descriptor) {
 void Nic::start_replica_chain(DescriptorRef descriptor,
                               std::vector<net::NodeId> dests,
                               PrepareFn prepare, OnTransmitFn on_transmit) {
+  if (config_.uncontended_fast_path && dests.size() > 1 && !cpu_.busy()) {
+    // Uncontended fast path (opt-in, NicConfig::uncontended_fast_path):
+    // with the LANai idle, each rewrite starts the instant the previous
+    // replica clears the transmit DMA engine, so every injection instant
+    // is computable right now.  Transmit all replicas future-dated in one
+    // pass instead of chaining two events per hop; the per-replica
+    // bookkeeping (prepare / on_transmit) runs in the same order with the
+    // same timings it would see on the chained path.
+    sim::TimePoint ready = sim_.now();
+    sim::TimePoint last_rewrite_end = sim_.now();
+    for (std::size_t i = 0; i < dests.size(); ++i) {
+      if (i > 0) {
+        ++stats_.header_rewrites;
+        ready = ready + config_.header_rewrite;
+        last_rewrite_end = ready;
+      }
+      prepare(descriptor->packet, dests[i]);
+      const auto timing = transmit(descriptor, ready);
+      if (on_transmit) on_transmit(descriptor->packet, timing);
+      ready = timing.tx_done;
+    }
+    // The LANai spent one rewrite slice per follow-up replica; the last
+    // slice ended at the last replica's injection bound.
+    const auto rewrites = static_cast<std::int64_t>(dests.size() - 1);
+    cpu_.reserve(last_rewrite_end, config_.header_rewrite * rewrites);
+    return;
+  }
+
   struct ChainState {
     std::vector<net::NodeId> dests;
     std::size_t index = 0;
@@ -492,16 +525,7 @@ void Nic::touch_group_record(net::GroupId group_id, SeqNum seq,
                              sim::TimePoint sent_at) {
   auto it = groups_.find(group_id);
   if (it == groups_.end()) return;
-  // Records are in ascending seq order and the touched one is usually at
-  // the back (the packet just handed to the wire).
-  auto& records = it->second.records;
-  for (auto rit = records.rbegin(); rit != records.rend(); ++rit) {
-    if (rit->seq == seq) {
-      rit->sent_at = std::max(rit->sent_at, sent_at);
-      return;
-    }
-    if (seq_before(rit->seq, seq)) return;  // passed it; already pruned
-  }
+  it->second.records.touch(seq, sent_at);
 }
 
 void Nic::launch_mcast_packet(net::GroupId group_id, GroupState& group,
@@ -525,8 +549,8 @@ void Nic::launch_mcast_packet(net::GroupId group_id, GroupState& group,
   header.msg_length = static_cast<std::uint32_t>(message.size());
   header.tag = tag;
 
-  group.records.push_back(GroupRecord{header.seq, message, fragment, header,
-                                      sim_.now(), 0, handle});
+  group.records.push_back(header.seq, sim_.now(),
+                          GroupRecord{message, fragment, header, 0, handle});
   arm_group_timer(group_id);
 
   auto descriptor =
@@ -633,8 +657,8 @@ void Nic::handle_ack(const net::Packet& packet) {
   if (it == sender_conns_.end()) return;  // stale ack
   SenderConn& conn = it->second;
   while (!conn.records.empty() &&
-         seq_before_eq(conn.records.front().seq, packet.header.seq)) {
-    op_packet_acked(conn.records.front().handle);
+         seq_before_eq(conn.records.front_seq(), packet.header.seq)) {
+    op_packet_acked(conn.records.front_cold().handle);
     conn.records.pop_front();
   }
   if (conn.timer) {
@@ -730,11 +754,12 @@ void Nic::handle_mcast_ack(const net::Packet& packet) {
 
   // Prune records every child has acknowledged.
   while (!group.records.empty()) {
-    const GroupRecord& front = group.records.front();
+    const SeqNum front_seq = group.records.front_seq();
     const bool all_acked = std::all_of(
         group.child_next_acked.begin(), group.child_next_acked.end(),
-        [&](SeqNum n) { return seq_before(front.seq, n); });
+        [&](SeqNum n) { return seq_before(front_seq, n); });
     if (!all_acked) break;
+    const GroupRecord& front = group.records.front_cold();
     if (front.handle != 0) op_packet_acked(front.handle);
     if (front.holds_token) release_send_token(group.entry.port);
     if (front.holds_rx_buffer) release_rx_buffer();
@@ -888,7 +913,7 @@ void Nic::begin_conn_reset(std::uint64_t key) {
   conn.ctrl = Ctrl::kReset;
   conn.ctrl_retries = 0;
   conn.ctrl_seq =
-      conn.records.empty() ? conn.next_seq : conn.records.front().seq;
+      conn.records.empty() ? conn.next_seq : conn.records.front_seq();
   ++stats_.conn_resets;
   trace("nic", [&] {
     return "conn to node" + std::to_string(conn_peer(key)) +
@@ -926,7 +951,7 @@ void Nic::ctrl_timeout(std::uint64_t key) {
     // New sends may have been posted since the last attempt; re-anchor the
     // resync point at the oldest outstanding record.
     conn.ctrl_seq =
-        conn.records.empty() ? conn.next_seq : conn.records.front().seq;
+        conn.records.empty() ? conn.next_seq : conn.records.front_seq();
     send_ctrl(key, kCtrlResetReq, conn.ctrl_seq);
   } else {
     send_ctrl(key, kCtrlCloseReq, conn.ctrl_seq);
@@ -1438,10 +1463,10 @@ void Nic::begin_forward_chain(net::GroupId group_id,
 
   net::PacketHeader header = packet.header;
   header.src = id_;  // acks must come back to this hop
-  group.records.push_back(GroupRecord{header.seq, message, fragment, header,
-                                      sim_.now(), 0, /*handle=*/0,
-                                      holds_token,
-                                      options_.hold_buffers_until_acked});
+  group.records.push_back(
+      header.seq, sim_.now(),
+      GroupRecord{message, fragment, header, 0, /*handle=*/0, holds_token,
+                  options_.hold_buffers_until_acked});
   arm_group_timer(group_id);
 
   net::Packet fwd;
@@ -1475,7 +1500,7 @@ void Nic::arm_conn_timer(std::uint64_t key) {
   SenderConn& conn = sender_conns_[key];
   if (conn.timer || conn.records.empty()) return;
   const sim::TimePoint deadline =
-      std::max(conn.records.front().sent_at + config_.retransmit_timeout,
+      std::max(conn.records.front_sent_at() + config_.retransmit_timeout,
                sim_.now());
   conn.timer = sim_.schedule_at(deadline, [this, key] { conn_timeout(key); });
 }
@@ -1487,17 +1512,17 @@ void Nic::conn_timeout(std::uint64_t key) {
 
   // The front record may have been (re-)stamped with a later wire time
   // after this timer was armed; fire only when genuinely overdue.
-  if (sim_.now() - conn.records.front().sent_at <
+  if (sim_.now() - conn.records.front_sent_at() <
       config_.retransmit_timeout) {
     arm_conn_timer(key);
     return;
   }
 
-  if (conn.records.front().retries >= config_.max_retries) {
+  if (conn.records.front_cold().retries >= config_.max_retries) {
     // Peer unreachable: fail every operation with records on this
     // connection and drop the window.
-    for (const SendRecord& record : conn.records) {
-      fail_operation(record.handle);
+    for (std::size_t i = 0; i < conn.records.size(); ++i) {
+      fail_operation(conn.records.cold(i).handle);
     }
     conn.records.clear();
     // The receiver's expected_seq is now behind our next_seq (it never
@@ -1513,9 +1538,10 @@ void Nic::conn_timeout(std::uint64_t key) {
     return "timeout, retransmitting " + std::to_string(conn.records.size()) +
            " packet(s)";
   });
-  for (SendRecord& record : conn.records) {
+  for (std::size_t i = 0; i < conn.records.size(); ++i) {
+    SendRecord& record = conn.records.cold(i);
     ++record.retries;
-    record.sent_at = sim_.now();
+    conn.records.hot(i).sent_at = sim_.now();
     ++stats_.retransmissions;
     retransmit_record(record.header, record.message, record.fragment);
   }
@@ -1526,7 +1552,7 @@ void Nic::arm_group_timer(net::GroupId group_id) {
   GroupState& group = groups_.at(group_id);
   if (group.timer || group.records.empty()) return;
   const sim::TimePoint deadline =
-      std::max(group.records.front().sent_at + config_.retransmit_timeout,
+      std::max(group.records.front_sent_at() + config_.retransmit_timeout,
                sim_.now());
   group.timer = sim_.schedule_at(
       deadline, [this, group_id] { group_timeout(group_id); });
@@ -1537,14 +1563,15 @@ void Nic::group_timeout(net::GroupId group_id) {
   group.timer.reset();
   if (group.records.empty()) return;
 
-  if (sim_.now() - group.records.front().sent_at <
+  if (sim_.now() - group.records.front_sent_at() <
       config_.retransmit_timeout) {
     arm_group_timer(group_id);
     return;
   }
 
-  if (group.records.front().retries >= config_.max_retries) {
-    for (const GroupRecord& record : group.records) {
+  if (group.records.front_cold().retries >= config_.max_retries) {
+    for (std::size_t i = 0; i < group.records.size(); ++i) {
+      const GroupRecord& record = group.records.cold(i);
       if (record.handle != 0) fail_operation(record.handle);
       if (record.holds_token) release_send_token(group.entry.port);
       if (record.holds_rx_buffer) release_rx_buffer();
@@ -1555,11 +1582,13 @@ void Nic::group_timeout(net::GroupId group_id) {
   // Selective Go-back-N (paper §5): retransmit a timed-out packet and its
   // successors ONLY towards children that have not acknowledged it.
   const auto& children = group.entry.children;
-  for (GroupRecord& record : group.records) {
+  for (std::size_t i = 0; i < group.records.size(); ++i) {
+    GroupRecord& record = group.records.cold(i);
     ++record.retries;
-    record.sent_at = sim_.now();
+    group.records.hot(i).sent_at = sim_.now();
+    const SeqNum record_seq = group.records.hot(i).seq;
     for (std::size_t c = 0; c < children.size(); ++c) {
-      if (seq_before(record.seq, group.child_next_acked[c])) continue;
+      if (seq_before(record_seq, group.child_next_acked[c])) continue;
       ++stats_.retransmissions;
       net::PacketHeader header = record.header;
       header.dst = children[c];

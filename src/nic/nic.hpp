@@ -24,7 +24,6 @@
 #include <deque>
 #include <memory>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "net/network.hpp"
@@ -32,8 +31,10 @@
 #include "nic/config.hpp"
 #include "nic/engine.hpp"
 #include "nic/packet_descriptor.hpp"
+#include "nic/send_window.hpp"
 #include "nic/sequence.hpp"
 #include "nic/types.hpp"
+#include "sim/flat_map.hpp"
 #include "sim/ring_deque.hpp"
 #include "sim/simulator.hpp"
 
@@ -168,12 +169,14 @@ class Nic final : public net::PacketSink {
 
   // -- Point-to-point Go-back-N state --
 
+  // Cold half of a point-to-point send record: everything retransmission
+  // and completion need, but the steady-state ack/restamp scans never
+  // touch.  The hot {seq, sent_at} pair lives in the SendWindow's parallel
+  // ring (nic/send_window.hpp).
   struct SendRecord {
-    SeqNum seq = 0;
     MessageRef message;
     Fragment fragment;
     net::PacketHeader header;  // re-created on retransmission
-    sim::TimePoint sent_at;
     std::uint32_t retries = 0;
     OpHandle handle = 0;
   };
@@ -186,9 +189,10 @@ class Nic final : public net::PacketSink {
 
   struct SenderConn {
     SeqNum next_seq = 0;
-    // In seq order, all unacked.  RingDeque keeps its slots across window
-    // drain/refill, so steady-state record churn never touches the heap.
-    sim::RingDeque<SendRecord> records;
+    // In seq order, all unacked.  The hot/cold rings keep their slots
+    // across window drain/refill, so steady-state record churn never
+    // touches the heap.
+    SendWindow<SendRecord> records;
     std::optional<sim::EventId> timer;
     Ctrl ctrl = Ctrl::kNone;
     SeqNum ctrl_seq = 0;  // seq carried by the outstanding ctrl request
@@ -226,12 +230,11 @@ class Nic final : public net::PacketSink {
 
   // -- Multicast group state --
 
+  // Cold half of a multicast send record (hot pair in the SendWindow).
   struct GroupRecord {
-    SeqNum seq = 0;
     MessageRef message;
     Fragment fragment;
     net::PacketHeader header;
-    sim::TimePoint sent_at;
     std::uint32_t retries = 0;
     OpHandle handle = 0;  // root only; 0 for forwarded records
     // Ablation mode: the forward grabbed a send token to release on prune.
@@ -281,7 +284,7 @@ class Nic final : public net::PacketSink {
     SeqNum recv_seq = 0;  // next expected from the parent
     SeqNum send_seq = 0;  // next to assign towards the children
     std::vector<SeqNum> child_next_acked;  // per child: next seq they expect
-    sim::RingDeque<GroupRecord> records;  // pooled, same as SenderConn
+    SendWindow<GroupRecord> records;  // pooled hot/cold, same as SenderConn
     AssemblyRef assembly;
     std::optional<sim::EventId> timer;
     BarrierState barrier;
@@ -334,7 +337,8 @@ class Nic final : public net::PacketSink {
                         Fragment fragment, std::uint32_t tag, OpHandle handle);
   /// Checks out a pooled descriptor for `packet` (counted in NicStats).
   DescriptorRef make_descriptor(net::Packet packet);
-  net::Network::TxTiming transmit(DescriptorRef descriptor);
+  net::Network::TxTiming transmit(DescriptorRef descriptor,
+                                  sim::TimePoint not_before = sim::TimePoint{0});
   net::Packet build_packet(const net::PacketHeader& header,
                            const MessageRef& message, Fragment fragment);
 
@@ -456,10 +460,14 @@ class Nic final : public net::PacketSink {
   Engine rdma_;
 
   std::vector<std::unique_ptr<Port>> ports_;
-  std::unordered_map<std::uint64_t, SenderConn> sender_conns_;
-  std::unordered_map<std::uint64_t, ReceiverConn> receiver_conns_;
-  std::unordered_map<net::GroupId, GroupState> groups_;
-  std::unordered_map<OpHandle, PendingOp> pending_ops_;
+  // Flat open-addressing tables (sim/flat_map.hpp): inline probe index,
+  // pooled entries with stable references, insertion-order iteration.
+  // Pre-reserved from NicConfig::expected_peers at construction; any
+  // rehash after that shows up in NicStats::map_growths.
+  sim::FlatMap<std::uint64_t, SenderConn> sender_conns_;
+  sim::FlatMap<std::uint64_t, ReceiverConn> receiver_conns_;
+  sim::FlatMap<net::GroupId, GroupState> groups_;
+  sim::FlatMap<OpHandle, PendingOp> pending_ops_;
   // Forwards stalled on send-token exhaustion (ablation mode only).
   struct DeferredForward {
     net::GroupId group;

@@ -134,6 +134,7 @@ struct NicStats {
   std::uint64_t descriptor_reuses = 0;   // descriptor served from free list
   std::uint64_t payload_bytes_copied = 0;  // bytes physically memcpy'd
   std::uint64_t payload_refs = 0;          // zero-copy buffer shares instead
+  std::uint64_t map_growths = 0;  // conn/group/op table rehashes after setup
 };
 
 /// Memberwise sum — aggregates per-NIC counters into cluster-wide totals
@@ -164,6 +165,7 @@ inline void accumulate(NicStats& into, const NicStats& from) {
   into.descriptor_reuses += from.descriptor_reuses;
   into.payload_bytes_copied += from.payload_bytes_copied;
   into.payload_refs += from.payload_refs;
+  into.map_growths += from.map_growths;
 }
 
 }  // namespace nicmcast::nic

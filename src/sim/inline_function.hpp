@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstring>
 #include <functional>  // std::nullptr_t interop mirrors std::function
 #include <memory>
 #include <new>
@@ -82,6 +83,13 @@ class InlineFunction<R(Args...), InlineBytes> {
   [[nodiscard]] bool uses_heap() const { return ops_ != nullptr && ops_->heap; }
 
  private:
+  // Relocate/destroy are nullable: a null relocate means "memcpy the whole
+  // inline buffer" and a null destroy means "no-op".  Most hot-path
+  // closures capture only pointers and integers (trivially copyable), and
+  // a heap-spilled callable's inline representation is a plain D* — so the
+  // per-event move/destroy indirect calls collapse to a fixed-size copy
+  // the compiler inlines.  The function-pointer path remains for callables
+  // with real move constructors or destructors.
   struct Ops {
     R (*invoke)(void* storage, Args&&... args);
     // Move-constructs dst's storage from src's and destroys src's; the
@@ -89,7 +97,14 @@ class InlineFunction<R(Args...), InlineBytes> {
     void (*relocate)(void* dst, void* src) noexcept;
     void (*destroy)(void* storage) noexcept;
     bool heap;
+    // Bytes a null-relocate move must copy (sizeof the stored type).  The
+    // copy itself still uses one of two compile-time sizes — kSmallCopy or
+    // InlineBytes — so a tiny capture (`this`, a coroutine handle) moves
+    // with a quarter of the memcpy traffic of a full-buffer copy.
+    std::uint32_t copy_bytes;
   };
+
+  static constexpr std::size_t kSmallCopy = InlineBytes < 32 ? InlineBytes : 32;
 
   template <typename D>
   static constexpr Ops kInlineOps{
@@ -97,15 +112,19 @@ class InlineFunction<R(Args...), InlineBytes> {
         return (*std::launder(static_cast<D*>(storage)))(
             std::forward<Args>(args)...);
       },
-      [](void* dst, void* src) noexcept {
-        D* from = std::launder(static_cast<D*>(src));
-        ::new (dst) D(std::move(*from));
-        from->~D();
-      },
-      [](void* storage) noexcept {
-        std::launder(static_cast<D*>(storage))->~D();
-      },
-      false};
+      std::is_trivially_copyable_v<D>
+          ? nullptr
+          : +[](void* dst, void* src) noexcept {
+              D* from = std::launder(static_cast<D*>(src));
+              ::new (dst) D(std::move(*from));
+              from->~D();
+            },
+      std::is_trivially_destructible_v<D>
+          ? nullptr
+          : +[](void* storage) noexcept {
+              std::launder(static_cast<D*>(storage))->~D();
+            },
+      false, static_cast<std::uint32_t>(sizeof(D))};
 
   template <typename D>
   static constexpr Ops kHeapOps{
@@ -113,26 +132,37 @@ class InlineFunction<R(Args...), InlineBytes> {
         return (**std::launder(static_cast<D**>(storage)))(
             std::forward<Args>(args)...);
       },
-      [](void* dst, void* src) noexcept {
-        // The source object is just a pointer: trivially destructible.
-        ::new (dst) D*(*std::launder(static_cast<D**>(src)));
-      },
+      // The inline representation is just a pointer: memcpy relocates it.
+      nullptr,
       [](void* storage) noexcept {
         delete *std::launder(static_cast<D**>(storage));
       },
-      true};
+      true, static_cast<std::uint32_t>(sizeof(D*))};
 
   void reset() {
     if (ops_ != nullptr) {
-      ops_->destroy(storage_);
+      if (ops_->destroy != nullptr) ops_->destroy(storage_);
       ops_ = nullptr;
     }
   }
 
   void take(InlineFunction& other) {
-    if (other.ops_ != nullptr) {
-      ops_ = other.ops_;
-      ops_->relocate(storage_, other.storage_);
+    const Ops* ops = other.ops_;
+    if (ops != nullptr) {
+      ops_ = ops;
+      if (ops->relocate == nullptr) {
+        // Fixed-size copy: straight-line vector moves, no indirect call.
+        // Trailing bytes past sizeof(D) are dead either way.  Two size
+        // tiers, both compile-time constants, so small captures (the
+        // dominant event-loop case) skip most of the traffic.
+        if (ops->copy_bytes <= kSmallCopy) {
+          std::memcpy(storage_, other.storage_, kSmallCopy);
+        } else {
+          std::memcpy(storage_, other.storage_, InlineBytes);
+        }
+      } else {
+        ops->relocate(storage_, other.storage_);
+      }
       other.ops_ = nullptr;
     }
   }

@@ -18,11 +18,13 @@
 //                   approaches (promotions are counted — see stats).
 //
 // Tie-break preservation: the slot width never splits the ordering.  Every
-// bucket is drained into `ready_`, a (when, seq) min-heap, before anything
-// is popped from it, and `ready_` only ever holds items whose fine index is
-// <= the cursor while all wheel/overflow items are strictly beyond it — so
-// the front of `ready_` is always the global (when, seq) minimum.  Pop
-// order is therefore bit-identical to the old binary heap's.
+// bucket is drained into `ready_`, a vector kept sorted descending by
+// (when, seq), before anything is popped from it, and `ready_` only ever
+// holds items whose fine index is <= the cursor while all wheel/overflow
+// items are strictly beyond it — so the back of `ready_` is always the
+// global (when, seq) minimum.  Pop order is therefore bit-identical to the
+// old binary heap's, while a pop is a comparison-free pop_back() and a
+// same-timestamp run sits contiguous at the tail in reverse-seq order.
 //
 // The cursor only moves over slots verified empty (or drained), and items
 // scheduled at-or-behind the cursor (the raw queue allows scheduling into
@@ -35,6 +37,7 @@
 #include <algorithm>
 #include <array>
 #include <bit>
+#include <cstddef>
 #include <cstdint>
 #include <queue>
 #include <vector>
@@ -70,15 +73,57 @@ class TimingWheel {
   /// never discards or reorders an item, so it is peek-safe.
   [[nodiscard]] const WheelItem& top() {
     ensure_ready();
-    return ready_.front();
+    return ready_.back();
   }
 
   /// Removes the item top() returned.  Precondition: size() > 0.
   void pop_top() {
     ensure_ready();
-    std::pop_heap(ready_.begin(), ready_.end(), Later{});
     ready_.pop_back();
     --size_;
+  }
+
+  /// Pops the earliest item into `single` and returns 1 when it is alone
+  /// at its timestamp; otherwise extracts the whole same-timestamp run
+  /// into `out` (appended in ascending seq order) and returns its length.
+  /// The aloneness test is O(1) and exact: `ready_` is sorted, so an item
+  /// sharing the minimum's timestamp would sit directly before it.
+  /// Precondition: size() > 0.
+  std::size_t pop_top_or_run(WheelItem& single, std::vector<WheelItem>& out) {
+    ensure_ready();
+    const std::size_t n = ready_.size();
+    if (n < 2 || ready_[n - 2].when != ready_[n - 1].when) {
+      single = ready_.back();
+      ready_.pop_back();
+      --size_;
+      return 1;
+    }
+    return pop_run(out);
+  }
+
+  /// Pops the maximal run of items sharing top()'s timestamp, appending
+  /// them to `out` in ascending seq order — exactly the order N pop_top()
+  /// calls would have produced.  Precondition: size() > 0.
+  ///
+  /// Once ensure_ready() has the earliest item in `ready_`, every stored
+  /// item with that timestamp is in `ready_` too: equal timestamps share a
+  /// fine slot, a drained slot empties completely, and later same-tick
+  /// pushes land at-or-behind the cursor and join `ready_` directly.  So
+  /// one extraction really is the whole tick — the descending-sorted tail,
+  /// copied out back-to-front.
+  std::size_t pop_run(std::vector<WheelItem>& out) {
+    ensure_ready();
+    const TimePoint when = ready_.back().when;
+    std::size_t b = ready_.size();
+    while (b > 0 && ready_[b - 1].when == when) --b;
+    const std::size_t run = ready_.size() - b;
+    out.reserve(out.size() + run);
+    for (std::size_t i = ready_.size(); i-- > b;) {
+      out.push_back(ready_[i]);
+    }
+    ready_.resize(b);
+    size_ -= run;
+    return run;
   }
 
   /// Items stored, including lazily-cancelled ones the owner will skip.
@@ -127,9 +172,13 @@ class TimingWheel {
     return fine_idx >> kFineSlotBits;
   }
 
+  /// Sorted insert (descending by Later): rare relative to pops — only
+  /// items scheduled at-or-behind the cursor and boundary-cascade items
+  /// land here one at a time; bucket drains go through drain_fine_slot's
+  /// bulk append + sort instead.
   void push_ready(const WheelItem& item) {
-    ready_.push_back(item);
-    std::push_heap(ready_.begin(), ready_.end(), Later{});
+    ready_.insert(std::upper_bound(ready_.begin(), ready_.end(), item, Later{}),
+                  item);
   }
 
   [[nodiscard]] std::uint32_t alloc_node(const WheelItem& item) {
@@ -185,18 +234,35 @@ class TimingWheel {
   }
 
   /// Drains the fine bucket at absolute index `f` (== cursor_) into ready_
-  /// and clears its occupancy bit.
+  /// and clears its occupancy bit.  The whole bucket is appended first and
+  /// sorted once — O(k log k) instead of k sorted inserts at O(k) moves
+  /// each — then merged with whatever ready_ already held (cross_boundary
+  /// can cascade items into ready_ before draining the boundary slot).
   void drain_fine_slot(std::uint64_t f) {
     const std::uint64_t slot = f & (kFineSlots - 1);
     std::uint32_t idx = fine_heads_[slot];
     fine_heads_[slot] = kNil;
     fine_bits_[slot >> 6] &= ~(std::uint64_t{1} << (slot & 63));
+    const std::size_t old = ready_.size();
+    // LIFO bucket + monotonically increasing seq means a slot that only
+    // ever saw in-order pushes walks out already descending — the common
+    // case by far — so sortedness is tracked during the append and the
+    // sort skipped when it held.  Cascades and re-pushes break it; those
+    // buckets pay the O(k log k) sort.
+    bool sorted = true;
     while (idx != kNil) {
       const std::uint32_t next = pool_[idx].next;
-      push_ready(pool_[idx].item);
+      const WheelItem& item = pool_[idx].item;
+      if (ready_.size() > old && Later{}(item, ready_.back())) sorted = false;
+      ready_.push_back(item);
       free_node(idx);
       --fine_count_;
       idx = next;
+    }
+    const auto mid = ready_.begin() + static_cast<std::ptrdiff_t>(old);
+    if (!sorted) std::sort(mid, ready_.end(), Later{});
+    if (old != 0) {
+      std::inplace_merge(ready_.begin(), mid, ready_.end(), Later{});
     }
   }
 
@@ -287,8 +353,15 @@ class TimingWheel {
     promote_overflow(coarse_index(cursor_));
   }
 
-  /// Makes ready_ non-empty.  Precondition: size() > 0.
+  /// Makes ready_ non-empty.  Precondition: size() > 0.  The empty test
+  /// inlines into every top()/pop caller; the slot-scan loop stays
+  /// out of line so it does not bloat those call sites.
   void ensure_ready() {
+    if (!ready_.empty()) return;
+    fill_ready();
+  }
+
+  [[gnu::noinline]] void fill_ready() {
     while (ready_.empty()) {
       if (fine_count_ == 0 && coarse_count_ == 0) {
         jump_to_overflow();
@@ -324,7 +397,7 @@ class TimingWheel {
   // countr_zero word operations instead of per-bucket empty() probes.
   std::array<std::uint64_t, kFineSlots / 64> fine_bits_{};
   std::array<std::uint64_t, kCoarseSlots / 64> coarse_bits_{};
-  std::vector<WheelItem> ready_;  // (when, seq) min-heap via Later{}
+  std::vector<WheelItem> ready_;  // sorted descending by (when, seq)
   std::priority_queue<WheelItem, std::vector<WheelItem>, Later> overflow_;
   std::uint64_t cursor_ = 0;  // fine index of the slot drained into ready_
   std::size_t fine_count_ = 0;
