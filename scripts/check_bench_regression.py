@@ -46,6 +46,16 @@ the entry it gates against: every recorded sharded scenario must pin a
 hash vector consistent with its shard count.  Entries recorded before the
 shards axis existed carry no sharded counters at all — that is legal
 history and is skipped, never failed.
+
+The --sync axis ("…-async" labels, recorded with "sync": "async"): async
+scenarios must carry the null-message counters (null_msgs_sent,
+blocked_waits) — the values are timing-dependent and therefore only
+informational, but their *presence* is gated, both in the baseline and in
+the fresh run.  And within any trajectory entry, an async scenario's
+hashes must equal its barrier twin's (the same label minus the "-async"
+suffix): the asynchronous protocol replays the barrier round schedule
+exactly, so a divergence means the determinism contract broke, not that a
+new lineage appeared.
 """
 import json
 import sys
@@ -93,6 +103,28 @@ def check_hash_and_eps(label, want, run, failures):
             f"recorded {want['events_per_sec']:,}")
 
 
+def check_async_counters(label, want, run, failures):
+    """Gate the *presence* of the async-sync counters, print the values.
+
+    How often a receiver actually blocked (and therefore demanded a null
+    message) depends on thread timing, so the values legitimately vary
+    between runs and are never compared.  Losing the keys entirely means
+    the sync-axis instrumentation or JSON plumbing regressed.
+    """
+    engine = run["engine"]
+    for key in ("null_msgs_sent", "blocked_waits"):
+        got = engine.get(key)
+        if got is None:
+            failures.append(
+                f"{label}: async-mode run reports no '{key}' counter; the "
+                f"sync-axis instrumentation regressed")
+            continue
+        rec = want.get(key)
+        rec_text = f"{int(rec):,}" if rec is not None else "n/a"
+        print(f"{label}:   {key} {int(got):,} "
+              f"(recorded {rec_text}; informational)")
+
+
 def check_route_memory(label, run, failures):
     routes = run["engine"]["routes_materialized"]
     full_pairs = run["metrics"]["full_pairs"]
@@ -127,6 +159,29 @@ def check_trajectory_history(trajectory, failures):
                 failures.append(
                     f"trajectory[{i}] {label}: pins {len(vector)} shard "
                     f"hashes for {shards} shards; the golden is unmatchable")
+        for label, want in entry["scenarios"].items():
+            if want.get("sync") != "async":
+                continue
+            for key in ("null_msgs_sent", "blocked_waits"):
+                if key not in want:
+                    failures.append(
+                        f"trajectory[{i}] {label}: async scenario records "
+                        f"no '{key}' counter")
+            if not label.endswith("-async"):
+                failures.append(
+                    f"trajectory[{i}] {label}: sync=async scenarios use "
+                    f"the '-async' label suffix")
+                continue
+            twin = entry["scenarios"].get(label[:-len("-async")])
+            if twin is None:
+                continue  # an async point need not have a recorded twin
+            if (want.get("event_order_hash") != twin.get("event_order_hash")
+                    or want.get("shard_order_hashes")
+                    != twin.get("shard_order_hashes")):
+                failures.append(
+                    f"trajectory[{i}] {label}: hashes differ from the "
+                    f"barrier twin; async must replay the barrier round "
+                    f"schedule bit-exactly")
 
 
 def main() -> int:
@@ -157,6 +212,8 @@ def main() -> int:
             continue
         if not scale_mode or pinned:
             check_hash_and_eps(label, want, run, failures)
+        if scale_mode and want.get("sync") == "async":
+            check_async_counters(label, want, run, failures)
         if scale_mode:
             check_route_memory(label, run, failures)
 

@@ -44,7 +44,11 @@
 //                     "lbts_rounds": ..., "horizon_stalls": ...,
 //                     "channel_spills": ..., "cross_links": ...,
 //                     "shard_order_hashes": ["<decimal string>", ...],
-//                     "shard_wheel_occupancy_peak": [...] },
+//                     "shard_wheel_occupancy_peak": [...],
+//                     /* async-sync runs only (spec gains "sync":"async";
+//                        timing-dependent — informational, never gated): */
+//                     "null_msgs_sent": ..., "null_msgs_demanded": ...,
+//                     "eot_advances": ..., "blocked_waits": ... },
 //         "metrics": { "<name>": <number>, ... }
 //       }, ...
 //     ]
@@ -89,6 +93,12 @@ struct BenchOptions {
   /// approximation with its own event lineage — never used for the
   /// hash-pinned baselines, but soaked under ASan in CI.
   bool fast_path = false;
+  /// --sync MODE: force every sharded point's synchronization mode
+  /// ("barrier" or "async"); empty keeps each point's own default so
+  /// recorded sweeps stay label-stable.  The async mode replays the
+  /// barrier round schedule exactly (same hashes, same lbts_rounds) —
+  /// CI's TSan job forces it across the capped sweep.
+  std::string sync;
   /// --only LABEL: run just the scenario/sweep point with this label.
   /// A profiling/debugging aid — a filtered JSON document is not a valid
   /// regression baseline (the checker fails on the missing labels).
@@ -103,6 +113,13 @@ struct BenchOptions {
   /// when given, otherwise the point's default).
   [[nodiscard]] std::size_t shards_or(std::size_t fallback) const {
     return shards > 0 ? shards : fallback;
+  }
+
+  /// The effective sync mode for one sharded sweep point: the --sync
+  /// override when given, otherwise the point's default.
+  [[nodiscard]] bool async_or(bool fallback) const {
+    if (sync.empty()) return fallback;
+    return sync == "async";
   }
 
   /// The effective iteration (or scenario/node) count: the --iters override

@@ -54,6 +54,11 @@ struct EngineCounters {
   std::uint64_t horizon_stalls = 0;    // shard-rounds that ran zero events
   std::uint64_t channel_spills = 0;    // SPSC ring overflows to spill vector
   std::uint64_t cross_links = 0;       // topology links cut by the partition
+  // Async-sync counters (spec.async_sync runs; zero under the barrier).
+  std::uint64_t null_msgs_sent = 0;      // demand-answer null messages
+  std::uint64_t null_msgs_demanded = 0;  // receiver demand flags raised
+  std::uint64_t eot_advances = 0;        // inbound channel-clock advances
+  std::uint64_t blocked_waits = 0;       // waits that actually spun
   std::vector<std::uint64_t> shard_order_hashes;         // per-shard, in order
   std::vector<std::uint64_t> shard_wheel_occupancy_peak; // per-shard wheels
 };

@@ -100,7 +100,8 @@ net::FabricWorkload workload_of(const RunSpec& spec) {
       "run_sharded: no sharded runner for experiment '" +
       std::string(to_string(spec.experiment)) +
       "' (NIC-level reduction and custom bodies are gm::Cluster-only); "
-      "drop --shards");
+      "the sharded FabricWorkload families are gm_mcast, multisend, "
+      "mpi_bcast, skew_bcast and barrier — drop --shards");
 }
 
 }  // namespace
@@ -128,7 +129,10 @@ RunResult run_sharded(const RunSpec& spec) {
   }
   if (spec.experiment == Experiment::kMpiBcast && spec.rdma) {
     throw std::invalid_argument(
-        "run_sharded: the RDMA-multicast bcast variant is gm::Cluster-only");
+        "run_sharded: the RDMA-multicast bcast variant is gm::Cluster-only; "
+        "the sharded FabricWorkload families are gm_mcast, multisend, "
+        "mpi_bcast (plain), skew_bcast and barrier — drop --rdma or "
+        "--shards");
   }
 
   net::FabricOptions options;
@@ -139,6 +143,7 @@ RunResult run_sharded(const RunSpec& spec) {
   options.loss_rate = spec.loss_rate;
   options.avg_skew_us = spec.avg_skew_us;
   options.batch_horizons = spec.batch_horizons;
+  options.async_sync = spec.async_sync;
   options.seed = spec.seed;
   options.nic = spec.nic;
 
@@ -176,6 +181,10 @@ RunResult run_sharded(const RunSpec& spec) {
   e.horizon_stalls = fr.horizon_stalls;
   e.channel_spills = fr.channel_spills;
   e.cross_links = fr.cross_links;
+  e.null_msgs_sent = fr.null_msgs_sent;
+  e.null_msgs_demanded = fr.null_msgs_demanded;
+  e.eot_advances = fr.eot_advances;
+  e.blocked_waits = fr.blocked_waits;
   e.shard_order_hashes = fr.shard_order_hashes;
   e.shard_wheel_occupancy_peak = fr.shard_wheel_occupancy_peak;
   // The scalar peak keeps its sequential meaning (busiest single wheel).

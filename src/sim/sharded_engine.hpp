@@ -24,7 +24,7 @@
 // so emptiness of the queues implies emptiness of the system).
 //
 // Batched horizons (opt-in, enable_batched_horizons): instead of the one
-// global horizon LBTS + lookahead, worker 0 derives a per-shard horizon
+// global horizon LBTS + lookahead, the reduce derives a per-shard horizon
 //
 //   H_i = min( min_{j != i} m_j + la,  min_all m_j + 2*la )
 //
@@ -41,11 +41,53 @@
 // goldens are pinned per (scenario, batching mode); the pre-existing
 // mcast goldens all use the unbatched default.
 //
+// Asynchronous null-message mode (opt-in, enable_async_sync): the same
+// three-phase round structure — same drain batches, same reduce values,
+// same horizons, and therefore bit-identical per-shard hash vectors — but
+// the three std::barrier rendezvous per round are replaced with
+// Chandy–Misra–Bryant-style per-channel data-flow waits, so a shard only
+// stalls on peers it actually depends on:
+//
+//   * Every cross-shard message is stamped with the sender's round and a
+//     piggybacked EOT (earliest output time, sender_now + channel
+//     lookahead).  Round stamps are monotone along a FIFO channel, so a
+//     peeked message from a newer round certifies the drain batch in
+//     progress is fully popped.
+//   * Every shard store-releases its completed-round clock at each round
+//     boundary, after the round's last push.  In shared memory that clock
+//     is a continuously-available null message: an acquire read covering
+//     round - 1 certifies the drain batch with no message traffic, and it
+//     handles the dominant case of a producer blocked in its own next
+//     drain (clock already at round - 1, reduce slot not yet published).
+//   * A receiver still blocked after that raises the channel's demand
+//     flag; the producer answers — at its round boundaries and from
+//     inside its own spin loops, so mutually-blocked shards always unblock
+//     each other — with an explicit null message (empty action) stamped
+//     with its last completed round and a fresh EOT.
+//   * The reduce is a per-shard atomic (round, value) slot instead of a
+//     fold by worker 0: each shard publishes m_i(r) and reads every peer's
+//     slot, computing the identical LBTS and horizons locally.  A slot is
+//     released round-tagged, and cannot be overwritten while any reader
+//     still needs it: shard j only reaches its round r+1 publish after
+//     every peer certified completion of round r, which a peer does only
+//     after consuming m_j(r).
+//
+// Deadlock freedom: order shards by the round they are in; a least-round
+// shard's drain only needs peers' previous rounds, which they have all
+// completed, so each of those peers either answers its demand flag from a
+// spin loop (it is blocked itself), or reaches its next round boundary in
+// finitely many events and answers there.  Termination is symmetric: every
+// shard computes the same m-vector, so all observe LBTS = kNever at the
+// same round and exit together; shard failures trip an abort flag that
+// every spin loop polls.
+//
 // Determinism: with shard count fixed, the executed (when, seq) order of
 // every shard is a pure function of the initial events and seeds — the
 // drain sort removes the only interleaving-dependent input.  Across
 // different shard counts the per-shard hash vector changes (seq values are
 // assigned per queue); goldens therefore pin one vector per shard count.
+// The sync mode is deliberately NOT part of the golden key: barrier and
+// async runs replay the same round schedule and produce the same vectors.
 #pragma once
 
 #include <algorithm>
@@ -56,7 +98,9 @@
 #include <exception>
 #include <limits>
 #include <memory>
+#include <mutex>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -79,19 +123,18 @@ class ShardedEngine {
     std::uint64_t cross_shard_msgs_received = 0;
     std::uint64_t horizon_stalls = 0;  // rounds this shard ran zero events
     std::uint64_t channel_spills = 0;  // sends that overflowed the ring
+    // Async-mode synchronization counters; all stay zero in barrier mode.
+    std::uint64_t null_msgs_sent = 0;      // demand answers this shard sent
+    std::uint64_t null_msgs_demanded = 0;  // demand flags this shard raised
+    std::uint64_t eot_advances = 0;        // inbound channel-clock advances
+    std::uint64_t blocked_waits = 0;       // waits that actually spun
   };
 
   ShardedEngine(std::size_t shard_count, Duration lookahead,
                 std::uint64_t base_seed = 0x9e3779b97f4a7c15ULL)
-      : lookahead_(lookahead) {
+      : lookahead_(checked_lookahead(lookahead, "lookahead")) {
     if (shard_count == 0) {
       throw std::invalid_argument("ShardedEngine: shard_count must be >= 1");
-    }
-    if (lookahead <= Duration{0}) {
-      // Zero lookahead collapses the safe horizon onto LBTS itself and the
-      // engine cannot guarantee progress; conservative PDES requires a
-      // strictly positive cross-shard latency floor.
-      throw std::invalid_argument("ShardedEngine: lookahead must be > 0");
     }
     shards_.reserve(shard_count);
     for (std::size_t i = 0; i < shard_count; ++i) {
@@ -105,7 +148,7 @@ class ShardedEngine {
       for (std::size_t to = 0; to < shard_count; ++to) {
         if (from != to) {
           channels_[from * shard_count + to] =
-              std::make_unique<Channel>();
+              std::make_unique<Channel>(lookahead_);
         }
       }
     }
@@ -121,9 +164,46 @@ class ShardedEngine {
   void enable_batched_horizons(bool on) { batched_horizons_ = on; }
   [[nodiscard]] bool batched_horizons() const { return batched_horizons_; }
 
+  /// Switches run() to the asynchronous null-message synchronization (see
+  /// the header comment).  Same round schedule, same per-shard hashes —
+  /// only the waiting changes, so this composes with either horizon mode.
+  /// Call before run().
+  void enable_async_sync(bool on) { async_sync_ = on; }
+  [[nodiscard]] bool async_sync() const { return async_sync_; }
+
+  /// Overrides the lookahead of the ordered channel from → to.  The async
+  /// mode stamps this channel's EOTs with it and post() enforces it as the
+  /// send window, so a pair of shards joined only by slow cut links can
+  /// promise more than the fabric-wide floor.  It must be >= the engine's
+  /// global lookahead: safe horizons are derived from the global minimum,
+  /// and a smaller per-channel value would let a send land inside a peer's
+  /// already-released horizon.  Call before run().
+  void set_channel_lookahead(std::size_t from, std::size_t to, Duration la) {
+    if (from >= shards_.size() || to >= shards_.size() || from == to) {
+      throw std::out_of_range(
+          "ShardedEngine::set_channel_lookahead: bad channel");
+    }
+    checked_lookahead(la, "channel lookahead");
+    if (la < lookahead_) {
+      throw std::invalid_argument(
+          "ShardedEngine: channel lookahead below the engine-wide lookahead "
+          "— safe horizons derive from the global minimum");
+    }
+    channels_[from * shards_.size() + to]->lookahead = la;
+  }
+
+  [[nodiscard]] Duration channel_lookahead(std::size_t from,
+                                           std::size_t to) const {
+    if (from >= shards_.size() || to >= shards_.size() || from == to) {
+      throw std::out_of_range("ShardedEngine::channel_lookahead: bad channel");
+    }
+    return channels_[from * shards_.size() + to]->lookahead;
+  }
+
   /// Schedules `action` on shard `to` at absolute time `when`.  Same-shard
-  /// posts schedule directly; cross-shard posts must respect the lookahead
-  /// (when >= sender's now + lookahead) and travel through the channel
+  /// posts schedule directly; cross-shard posts must respect the channel's
+  /// lookahead (when >= sender's now + lookahead; every channel lookahead
+  /// is validated > 0 by checked_lookahead) and travel through the channel
   /// matrix.  May only be called from shard `from`'s worker thread while
   /// run() is executing that shard (or from any thread before run()).
   void post(std::size_t from, std::size_t to, TimePoint when,
@@ -135,23 +215,38 @@ class ShardedEngine {
       shards_[to]->sim.schedule_at(when, std::move(action));
       return;
     }
-    if (when < shards_[from]->sim.now() + lookahead_) {
+    Shard& sender = *shards_[from];
+    Channel& ch = *channels_[from * shards_.size() + to];
+    if (when < sender.sim.now() + ch.lookahead) {
       throw std::logic_error(
           "ShardedEngine::post: cross-shard send inside the lookahead "
           "window — the conservative horizon would be violated");
     }
-    Channel& ch = *channels_[from * shards_.size() + to];
     CrossMsg msg;
     msg.when = when;
     msg.seq = ch.send_seq++;
     msg.src = static_cast<std::uint32_t>(from);
+    // Round stamp + piggybacked EOT: the async drain uses the stamp to cut
+    // batch boundaries and the EOT to advance the receiver's channel
+    // clock.  Barrier mode never reads either (round stays 0 pre-run and
+    // during its worker loop), but stamping unconditionally keeps post()
+    // branch-free.
+    msg.round = sender.round;
+    msg.eot = sender.sim.now() + ch.lookahead;
     msg.action = std::move(action);
-    ++shards_[from]->stats.cross_shard_msgs_sent;
+    ++sender.stats.cross_shard_msgs_sent;
     if (!ch.ring.try_push(std::move(msg))) {
-      // Producer-owned spill: the round barrier orders this hand-off, so
-      // the vector needs no synchronization of its own.
-      ch.spill.push_back(std::move(msg));
-      ++shards_[from]->stats.channel_spills;
+      ++sender.stats.channel_spills;
+      if (async_sync_) {
+        // The consumer may be draining concurrently in async mode; the
+        // overflow hand-off is guarded by the channel's spill mutex.
+        std::lock_guard<std::mutex> lock(ch.spill_mu);
+        ch.spill.push_back(std::move(msg));
+      } else {
+        // Producer-owned spill: the round barrier orders this hand-off, so
+        // the vector needs no synchronization of its own.
+        ch.spill.push_back(std::move(msg));
+      }
     }
   }
 
@@ -161,15 +256,26 @@ class ShardedEngine {
   void run() {
     const std::size_t n = shards_.size();
     errors_.assign(n, nullptr);
-    std::barrier sync(static_cast<std::ptrdiff_t>(n));
-    {
-      std::vector<std::jthread> workers;
-      workers.reserve(n - 1);
-      for (std::size_t i = 1; i < n; ++i) {
-        workers.emplace_back([this, &sync, i] { worker_loop(sync, i); });
-      }
-      worker_loop(sync, 0);
-    }  // jthreads join here
+    if (async_sync_) {
+      {
+        std::vector<std::jthread> workers;
+        workers.reserve(n - 1);
+        for (std::size_t i = 1; i < n; ++i) {
+          workers.emplace_back([this, i] { worker_loop_async(i); });
+        }
+        worker_loop_async(0);
+      }  // jthreads join here
+    } else {
+      std::barrier sync(static_cast<std::ptrdiff_t>(n));
+      {
+        std::vector<std::jthread> workers;
+        workers.reserve(n - 1);
+        for (std::size_t i = 1; i < n; ++i) {
+          workers.emplace_back([this, &sync, i] { worker_loop(sync, i); });
+        }
+        worker_loop(sync, 0);
+      }  // jthreads join here
+    }
     for (std::size_t i = 0; i < n; ++i) {
       if (errors_[i]) std::rethrow_exception(errors_[i]);
     }
@@ -207,17 +313,46 @@ class ShardedEngine {
   }
 
  private:
+  /// "No null message requested" value of a channel's demand flag.
+  static constexpr std::uint64_t kNoDemand = ~std::uint64_t{0};
+
+  /// The one lookahead guard (constructor, per-channel overrides): a
+  /// non-positive lookahead collapses the safe horizon onto LBTS itself
+  /// and conservative PDES cannot guarantee progress, so every lookahead
+  /// the engine accepts passes through here before post() relies on it.
+  static Duration checked_lookahead(Duration la, const char* what) {
+    if (la <= Duration{0}) {
+      throw std::invalid_argument(std::string("ShardedEngine: ") + what +
+                                  " must be > 0");
+    }
+    return la;
+  }
+
   struct CrossMsg {
     TimePoint when{0};
     std::uint64_t seq = 0;   // per-channel send counter: the merge tiebreak
     std::uint32_t src = 0;
-    EventQueue::Action action;
+    std::uint64_t round = 0;  // sender's round at post time (async batching)
+    TimePoint eot{0};         // earliest possible later send on this channel
+    EventQueue::Action action;  // empty ⇒ a pure-synchronization null
+
+    [[nodiscard]] bool is_null() const { return !action; }
   };
 
   struct Channel {
+    explicit Channel(Duration la) : lookahead(la) {}
     SpscChannel<CrossMsg> ring{1024};
-    std::vector<CrossMsg> spill;     // producer-owned overflow
+    std::vector<CrossMsg> spill;     // overflow; see spill_mu
+    // Guards `spill` in async mode only, where a producer may spill while
+    // the consumer drains; the barrier mode's round barrier already orders
+    // that hand-off and keeps the spill path lock-free.
+    std::mutex spill_mu;
     std::uint64_t send_seq = 0;      // producer-owned
+    Duration lookahead;              // per-channel send window / EOT stride
+    // Consumer-raised, producer-cleared: the round whose completion the
+    // blocked receiver wants certified with a null message.
+    std::atomic<std::uint64_t> demand{kNoDemand};
+    TimePoint eot{0};                // consumer-owned channel clock
   };
 
   struct Shard {
@@ -227,15 +362,78 @@ class ShardedEngine {
     // Written by the owning worker in the reduce phase, read by worker 0
     // after the barrier — the barrier provides the happens-before edge.
     TimePoint local_min{0};
-    // Written by worker 0 between barriers, read by the owning worker in
-    // the execute phase — the same barrier edge makes this race-free.
+    // Barrier mode: written by worker 0 between barriers, read by the
+    // owning worker in the execute phase (same barrier edge).  Async mode:
+    // owner-only.
     TimePoint horizon{0};
+    // --- async-mode state ---
+    // Owner-written: the round in progress, stamped onto outbound messages.
+    std::uint64_t round = 0;
+    // The producer's clock: the last round whose sends are all pushed,
+    // store-released after the final push of that round.  Consumers read
+    // it (acquire) as drain evidence — in shared memory this published
+    // clock is a continuously-available null message, so the explicit
+    // demand-null path below only fires when the producer is strictly
+    // behind the round the consumer is draining.  Also the newest round a
+    // demand null from this shard may certify.
+    std::atomic<std::uint64_t> completed{0};
+    // Single-slot reduce publication: value stored relaxed, round released
+    // after it, so an acquire of m_round >= r sees the round-r value and
+    // every channel push that preceded the publish.  One slot suffices —
+    // the shard cannot reach its round r+1 publish until every peer has
+    // certified round r complete, which a peer does only after consuming
+    // m(r) in its own reduce (see the header deadlock/overwrite argument).
+    std::atomic<std::int64_t> m_value{0};
+    std::atomic<std::uint64_t> m_round{0};
     alignas(64) char pad_[1]{};  // keep shard hot state off shared lines
   };
+
+  /// The reduce fold both sync modes share: LBTS plus the two smallest
+  /// contributions (min over j != i is then O(1) per shard: m2 when i
+  /// holds the minimum, m1 otherwise).
+  struct ReduceSummary {
+    TimePoint lbts = kNever;
+    TimePoint m1 = kNever, m2 = kNever;
+    std::size_t argmin = 0;
+  };
+
+  static ReduceSummary summarize(const std::vector<TimePoint>& mins) {
+    ReduceSummary r;
+    for (std::size_t i = 0; i < mins.size(); ++i) {
+      const TimePoint m = mins[i];
+      if (m < r.m1) {
+        r.m2 = r.m1;
+        r.m1 = m;
+        r.argmin = i;
+      } else if (m < r.m2) {
+        r.m2 = m;
+      }
+    }
+    r.lbts = r.m1;
+    return r;
+  }
+
+  /// Shard i's execute horizon for this round — a pure function of the
+  /// reduce summary, so the barrier fold (worker 0) and the async local
+  /// computation (every shard, same m-vector) agree bit-for-bit.
+  [[nodiscard]] TimePoint horizon_for(std::size_t i,
+                                      const ReduceSummary& r) const {
+    if (!batched_horizons_) return r.lbts + lookahead_;
+    const TimePoint min_others = i == r.argmin ? r.m2 : r.m1;
+    // kNever marks "every other shard idle": only the relayed-chain bound
+    // applies, and kNever + lookahead must not be formed (the sentinel is
+    // int64 max; the sum would overflow).
+    const TimePoint direct_bound =
+        min_others == kNever ? kNever : min_others + lookahead_;
+    const TimePoint chain_bound = r.lbts + lookahead_ + lookahead_;
+    return std::min(direct_bound, chain_bound);
+  }
 
   void worker_loop(std::barrier<>& sync, std::size_t me) {
     Shard& my = *shards_[me];
     std::vector<CrossMsg> pending;
+    std::vector<TimePoint> mins;
+    if (me == 0) mins.resize(shards_.size());
     while (true) {
       // ---- Phase 1: drain inbound channels, deterministic merge ----
       pending.clear();
@@ -250,16 +448,7 @@ class ShardedEngine {
           }
           ch.spill.clear();
         }
-        std::sort(pending.begin(), pending.end(),
-                  [](const CrossMsg& a, const CrossMsg& b) {
-                    if (a.when != b.when) return a.when < b.when;
-                    if (a.src != b.src) return a.src < b.src;
-                    return a.seq < b.seq;
-                  });
-        my.stats.cross_shard_msgs_received += pending.size();
-        for (CrossMsg& msg : pending) {
-          my.sim.schedule_at(msg.when, std::move(msg.action));
-        }
+        merge_and_schedule(me, pending);
       } catch (...) {
         fail(me);
       }
@@ -268,14 +457,17 @@ class ShardedEngine {
           my.sim.pending_events() > 0 ? my.sim.next_event_time() : kNever;
       sync.arrive_and_wait();
       if (me == 0) {
-        TimePoint lbts = kNever;
-        for (const auto& s : shards_) {
-          if (s->local_min < lbts) lbts = s->local_min;
+        for (std::size_t i = 0; i < shards_.size(); ++i) {
+          mins[i] = shards_[i]->local_min;
         }
-        if (lbts == kNever || abort_.load(std::memory_order_relaxed)) {
+        const ReduceSummary reduce = summarize(mins);
+        if (reduce.lbts == kNever ||
+            abort_.load(std::memory_order_relaxed)) {
           done_ = true;
         } else {
-          assign_horizons(lbts);
+          for (std::size_t i = 0; i < shards_.size(); ++i) {
+            shards_[i]->horizon = horizon_for(i, reduce);
+          }
           ++lbts_rounds_;
         }
       }
@@ -296,43 +488,242 @@ class ShardedEngine {
     }
   }
 
-  /// Worker 0, between the reduce and release barriers: hand every shard
-  /// its horizon for this round's execute phase.
-  void assign_horizons(TimePoint lbts) {
-    if (!batched_horizons_) {
-      const TimePoint horizon = lbts + lookahead_;
-      for (const auto& s : shards_) s->horizon = horizon;
-      return;
-    }
-    // Smallest and second-smallest contribution, so min over j != i is
-    // O(1) per shard: m2 when i holds the minimum, m1 otherwise.
-    TimePoint m1 = kNever, m2 = kNever;
-    std::size_t argmin = 0;
-    for (std::size_t i = 0; i < shards_.size(); ++i) {
-      const TimePoint m = shards_[i]->local_min;
-      if (m < m1) {
-        m2 = m1;
-        m1 = m;
-        argmin = i;
-      } else if (m < m2) {
-        m2 = m;
+  /// The async twin of worker_loop: identical round schedule, no barriers.
+  /// Phase waits are per-dependency — a channel drain blocks only until
+  /// that channel's batch is certified, the reduce blocks only on peers
+  /// whose slot has not reached this round yet.
+  void worker_loop_async(std::size_t me) {
+    Shard& my = *shards_[me];
+    const std::size_t n = shards_.size();
+    std::vector<CrossMsg> pending;
+    std::vector<TimePoint> mins(n);
+    for (std::uint64_t round = 1;; ++round) {
+      my.round = round;
+      // ---- Phase 1: drain, per channel, gated on round certification ----
+      pending.clear();
+      bool aborted = false;
+      try {
+        for (std::size_t src = 0; src < n; ++src) {
+          if (src == me) continue;
+          if (!drain_channel_async(src, me, round, pending)) {
+            aborted = true;
+            break;
+          }
+        }
+        if (!aborted) merge_and_schedule(me, pending);
+      } catch (...) {
+        fail(me);
       }
-    }
-    const TimePoint chain_bound = lbts + lookahead_ + lookahead_;
-    for (std::size_t i = 0; i < shards_.size(); ++i) {
-      const TimePoint min_others = i == argmin ? m2 : m1;
-      // kNever marks "every other shard idle": only the relayed-chain
-      // bound applies, and kNever + lookahead must not be formed (the
-      // sentinel is int64 max; the sum would overflow).
-      const TimePoint direct_bound =
-          min_others == kNever ? kNever : min_others + lookahead_;
-      shards_[i]->horizon = std::min(direct_bound, chain_bound);
+      if (aborted || abort_.load(std::memory_order_relaxed)) break;
+      // ---- Phase 2: slot-publish m(round); read every peer's m(round) ----
+      const TimePoint local_min =
+          my.sim.pending_events() > 0 ? my.sim.next_event_time() : kNever;
+      my.m_value.store(local_min.nanoseconds(), std::memory_order_relaxed);
+      my.m_round.store(round, std::memory_order_release);
+      for (std::size_t j = 0; j < n && !aborted; ++j) {
+        if (j == me) {
+          mins[j] = local_min;
+          continue;
+        }
+        Shard& peer = *shards_[j];
+        if (peer.m_round.load(std::memory_order_acquire) < round) {
+          ++my.stats.blocked_waits;
+          unsigned spins = 0;
+          while (peer.m_round.load(std::memory_order_acquire) < round) {
+            if (abort_.load(std::memory_order_relaxed)) {
+              aborted = true;
+              break;
+            }
+            answer_demands(me);
+            spin_relax(spins);
+          }
+        }
+        if (!aborted) {
+          mins[j] = TimePoint{peer.m_value.load(std::memory_order_relaxed)};
+        }
+      }
+      if (aborted) break;
+      const ReduceSummary reduce = summarize(mins);
+      // Every shard folds the same m-vector: all observe the all-idle
+      // LBTS at the same round and exit together.
+      if (reduce.lbts == kNever) break;
+      if (me == 0) ++lbts_rounds_;
+      my.horizon = horizon_for(me, reduce);
+      // ---- Phase 3: execute strictly below the safe horizon ----
+      try {
+        const std::size_t executed = my.sim.run_before(my.horizon);
+        if (executed == 0 && my.sim.pending_events() > 0) {
+          ++my.stats.horizon_stalls;
+        }
+      } catch (...) {
+        fail(me);
+      }
+      // Round complete: every send of this round is pushed.  Release the
+      // clock before re-entering the drain — blocked receivers certify off
+      // it directly, and any demand raised meanwhile is answered below.
+      my.completed.store(round, std::memory_order_release);
+      answer_demands(me);
+      if (abort_.load(std::memory_order_relaxed)) break;
     }
   }
 
-  /// Records the shard's failure and trips the abort flag.  The worker
-  /// keeps participating in barriers so no peer deadlocks; worker 0 folds
-  /// the flag into `done` at the next reduce.
+  /// Drains every message the producer sent during rounds < `round` from
+  /// channel src → me into `pending`.  Returns false only when the global
+  /// abort flag tripped while waiting.  Completion of the batch is
+  /// certified by (a) a peeked or spilled message from a newer round
+  /// (stamps are FIFO-monotone), (b) a null message stamped at or past
+  /// round - 1, or (c) the producer's completed-round clock reaching
+  /// round - 1 (released after its last push of that round, so the acquire
+  /// read covers every batch message — and, unlike the reduce slot, it is
+  /// published at the round *boundary*, which certifies the common case of
+  /// a producer blocked in its own next drain without any null traffic).
+  /// While none of those hold the receiver raises the channel's demand
+  /// flag and spins — answering its own inbound demands so mutually-
+  /// blocked shards make progress.
+  bool drain_channel_async(std::size_t src, std::size_t me,
+                           std::uint64_t round,
+                           std::vector<CrossMsg>& pending) {
+    Shard& my = *shards_[me];
+    Channel& ch = *channels_[src * shards_.size() + me];
+    const std::uint64_t want = round - 1;  // newest round in this batch
+    // Pops every available batch message; true once the batch is certified
+    // complete.  Nulls never reach `pending`; both kinds advance the
+    // consumer-side channel clock when they carry a newer EOT.
+    const auto sweep = [&]() -> bool {
+      while (const CrossMsg* head = ch.ring.try_peek()) {
+        if (head->round > want) return true;  // newer round: batch is done
+        CrossMsg msg;
+        const bool popped = ch.ring.try_pop(msg);
+        (void)popped;  // cannot fail: the consumer just peeked this slot
+        if (msg.eot > ch.eot) {
+          ch.eot = msg.eot;
+          ++my.stats.eot_advances;
+        }
+        if (msg.is_null()) {
+          // A null stamped `r` certifies every round <= r fully pushed
+          // (FIFO: it was pushed after them).  Stale ones — answers to a
+          // demand this drain no longer needs — just advance the clock.
+          if (msg.round >= want) return true;
+        } else {
+          pending.push_back(std::move(msg));
+        }
+      }
+      return false;
+    };
+    bool demanded = false;
+    unsigned spins = 0;
+    for (;;) {
+      if (sweep()) break;
+      if (shards_[src]->completed.load(std::memory_order_acquire) >= want) {
+        // Every batch message is already pushed (the clock's release
+        // ordered them first); one final sweep collects stragglers the
+        // first pass raced.
+        sweep();
+        break;
+      }
+      if (abort_.load(std::memory_order_relaxed)) return false;
+      if (!demanded) {
+        demanded = true;
+        ++my.stats.null_msgs_demanded;
+        ++my.stats.blocked_waits;
+      }
+      // Re-asserted every iteration: the producer may have cleared the
+      // flag while answering an older demand.
+      ch.demand.store(want, std::memory_order_release);
+      answer_demands(me);
+      spin_relax(spins);
+    }
+    if (demanded) ch.demand.store(kNoDemand, std::memory_order_release);
+    // Spilled messages: lift this batch's rounds out under the spill
+    // mutex.  Newer-round spills (the producer ran ahead while its ring
+    // was full) stay behind for the next drain.
+    if (std::lock_guard<std::mutex> lock(ch.spill_mu); !ch.spill.empty()) {
+      auto keep = ch.spill.begin();
+      for (auto it = ch.spill.begin(); it != ch.spill.end(); ++it) {
+        if (it->round > want) {
+          if (keep != it) *keep = std::move(*it);
+          ++keep;
+          continue;
+        }
+        if (it->eot > ch.eot) {
+          ch.eot = it->eot;
+          ++my.stats.eot_advances;
+        }
+        if (!it->is_null()) pending.push_back(std::move(*it));
+      }
+      ch.spill.erase(keep, ch.spill.end());
+    }
+    return true;
+  }
+
+  /// Producer-side demand service: push a null message certifying this
+  /// shard's last completed round on every outbound channel whose consumer
+  /// raised a demand it can satisfy.  Called at round boundaries and from
+  /// inside every spin loop, so a blocked shard still serves its peers.
+  void answer_demands(std::size_t me) {
+    Shard& my = *shards_[me];
+    // Owner thread: relaxed is enough, the release happened at the store.
+    const std::uint64_t completed =
+        my.completed.load(std::memory_order_relaxed);
+    for (std::size_t to = 0; to < shards_.size(); ++to) {
+      if (to == me) continue;
+      Channel& ch = *channels_[me * shards_.size() + to];
+      const std::uint64_t want = ch.demand.load(std::memory_order_acquire);
+      if (want == kNoDemand || completed < want) continue;
+      ch.demand.store(kNoDemand, std::memory_order_release);
+      CrossMsg null_msg;
+      null_msg.when = kNever;
+      null_msg.src = static_cast<std::uint32_t>(me);
+      null_msg.round = completed;
+      null_msg.eot = my.sim.now() + ch.lookahead;
+      // action left empty: a null never schedules anything.
+      ++my.stats.null_msgs_sent;
+      if (!ch.ring.try_push(std::move(null_msg))) {
+        ++my.stats.channel_spills;
+        std::lock_guard<std::mutex> lock(ch.spill_mu);
+        ch.spill.push_back(std::move(null_msg));
+      }
+    }
+  }
+
+  /// The deterministic merge both sync modes share: sort the drained batch
+  /// by (when, src_shard, send_seq) and schedule, so local seq assignment
+  /// never depends on thread timing.
+  void merge_and_schedule(std::size_t me, std::vector<CrossMsg>& pending) {
+    Shard& my = *shards_[me];
+    std::sort(pending.begin(), pending.end(),
+              [](const CrossMsg& a, const CrossMsg& b) {
+                if (a.when != b.when) return a.when < b.when;
+                if (a.src != b.src) return a.src < b.src;
+                return a.seq < b.seq;
+              });
+    my.stats.cross_shard_msgs_received += pending.size();
+    for (CrossMsg& msg : pending) {
+      my.sim.schedule_at(msg.when, std::move(msg.action));
+    }
+  }
+
+  /// One spin-wait step: a pause-class hint while the wait is short, a
+  /// scheduler yield once it is clearly not (CI runs more shards than
+  /// cores; a pure busy spin would starve the peer being waited on).
+  static void spin_relax(unsigned& spins) {
+    if (++spins < 64) {
+#if defined(__x86_64__) || defined(__i386__)
+      __builtin_ia32_pause();
+#elif defined(__aarch64__)
+      asm volatile("yield");
+#else
+      std::this_thread::yield();
+#endif
+    } else {
+      spins = 0;
+      std::this_thread::yield();
+    }
+  }
+
+  /// Records the shard's failure and trips the abort flag.  In barrier
+  /// mode the worker keeps participating in barriers so no peer deadlocks;
+  /// in async mode every spin loop polls the flag and unwinds.
   void fail(std::size_t me) {
     if (!errors_[me]) errors_[me] = std::current_exception();
     abort_.store(true, std::memory_order_relaxed);
@@ -344,6 +735,7 @@ class ShardedEngine {
   std::vector<std::exception_ptr> errors_;
   std::atomic<bool> abort_{false};
   bool batched_horizons_ = false;
+  bool async_sync_ = false;
   // Written by worker 0 between barriers; read by all after — race-free.
   bool done_ = false;
   std::uint64_t lbts_rounds_ = 0;

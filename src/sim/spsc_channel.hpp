@@ -5,10 +5,13 @@
 // source shard's worker is the only producer and the destination shard's
 // worker the only consumer.  The ring is a fixed-capacity power-of-two
 // array with acquire/release head/tail counters — no locks, no allocation
-// on the push/pop path.  A full ring spills to a producer-owned overflow
-// vector; the engine's round barrier orders every spill hand-off (messages
-// are produced strictly inside an execution phase and consumed strictly
-// after the following barrier), so the spill path needs no atomics at all.
+// on the push/pop path.  A full ring spills to an engine-owned overflow
+// vector; in barrier mode the round barrier orders every spill hand-off
+// (messages are produced strictly inside an execution phase and consumed
+// strictly after the following barrier) so the spill path needs no atomics
+// at all, while the asynchronous null-message mode — where a producer may
+// spill concurrently with a consumer's drain — guards the overflow vector
+// with a per-channel mutex instead (see ShardedEngine::Channel).
 #pragma once
 
 #include <atomic>
@@ -52,6 +55,18 @@ class SpscChannel {
     out = std::move(ring_[head & mask_]);
     head_.store(head + 1, std::memory_order_release);
     return true;
+  }
+
+  /// Consumer side.  Exposes the oldest element without consuming it; null
+  /// when empty.  The pointer stays valid until the consumer's next
+  /// try_pop() — the producer never touches an occupied slot.  The async
+  /// sync mode peeks a message's round stamp to decide whether the element
+  /// belongs to the drain batch in progress before committing to the pop.
+  [[nodiscard]] const T* try_peek() const {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    if (head == tail) return nullptr;
+    return &ring_[head & mask_];
   }
 
   /// Consumer-side view; exact for the consumer (the producer can only make

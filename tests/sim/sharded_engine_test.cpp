@@ -282,5 +282,197 @@ TEST(ShardedEngine, BatchedHorizonsHalveRoundsOnALocalEventTrain) {
   EXPECT_LE(batched, unbatched / 2 + 1);
 }
 
+// ---- Asynchronous null-message synchronization (opt-in) ----
+
+// The async contract in one test: the same workload under the barrier and
+// under async must produce bit-identical per-shard hash vectors, merged
+// hash, AND the same lbts_rounds — async changes how shards wait, never
+// what they execute or how many rounds the round-replay takes.
+TEST(ShardedEngine, AsyncMatchesBarrierHashesOnPingPong) {
+  auto run_once = [](bool async, std::vector<std::uint64_t>& hashes,
+                     std::uint64_t& merged, std::uint64_t& rounds) {
+    ShardedEngine engine(4, kLookahead);
+    engine.enable_async_sync(async);
+    for (std::size_t s = 0; s < 4; ++s) {
+      engine.shard(s).schedule_at(t_us(static_cast<double>(s + 1)),
+                                  [&engine, s] { hop(engine, s, 50); });
+    }
+    engine.run();
+    hashes = engine.shard_order_hashes();
+    merged = engine.merged_order_hash();
+    rounds = engine.lbts_rounds();
+  };
+  std::vector<std::uint64_t> hb, ha;
+  std::uint64_t mb = 0, ma = 0, rb = 0, ra = 0;
+  run_once(false, hb, mb, rb);
+  run_once(true, ha, ma, ra);
+  EXPECT_EQ(ha, hb);
+  EXPECT_EQ(ma, mb);
+  EXPECT_EQ(ra, rb);
+  ASSERT_EQ(ha.size(), 4u);
+}
+
+TEST(ShardedEngine, AsyncIsRepeatableAcrossRuns) {
+  auto run_once = [](std::vector<std::uint64_t>& hashes,
+                     std::uint64_t& rounds) {
+    ShardedEngine engine(4, kLookahead);
+    engine.enable_async_sync(true);
+    for (std::size_t s = 0; s < 4; ++s) {
+      engine.shard(s).schedule_at(t_us(static_cast<double>(s + 1)),
+                                  [&engine, s] { hop(engine, s, 50); });
+    }
+    engine.run();
+    hashes = engine.shard_order_hashes();
+    rounds = engine.lbts_rounds();
+  };
+  std::vector<std::uint64_t> h1, h2;
+  std::uint64_t r1 = 0, r2 = 0;
+  run_once(h1, r1);
+  run_once(h2, r2);
+  EXPECT_EQ(h1, h2);
+  EXPECT_EQ(r1, r2);
+}
+
+// Ring overflow under async: the spill vector is shared under a mutex in
+// this mode (no barrier orders the handoff) — the merge must still be
+// deterministic and identical to the barrier schedule.
+TEST(ShardedEngine, AsyncRingOverflowMatchesBarrier) {
+  constexpr int kBurst = 3000;  // ring capacity is 1024
+  auto run_once = [](bool async) {
+    ShardedEngine engine(2, kLookahead);
+    engine.enable_async_sync(async);
+    engine.shard(0).schedule_at(t_us(1), [&engine] {
+      Simulator& s0 = engine.shard(0);
+      for (int i = 0; i < kBurst; ++i) {
+        engine.post(0, 1, s0.now() + kLookahead + nsec(i), [] {});
+      }
+    });
+    engine.run();
+    EXPECT_EQ(engine.shard_stats(1).cross_shard_msgs_received,
+              static_cast<std::uint64_t>(kBurst));
+    return engine.shard_order_hashes();
+  };
+  EXPECT_EQ(run_once(true), run_once(false));
+}
+
+TEST(ShardedEngine, AsyncShardFailurePropagatesWithoutDeadlock) {
+  ShardedEngine engine(4, kLookahead);
+  engine.enable_async_sync(true);
+  engine.shard(2).schedule_at(t_us(5), [] {
+    throw std::runtime_error("shard 2 exploded");
+  });
+  // The healthy shards hold far-future events, so without abort polling in
+  // the async spin loops they would wait forever on shard 2's round.
+  for (std::size_t s = 0; s < 4; ++s) {
+    if (s == 2) continue;
+    engine.shard(s).schedule_at(t_us(1), [] {});
+    engine.shard(s).schedule_at(t_us(1000), [] {});
+  }
+  EXPECT_THROW(engine.run(), std::runtime_error);
+}
+
+// The two opt-in modes compose: async + batched horizons must replay the
+// barrier + batched horizons schedule (that lineage's hashes and rounds).
+TEST(ShardedEngine, AsyncComposesWithBatchedHorizons) {
+  auto run_once = [](bool async, std::vector<std::uint64_t>& hashes,
+                     std::uint64_t& rounds) {
+    ShardedEngine engine(4, kLookahead);
+    engine.enable_batched_horizons(true);
+    engine.enable_async_sync(async);
+    for (std::size_t s = 0; s < 4; ++s) {
+      engine.shard(s).schedule_at(t_us(static_cast<double>(s + 1)),
+                                  [&engine, s] { hop(engine, s, 50); });
+    }
+    engine.run();
+    hashes = engine.shard_order_hashes();
+    rounds = engine.lbts_rounds();
+  };
+  std::vector<std::uint64_t> hb, ha;
+  std::uint64_t rb = 0, ra = 0;
+  run_once(false, hb, rb);
+  run_once(true, ha, ra);
+  EXPECT_EQ(ha, hb);
+  EXPECT_EQ(ra, rb);
+}
+
+// One shard has no peers: no channels, no nulls, no waits — the async
+// worker must degenerate to a plain event loop.
+TEST(ShardedEngine, AsyncSingleShardSendsNoNullMessages) {
+  ShardedEngine engine(1, kLookahead);
+  engine.enable_async_sync(true);
+  std::vector<int> order;
+  engine.shard(0).schedule_at(t_us(5), [&] { order.push_back(2); });
+  engine.shard(0).schedule_at(t_us(1), [&] { order.push_back(1); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(engine.shard_stats(0).null_msgs_sent, 0u);
+  EXPECT_EQ(engine.shard_stats(0).null_msgs_demanded, 0u);
+  EXPECT_EQ(engine.shard_stats(0).blocked_waits, 0u);
+}
+
+// Under the barrier, the async counters stay zero — they are the async
+// mode's observability, not a shared code path.
+TEST(ShardedEngine, BarrierModeKeepsAsyncCountersAtZero) {
+  ShardedEngine engine(4, kLookahead);
+  for (std::size_t s = 0; s < 4; ++s) {
+    engine.shard(s).schedule_at(t_us(static_cast<double>(s + 1)),
+                                [&engine, s] { hop(engine, s, 20); });
+  }
+  engine.run();
+  for (std::size_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(engine.shard_stats(s).null_msgs_sent, 0u);
+    EXPECT_EQ(engine.shard_stats(s).null_msgs_demanded, 0u);
+    EXPECT_EQ(engine.shard_stats(s).eot_advances, 0u);
+    EXPECT_EQ(engine.shard_stats(s).blocked_waits, 0u);
+  }
+}
+
+// ---- Per-channel lookahead ----
+
+TEST(ShardedEngine, ChannelLookaheadValidation) {
+  ShardedEngine engine(2, kLookahead);
+  EXPECT_EQ(engine.channel_lookahead(0, 1), kLookahead);  // default: global
+  // Must be positive, and never below the engine-wide floor (safe horizons
+  // derive from the global minimum).
+  EXPECT_THROW(engine.set_channel_lookahead(0, 1, Duration{0}),
+               std::invalid_argument);
+  EXPECT_THROW(engine.set_channel_lookahead(0, 1, Duration{-5}),
+               std::invalid_argument);
+  EXPECT_THROW(engine.set_channel_lookahead(0, 1, usec(0.5)),
+               std::invalid_argument);
+  // No self-channel, no out-of-range shards.
+  EXPECT_THROW(engine.set_channel_lookahead(0, 0, kLookahead),
+               std::out_of_range);
+  EXPECT_THROW(engine.set_channel_lookahead(0, 2, kLookahead),
+               std::out_of_range);
+  EXPECT_THROW(engine.set_channel_lookahead(2, 1, kLookahead),
+               std::out_of_range);
+  engine.set_channel_lookahead(0, 1, usec(2));
+  EXPECT_EQ(engine.channel_lookahead(0, 1), usec(2));
+  EXPECT_EQ(engine.channel_lookahead(1, 0), kLookahead);  // untouched
+}
+
+// The post() guard enforces the CHANNEL'S lookahead: a 2us promise on the
+// 0->1 channel rejects a post only 1us ahead even though the engine-wide
+// floor would allow it.
+TEST(ShardedEngine, PostGuardUsesChannelLookahead) {
+  ShardedEngine engine(2, kLookahead);
+  engine.set_channel_lookahead(0, 1, usec(2));
+  engine.shard(0).schedule_at(t_us(2), [&] {
+    engine.post(0, 1, engine.shard(0).now() + kLookahead, [] {});
+  });
+  EXPECT_THROW(engine.run(), std::logic_error);
+
+  ShardedEngine ok(2, kLookahead);
+  ok.set_channel_lookahead(0, 1, usec(2));
+  TimePoint delivered{-1};
+  ok.shard(0).schedule_at(t_us(2), [&] {
+    ok.post(0, 1, ok.shard(0).now() + usec(2),
+            [&] { delivered = ok.shard(1).now(); });
+  });
+  ok.run();
+  EXPECT_EQ(delivered, TimePoint{0} + usec(4));
+}
+
 }  // namespace
 }  // namespace nicmcast::sim

@@ -63,6 +63,73 @@ TEST(SpscChannel, MoveOnlyPayload) {
   EXPECT_EQ(*out, 42);
 }
 
+TEST(SpscChannel, CapacitySpillDrainRefillCycles) {
+  // The engine's spill protocol in miniature: fill the ring to capacity,
+  // spill the overflow to a side vector, drain ring-then-spill, refill.
+  // Several cycles prove the full/empty edge stays consistent after the
+  // head and tail have both wrapped the index space repeatedly.
+  SpscChannel<std::uint64_t> ch(8);
+  ASSERT_EQ(ch.capacity(), 8u);
+  std::uint64_t next = 0;
+  std::uint64_t expect = 0;
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    std::vector<std::uint64_t> spill;
+    // 8 into the ring, 5 more spill.
+    for (int i = 0; i < 13; ++i) {
+      if (!ch.try_push(std::uint64_t{next})) spill.push_back(next);
+      ++next;
+    }
+    EXPECT_EQ(spill.size(), 5u) << "cycle " << cycle;
+    EXPECT_FALSE(ch.try_push(std::uint64_t{next}));  // still full
+    // Drain: ring first (FIFO), then the spill in push order — the same
+    // merge discipline ShardedEngine uses.
+    std::uint64_t out = 0;
+    while (ch.try_pop(out)) {
+      EXPECT_EQ(out, expect);
+      ++expect;
+    }
+    for (const std::uint64_t v : spill) {
+      EXPECT_EQ(v, expect);
+      ++expect;
+    }
+    EXPECT_TRUE(ch.empty());
+  }
+  EXPECT_EQ(expect, 65u);
+}
+
+TEST(SpscChannel, PeekDoesNotConsume) {
+  SpscChannel<int> ch(4);
+  EXPECT_EQ(ch.try_peek(), nullptr);  // empty
+  ASSERT_TRUE(ch.try_push(7));
+  ASSERT_TRUE(ch.try_push(8));
+  const int* head = ch.try_peek();
+  ASSERT_NE(head, nullptr);
+  EXPECT_EQ(*head, 7);
+  EXPECT_EQ(ch.try_peek(), head);  // repeated peeks see the same slot
+  int out = 0;
+  ASSERT_TRUE(ch.try_pop(out));
+  EXPECT_EQ(out, 7);
+  head = ch.try_peek();
+  ASSERT_NE(head, nullptr);
+  EXPECT_EQ(*head, 8);
+  ASSERT_TRUE(ch.try_pop(out));
+  EXPECT_EQ(ch.try_peek(), nullptr);
+}
+
+TEST(SpscChannel, PeekTracksHeadAcrossWraparound) {
+  SpscChannel<std::uint64_t> ch(4);
+  std::uint64_t out = 0;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(ch.try_push(std::uint64_t{i}));
+    const std::uint64_t* head = ch.try_peek();
+    ASSERT_NE(head, nullptr);
+    EXPECT_EQ(*head, i);  // ring holds exactly one element
+    ASSERT_TRUE(ch.try_pop(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_EQ(ch.try_peek(), nullptr);
+}
+
 TEST(SpscChannel, ConcurrentProducerConsumerPreservesOrder) {
   // One producer, one consumer, ring far smaller than the message count:
   // exercises the full/empty edges under real contention.  TSan in CI
