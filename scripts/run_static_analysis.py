@@ -16,16 +16,25 @@ Modes:
   scripts/run_static_analysis.py                 # full tree
   scripts/run_static_analysis.py --diff origin/main   # changed files only
                                                  # (the pre-push check)
+  scripts/run_static_analysis.py --jobs 8        # shard pass 2 across
+                                                 # 8 engine processes
+  scripts/run_static_analysis.py \
+      --checks nicmcast-memory-order-audit,nicmcast-shard-state-escape
 
 The baseline (scripts/static_analysis_baseline.txt) lists findings that
 are acknowledged and suppressed, one `path:check` per line.  The gate is
 therefore "zero NEW findings", so the sweep never has to be all-or-
 nothing.  Refresh it with --update-baseline after an intentional change.
+A baseline entry whose path no longer exists is a hard error: it means
+the acknowledged finding was deleted but its waiver kept, and the stale
+line would silently re-suppress a future finding at a revived path.
 """
 
 from __future__ import annotations
 
 import argparse
+import concurrent.futures
+import os
 import pathlib
 import re
 import shutil
@@ -99,27 +108,60 @@ def find_plugin(args) -> pathlib.Path | None:
     return None
 
 
+def shard(items: list, jobs: int) -> list[list]:
+    """Round-robin split preserving per-shard sorted order well enough."""
+    out = [items[i::jobs] for i in range(jobs)]
+    return [s for s in out if s]
+
+
 def run_clang_engine(args, files: list[pathlib.Path],
                      plugin: pathlib.Path) -> list[str]:
     build_dir = args.build_dir or (REPO_ROOT / "build")
-    cmd = [args.clang_tidy, "-load", str(plugin), "-p", str(build_dir),
-           "--quiet"]
-    cmd += [str(f) for f in files if f.suffix == ".cpp"]
-    proc = subprocess.run(cmd, capture_output=True, text=True,
-                          cwd=REPO_ROOT)
-    return proc.stdout.splitlines()
+    base = [args.clang_tidy, "-load", str(plugin), "-p", str(build_dir),
+            "--quiet"]
+    if args.checks:
+        base.append("-checks=-*," + ",".join(args.checks))
+    sources = [str(f) for f in files if f.suffix == ".cpp"]
+    if not sources:
+        return []
+
+    def one(chunk: list[str]) -> str:
+        proc = subprocess.run(base + chunk, capture_output=True, text=True,
+                              cwd=REPO_ROOT)
+        return proc.stdout
+
+    lines: list[str] = []
+    with concurrent.futures.ThreadPoolExecutor(args.jobs) as pool:
+        for out in pool.map(one, shard(sources, args.jobs)):
+            lines += out.splitlines()
+    return lines
 
 
 def run_portable_engine(args, files: list[pathlib.Path],
                         lint_bin: pathlib.Path) -> list[str]:
-    cmd = [str(lint_bin), "--root", str(REPO_ROOT)]
-    cmd += [str(f) for f in files]
-    proc = subprocess.run(cmd, capture_output=True, text=True,
-                          cwd=REPO_ROOT)
-    if proc.returncode not in (0, 1):
-        sys.stderr.write(proc.stdout + proc.stderr)
-        raise SystemExit("nicmcast_lint crashed")
-    return proc.stdout.splitlines()
+    base = [str(lint_bin), "--root", str(REPO_ROOT)]
+    for check in args.checks:
+        base += ["--check", check]
+    sources = [str(f) for f in files]
+
+    def one(chunk: list[str]) -> str:
+        # The chunk is checked; every other file still feeds pass-1
+        # declarations, so sharding cannot change what a check knows
+        # about cross-file symbol kinds.
+        rest = [s for s in sources if s not in set(chunk)]
+        cmd = base + ["--check-first", str(len(chunk))] + chunk + rest
+        proc = subprocess.run(cmd, capture_output=True, text=True,
+                              cwd=REPO_ROOT)
+        if proc.returncode not in (0, 1):
+            sys.stderr.write(proc.stdout + proc.stderr)
+            raise SystemExit("nicmcast_lint crashed")
+        return proc.stdout
+
+    lines: list[str] = []
+    with concurrent.futures.ThreadPoolExecutor(args.jobs) as pool:
+        for out in pool.map(one, shard(sources, args.jobs)):
+            lines += out.splitlines()
+    return lines
 
 
 def parse_findings(lines: list[str]) -> list[tuple[str, int, str, str]]:
@@ -165,7 +207,18 @@ def main() -> int:
                              "engine binaries)")
     parser.add_argument("--update-baseline", action="store_true",
                         help="record current findings as accepted")
+    parser.add_argument("--jobs", "-j", type=int, default=1,
+                        help="engine processes to run in parallel "
+                             "(0 = CPU count)")
+    parser.add_argument("--checks",
+                        help="comma-separated check names to run "
+                             "(default: all)")
     args = parser.parse_args()
+    if args.jobs == 0:
+        args.jobs = os.cpu_count() or 1
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 0")
+    args.checks = [c for c in (args.checks or "").split(",") if c]
 
     files = diff_sources(args.diff) if args.diff else repo_sources()
     if not files:
@@ -205,6 +258,16 @@ def main() -> int:
         return 0
 
     baseline = load_baseline()
+    stale = [entry for entry in sorted(baseline)
+             if not (REPO_ROOT / entry.rsplit(":", 1)[0]).exists()]
+    if stale:
+        for entry in stale:
+            print(f"stale baseline entry (path gone): {entry}",
+                  file=sys.stderr)
+        print(f"static-analysis: {len(stale)} stale baseline entrie(s) in "
+              f"{BASELINE.relative_to(REPO_ROOT)}; remove them or rerun "
+              "--update-baseline", file=sys.stderr)
+        return 1
     fresh = [f for f in findings
              if f"{f[0]}:{f[2]}" not in baseline]
 

@@ -2,8 +2,9 @@
 
 #include <atomic>
 #include <exception>
-#include <mutex>
 #include <thread>
+
+#include "sim/thread_annotations.hpp"
 
 namespace nicmcast::harness {
 
@@ -38,21 +39,24 @@ std::vector<RunResult> ParallelRunner::run(std::vector<RunSpec> specs,
     return results;
   }
 
-  std::atomic<std::size_t> next{0};
+  // Relaxed ticket counter: claiming an index needs atomicity, not
+  // ordering — each results[i] slot is written by exactly one worker and
+  // the jthread join publishes them all to this thread.
+  std::atomic<std::size_t> ticket{0};
+  sim::Mutex error_mutex;
   std::exception_ptr first_error;
-  std::mutex error_mutex;
   {
     std::vector<std::jthread> pool;
     pool.reserve(workers);
     for (unsigned w = 0; w < workers; ++w) {
       pool.emplace_back([&] {
         for (;;) {
-          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          const std::size_t i = ticket.fetch_add(1, std::memory_order_relaxed);
           if (i >= specs.size()) return;
           try {
             results[i] = fn(specs[i]);
           } catch (...) {
-            const std::lock_guard<std::mutex> lock(error_mutex);
+            const sim::MutexLock lock(error_mutex);
             if (!first_error) first_error = std::current_exception();
           }
         }

@@ -20,7 +20,12 @@
 // is always created from an existing one, which keeps the block alive);
 // the decrement is acq_rel so the deleting thread observes every write
 // made before each release.  The *bytes* need no synchronization — they
-// are const from construction on.
+// are const from construction on.  This protocol is part of the
+// machine-checked concurrency contract (DESIGN.md §4.9): every atomic
+// access here carries its explicit memory_order, which the
+// nicmcast-memory-order-audit check enforces tree-wide, and the
+// release-side `fetch_sub == 1 → delete` shape is exactly the publication
+// pattern a relaxed load must never guard.
 #pragma once
 
 #include <atomic>

@@ -341,7 +341,11 @@ void ShardedFabric::deliver(NodeId from, NodeId to, std::int32_t iter,
     host_time = host_time + options_.host_entry_overhead;
   }
   engine_->post(me, shard_of(tree_.root), sim.now() + partition_.lookahead,
-                [this, to, host_time] { notify_controller(to, host_time); });
+                [this, to, host_time] {
+                  // Runs on the root's shard worker: post() targeted it.
+                  controller_role_.assert_held();
+                  notify_controller(to, host_time);
+                });
 }
 
 void ShardedFabric::send_ack(NodeId from, NodeId to, std::int32_t iter) {
@@ -374,6 +378,9 @@ void ShardedFabric::ack_arrived(NodeId parent, NodeId child,
     // duplicate deliveries find the timer already disarmed above.
     if (options_.workload == FabricWorkload::kMultisend &&
         parent == tree_.root) {
+      // This ack executes on parent's shard and parent is the root, so
+      // the controller role is structurally held here.
+      controller_role_.assert_held();
       multisend_ack_completed(iter);
     }
   }
@@ -399,7 +406,10 @@ void ShardedFabric::multisend_ack_completed(std::int32_t iter) {
   if (next >= options_.warmup + options_.iterations) return;
   const sim::TimePoint start =
       std::max(sim.now(), ctrl_last_delivery_) + nic.host_post_overhead;
-  sim.schedule_at(start, [this, next] { start_iteration(next); });
+  sim.schedule_at(start, [this, next] {
+    controller_role_.assert_held();  // scheduled on the root's shard
+    start_iteration(next);
+  });
 }
 
 void ShardedFabric::retransmit(NodeId from, NodeId to, std::int32_t iter) {
@@ -458,7 +468,10 @@ void ShardedFabric::notify_controller(NodeId node, sim::TimePoint host_time) {
   // max() because completion notifications outrun the host DMA by design.
   const sim::TimePoint start =
       std::max(sim.now(), ctrl_last_delivery_) + options_.nic.host_post_overhead;
-  sim.schedule_at(start, [this, next] { start_iteration(next); });
+  sim.schedule_at(start, [this, next] {
+    controller_role_.assert_held();  // scheduled on the root's shard
+    start_iteration(next);
+  });
 }
 
 sim::TimePoint ShardedFabric::ctrl_packet_arrival(std::uint32_t me,
@@ -549,7 +562,11 @@ void ShardedFabric::barrier_release(NodeId node, std::int32_t round) {
   const sim::TimePoint host_time = sim.now() + nic.event_delivery;
   ++st.deliveries;
   engine_->post(me, shard_of(tree_.root), sim.now() + partition_.lookahead,
-                [this, node, host_time] { notify_controller(node, host_time); });
+                [this, node, host_time] {
+                  // Runs on the root's shard worker: post() targeted it.
+                  controller_role_.assert_held();
+                  notify_controller(node, host_time);
+                });
 
   // Reset and arm the next round locally — rounds self-chain through the
   // tree, with the node's per-round process skew applied at re-entry.
@@ -569,10 +586,14 @@ FabricResult ShardedFabric::run() {
     // Round 0: every node becomes ready after its own skew delay.  All
     // rounds after that chain through barrier_release; the controller only
     // counts tree_.size() completions per round.
-    ctrl_iter_ = 0;
-    ctrl_remaining_ = tree_.size();
-    ctrl_iter_start_ = sim::TimePoint{0};
-    ctrl_last_delivery_ = sim::TimePoint{0};
+    {
+      // Workers have not started: the calling thread owns everything.
+      const sim::RoleGuard controller(controller_role_);
+      ctrl_iter_ = 0;
+      ctrl_remaining_ = tree_.size();
+      ctrl_iter_start_ = sim::TimePoint{0};
+      ctrl_last_delivery_ = sim::TimePoint{0};
+    }
     for (std::size_t i = 0; i < tree_.size(); ++i) {
       const NodeId node = static_cast<NodeId>(i);
       const sim::TimePoint ready = sim::TimePoint{0} + skew_of(0, node);
@@ -582,17 +603,25 @@ FabricResult ShardedFabric::run() {
     }
   } else {
     sim_of(shard_of(tree_.root))
-        .schedule_at(sim::TimePoint{0}, [this] { start_iteration(0); });
+        .schedule_at(sim::TimePoint{0}, [this] {
+          controller_role_.assert_held();  // runs on the root's shard
+          start_iteration(0);
+        });
   }
   engine_->run();
 
   FabricResult out;
-  out.latency_us = std::move(latency_us_);
-  if (ctrl_cpu_count_ > 0) {
-    const double n = static_cast<double>(ctrl_cpu_count_);
-    out.avg_bcast_cpu_us = ctrl_cpu_sum_us_ / n;
-    out.max_bcast_cpu_us = ctrl_cpu_max_us_;
-    out.avg_applied_skew_us = ctrl_skew_sum_us_ / n;
+  {
+    // Workers joined in engine_->run(): the calling thread owns the
+    // controller state again.
+    const sim::RoleGuard controller(controller_role_);
+    out.latency_us = std::move(latency_us_);
+    if (ctrl_cpu_count_ > 0) {
+      const double n = static_cast<double>(ctrl_cpu_count_);
+      out.avg_bcast_cpu_us = ctrl_cpu_sum_us_ / n;
+      out.max_bcast_cpu_us = ctrl_cpu_max_us_;
+      out.avg_applied_skew_us = ctrl_skew_sum_us_ / n;
+    }
   }
   out.cross_links = partition_.cross_links;
   out.lbts_rounds = engine_->lbts_rounds();

@@ -36,6 +36,7 @@
 #include "nic/packet_descriptor.hpp"
 #include "nic/types.hpp"
 #include "sim/sharded_engine.hpp"
+#include "sim/thread_annotations.hpp"
 #include "sim/time.hpp"
 
 namespace nicmcast::net {
@@ -205,7 +206,7 @@ class ShardedFabric {
   /// [0, 2 * avg_skew_us) — shard-count invariant by construction.
   [[nodiscard]] sim::Duration skew_of(std::int32_t iter, NodeId node) const;
 
-  void start_iteration(std::int32_t iter);
+  void start_iteration(std::int32_t iter) NM_REQUIRES(controller_role_);
   /// Injects the data train for edge parent->child at `inject` (an absolute
   /// time on the parent's shard clock) and arms the retransmit timer.
   void send_data(NodeId from, NodeId to, std::int32_t iter,
@@ -223,10 +224,12 @@ class ShardedFabric {
   void send_ack(NodeId from, NodeId to, std::int32_t iter);
   void ack_arrived(NodeId parent, NodeId child, std::int32_t iter);
   void retransmit(NodeId from, NodeId to, std::int32_t iter);
-  void notify_controller(NodeId node, sim::TimePoint host_time);
+  void notify_controller(NodeId node, sim::TimePoint host_time)
+      NM_REQUIRES(controller_role_);
   /// kMultisend: one more root->child ack landed; executes on the root's
   /// shard (the star tree makes every ack's parent the root).
-  void multisend_ack_completed(std::int32_t iter);
+  void multisend_ack_completed(std::int32_t iter)
+      NM_REQUIRES(controller_role_);
 
   // -- kBarrier (control packets up/down the tree; rounds self-chain) --
   /// The node's own entry into round `round` (after its skew delay).
@@ -269,19 +272,23 @@ class ShardedFabric {
   std::vector<std::uint8_t> barrier_self_ready_;
   std::vector<std::int32_t> barrier_round_;
 
-  // Controller state: root's shard only.
-  std::int32_t ctrl_iter_ = 0;
-  std::size_t ctrl_remaining_ = 0;
-  sim::TimePoint ctrl_iter_start_{0};
-  sim::TimePoint ctrl_last_delivery_{0};
-  std::vector<double> latency_us_;
-  std::uint64_t total_deliveries_ = 0;
+  // Controller state: root's shard only.  The phantom controller role
+  // (thread_annotations.hpp) makes that ownership checkable — closures
+  // posted to the root's shard assert it, run() claims it before the
+  // workers start and after they join, and any new code path touching
+  // these members without either is a -Wthread-safety error in Clang CI.
+  sim::Role controller_role_;
+  std::int32_t ctrl_iter_ NM_GUARDED_BY(controller_role_) = 0;
+  std::size_t ctrl_remaining_ NM_GUARDED_BY(controller_role_) = 0;
+  sim::TimePoint ctrl_iter_start_ NM_GUARDED_BY(controller_role_){0};
+  sim::TimePoint ctrl_last_delivery_ NM_GUARDED_BY(controller_role_){0};
+  std::vector<double> latency_us_ NM_GUARDED_BY(controller_role_);
 
   // kSkewBcast host-side accumulators (root's shard only; timed iters).
-  double ctrl_cpu_sum_us_ = 0.0;
-  double ctrl_cpu_max_us_ = 0.0;
-  double ctrl_skew_sum_us_ = 0.0;
-  std::uint64_t ctrl_cpu_count_ = 0;
+  double ctrl_cpu_sum_us_ NM_GUARDED_BY(controller_role_) = 0.0;
+  double ctrl_cpu_max_us_ NM_GUARDED_BY(controller_role_) = 0.0;
+  double ctrl_skew_sum_us_ NM_GUARDED_BY(controller_role_) = 0.0;
+  std::uint64_t ctrl_cpu_count_ NM_GUARDED_BY(controller_role_) = 0;
 };
 
 }  // namespace nicmcast::net

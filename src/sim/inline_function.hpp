@@ -34,12 +34,12 @@ template <typename R, typename... Args, std::size_t InlineBytes>
 class InlineFunction<R(Args...), InlineBytes> {
  public:
   InlineFunction() = default;
-  InlineFunction(std::nullptr_t) {}  // NOLINT: implicit, like std::function
+  InlineFunction(std::nullptr_t) {}  // NOLINT(google-explicit-constructor): implicit by design, like std::function
 
   template <typename F>
     requires(!std::is_same_v<std::remove_cvref_t<F>, InlineFunction> &&
              std::is_invocable_r_v<R, std::remove_cvref_t<F>&, Args...>)
-  InlineFunction(F&& callable) {  // NOLINT: implicit, like std::function
+  InlineFunction(F&& callable) {  // NOLINT(google-explicit-constructor): implicit by design, like std::function
     using D = std::remove_cvref_t<F>;
     if constexpr (sizeof(D) <= InlineBytes &&
                   alignof(D) <= alignof(std::max_align_t) &&

@@ -108,6 +108,7 @@
 #include "sim/event_queue.hpp"
 #include "sim/simulator.hpp"
 #include "sim/spsc_channel.hpp"
+#include "sim/thread_annotations.hpp"
 #include "sim/time.hpp"
 
 namespace nicmcast::sim {
@@ -235,18 +236,18 @@ class ShardedEngine {
     msg.eot = sender.sim.now() + ch.lookahead;
     msg.action = std::move(action);
     ++sender.stats.cross_shard_msgs_sent;
+    // post() runs on shard `from`'s worker thread (the method contract
+    // above), which is by construction the single producer of this channel.
+    RoleGuard produce(ch.ring.producer_role());
     if (!ch.ring.try_push(std::move(msg))) {
       ++sender.stats.channel_spills;
-      if (async_sync_) {
-        // The consumer may be draining concurrently in async mode; the
-        // overflow hand-off is guarded by the channel's spill mutex.
-        std::lock_guard<std::mutex> lock(ch.spill_mu);
-        ch.spill.push_back(std::move(msg));
-      } else {
-        // Producer-owned spill: the round barrier orders this hand-off, so
-        // the vector needs no synchronization of its own.
-        ch.spill.push_back(std::move(msg));
-      }
+      // Overflow hand-off is always mutex-guarded.  Only the async mode
+      // *needs* the lock (a producer may spill while the consumer drains;
+      // barrier mode orders the hand-off with the round barrier), but the
+      // spill path is rare by design and one locking discipline keeps the
+      // concurrency contract — and its static checking — unconditional.
+      MutexLock lock(ch.spill_mu);
+      ch.spill.push_back(std::move(msg));
     }
   }
 
@@ -342,17 +343,22 @@ class ShardedEngine {
   struct Channel {
     explicit Channel(Duration la) : lookahead(la) {}
     SpscChannel<CrossMsg> ring{1024};
-    std::vector<CrossMsg> spill;     // overflow; see spill_mu
-    // Guards `spill` in async mode only, where a producer may spill while
-    // the consumer drains; the barrier mode's round barrier already orders
-    // that hand-off and keeps the spill path lock-free.
-    std::mutex spill_mu;
-    std::uint64_t send_seq = 0;      // producer-owned
+    // Guards `spill`: a producer may overflow the ring while the consumer
+    // drains (async mode), so the hand-off vector is mutex-protected in
+    // both sync modes — rare path, uncontended in barrier mode.
+    Mutex spill_mu;
+    std::vector<CrossMsg> spill NM_GUARDED_BY(spill_mu);  // ring overflow
+    // Producer-owned monotone counter; writing it requires the ring's
+    // producer role, which pins it to the single pushing thread.
+    std::uint64_t send_seq NM_GUARDED_BY(ring.producer_role()){0};
     Duration lookahead;              // per-channel send window / EOT stride
     // Consumer-raised, producer-cleared: the round whose completion the
-    // blocked receiver wants certified with a null message.
+    // blocked receiver wants certified with a null message.  Release on
+    // store / acquire on load so the producer's answer covers everything
+    // the consumer published before demanding.
     std::atomic<std::uint64_t> demand{kNoDemand};
-    TimePoint eot{0};                // consumer-owned channel clock
+    // Consumer-owned channel clock, advanced only while draining.
+    TimePoint eot NM_GUARDED_BY(ring.consumer_role()){0};
   };
 
   struct Shard {
@@ -441,8 +447,11 @@ class ShardedEngine {
         for (std::size_t src = 0; src < shards_.size(); ++src) {
           if (src == me) continue;
           Channel& ch = *channels_[src * shards_.size() + me];
+          // This worker is the single consumer of its inbound channels.
+          RoleGuard consume(ch.ring.consumer_role());
           CrossMsg msg;
           while (ch.ring.try_pop(msg)) pending.push_back(std::move(msg));
+          MutexLock lock(ch.spill_mu);
           for (CrossMsg& spilled : ch.spill) {
             pending.push_back(std::move(spilled));
           }
@@ -463,7 +472,8 @@ class ShardedEngine {
         const ReduceSummary reduce = summarize(mins);
         if (reduce.lbts == kNever ||
             abort_.load(std::memory_order_relaxed)) {
-          done_ = true;
+          // Relaxed store: the barrier below publishes it to every reader.
+          halt_.store(true, std::memory_order_relaxed);
         } else {
           for (std::size_t i = 0; i < shards_.size(); ++i) {
             shards_[i]->horizon = horizon_for(i, reduce);
@@ -472,7 +482,7 @@ class ShardedEngine {
         }
       }
       sync.arrive_and_wait();
-      if (done_) break;
+      if (halt_.load(std::memory_order_relaxed)) break;
       // ---- Phase 3: execute strictly below the safe horizon ----
       try {
         const std::size_t executed = my.sim.run_before(my.horizon);
@@ -585,11 +595,16 @@ class ShardedEngine {
                            std::vector<CrossMsg>& pending) {
     Shard& my = *shards_[me];
     Channel& ch = *channels_[src * shards_.size() + me];
+    // The drain runs on shard `me`'s worker — the channel's one consumer.
+    RoleGuard consume(ch.ring.consumer_role());
     const std::uint64_t want = round - 1;  // newest round in this batch
     // Pops every available batch message; true once the batch is certified
     // complete.  Nulls never reach `pending`; both kinds advance the
     // consumer-side channel clock when they carry a newer EOT.
     const auto sweep = [&]() -> bool {
+      // Clang's capability analysis treats the lambda as a separate
+      // function; re-state the role the enclosing guard holds.
+      ch.ring.consumer_role().assert_held();
       while (const CrossMsg* head = ch.ring.try_peek()) {
         if (head->round > want) return true;  // newer round: batch is done
         CrossMsg msg;
@@ -637,7 +652,8 @@ class ShardedEngine {
     // Spilled messages: lift this batch's rounds out under the spill
     // mutex.  Newer-round spills (the producer ran ahead while its ring
     // was full) stay behind for the next drain.
-    if (std::lock_guard<std::mutex> lock(ch.spill_mu); !ch.spill.empty()) {
+    {
+      MutexLock lock(ch.spill_mu);
       auto keep = ch.spill.begin();
       for (auto it = ch.spill.begin(); it != ch.spill.end(); ++it) {
         if (it->round > want) {
@@ -678,9 +694,12 @@ class ShardedEngine {
       null_msg.eot = my.sim.now() + ch.lookahead;
       // action left empty: a null never schedules anything.
       ++my.stats.null_msgs_sent;
+      // answer_demands runs on shard `me`'s worker — the producer of every
+      // outbound channel it services.
+      RoleGuard produce(ch.ring.producer_role());
       if (!ch.ring.try_push(std::move(null_msg))) {
         ++my.stats.channel_spills;
-        std::lock_guard<std::mutex> lock(ch.spill_mu);
+        MutexLock lock(ch.spill_mu);
         ch.spill.push_back(std::move(null_msg));
       }
     }
@@ -732,12 +751,19 @@ class ShardedEngine {
   Duration lookahead_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<std::unique_ptr<Channel>> channels_;  // [from * N + to]
+  // Indexed by shard; each slot written only by its own worker (fail()),
+  // read after the workers joined.
   std::vector<std::exception_ptr> errors_;
+  // Monotone false→true flag.  All accesses relaxed: readers act on it
+  // only to stop early, and the join / barrier at the end of run()
+  // provides the ordering for everything written before the abort.
   std::atomic<bool> abort_{false};
   bool batched_horizons_ = false;
   bool async_sync_ = false;
-  // Written by worker 0 between barriers; read by all after — race-free.
-  bool done_ = false;
+  // Barrier mode only: written by worker 0 between barriers, read by all
+  // after the next one.  The barrier is the ordering edge, so both sides
+  // are relaxed; atomic because writer and readers are different threads.
+  std::atomic<bool> halt_{false};
   std::uint64_t lbts_rounds_ = 0;
 };
 

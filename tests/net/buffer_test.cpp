@@ -153,7 +153,7 @@ TEST(Buffer, CrossThreadSliceReleaseIsRaceFree) {
       // The original drops its reference while workers still hold slices.
       message = Buffer{};
     }
-    EXPECT_GT(bytes_seen.load(), 0u);
+    EXPECT_GT(bytes_seen.load(std::memory_order_relaxed), 0u);
   }
 }
 

@@ -185,6 +185,41 @@ TEST(ShardedEngine, RingOverflowSpillsDeterministically) {
   EXPECT_GE(spills1, static_cast<std::uint64_t>(kBurst) - 1024);
 }
 
+// Both shards overflow their rings toward each other across several
+// waves, so a producer is pushing into its spill vector while the peer —
+// the consumer of the opposite direction — drains its own.  Barrier and
+// spill share one locking discipline (spill_mu, NM_GUARDED_BY); under the
+// TSan job this test is the regression net for that discipline, and the
+// hash comparison keeps the merge deterministic besides.
+TEST(ShardedEngine, BidirectionalSpillWavesStayDeterministic) {
+  constexpr int kBurst = 3000;  // ring capacity is 1024
+  constexpr int kWaves = 3;
+  auto run_once = [] {
+    ShardedEngine engine(2, kLookahead);
+    for (std::size_t from = 0; from < 2; ++from) {
+      const std::size_t to = 1 - from;
+      for (int wave = 0; wave < kWaves; ++wave) {
+        engine.shard(from).schedule_at(
+            t_us(1 + wave), [&engine, from, to] {
+              Simulator& s = engine.shard(from);
+              for (int i = 0; i < kBurst; ++i) {
+                engine.post(from, to, s.now() + kLookahead + nsec(i),
+                            [] {});
+              }
+            });
+      }
+    }
+    engine.run();
+    for (std::size_t r = 0; r < 2; ++r) {
+      EXPECT_EQ(engine.shard_stats(r).cross_shard_msgs_received,
+                static_cast<std::uint64_t>(kBurst) * kWaves);
+      EXPECT_GT(engine.shard_stats(r).channel_spills, 0u);
+    }
+    return engine.shard_order_hashes();
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
 void hop(ShardedEngine& engine, std::size_t at, int remaining) {
   if (remaining == 0) return;
   const std::size_t next = (at + 1) % engine.shard_count();

@@ -20,6 +20,9 @@ TEST(SpscChannel, RoundsCapacityUpToPowerOfTwo) {
 
 TEST(SpscChannel, FifoWithinCapacity) {
   SpscChannel<int> ch(8);
+  // Single-threaded test: one scope legitimately holds both roles.
+  RoleGuard produce(ch.producer_role());
+  RoleGuard consume(ch.consumer_role());
   for (int i = 0; i < 8; ++i) {
     ASSERT_TRUE(ch.try_push(int{i}));
   }
@@ -35,6 +38,8 @@ TEST(SpscChannel, FifoWithinCapacity) {
 
 TEST(SpscChannel, WrapsAroundManyTimes) {
   SpscChannel<std::uint64_t> ch(4);
+  RoleGuard produce(ch.producer_role());
+  RoleGuard consume(ch.consumer_role());
   std::uint64_t expect = 0;
   for (std::uint64_t i = 0; i < 1000; ++i) {
     ASSERT_TRUE(ch.try_push(std::uint64_t{i}));
@@ -56,6 +61,8 @@ TEST(SpscChannel, WrapsAroundManyTimes) {
 
 TEST(SpscChannel, MoveOnlyPayload) {
   SpscChannel<std::unique_ptr<int>> ch(4);
+  RoleGuard produce(ch.producer_role());
+  RoleGuard consume(ch.consumer_role());
   ASSERT_TRUE(ch.try_push(std::make_unique<int>(42)));
   std::unique_ptr<int> out;
   ASSERT_TRUE(ch.try_pop(out));
@@ -69,6 +76,8 @@ TEST(SpscChannel, CapacitySpillDrainRefillCycles) {
   // Several cycles prove the full/empty edge stays consistent after the
   // head and tail have both wrapped the index space repeatedly.
   SpscChannel<std::uint64_t> ch(8);
+  RoleGuard produce(ch.producer_role());
+  RoleGuard consume(ch.consumer_role());
   ASSERT_EQ(ch.capacity(), 8u);
   std::uint64_t next = 0;
   std::uint64_t expect = 0;
@@ -99,6 +108,8 @@ TEST(SpscChannel, CapacitySpillDrainRefillCycles) {
 
 TEST(SpscChannel, PeekDoesNotConsume) {
   SpscChannel<int> ch(4);
+  RoleGuard produce(ch.producer_role());
+  RoleGuard consume(ch.consumer_role());
   EXPECT_EQ(ch.try_peek(), nullptr);  // empty
   ASSERT_TRUE(ch.try_push(7));
   ASSERT_TRUE(ch.try_push(8));
@@ -118,6 +129,8 @@ TEST(SpscChannel, PeekDoesNotConsume) {
 
 TEST(SpscChannel, PeekTracksHeadAcrossWraparound) {
   SpscChannel<std::uint64_t> ch(4);
+  RoleGuard produce(ch.producer_role());
+  RoleGuard consume(ch.consumer_role());
   std::uint64_t out = 0;
   for (std::uint64_t i = 0; i < 100; ++i) {
     ASSERT_TRUE(ch.try_push(std::uint64_t{i}));
@@ -140,6 +153,8 @@ TEST(SpscChannel, ConcurrentProducerConsumerPreservesOrder) {
   received.reserve(kMessages);
 
   std::thread consumer([&] {
+    // The consumer thread owns the pop side for the channel's lifetime.
+    RoleGuard consume(ch.consumer_role());
     std::uint64_t out = 0;
     while (received.size() < kMessages) {
       if (ch.try_pop(out)) {
@@ -149,8 +164,12 @@ TEST(SpscChannel, ConcurrentProducerConsumerPreservesOrder) {
       }
     }
   });
-  for (std::uint64_t i = 0; i < kMessages; ++i) {
-    while (!ch.try_push(std::uint64_t{i})) std::this_thread::yield();
+  {
+    // The main thread owns the push side.
+    RoleGuard produce(ch.producer_role());
+    for (std::uint64_t i = 0; i < kMessages; ++i) {
+      while (!ch.try_push(std::uint64_t{i})) std::this_thread::yield();
+    }
   }
   consumer.join();
 

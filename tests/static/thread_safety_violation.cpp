@@ -1,0 +1,18 @@
+// Compile-only proof that the concurrency contract is ENFORCED, not just
+// documented: holding the consumer role does not license try_push(), which
+// requires the producer role.  Under
+//   -fsyntax-only -Wthread-safety -Wthread-safety-beta
+//   -Werror=thread-safety-analysis
+// this translation unit must FAIL to compile (ctest WILL_FAIL).  If it
+// ever compiles, the annotations on SpscChannel have regressed.
+#include "sim/spsc_channel.hpp"
+#include "sim/thread_annotations.hpp"
+
+namespace nicmcast::sim {
+
+inline void consumer_must_not_push(SpscChannel<int>& ch) {
+  RoleGuard claim(ch.consumer_role());
+  (void)ch.try_push(41);  // wrong side of the channel: producer-only call
+}
+
+}  // namespace nicmcast::sim

@@ -1,0 +1,92 @@
+// Fixture: nicmcast-memory-order-audit
+//
+// Every atomic access must spell its std::memory_order; the implicit
+// seq_cst default hides the author's intent and makes later relaxation
+// reviews impossible.  Relaxed loads additionally must not guard
+// publication of non-atomic state (the acquire side of a release/acquire
+// handoff cannot be relaxed).
+#include "stubs.hpp"
+
+namespace fixture {
+
+struct Engine {
+  std::atomic<int> counter_{0};
+  std::atomic<bool> flag_{false};
+  std::atomic<bool> other_{false};
+  int* payload_ = nullptr;
+  long published_ = 0;
+
+  int positive_implicit_load() {
+    return counter_.load();  // EXPECT: nicmcast-memory-order-audit
+  }
+
+  void positive_implicit_store(int v) {
+    counter_.store(v);  // EXPECT: nicmcast-memory-order-audit
+  }
+
+  void positive_implicit_rmw() {
+    counter_.fetch_add(1);  // EXPECT: nicmcast-memory-order-audit
+  }
+
+  void positive_implicit_cas(int& want) {
+    counter_.compare_exchange_weak(want, 0);  // EXPECT: nicmcast-memory-order-audit
+  }
+
+  void positive_operator_store() {
+    flag_ = true;  // EXPECT: nicmcast-memory-order-audit
+  }
+
+  void positive_operator_increment() {
+    ++counter_;  // EXPECT: nicmcast-memory-order-audit
+  }
+
+  bool positive_implicit_read() {
+    if (flag_) {  // EXPECT: nicmcast-memory-order-audit
+      return true;
+    }
+    return false;
+  }
+
+  void positive_relaxed_guards_delete() {
+    if (flag_.load(std::memory_order_relaxed)) {  // EXPECT: nicmcast-memory-order-audit
+      delete payload_;
+    }
+  }
+
+  void positive_relaxed_guards_publication(long v) {
+    if (flag_.load(std::memory_order_relaxed)) {  // EXPECT: nicmcast-memory-order-audit
+      published_ = v;
+    }
+  }
+
+  int negative_explicit_load() const {
+    return counter_.load(std::memory_order_acquire);
+  }
+
+  void negative_explicit_store(int v) {
+    counter_.store(v, std::memory_order_release);
+  }
+
+  void negative_explicit_rmw() {
+    counter_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  bool negative_relaxed_guard_without_publication() {
+    if (flag_.load(std::memory_order_relaxed)) {
+      return true;
+    }
+    return false;
+  }
+
+  void negative_relaxed_guard_atomic_write() {
+    if (flag_.load(std::memory_order_relaxed)) {
+      other_.store(true, std::memory_order_relaxed);
+    }
+  }
+
+  int negative_suppressed() {
+    return counter_.load();  // NOLINT(nicmcast-memory-order-audit): fixture proves suppression works
+  }
+};
+
+}  // namespace fixture

@@ -59,7 +59,7 @@ struct State {
   void negative_suppressed() {
     // Deliberate and order-independent in aggregate; suppression mirrors
     // the annotation style the repo uses for audited sites.
-    // NOLINTNEXTLINE(nicmcast-nondeterministic-iteration)
+    // NOLINTNEXTLINE(nicmcast-nondeterministic-iteration): order-independent aggregate
     for (const auto& entry : deadline_by_node) {
       sim.schedule(entry.second);
     }

@@ -1,0 +1,61 @@
+// Fixture: nicmcast-shard-state-escape
+//
+// Shard state is owner-confined: a lambda handed to a worker thread must
+// not write the owner's non-atomic members.  Cross-shard effects travel
+// through channels (post()), atomics with explicit orders, or a Mutex the
+// lambda visibly takes.
+#include "stubs.hpp"
+
+namespace fixture {
+
+struct Shard {
+  long deliveries_ = 0;
+  std::atomic<long> acks_{0};
+  std::mutex mu_;
+  long guarded_total_ = 0;
+
+  void positive_write_from_jthread() {
+    std::jthread worker([this] { deliveries_ += 1; });  // EXPECT: nicmcast-shard-state-escape
+    worker.join();
+  }
+
+  void positive_write_from_thread() {
+    std::thread worker([this] { deliveries_ = 7; });  // EXPECT: nicmcast-shard-state-escape
+    worker.join();
+  }
+
+  void positive_increment_from_pool() {
+    std::vector<std::jthread> pool;
+    pool.emplace_back([this] { ++deliveries_; });  // EXPECT: nicmcast-shard-state-escape
+  }
+
+  void negative_atomic_from_worker() {
+    std::jthread worker(
+        [this] { acks_.fetch_add(1, std::memory_order_relaxed); });
+    worker.join();
+  }
+
+  void negative_locked_from_worker() {
+    std::jthread worker([this] {
+      std::lock_guard<std::mutex> lock(mu_);
+      guarded_total_ += 1;
+    });
+    worker.join();
+  }
+
+  long negative_lambda_stays_on_owner() {
+    auto bump = [this] { deliveries_ += 1; };
+    bump();
+    return deliveries_;
+  }
+
+  void negative_local_state_in_worker() {
+    std::jthread worker([] {
+      long scratch = 0;
+      scratch += 1;
+    });
+    worker.join();
+  }
+};
+
+}  // namespace fixture

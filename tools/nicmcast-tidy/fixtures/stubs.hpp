@@ -30,6 +30,8 @@ template <typename T>
 class vector {
  public:
   void push_back(const T&);
+  template <typename... A>
+  void emplace_back(A&&...);
   T* begin();
   T* end();
   const T* begin() const;
@@ -101,11 +103,82 @@ struct random_device {
   unsigned operator()();
 };
 
+// C++17-style plain enum: both engines key on the `memory_order` name and
+// the `memory_order_*` enumerator spellings.
+enum memory_order {
+  memory_order_relaxed,
+  memory_order_consume,
+  memory_order_acquire,
+  memory_order_release,
+  memory_order_acq_rel,
+  memory_order_seq_cst,
+};
+
+template <typename T>
+class atomic {
+ public:
+  atomic();
+  atomic(T);
+  T load(memory_order = memory_order_seq_cst) const;
+  void store(T, memory_order = memory_order_seq_cst);
+  T exchange(T, memory_order = memory_order_seq_cst);
+  T fetch_add(T, memory_order = memory_order_seq_cst);
+  T fetch_sub(T, memory_order = memory_order_seq_cst);
+  bool compare_exchange_weak(T&, T, memory_order = memory_order_seq_cst);
+  bool compare_exchange_strong(T&, T, memory_order = memory_order_seq_cst);
+  T operator=(T);
+  T operator++();
+  T operator++(int);
+  T operator--();
+  T operator+=(T);
+  operator T() const;
+};
+
+class thread {
+ public:
+  class id {
+   public:
+    bool operator==(const id&) const;
+  };
+  thread();
+  template <typename F>
+  explicit thread(F);
+  id get_id() const;
+  void join();
+};
+
+class jthread {
+ public:
+  jthread();
+  template <typename F>
+  explicit jthread(F);
+  thread::id get_id() const;
+  void join();
+};
+
+namespace this_thread {
+thread::id get_id();
+}  // namespace this_thread
+
+class mutex {
+ public:
+  void lock();
+  void unlock();
+};
+
+template <typename M>
+class lock_guard {
+ public:
+  explicit lock_guard(M&);
+};
+
 }  // namespace std
 
 struct fixture_timeval;
 struct fixture_timezone;
 extern "C" {
+unsigned long pthread_self(void);
+int gettid(void);
 long time(long*);
 int rand(void);
 void srand(unsigned);
@@ -128,7 +201,7 @@ class InlineFunction<R(Args...), InlineBytes> {
   // Implicit converting constructor, like the real one: assigning a lambda
   // constructs a temporary here first, which is what the plugin matches.
   template <typename F>
-  InlineFunction(F&& f);  // NOLINT
+  InlineFunction(F&& f);  // NOLINT(google-explicit-constructor): mirrors the real type
   R operator()(Args...);
 };
 }  // namespace sim

@@ -1,0 +1,48 @@
+// Fixture: nicmcast-thread-nondeterminism
+//
+// The sharded PDES core must produce identical results for every --shards
+// value.  Anything keyed on scheduler-assigned thread identity —
+// thread_local storage, get_id(), std::thread::id members or map keys,
+// pthread_self()/gettid() — cannot, so it may not reach simulator state.
+#include "stubs.hpp"
+
+namespace fixture {
+
+long positive_thread_local_counter() {
+  thread_local long calls = 0;  // EXPECT: nicmcast-thread-nondeterminism
+  calls += 1;
+  return calls;
+}
+
+auto positive_this_thread_get_id() {
+  return std::this_thread::get_id();  // EXPECT: nicmcast-thread-nondeterminism
+}
+
+auto positive_member_get_id(std::thread& worker) {
+  return worker.get_id();  // EXPECT: nicmcast-thread-nondeterminism
+}
+
+unsigned long positive_pthread_self() {
+  return pthread_self();  // EXPECT: nicmcast-thread-nondeterminism
+}
+
+struct Tracker {
+  std::thread::id owner_;  // EXPECT: nicmcast-thread-nondeterminism
+  std::unordered_map<std::thread::id, long> per_thread_;  // EXPECT: nicmcast-thread-nondeterminism
+};
+
+// negative: shard-indexed state carries the same information
+// deterministically, and plain thread lifecycle calls are fine.
+struct ShardLocal {
+  std::vector<long> per_shard_totals;
+};
+
+void negative_join(std::thread& worker) { worker.join(); }
+
+long negative_static_counter() {
+  static long calls = 0;
+  calls += 1;
+  return calls;
+}
+
+}  // namespace fixture

@@ -1,0 +1,136 @@
+//===--- MemoryOrderAuditCheck.cpp - nicmcast-tidy ------------------------===//
+
+#include "MemoryOrderAuditCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::nicmcast {
+
+namespace {
+
+// std::atomic<T> and the base it inherits the member set from.
+AST_MATCHER_FUNCTION(ast_matchers::internal::Matcher<CXXRecordDecl>,
+                     atomicClass) {
+  return cxxRecordDecl(hasAnyName("::std::atomic", "::std::__atomic_base",
+                                  "::std::atomic_flag"));
+}
+
+bool isMemoryOrderType(QualType QT) {
+  if (QT.isNull())
+    return false;
+  const auto *ED = QT.getCanonicalType()->getAs<EnumType>();
+  if (ED == nullptr || ED->getDecl() == nullptr)
+    return false;
+  const auto *ND = dyn_cast<NamedDecl>(ED->getDecl());
+  return ND != nullptr && ND->getName() == "memory_order";
+}
+
+/// True when the call spells at least one std::memory_order argument in
+/// the source (a CXXDefaultArgExpr is the implicit seq_cst default, which
+/// is exactly what the check forbids).
+bool hasExplicitOrderArg(const CallExpr *Call) {
+  for (const Expr *Arg : Call->arguments()) {
+    if (isa<CXXDefaultArgExpr>(Arg))
+      continue;
+    if (isMemoryOrderType(Arg->getType()))
+      return true;
+  }
+  return false;
+}
+
+bool isAtomicQualType(QualType QT) {
+  if (QT.isNull())
+    return false;
+  if (QT->isAtomicType())
+    return true;
+  const auto *RD = QT.getCanonicalType()->getAsCXXRecordDecl();
+  return RD != nullptr && RD->getName() == "atomic";
+}
+
+} // namespace
+
+void MemoryOrderAuditCheck::registerMatchers(MatchFinder *Finder) {
+  // Named-member form: x.load(), refs.fetch_add(1), ... with no explicit
+  // order argument (the default-arg case is detected in check()).
+  Finder->addMatcher(
+      cxxMemberCallExpr(
+          callee(cxxMethodDecl(
+              hasAnyName("load", "store", "exchange", "fetch_add",
+                         "fetch_sub", "fetch_and", "fetch_or", "fetch_xor",
+                         "compare_exchange_weak", "compare_exchange_strong",
+                         "test_and_set", "clear", "wait"),
+              ofClass(atomicClass()))))
+          .bind("member"),
+      this);
+
+  // Operator sugar: flag_ = v, ++count_, count_ += n and the implicit
+  // conversion read `if (flag_)` — all sugar over seq_cst operations.
+  Finder->addMatcher(
+      cxxOperatorCallExpr(callee(cxxMethodDecl(ofClass(atomicClass()))))
+          .bind("sugar"),
+      this);
+  Finder->addMatcher(
+      cxxMemberCallExpr(callee(cxxConversionDecl(ofClass(atomicClass()))))
+          .bind("sugar"),
+      this);
+
+  // A relaxed load guarding a publication: the branch deletes or stores to
+  // a non-atomic member, yet the flag read provides no acquire edge.
+  const auto RelaxedLoad =
+      cxxMemberCallExpr(
+          callee(cxxMethodDecl(hasName("load"), ofClass(atomicClass()))),
+          hasAnyArgument(ignoringImplicit(declRefExpr(to(namedDecl(
+              hasAnyName("memory_order_relaxed", "relaxed")))))))
+          .bind("rload");
+  const auto PublishesNonAtomic = anyOf(
+      hasDescendant(cxxDeleteExpr()),
+      hasDescendant(binaryOperator(
+          isAssignmentOperator(),
+          hasLHS(memberExpr(member(fieldDecl().bind("pubfield")))))));
+  Finder->addMatcher(
+      ifStmt(hasCondition(expr(anyOf(RelaxedLoad,
+                                     hasDescendant(RelaxedLoad)))),
+             hasThen(stmt(PublishesNonAtomic))),
+      this);
+}
+
+void MemoryOrderAuditCheck::check(const MatchFinder::MatchResult &Result) {
+  if (const auto *Member =
+          Result.Nodes.getNodeAs<CXXMemberCallExpr>("member")) {
+    if (!hasExplicitOrderArg(Member)) {
+      diag(Member->getExprLoc(),
+           "atomic operation relies on the implicit seq_cst default; pass "
+           "an explicit std::memory_order and justify it (DESIGN.md §4.9)");
+    }
+    return;
+  }
+
+  if (const auto *Sugar = Result.Nodes.getNodeAs<CallExpr>("sugar")) {
+    diag(Sugar->getExprLoc(),
+         "operator access to a std::atomic is an implicit seq_cst "
+         "operation; spell it as load()/store()/fetch_*() with an explicit "
+         "std::memory_order");
+    return;
+  }
+
+  if (const auto *Load =
+          Result.Nodes.getNodeAs<CXXMemberCallExpr>("rload")) {
+    // The publication only races when the published state is not itself
+    // an atomic; a relaxed store to another atomic is a separate site the
+    // member matcher already audits.
+    if (const auto *Field = Result.Nodes.getNodeAs<FieldDecl>("pubfield")) {
+      if (isAtomicQualType(Field->getType()))
+        return;
+    }
+    diag(Load->getExprLoc(),
+         "relaxed load guards a branch that publishes non-atomic state; "
+         "the load carries no happens-before edge — acquire here (paired "
+         "with a release on the store side) or move the publication "
+         "behind a proper synchronizer");
+  }
+}
+
+} // namespace clang::tidy::nicmcast

@@ -1,0 +1,29 @@
+//===--- MemoryOrderAuditCheck.h - nicmcast-tidy ----------------*- C++ -*-===//
+#ifndef NICMCAST_TIDY_MEMORY_ORDER_AUDIT_CHECK_H
+#define NICMCAST_TIDY_MEMORY_ORDER_AUDIT_CHECK_H
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::nicmcast {
+
+/// Enforces the concurrency contract's memory-order rules (DESIGN.md §4.9):
+///
+///  * every std::atomic load/store/exchange/fetch_*/compare_exchange call
+///    must pass an explicit std::memory_order — the seq_cst default hides
+///    the reasoning the contract requires at each site;
+///  * atomic operator sugar (=, ++, --, +=, implicit conversion reads) is
+///    an implicit seq_cst operation and is flagged the same way;
+///  * a memory_order_relaxed load must not guard a branch that publishes
+///    non-atomic state (deletes, or stores to non-atomic members): relaxed
+///    carries no happens-before edge, so observers race with everything
+///    sequenced before the corresponding store.
+class MemoryOrderAuditCheck : public ClangTidyCheck {
+public:
+  using ClangTidyCheck::ClangTidyCheck;
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+};
+
+} // namespace clang::tidy::nicmcast
+
+#endif // NICMCAST_TIDY_MEMORY_ORDER_AUDIT_CHECK_H

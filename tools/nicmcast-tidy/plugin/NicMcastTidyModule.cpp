@@ -2,10 +2,11 @@
 //
 // Registers the determinism-contract checks as a clang-tidy module, loaded
 // with `clang-tidy -load NicMcastTidyModule.so -checks=nicmcast-*`.
+// (The portable-only nicmcast-bare-nolint check has no AST twin here.)
 //
-// The portable engine in ../portable implements the same five checks for
+// The portable engine in ../portable implements the same checks for
 // build environments without a clang toolchain; the two engines share
-// check names, fixtures and NOLINT semantics.
+// check names, fixtures and suppression-comment semantics.
 //
 //===----------------------------------------------------------------------===//
 
@@ -14,8 +15,11 @@
 
 #include "DescriptorEscapeCheck.h"
 #include "InlineFunctionCaptureCheck.h"
+#include "MemoryOrderAuditCheck.h"
 #include "NondeterministicIterationCheck.h"
 #include "PointerOrderCheck.h"
+#include "ShardStateEscapeCheck.h"
+#include "ThreadNondeterminismCheck.h"
 #include "WallClockCheck.h"
 
 namespace clang::tidy::nicmcast {
@@ -31,6 +35,12 @@ public:
         "nicmcast-descriptor-escape");
     Factories.registerCheck<InlineFunctionCaptureCheck>(
         "nicmcast-inline-function-capture");
+    Factories.registerCheck<MemoryOrderAuditCheck>(
+        "nicmcast-memory-order-audit");
+    Factories.registerCheck<ShardStateEscapeCheck>(
+        "nicmcast-shard-state-escape");
+    Factories.registerCheck<ThreadNondeterminismCheck>(
+        "nicmcast-thread-nondeterminism");
   }
 };
 

@@ -1,0 +1,109 @@
+//===--- ShardStateEscapeCheck.cpp - nicmcast-tidy ------------------------===//
+
+#include "ShardStateEscapeCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::nicmcast {
+
+namespace {
+
+bool typeNameContains(QualType QT, StringRef Needle) {
+  if (QT.isNull())
+    return false;
+  return StringRef(QT.getCanonicalType().getAsString()).contains(Needle);
+}
+
+/// True when the lambda body takes any recognized lock — the sanctioned
+/// sharing path, which the clang thread-safety annotations then verify.
+bool bodyTakesLock(const Stmt *Body, ASTContext &Ctx) {
+  const auto Locks = match(
+      findAll(varDecl(hasType(qualType(hasUnqualifiedDesugaredType(
+          recordType(hasDeclaration(cxxRecordDecl(hasAnyName(
+              "::std::lock_guard", "::std::unique_lock",
+              "::std::scoped_lock", "::std::shared_lock",
+              "::nicmcast::sim::MutexLock"))))))))),
+      *Body, Ctx);
+  return !Locks.empty();
+}
+
+} // namespace
+
+void ShardStateEscapeCheck::registerMatchers(MatchFinder *Finder) {
+  // Lambdas constructed directly into a thread object...
+  Finder->addMatcher(
+      lambdaExpr(hasAncestor(cxxConstructExpr(hasDeclaration(
+                     cxxConstructorDecl(ofClass(hasAnyName(
+                         "::std::thread", "::std::jthread")))))))
+          .bind("lambda"),
+      this);
+  // ...or handed to std::async / appended to a thread container.  The
+  // receiver type is validated in check() for the append case.
+  Finder->addMatcher(
+      lambdaExpr(hasAncestor(
+                     callExpr(callee(functionDecl(hasAnyName(
+                                 "emplace_back", "push_back", "async"))))
+                         .bind("spawncall")))
+          .bind("lambda"),
+      this);
+}
+
+void ShardStateEscapeCheck::check(const MatchFinder::MatchResult &Result) {
+  const auto *Lambda = Result.Nodes.getNodeAs<LambdaExpr>("lambda");
+  if (Lambda == nullptr || Lambda->getBody() == nullptr)
+    return;
+  ASTContext &Ctx = *Result.Context;
+
+  if (const auto *Spawn = Result.Nodes.getNodeAs<CallExpr>("spawncall")) {
+    // emplace_back on a non-thread container is not a spawn site.
+    if (const auto *Member = dyn_cast<CXXMemberCallExpr>(Spawn)) {
+      if (!typeNameContains(Member->getObjectType(), "thread"))
+        return;
+    }
+  }
+
+  const Stmt *Body = Lambda->getBody();
+  if (bodyTakesLock(Body, Ctx))
+    return;
+
+  // Member writes through the captured `this` (or any member expression):
+  // assignments and increments to fields whose type is not an atomic.
+  auto FlagField = [&](const MemberExpr *LHS, SourceLocation Loc) {
+    const auto *Field = dyn_cast_or_null<FieldDecl>(LHS->getMemberDecl());
+    if (Field == nullptr)
+      return;
+    if (typeNameContains(Field->getType(), "atomic"))
+      return;
+    diag(Loc, "non-atomic state '%0' written from a worker-thread lambda; "
+              "shard state is owner-confined — post() it through a "
+              "channel, make it an atomic with an explicit order, or "
+              "guard it with a Mutex + NM_GUARDED_BY")
+        << Field->getName();
+  };
+
+  for (const auto &M : match(
+           findAll(binaryOperator(isAssignmentOperator(),
+                                  hasLHS(memberExpr().bind("lhs")))
+                       .bind("write")),
+           *Body, Ctx)) {
+    const auto *LHS = M.getNodeAs<MemberExpr>("lhs");
+    const auto *Write = M.getNodeAs<BinaryOperator>("write");
+    if (LHS != nullptr && Write != nullptr)
+      FlagField(LHS, Write->getOperatorLoc());
+  }
+  for (const auto &M : match(
+           findAll(unaryOperator(hasAnyOperatorName("++", "--"),
+                                 hasUnaryOperand(memberExpr().bind("lhs")))
+                       .bind("write")),
+           *Body, Ctx)) {
+    const auto *LHS = M.getNodeAs<MemberExpr>("lhs");
+    const auto *Write = M.getNodeAs<UnaryOperator>("write");
+    if (LHS != nullptr && Write != nullptr)
+      FlagField(LHS, Write->getOperatorLoc());
+  }
+}
+
+} // namespace clang::tidy::nicmcast

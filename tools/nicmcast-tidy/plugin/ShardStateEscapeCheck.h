@@ -1,0 +1,25 @@
+//===--- ShardStateEscapeCheck.h - nicmcast-tidy ----------------*- C++ -*-===//
+#ifndef NICMCAST_TIDY_SHARD_STATE_ESCAPE_CHECK_H
+#define NICMCAST_TIDY_SHARD_STATE_ESCAPE_CHECK_H
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::nicmcast {
+
+/// Flags non-atomic members written from a worker-thread lambda (one
+/// handed to std::thread/std::jthread/std::async or appended to a thread
+/// container) without a lock in the body.  Shard state in the PDES core is
+/// owner-confined: cross-shard communication goes through SpscChannels,
+/// shared flags are atomics with explicit orders, and anything else takes
+/// a Mutex + NM_GUARDED_BY.  A bare member store from a worker body is the
+/// escape hatch this closes.
+class ShardStateEscapeCheck : public ClangTidyCheck {
+public:
+  using ClangTidyCheck::ClangTidyCheck;
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+};
+
+} // namespace clang::tidy::nicmcast
+
+#endif // NICMCAST_TIDY_SHARD_STATE_ESCAPE_CHECK_H

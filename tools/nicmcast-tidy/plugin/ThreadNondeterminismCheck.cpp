@@ -1,0 +1,80 @@
+//===--- ThreadNondeterminismCheck.cpp - nicmcast-tidy --------------------===//
+
+#include "ThreadNondeterminismCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::nicmcast {
+
+void ThreadNondeterminismCheck::registerMatchers(MatchFinder *Finder) {
+  Finder->addMatcher(
+      varDecl(hasThreadStorageDuration()).bind("tls"), this);
+
+  Finder->addMatcher(
+      callExpr(callee(functionDecl(hasName("::std::this_thread::get_id"))))
+          .bind("getid"),
+      this);
+  Finder->addMatcher(
+      cxxMemberCallExpr(callee(cxxMethodDecl(
+                            hasName("get_id"),
+                            ofClass(hasAnyName("::std::thread",
+                                               "::std::jthread")))))
+          .bind("getid"),
+      this);
+  Finder->addMatcher(
+      callExpr(callee(functionDecl(hasAnyName("::pthread_self", "::gettid"),
+                                   unless(cxxMethodDecl()))))
+          .bind("osid"),
+      this);
+
+  // std::thread::id spelled as a declaration type — a member, variable or
+  // container key built on scheduler identity.  Restricted to variables
+  // and fields: a function whose signature merely mentions the type (a
+  // join helper taking std::thread&, say) stores nothing.
+  const auto ThreadIdRecord = qualType(hasUnqualifiedDesugaredType(
+      recordType(hasDeclaration(cxxRecordDecl(hasName("::std::thread::id"))))));
+  Finder->addMatcher(
+      varDecl(hasType(qualType(anyOf(ThreadIdRecord,
+                                     hasDescendant(ThreadIdRecord)))))
+          .bind("idtype"),
+      this);
+  Finder->addMatcher(
+      fieldDecl(hasType(qualType(anyOf(ThreadIdRecord,
+                                       hasDescendant(ThreadIdRecord)))))
+          .bind("idtype"),
+      this);
+}
+
+void ThreadNondeterminismCheck::check(
+    const MatchFinder::MatchResult &Result) {
+  if (const auto *TLS = Result.Nodes.getNodeAs<VarDecl>("tls")) {
+    diag(TLS->getLocation(),
+         "thread_local state varies with the worker count; keep per-shard "
+         "state in the shard's own structures so --shards cannot change "
+         "results");
+    return;
+  }
+  if (const auto *Call = Result.Nodes.getNodeAs<CallExpr>("getid")) {
+    diag(Call->getExprLoc(),
+         "thread get_id() keys behaviour on scheduler identity, which "
+         "differs across runs and shard counts; use the shard index "
+         "instead");
+    return;
+  }
+  if (const auto *Call = Result.Nodes.getNodeAs<CallExpr>("osid")) {
+    diag(Call->getExprLoc(),
+         "OS thread identity leaks into simulator state; key on the shard "
+         "index instead");
+    return;
+  }
+  if (const auto *VD = Result.Nodes.getNodeAs<ValueDecl>("idtype")) {
+    diag(VD->getLocation(),
+         "std::thread::id values are scheduler-assigned and vary across "
+         "runs; key state on the shard index instead");
+  }
+}
+
+} // namespace clang::tidy::nicmcast

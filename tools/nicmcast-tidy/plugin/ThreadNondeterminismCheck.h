@@ -1,0 +1,24 @@
+//===--- ThreadNondeterminismCheck.h - nicmcast-tidy ------------*- C++ -*-===//
+#ifndef NICMCAST_TIDY_THREAD_NONDETERMINISM_CHECK_H
+#define NICMCAST_TIDY_THREAD_NONDETERMINISM_CHECK_H
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::nicmcast {
+
+/// Flags thread-identity leaks into simulator state: thread_local
+/// variables, std::this_thread::get_id() / thread.get_id() /
+/// pthread_self() / gettid() calls, and std::thread::id-typed
+/// declarations (including id-keyed containers).  The sharded PDES core
+/// must produce identical results for every --shards value; anything
+/// keyed on scheduler-assigned identity cannot.
+class ThreadNondeterminismCheck : public ClangTidyCheck {
+public:
+  using ClangTidyCheck::ClangTidyCheck;
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+};
+
+} // namespace clang::tidy::nicmcast
+
+#endif // NICMCAST_TIDY_THREAD_NONDETERMINISM_CHECK_H

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <string>
+#include <utility>
 
 namespace nicmcast::tidy {
 
@@ -734,6 +735,325 @@ void check_inline_function_capture(Ctx& ctx,
   }
 }
 
+// ---------------------------------------------------------------------------
+// nicmcast-memory-order-audit
+// ---------------------------------------------------------------------------
+
+// Member names that only std::atomic has: an implicit-order call on one of
+// these is an atomic RMW whatever the receiver's declared type is.
+constexpr std::string_view kAtomicRmwNames[] = {
+    "fetch_add", "fetch_sub", "fetch_and", "fetch_or", "fetch_xor",
+    "compare_exchange_weak", "compare_exchange_strong"};
+
+constexpr std::string_view kWriteOps[] = {"=",  "+=", "-=", "&=",
+                                          "|=", "^=", "++", "--"};
+
+bool is_write_op(const Token& t) {
+  return t.kind == Token::Kind::kPunct &&
+         std::find(std::begin(kWriteOps), std::end(kWriteOps), t.text) !=
+             std::end(kWriteOps);
+}
+
+bool parens_name_an_order(const Toks& toks, std::size_t open,
+                          std::size_t close) {
+  for (std::size_t j = open + 1; j < close && j < toks.size(); ++j) {
+    if (toks[j].kind == Token::Kind::kIdentifier &&
+        toks[j].text.find("memory_order") != std::string_view::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// [body_begin, body_end) of the statement or block controlled by the
+/// construct whose condition closes at `close`.
+std::pair<std::size_t, std::size_t> controlled_body(const Toks& toks,
+                                                    std::size_t close) {
+  std::size_t begin = close + 1;
+  std::size_t end = begin;
+  if (begin < toks.size() && is_p(toks[begin], "{")) {
+    end = match_paren(toks, begin);
+  } else {
+    while (end < toks.size() && !is_p(toks[end], ";")) {
+      if (is_p(toks[end], "(") || is_p(toks[end], "{")) {
+        end = match_paren(toks, end);
+        if (end >= toks.size()) break;
+      }
+      ++end;
+    }
+  }
+  return {begin, std::min(end, toks.size())};
+}
+
+/// True when toks[j] writes a trailing-underscore member that is not an
+/// atomic (members follow the `name_` convention repo-wide, so this is the
+/// portable stand-in for "publishes non-atomic state").
+bool writes_nonatomic_member(const Ctx& ctx, std::size_t j) {
+  const Toks& toks = ctx.toks;
+  const Token& t = toks[j];
+  if (t.kind != Token::Kind::kIdentifier || t.text.size() < 2 ||
+      t.text.back() != '_') {
+    return false;
+  }
+  if (kind_of(ctx, t.text) == VarKind::kAtomic) return false;
+  const bool suffix_write = j + 1 < toks.size() && is_write_op(toks[j + 1]);
+  const bool prefix_write =
+      j > 0 && (is_p(toks[j - 1], "++") || is_p(toks[j - 1], "--"));
+  if (!suffix_write && !prefix_write) return false;
+  // Declaration guard: `Foo done_ = ...` initializes, it does not publish.
+  if (j > 0 && (toks[j - 1].kind == Token::Kind::kIdentifier ||
+                is_p(toks[j - 1], ">"))) {
+    return false;
+  }
+  return true;
+}
+
+void check_memory_order_audit(Ctx& ctx) {
+  constexpr std::string_view kName = "nicmcast-memory-order-audit";
+  const Toks& toks = ctx.toks;
+
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    const Token& t = toks[i];
+
+    // Member-call form: x_.load(...), block->refs.fetch_add(...).
+    if (t.kind == Token::Kind::kIdentifier && i + 3 < toks.size() &&
+        (is_p(toks[i + 1], ".") || is_p(toks[i + 1], "->")) &&
+        toks[i + 2].kind == Token::Kind::kIdentifier &&
+        is_p(toks[i + 3], "(")) {
+      const Token& op = toks[i + 2];
+      const bool rmw = any_of_ids(op, kAtomicRmwNames);
+      const bool plain = any_of_ids(op, {"load", "store", "exchange"}) &&
+                         kind_of(ctx, t.text) == VarKind::kAtomic;
+      if (rmw || plain) {
+        const std::size_t close = match_paren(toks, i + 3);
+        if (close < toks.size() &&
+            !parens_name_an_order(toks, i + 3, close)) {
+          report(ctx, op, kName,
+                 "atomic " + std::string(op.text) +
+                     "() relies on the implicit seq_cst default; pass an "
+                     "explicit std::memory_order and justify it "
+                     "(DESIGN.md §4.9)");
+        }
+      }
+    }
+
+    if (kind_of(ctx, t.text) != VarKind::kAtomic) continue;
+
+    // Operator sugar: ++x_, x_ += n, x_ = v are seq_cst RMWs/stores.
+    const bool declared_here =
+        i > 0 && (is_p(toks[i - 1], ">") ||
+                  toks[i - 1].kind == Token::Kind::kIdentifier);
+    const bool suffix_write = is_write_op(toks[i + 1]);
+    const bool prefix_write =
+        i > 0 && (is_p(toks[i - 1], "++") || is_p(toks[i - 1], "--"));
+    if ((suffix_write && !declared_here) || prefix_write) {
+      report(ctx, t, kName,
+             "operator access to atomic '" + std::string(t.text) +
+                 "' is an implicit seq_cst operation; spell it as "
+                 "load()/store()/fetch_*() with an explicit "
+                 "std::memory_order");
+      continue;
+    }
+
+    // Implicit-conversion read in a condition: `if (flag_)` and
+    // `while (!flag_)` are seq_cst loads in disguise.
+    const bool closes_cond = is_p(toks[i + 1], ")") ||
+                             is_p(toks[i + 1], "&&") ||
+                             is_p(toks[i + 1], "||");
+    if (closes_cond && i > 0) {
+      std::size_t k = i - 1;
+      if (is_p(toks[k], "!") && k > 0) --k;
+      if (is_p(toks[k], "(") && k > 0 &&
+          any_of_ids(toks[k - 1], {"if", "while"})) {
+        report(ctx, t, kName,
+               "atomic '" + std::string(t.text) +
+                   "' read through implicit conversion (a seq_cst load); "
+                   "call load() with an explicit std::memory_order");
+      }
+    }
+  }
+
+  // A relaxed load must not guard a branch that publishes non-atomic
+  // state: relaxed carries no happens-before edge, so readers of the
+  // published state race with everything before the flag's store.  The
+  // Buffer refcount's `fetch_sub(acq_rel) == 1 -> delete` is the shape
+  // this protects (DESIGN.md §4.9).
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (!is_id(toks[i], "if") || !is_p(toks[i + 1], "(")) continue;
+    const std::size_t close = match_paren(toks, i + 1);
+    if (close >= toks.size()) continue;
+    const Token* relaxed_load = nullptr;
+    for (std::size_t j = i + 2; j + 1 < close; ++j) {
+      if (!is_id(toks[j], "load") || !is_p(toks[j + 1], "(")) continue;
+      const std::size_t lclose = match_paren(toks, j + 1);
+      for (std::size_t k = j + 2; k < lclose && k < close; ++k) {
+        if (toks[k].kind == Token::Kind::kIdentifier &&
+            toks[k].text.find("relaxed") != std::string_view::npos) {
+          relaxed_load = &toks[j];
+          break;
+        }
+      }
+      if (relaxed_load != nullptr) break;
+    }
+    if (relaxed_load == nullptr) continue;
+
+    const auto [body_begin, body_end] = controlled_body(toks, close);
+    for (std::size_t j = body_begin; j < body_end; ++j) {
+      if (is_id(toks[j], "delete") || writes_nonatomic_member(ctx, j)) {
+        report(ctx, *relaxed_load, kName,
+               "relaxed load guards a branch that publishes non-atomic "
+               "state; the load carries no happens-before edge — acquire "
+               "here (paired with a release on the store side) or move "
+               "the publication behind a proper synchronizer");
+        break;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// nicmcast-shard-state-escape
+// ---------------------------------------------------------------------------
+
+constexpr std::string_view kThreadSpawnNames[] = {"thread", "jthread",
+                                                  "async"};
+constexpr std::string_view kLockNames[] = {"lock_guard", "unique_lock",
+                                           "scoped_lock", "shared_lock",
+                                           "MutexLock"};
+
+void check_shard_state_escape(Ctx& ctx, const std::vector<Lambda>& lambdas) {
+  constexpr std::string_view kName = "nicmcast-shard-state-escape";
+  const Toks& toks = ctx.toks;
+
+  for (const Lambda& l : lambdas) {
+    // Worker-thread body?  The enclosing statement constructs a thread or
+    // appends to a declared thread container.
+    bool spawned = false;
+    for (std::size_t j = l.intro; j-- > 0;) {
+      if (is_p(toks[j], ";") || is_p(toks[j], "{") || is_p(toks[j], "}")) {
+        break;
+      }
+      if (toks[j].kind != Token::Kind::kIdentifier) continue;
+      if (any_of_ids(toks[j], kThreadSpawnNames) ||
+          kind_of(ctx, toks[j].text) == VarKind::kThreadContainer) {
+        spawned = true;
+        break;
+      }
+    }
+    if (!spawned) continue;
+
+    // A lock in the body is the sanctioned sharing path; the clang
+    // thread-safety annotations (NM_GUARDED_BY) take it from there.
+    bool locked = false;
+    for (std::size_t j = l.body_open + 1; j < l.body_close; ++j) {
+      if (any_of_ids(toks[j], kLockNames)) {
+        locked = true;
+        break;
+      }
+    }
+    if (locked) continue;
+
+    for (std::size_t j = l.body_open + 1; j < l.body_close; ++j) {
+      // Nested closures are their own execution context (typically a
+      // post()ed closure, i.e. channel-mediated); their own backward scan
+      // judges them.
+      bool skipped_nested = false;
+      for (const Lambda& inner : lambdas) {
+        if (inner.intro > l.body_open && inner.body_close < l.body_close &&
+            j >= inner.intro && j <= inner.body_close) {
+          j = inner.body_close;
+          skipped_nested = true;
+          break;
+        }
+      }
+      if (skipped_nested) continue;
+
+      if (writes_nonatomic_member(ctx, j)) {
+        report(ctx, toks[j], kName,
+               "non-atomic state '" + std::string(toks[j].text) +
+                   "' written from a worker-thread lambda; shard state is "
+                   "owner-confined — post() it through a channel, make it "
+                   "an atomic with an explicit order, or guard it with a "
+                   "Mutex + NM_GUARDED_BY");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// nicmcast-thread-nondeterminism
+// ---------------------------------------------------------------------------
+
+void check_thread_nondeterminism(Ctx& ctx) {
+  constexpr std::string_view kName = "nicmcast-thread-nondeterminism";
+  const Toks& toks = ctx.toks;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+
+    if (is_id(t, "thread_local")) {
+      report(ctx, t, kName,
+             "thread_local state varies with the worker count; keep "
+             "per-shard state in the shard's own structures so --shards "
+             "cannot change results");
+      continue;
+    }
+
+    if (i + 2 < toks.size() && is_p(toks[i + 1], "::")) {
+      if (is_id(t, "this_thread") && is_id(toks[i + 2], "get_id")) {
+        report(ctx, t, kName,
+               "std::this_thread::get_id() keys behaviour on scheduler "
+               "identity, which differs across runs and shard counts; use "
+               "the shard index instead");
+        continue;
+      }
+      if (any_of_ids(t, {"thread", "jthread"}) && is_id(toks[i + 2], "id")) {
+        report(ctx, t, kName,
+               "std::thread::id values are scheduler-assigned and vary "
+               "across runs; key state on the shard index instead");
+        continue;
+      }
+    }
+
+    if (is_id(t, "get_id") && i + 1 < toks.size() &&
+        is_p(toks[i + 1], "(") && i > 0 &&
+        (is_p(toks[i - 1], ".") || is_p(toks[i - 1], "->"))) {
+      report(ctx, t, kName,
+             "thread get_id() leaks scheduler identity into simulator "
+             "state; key on the shard index instead");
+      continue;
+    }
+
+    if (any_of_ids(t, {"pthread_self", "gettid"}) && i + 1 < toks.size() &&
+        is_p(toks[i + 1], "(")) {
+      report(ctx, t, kName,
+             std::string(t.text) +
+                 "() leaks OS thread identity into simulator state; key "
+                 "on the shard index instead");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// nicmcast-bare-nolint
+// ---------------------------------------------------------------------------
+
+void check_bare_nolint(Ctx& ctx) {
+  constexpr std::string_view kName = "nicmcast-bare-nolint";
+  if (!check_enabled(ctx.opt, kName)) return;
+  for (const Nolint& n : ctx.nolints) {
+    if (n.has_checks && n.has_justification) continue;
+    const char* what = !n.has_checks ? "names no specific check"
+                                     : "carries no justification";
+    // Emitted directly, not through report(): a suppression must not be
+    // able to waive the audit of suppressions.
+    ctx.out.push_back(Diagnostic{
+        ctx.path, n.comment_line, n.col, std::string(kName),
+        std::string("suppression ") + what +
+            "; write `NOLINT(<check>): <reason>` so the waived contract "
+            "and its rationale stay reviewable"});
+  }
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -842,6 +1162,53 @@ void collect_declarations(std::string_view source, SymbolTable& symbols) {
       continue;
     }
 
+    // std::atomic<T> name — the memory-order audit's subjects.
+    if (is_id(t, "atomic") && is_p(toks[i + 1], "<")) {
+      std::size_t j = skip_angles(toks, i + 1);
+      const std::size_t type_end = j;
+      while (j < toks.size() &&
+             (is_p(toks[j], "&") || is_p(toks[j], "*") ||
+              is_id(toks[j], "const"))) {
+        ++j;
+      }
+      if (j + 1 < toks.size() && toks[j].kind == Token::Kind::kIdentifier &&
+          (is_p(toks[j + 1], ";") || is_p(toks[j + 1], "=") ||
+           is_p(toks[j + 1], ",") || is_p(toks[j + 1], ")") ||
+           is_p(toks[j + 1], "{"))) {
+        record(toks[j].text, VarKind::kAtomic, flat_type(i, type_end));
+      }
+      continue;
+    }
+
+    // std::vector<std::jthread> pool — a thread-spawn context for the
+    // shard-state-escape check.
+    if (is_id(t, "vector") && is_p(toks[i + 1], "<")) {
+      const std::size_t end = skip_angles(toks, i + 1);
+      bool of_threads = false;
+      for (std::size_t j = i + 2; j + 1 < end; ++j) {
+        if (any_of_ids(toks[j], {"thread", "jthread"})) {
+          of_threads = true;
+          break;
+        }
+      }
+      if (of_threads) {
+        std::size_t j = end;
+        while (j < toks.size() &&
+               (is_p(toks[j], "&") || is_id(toks[j], "const"))) {
+          ++j;
+        }
+        if (j + 1 < toks.size() &&
+            toks[j].kind == Token::Kind::kIdentifier &&
+            (is_p(toks[j + 1], ";") || is_p(toks[j + 1], "=") ||
+             is_p(toks[j + 1], ",") || is_p(toks[j + 1], ")") ||
+             is_p(toks[j + 1], "{") || is_p(toks[j + 1], "("))) {
+          record(toks[j].text, VarKind::kThreadContainer,
+                 flat_type(i, end));
+        }
+        continue;
+      }
+    }
+
     // T* name — generic pointer declaration (type-looking T only, so a
     // multiplication `a * b` does not register b as a pointer).
     if (looks_like_type_name(t.text) && is_p(toks[i + 1], "*") &&
@@ -871,6 +1238,10 @@ std::vector<Diagnostic> run_checks(const std::string& path,
   const std::vector<Lambda> lambdas = find_lambdas(lexed.tokens);
   check_descriptor_escape(ctx, lambdas);
   check_inline_function_capture(ctx, lambdas);
+  check_memory_order_audit(ctx);
+  check_shard_state_escape(ctx, lambdas);
+  check_thread_nondeterminism(ctx);
+  check_bare_nolint(ctx);
 
   std::sort(out.begin(), out.end(), [](const Diagnostic& a,
                                        const Diagnostic& b) {

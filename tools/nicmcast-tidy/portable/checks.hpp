@@ -1,7 +1,10 @@
-// The nicmcast-* determinism-contract checks, portable engine.
+// The nicmcast-* determinism- and concurrency-contract checks, portable
+// engine.
 //
-// Five checks, mirroring the clang-tidy plugin in ../plugin (same names,
-// same fixtures, same NOLINT annotations):
+// Nine checks.  Eight mirror the clang-tidy plugin in ../plugin (same
+// names, same fixtures, same `NOLINT(<check>): reason` annotations); the
+// ninth, nicmcast-bare-nolint, audits the annotations themselves and is
+// portable-engine-only:
 //
 //   nicmcast-nondeterministic-iteration  range-for over an unordered
 //       container whose body feeds an ordering-sensitive sink (schedules
@@ -19,6 +22,19 @@
 //   nicmcast-inline-function-capture     sim::InlineFunction captures
 //       whose lower-bound size already exceeds the inline budget, or that
 //       capture raw pooled pointers by value.
+//   nicmcast-memory-order-audit          std::atomic operations that rely
+//       on the implicit seq_cst default instead of passing an explicit
+//       std::memory_order (including ++/--/= operator sugar), and relaxed
+//       loads guarding a branch that publishes non-atomic state.
+//   nicmcast-shard-state-escape          non-atomic members written from a
+//       worker-thread lambda without a channel or lock in between —
+//       shard-confined state escaping its owner.
+//   nicmcast-thread-nondeterminism       thread_local state, thread-id
+//       queries (std::this_thread::get_id, pthread_self, gettid) and
+//       std::thread::id-keyed types: results that vary with --shards.
+//   nicmcast-bare-nolint                 a suppression comment that names
+//       no specific check or carries no trailing justification; it must
+//       read `NOLINT(<check>): reason` so the waiver stays reviewable.
 //
 // The engine is two-pass: collect_declarations() over every input file
 // builds a name -> kind table (so auditor.cpp's loop over a member
@@ -53,6 +69,8 @@ enum class VarKind {
   kDescriptorRef,       // nic::DescriptorRef
   kPooledRawPtr,        // PacketDescriptor*
   kInlineFunction,      // sim::InlineFunction<Sig, N>
+  kAtomic,              // std::atomic<T>
+  kThreadContainer,     // std::vector<std::thread | std::jthread>
 };
 
 struct VarInfo {
@@ -68,7 +86,7 @@ struct VarInfo {
 using SymbolTable = std::unordered_map<std::string, VarInfo>;
 
 struct CheckOptions {
-  /// Checks to run; empty means all five.
+  /// Checks to run; empty means all nine.
   std::vector<std::string> enabled;
   /// Call names that make unordered iteration order observable.  The
   /// defaults cover the simulator's schedulers, tracers and log appends.

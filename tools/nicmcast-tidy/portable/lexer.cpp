@@ -22,11 +22,25 @@ constexpr std::string_view kPuncts[] = {
     "|=", "^=",   ".*",
 };
 
-// Parses the body of a NOLINT comment starting right after the keyword:
-// either nothing (suppress all) or "(check-a, check-b)".
-std::vector<std::string> parse_nolint_checks(std::string_view rest) {
-  std::vector<std::string> checks;
-  if (rest.empty() || rest.front() != '(') return checks;  // all checks
+// True when any justification prose remains in `rest` once the separator
+// punctuation after a check list is stripped.
+bool has_prose(std::string_view rest) {
+  for (const char c : rest) {
+    if (std::isalnum(static_cast<unsigned char>(c))) return true;
+  }
+  return false;
+}
+
+// Parses a suppression comment's body starting right after the keyword:
+// either nothing (suppress all) or "(check-a, check-b)", optionally
+// followed by a justification.  Fills checks/has_checks/has_justification.
+void parse_nolint_body(std::string_view rest, Nolint& out) {
+  if (rest.empty() || rest.front() != '(') {
+    // Bare suppression of every check; any trailing prose is its (still
+    // insufficient — there is no check name) justification.
+    out.has_justification = has_prose(rest);
+    return;
+  }
   const std::size_t close = rest.find(')');
   std::string_view body =
       rest.substr(1, close == std::string_view::npos ? rest.size() - 1
@@ -44,29 +58,37 @@ std::vector<std::string> parse_nolint_checks(std::string_view rest) {
            std::isspace(static_cast<unsigned char>(item.back()))) {
       item.remove_suffix(1);
     }
-    if (!item.empty()) checks.emplace_back(item);
+    if (!item.empty()) out.checks.emplace_back(item);
     pos = comma + 1;
   }
-  // "NOLINT()" suppresses nothing per clang-tidy; represent that as a
-  // sentinel no one matches.
-  if (checks.empty()) checks.emplace_back("\x01none");
-  return checks;
+  out.has_checks = !out.checks.empty();
+  // An empty check list suppresses nothing per clang-tidy; represent
+  // that as a sentinel no one matches.
+  if (out.checks.empty()) out.checks.emplace_back("\x01none");
+  if (close != std::string_view::npos) {
+    out.has_justification = has_prose(rest.substr(close + 1));
+  }
 }
 
-void scan_comment_for_nolint(std::string_view comment, int line,
+void scan_comment_for_nolint(std::string_view comment, int line, int col,
                              std::vector<Nolint>& nolints) {
+  Nolint n;
+  std::size_t keyword_end = 0;
   const std::size_t next = comment.find("NOLINTNEXTLINE");
   if (next != std::string_view::npos) {
-    nolints.push_back(Nolint{
-        line + 1,
-        parse_nolint_checks(comment.substr(next + 14))});
-    return;
+    n.line = line + 1;
+    n.col = col + static_cast<int>(next);
+    keyword_end = next + 14;
+  } else {
+    const std::size_t plain = comment.find("NOLINT");
+    if (plain == std::string_view::npos) return;
+    n.line = line;
+    n.col = col + static_cast<int>(plain);
+    keyword_end = plain + 6;
   }
-  const std::size_t plain = comment.find("NOLINT");
-  if (plain != std::string_view::npos) {
-    nolints.push_back(
-        Nolint{line, parse_nolint_checks(comment.substr(plain + 6))});
-  }
+  n.comment_line = line;
+  parse_nolint_body(comment.substr(keyword_end), n);
+  nolints.push_back(std::move(n));
 }
 
 }  // namespace
@@ -125,17 +147,19 @@ LexResult lex(std::string_view src) {
     if (c == '/' && i + 1 < src.size() && src[i + 1] == '/') {
       std::size_t eol = src.find('\n', i);
       if (eol == std::string_view::npos) eol = src.size();
-      scan_comment_for_nolint(src.substr(i, eol - i), line, out.nolints);
+      scan_comment_for_nolint(src.substr(i, eol - i), line, col,
+                              out.nolints);
       advance(eol - i);
       continue;
     }
 
-    // Block comment.  A NOLINT inside applies to the line the comment
-    // starts on (matches clang-tidy's behaviour closely enough).
+    // Block comment.  A suppression inside applies to the line the
+    // comment starts on (matches clang-tidy's behaviour closely enough).
     if (c == '/' && i + 1 < src.size() && src[i + 1] == '*') {
       std::size_t end = src.find("*/", i + 2);
       if (end == std::string_view::npos) end = src.size();
-      scan_comment_for_nolint(src.substr(i, end - i), line, out.nolints);
+      scan_comment_for_nolint(src.substr(i, end - i), line, col,
+                              out.nolints);
       advance(std::min(end + 2, src.size()) - i);
       continue;
     }
@@ -230,7 +254,7 @@ bool is_suppressed(const std::vector<Nolint>& nolints, int line,
                    std::string_view check) {
   for (const Nolint& n : nolints) {
     if (n.line != line) continue;
-    if (n.checks.empty()) return true;  // bare NOLINT
+    if (n.checks.empty()) return true;  // bare: suppresses everything
     for (const std::string& c : n.checks) {
       if (c == check || c == "*") return true;
     }

@@ -5,8 +5,8 @@
 // same check family can run where no clang development environment is
 // available (the default build container has only g++): it produces a
 // token stream with source positions, strips comments and literals, and
-// records NOLINT / NOLINTNEXTLINE suppressions so both engines honour the
-// same annotations.  It is deliberately not a preprocessor: directives are
+// records `NOLINT(<check>): reason`-style suppressions (current-line and
+// next-line forms) so both engines honour the same annotations.  It is deliberately not a preprocessor: directives are
 // skipped line-wise, macros are not expanded.  The checks built on top are
 // conservative textual approximations of the AST checks and share their
 // names, fixtures, and diagnostics format.
@@ -33,10 +33,19 @@ struct Token {
   int col = 0;            // 1-based
 };
 
-/// One `// NOLINT...` annotation.  `checks` empty means "all checks".
+/// One `NOLINT(<check>)`-family annotation.  `checks` empty means "all
+/// checks" (a bare suppression — which nicmcast-bare-nolint rejects).
 struct Nolint {
   int line = 0;  // the line the suppression applies to
   std::vector<std::string> checks;
+  // Metadata for nicmcast-bare-nolint.  `comment_line`/`col` locate the
+  // keyword itself (for next-line suppressions they differ from `line`);
+  // `has_checks` is true only for a non-empty explicit check list, and
+  // `has_justification` when prose follows the list on the same comment.
+  int comment_line = 0;
+  int col = 1;
+  bool has_checks = false;
+  bool has_justification = false;
 };
 
 struct LexResult {
@@ -46,7 +55,7 @@ struct LexResult {
 
 /// Tokenizes `source`.  The returned tokens view into `source`, which must
 /// outlive the result.  Comments, whitespace and preprocessor directives
-/// are consumed; NOLINT / NOLINT(check,...) / NOLINTNEXTLINE(...) comments
+/// are consumed; suppression comments (current-line and next-line forms)
 /// are recorded with the line they suppress.
 [[nodiscard]] LexResult lex(std::string_view source);
 

@@ -5,6 +5,11 @@
 //
 // Options:
 //   --check NAME                 run only NAME (repeatable; default: all)
+//   --check-first N              only report findings for the first N
+//                                files; the rest contribute declarations
+//                                (pass-1 context) but are not checked.
+//                                Lets a parallel driver shard pass 2
+//                                without losing cross-file symbol kinds.
 //   --allow-wall-clock-under P   extra path prefix where wall-clock reads
 //                                are allowed (repeatable; src/harness/ is
 //                                always allowed)
@@ -20,6 +25,7 @@
 // iteration over a member declared in a header is recognized in the .cpp
 // that loops over it.  Pass the whole source set for best results (the
 // scripts/run_static_analysis.py driver does).
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -34,7 +40,9 @@ namespace {
 constexpr const char* kCheckNames[] = {
     "nicmcast-nondeterministic-iteration", "nicmcast-pointer-order",
     "nicmcast-wall-clock", "nicmcast-descriptor-escape",
-    "nicmcast-inline-function-capture"};
+    "nicmcast-inline-function-capture", "nicmcast-memory-order-audit",
+    "nicmcast-shard-state-escape", "nicmcast-thread-nondeterminism",
+    "nicmcast-bare-nolint"};
 
 bool read_file(const std::string& path, std::string& out) {
   std::ifstream in(path, std::ios::binary);
@@ -59,6 +67,7 @@ int main(int argc, char** argv) {
   nicmcast::tidy::CheckOptions options;
   std::string root;
   std::vector<std::string> files;
+  std::size_t check_first = 0;  // 0: check every input file
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -71,6 +80,8 @@ int main(int argc, char** argv) {
     };
     if (arg == "--check") {
       options.enabled.emplace_back(next());
+    } else if (arg == "--check-first") {
+      check_first = std::stoul(next());
     } else if (arg == "--allow-wall-clock-under") {
       options.wall_clock_allowed.emplace_back(next());
     } else if (arg == "--inline-budget") {
@@ -82,6 +93,7 @@ int main(int argc, char** argv) {
       return 0;
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: nicmcast_lint [--check NAME]... "
+                   "[--check-first N] "
                    "[--allow-wall-clock-under PREFIX]... "
                    "[--inline-budget N] [--root DIR] files...\n";
       return 0;
@@ -108,9 +120,12 @@ int main(int argc, char** argv) {
     nicmcast::tidy::collect_declarations(sources[i], symbols);
   }
 
-  // Pass 2: checks.
+  // Pass 2: checks (optionally over only the first --check-first files;
+  // the rest were pass-1 context).
+  const std::size_t check_count =
+      check_first == 0 ? files.size() : std::min(check_first, files.size());
   std::size_t findings = 0;
-  for (std::size_t i = 0; i < files.size(); ++i) {
+  for (std::size_t i = 0; i < check_count; ++i) {
     const std::string rel = relative_to(files[i], root);
     for (const auto& d : nicmcast::tidy::run_checks(rel, sources[i], symbols,
                                                     options)) {
